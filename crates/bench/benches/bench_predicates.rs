@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks backing the paper's performance experiments:
+//!
+//! * `preprocess/*`   — Figure 5.2 (weight-phase preprocessing per predicate)
+//! * `query/*`        — Figure 5.3 (single-query latency per predicate)
+//! * `pruning/*`      — Figure 5.5(b) (query latency at different pruning rates)
+//! * `decl_vs_native` — the declarative-vs-inverted-index ablation from DESIGN.md
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_core::{
+    build_predicate, native::NativeKind, native::NativePredicate, prune_by_idf, Params, Predicate,
+    PredicateKind,
+};
+use dasp_datagen::{cu_dataset_sized, dblp_dataset};
+use dasp_eval::tokenize_dataset;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BENCH_DATASET_SIZE: usize = 1000;
+
+fn bench_corpus() -> (dasp_datagen::Dataset, Arc<dasp_core::TokenizedCorpus>) {
+    let dataset = dblp_dataset(BENCH_DATASET_SIZE);
+    let corpus = tokenize_dataset(&dataset, &Params::default());
+    (dataset, corpus)
+}
+
+fn preprocess_benches(c: &mut Criterion) {
+    let (_dataset, corpus) = bench_corpus();
+    let params = Params::default();
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [
+        PredicateKind::Jaccard,
+        PredicateKind::Cosine,
+        PredicateKind::Bm25,
+        PredicateKind::LanguageModel,
+        PredicateKind::Hmm,
+        PredicateKind::GesJaccard,
+        PredicateKind::SoftTfIdf,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.short_name()), |b| {
+            b.iter(|| {
+                let p = build_predicate(kind, corpus.clone(), &params);
+                std::hint::black_box(p.kind())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn query_benches(c: &mut Criterion) {
+    let (dataset, corpus) = bench_corpus();
+    let params = Params::default();
+    let query = dataset.records[0].text.clone();
+    let short_query: String = query.split_whitespace().take(3).collect::<Vec<_>>().join(" ");
+    let mut group = c.benchmark_group("query");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [
+        PredicateKind::IntersectSize,
+        PredicateKind::Jaccard,
+        PredicateKind::WeightedMatch,
+        PredicateKind::WeightedJaccard,
+        PredicateKind::Cosine,
+        PredicateKind::Bm25,
+        PredicateKind::LanguageModel,
+        PredicateKind::Hmm,
+        PredicateKind::EditSimilarity,
+        PredicateKind::GesJaccard,
+        PredicateKind::GesApx,
+        PredicateKind::SoftTfIdf,
+    ] {
+        let predicate = build_predicate(kind, corpus.clone(), &params);
+        let q = if kind.uses_word_tokens() { short_query.clone() } else { query.clone() };
+        group.bench_function(BenchmarkId::from_parameter(kind.short_name()), |b| {
+            b.iter(|| std::hint::black_box(predicate.rank(&q).len()))
+        });
+    }
+    group.finish();
+}
+
+fn pruning_benches(c: &mut Criterion) {
+    let dataset = cu_dataset_sized(dasp_datagen::cu_spec("CU1").unwrap(), 1000, 100);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    let query = dataset.records[0].text.clone();
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for rate in [0.0f64, 0.2, 0.4] {
+        let (pruned, _) = prune_by_idf(&corpus, rate);
+        let predicate = build_predicate(PredicateKind::Bm25, Arc::new(pruned), &params);
+        group.bench_function(BenchmarkId::from_parameter(format!("bm25_rate_{rate}")), |b| {
+            b.iter(|| std::hint::black_box(predicate.rank(&query).len()))
+        });
+    }
+    group.finish();
+}
+
+fn decl_vs_native_benches(c: &mut Criterion) {
+    let (dataset, corpus) = bench_corpus();
+    let params = Params::default();
+    let query = dataset.records[0].text.clone();
+    let declarative = build_predicate(PredicateKind::Bm25, corpus.clone(), &params);
+    let native = NativePredicate::build(corpus, NativeKind::Bm25);
+    let mut group = c.benchmark_group("decl_vs_native");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("bm25_declarative", |b| {
+        b.iter(|| std::hint::black_box(declarative.rank(&query).len()))
+    });
+    group.bench_function("bm25_native", |b| {
+        b.iter(|| std::hint::black_box(native.rank(&query).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    preprocess_benches,
+    query_benches,
+    pruning_benches,
+    decl_vs_native_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's "figure_5_1" experiment. Pass --full for paper-scale datasets.
+
+fn main() {
+    let scale = dasp_bench::Scale::from_args(std::env::args().skip(1));
+    print!("{}", dasp_bench::figure_5_1(&scale));
+}

@@ -1,0 +1,499 @@
+//! The experiments of Chapter 5, one function per table / figure.
+
+use crate::scale::Scale;
+use dasp_core::{build_predicate, prune_by_idf, Params, PredicateKind};
+use dasp_datagen::presets::{
+    cu_dataset_sized, dblp_dataset, f_dataset_sized,
+};
+use dasp_datagen::Dataset;
+use dasp_eval::{
+    evaluate_accuracy, format_millis, render_series, sample_query_indices, time_queries,
+    time_tokenization, time_weight_phase, tokenize_dataset, Series, TextTable,
+};
+use std::sync::Arc;
+
+/// Seed shared by every query workload so experiments are reproducible.
+pub const WORKLOAD_SEED: u64 = 0xBEEF;
+
+/// The predicates reported in the accuracy tables and Figure 5.1 (the
+/// GES filter variants are studied separately in Table 5.7).
+pub const ACCURACY_KINDS: &[PredicateKind] = &[
+    PredicateKind::IntersectSize,
+    PredicateKind::Jaccard,
+    PredicateKind::WeightedMatch,
+    PredicateKind::WeightedJaccard,
+    PredicateKind::Cosine,
+    PredicateKind::Bm25,
+    PredicateKind::LanguageModel,
+    PredicateKind::Hmm,
+    PredicateKind::EditSimilarity,
+    PredicateKind::Ges,
+    PredicateKind::SoftTfIdf,
+];
+
+/// The predicates reported in the performance figures (everything).
+pub const PERFORMANCE_KINDS: &[PredicateKind] = &[
+    PredicateKind::IntersectSize,
+    PredicateKind::Jaccard,
+    PredicateKind::WeightedMatch,
+    PredicateKind::WeightedJaccard,
+    PredicateKind::Cosine,
+    PredicateKind::Bm25,
+    PredicateKind::LanguageModel,
+    PredicateKind::Hmm,
+    PredicateKind::EditSimilarity,
+    PredicateKind::GesJaccard,
+    PredicateKind::GesApx,
+    PredicateKind::SoftTfIdf,
+];
+
+fn cu(scale: &Scale, name: &str) -> Dataset {
+    cu_dataset_sized(
+        dasp_datagen::cu_spec(name).expect("known CU dataset"),
+        scale.accuracy_dataset_size,
+        scale.accuracy_num_clean,
+    )
+}
+
+fn f(scale: &Scale, name: &str) -> Dataset {
+    f_dataset_sized(
+        dasp_datagen::f_spec(name).expect("known F dataset"),
+        scale.accuracy_dataset_size,
+        scale.accuracy_num_clean,
+    )
+}
+
+/// MAP of each kind on each dataset, as a predicate-per-row table.
+fn accuracy_table(
+    title: &str,
+    kinds: &[PredicateKind],
+    datasets: &[Dataset],
+    params: &Params,
+    scale: &Scale,
+) -> TextTable {
+    let mut headers: Vec<&str> = vec!["Predicate"];
+    let names: Vec<String> = datasets.iter().map(|d| d.name.clone()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = TextTable::new(title, &headers);
+
+    // Tokenize each dataset once and share across predicates.
+    let corpora: Vec<_> = datasets.iter().map(|d| tokenize_dataset(d, params)).collect();
+    for &kind in kinds {
+        let mut row = vec![kind.short_name().to_string()];
+        for (dataset, corpus) in datasets.iter().zip(&corpora) {
+            let predicate = build_predicate(kind, corpus.clone(), params);
+            let result = evaluate_accuracy(
+                predicate.as_ref(),
+                dataset,
+                scale.accuracy_queries,
+                WORKLOAD_SEED,
+            );
+            row.push(format!("{:.3}", result.map));
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+/// §5.3.3 — MAP of q-gram based predicates for q = 2 vs q = 3 on a dirty
+/// dataset (the small table in the Q-gram Generation section).
+pub fn table_qgram_size(scale: &Scale) -> String {
+    let dataset = cu(scale, "CU1");
+    let kinds = [
+        PredicateKind::Jaccard,
+        PredicateKind::Cosine,
+        PredicateKind::Hmm,
+        PredicateKind::Bm25,
+    ];
+    let mut table = TextTable::new(
+        "Q-gram size study (MAP on CU1, paper section 5.3.3)",
+        &["q", "Jaccard", "Cosine", "HMM", "BM25"],
+    );
+    for q in [2usize, 3] {
+        let params = Params::with_q(q);
+        let corpus = tokenize_dataset(&dataset, &params);
+        let mut row = vec![q.to_string()];
+        for kind in kinds {
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let result = evaluate_accuracy(
+                predicate.as_ref(),
+                &dataset,
+                scale.accuracy_queries,
+                WORKLOAD_SEED,
+            );
+            row.push(format!("{:.3}", result.map));
+        }
+        table.add_row(row);
+    }
+    table.render()
+}
+
+/// Table 5.5 — accuracy under abbreviation-only (F1) and token-swap-only (F2)
+/// errors.
+pub fn table_5_5(scale: &Scale) -> String {
+    let datasets = vec![f(scale, "F1"), f(scale, "F2")];
+    accuracy_table(
+        "Table 5.5: accuracy with abbreviation (F1) and token-swap (F2) errors (MAP)",
+        ACCURACY_KINDS,
+        &datasets,
+        &Params::default(),
+        scale,
+    )
+    .render()
+}
+
+/// Table 5.6 — accuracy under increasing edit error (F3, F4, F5).
+pub fn table_5_6(scale: &Scale) -> String {
+    let datasets = vec![f(scale, "F3"), f(scale, "F4"), f(scale, "F5")];
+    accuracy_table(
+        "Table 5.6: accuracy with only edit errors (MAP)",
+        ACCURACY_KINDS,
+        &datasets,
+        &Params::default(),
+        scale,
+    )
+    .render()
+}
+
+/// Table 5.7 — accuracy of the filtered GES predicates on CU1 as the filter
+/// threshold varies, alongside the unfiltered exact GES baseline.
+pub fn table_5_7(scale: &Scale) -> String {
+    let dataset = cu(scale, "CU1");
+    let corpus = tokenize_dataset(&dataset, &Params::default());
+    let mut table = TextTable::new(
+        "Table 5.7: accuracy of GES predicates for different thresholds (MAP on CU1)",
+        &["Predicate", "theta=0.7", "theta=0.8", "theta=0.9"],
+    );
+
+    // Baseline: exact GES without any threshold.
+    let ges = build_predicate(PredicateKind::Ges, corpus.clone(), &Params::default());
+    let base = evaluate_accuracy(ges.as_ref(), &dataset, scale.accuracy_queries, WORKLOAD_SEED);
+
+    for kind in [PredicateKind::GesJaccard, PredicateKind::GesApx] {
+        let mut row = vec![kind.short_name().to_string()];
+        for theta in [0.7, 0.8, 0.9] {
+            let mut params = Params::default();
+            params.ges.filter_threshold = theta;
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let result = evaluate_accuracy(
+                predicate.as_ref(),
+                &dataset,
+                scale.accuracy_queries,
+                WORKLOAD_SEED,
+            );
+            row.push(format!("{:.3}", result.map));
+        }
+        table.add_row(row);
+    }
+    let mut out = table.render();
+    out.push_str(&format!("GES (no threshold) MAP on CU1: {:.3}\n", base.map));
+    out
+}
+
+/// Figure 5.1 — MAP of every predicate on the low / medium / dirty dataset
+/// classes (averaged over the datasets of each class).
+pub fn figure_5_1(scale: &Scale) -> String {
+    let params = Params::default();
+    let classes: [(&str, Vec<&str>); 3] = [
+        ("Low", vec!["CU7", "CU8"]),
+        ("Medium", vec!["CU3", "CU4", "CU5", "CU6"]),
+        ("Dirty", vec!["CU1", "CU2"]),
+    ];
+    let mut table = TextTable::new(
+        "Figure 5.1: MAP per predicate and error class",
+        &["Predicate", "Low", "Medium", "Dirty"],
+    );
+    // Pre-build datasets and corpora per class.
+    let class_data: Vec<(usize, Vec<(Dataset, Arc<dasp_core::TokenizedCorpus>)>)> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, (_, names))| {
+            let data = names
+                .iter()
+                .map(|name| {
+                    let d = cu(scale, name);
+                    let c = tokenize_dataset(&d, &params);
+                    (d, c)
+                })
+                .collect();
+            (i, data)
+        })
+        .collect();
+
+    for &kind in ACCURACY_KINDS {
+        let mut row = vec![kind.short_name().to_string()];
+        for (_, data) in &class_data {
+            let mut maps = Vec::new();
+            for (dataset, corpus) in data {
+                let predicate = build_predicate(kind, corpus.clone(), &params);
+                let r = evaluate_accuracy(
+                    predicate.as_ref(),
+                    dataset,
+                    scale.accuracy_queries,
+                    WORKLOAD_SEED,
+                );
+                maps.push(r.map);
+            }
+            row.push(format!("{:.3}", dasp_eval::mean(&maps)));
+        }
+        table.add_row(row);
+    }
+    table.render()
+}
+
+/// Figure 5.2 — preprocessing time per predicate on a DBLP-like dataset,
+/// split into the tokenization and weight-computation phases.
+pub fn figure_5_2(scale: &Scale) -> String {
+    let dataset = dblp_dataset(scale.perf_dataset_size);
+    let params = Params::default();
+    let (corpus, tokenize_time) = time_tokenization(&dataset, &params);
+    let mut table = TextTable::new(
+        &format!(
+            "Figure 5.2: preprocessing time (ms) on {} records",
+            scale.perf_dataset_size
+        ),
+        &["Predicate", "tokenize_ms", "weights_ms", "total_ms"],
+    );
+    for &kind in PERFORMANCE_KINDS {
+        let (_predicate, weights_time) = time_weight_phase(kind, corpus.clone(), &params);
+        table.add_row(vec![
+            kind.short_name().to_string(),
+            format_millis(tokenize_time),
+            format_millis(weights_time),
+            format_millis(tokenize_time + weights_time),
+        ]);
+    }
+    table.render()
+}
+
+/// Truncate a query string to at most `n` words (the paper limits combination
+/// predicate queries to three words in the scalability study).
+fn truncate_words(s: &str, n: usize) -> String {
+    s.split_whitespace().take(n).collect::<Vec<_>>().join(" ")
+}
+
+/// Pick query strings from a dataset.
+fn pick_queries(dataset: &Dataset, count: usize, max_words: Option<usize>) -> Vec<String> {
+    sample_query_indices(dataset, count, WORKLOAD_SEED)
+        .into_iter()
+        .map(|i| {
+            let text = &dataset.records[i].text;
+            match max_words {
+                Some(n) => truncate_words(text, n),
+                None => text.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 5.3 — average query time per predicate on a DBLP-like dataset.
+pub fn figure_5_3(scale: &Scale) -> String {
+    let dataset = dblp_dataset(scale.perf_dataset_size);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    let mut table = TextTable::new(
+        &format!(
+            "Figure 5.3: average query time (ms) over {} queries on {} records",
+            scale.perf_queries, scale.perf_dataset_size
+        ),
+        &["Predicate", "avg_query_ms"],
+    );
+    for &kind in PERFORMANCE_KINDS {
+        let predicate = build_predicate(kind, corpus.clone(), &params);
+        // Combination predicates use 3-word queries as in §5.5.3.
+        let max_words = kind.uses_word_tokens().then_some(3);
+        let queries = pick_queries(&dataset, scale.perf_queries, max_words);
+        let timing = time_queries(predicate.as_ref(), &queries);
+        table.add_row(vec![kind.short_name().to_string(), format_millis(timing.average())]);
+    }
+    table.render()
+}
+
+/// Figure 5.4 — query time as the base table grows, for the paper's predicate
+/// groups: G1 = {Xect, WM, HMM}, G2 = {Jaccard, WJ, Cosine, BM25}, LM and the
+/// combination predicates with 3-word queries.
+pub fn figure_5_4(scale: &Scale) -> String {
+    let params = Params::default();
+    let g1 = [PredicateKind::IntersectSize, PredicateKind::WeightedMatch, PredicateKind::Hmm];
+    let g2 = [
+        PredicateKind::Jaccard,
+        PredicateKind::WeightedJaccard,
+        PredicateKind::Cosine,
+        PredicateKind::Bm25,
+    ];
+    let singles = [
+        ("LM", PredicateKind::LanguageModel, None),
+        ("STfIdf (w=3)", PredicateKind::SoftTfIdf, Some(3)),
+        ("GESJac (w=3)", PredicateKind::GesJaccard, Some(3)),
+        ("GESapx (w=3)", PredicateKind::GesApx, Some(3)),
+    ];
+
+    let mut series: Vec<Series> = Vec::new();
+    series.push(Series::new("G1"));
+    series.push(Series::new("G2"));
+    for (name, _, _) in &singles {
+        series.push(Series::new(name));
+    }
+
+    for &size in &scale.scalability_sizes {
+        let dataset = dblp_dataset(size);
+        let corpus = tokenize_dataset(&dataset, &params);
+        let queries_full = pick_queries(&dataset, scale.scalability_queries, None);
+        let queries_3w = pick_queries(&dataset, scale.scalability_queries, Some(3));
+
+        let group_avg = |kinds: &[PredicateKind]| -> f64 {
+            let mut total = 0.0;
+            for &kind in kinds {
+                let predicate = build_predicate(kind, corpus.clone(), &params);
+                let t = time_queries(predicate.as_ref(), &queries_full);
+                total += t.average().as_secs_f64() * 1000.0;
+            }
+            total / kinds.len() as f64
+        };
+        let g1_ms = group_avg(&g1);
+        let g2_ms = group_avg(&g2);
+        series[0].push(size as f64, g1_ms);
+        series[1].push(size as f64, g2_ms);
+
+        for (i, (_, kind, words)) in singles.iter().enumerate() {
+            let predicate = build_predicate(*kind, corpus.clone(), &params);
+            let queries = if words.is_some() { &queries_3w } else { &queries_full };
+            let t = time_queries(predicate.as_ref(), queries);
+            series[2 + i].push(size as f64, t.average().as_secs_f64() * 1000.0);
+        }
+    }
+    render_series(
+        "Figure 5.4: query time (ms) vs base table size",
+        "base_table_size",
+        &series,
+    )
+}
+
+/// Figure 5.5 — effect of IDF-based pruning on MAP (a) and query time (b).
+pub fn figure_5_5(scale: &Scale) -> String {
+    let dataset = cu(scale, "CU1");
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    let kinds = [
+        PredicateKind::IntersectSize,
+        PredicateKind::Jaccard,
+        PredicateKind::Cosine,
+        PredicateKind::Bm25,
+        PredicateKind::Hmm,
+    ];
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut map_series: Vec<Series> =
+        kinds.iter().map(|k| Series::new(k.short_name())).collect();
+    let mut time_series: Vec<Series> =
+        kinds.iter().map(|k| Series::new(k.short_name())).collect();
+    let mut dropped_series = Series::new("tokens_dropped");
+
+    for &rate in &rates {
+        let (pruned, stats) = prune_by_idf(&corpus, rate);
+        dropped_series.push(rate, stats.tokens_dropped as f64);
+        let pruned = Arc::new(pruned);
+        let queries = pick_queries(&dataset, scale.accuracy_queries.min(40), None);
+        for (i, &kind) in kinds.iter().enumerate() {
+            let predicate = build_predicate(kind, pruned.clone(), &params);
+            let acc = evaluate_accuracy(
+                predicate.as_ref(),
+                &dataset,
+                scale.accuracy_queries.min(40),
+                WORKLOAD_SEED,
+            );
+            map_series[i].push(rate, acc.map);
+            let t = time_queries(predicate.as_ref(), &queries);
+            time_series[i].push(rate, t.average().as_secs_f64() * 1000.0);
+        }
+    }
+
+    let mut out = render_series(
+        "Figure 5.5(a): MAP vs pruning rate (CU1)",
+        "pruning_rate",
+        &map_series,
+    );
+    out.push('\n');
+    out.push_str(&render_series(
+        "Figure 5.5(b): avg query time (ms) vs pruning rate (CU1)",
+        "pruning_rate",
+        &time_series,
+    ));
+    out.push('\n');
+    out.push_str(&render_series(
+        "Figure 5.5(c): distinct q-gram tokens dropped",
+        "pruning_rate",
+        &[dropped_series],
+    ));
+    out
+}
+
+/// Figure 5.6 — the IDF distribution of 3-grams on CU1.
+pub fn figure_5_6(scale: &Scale) -> String {
+    let dataset = cu(scale, "CU1");
+    let params = Params::with_q(3);
+    let corpus = tokenize_dataset(&dataset, &params);
+    let hist = corpus.idf_histogram(10);
+    let occ_hist = corpus.idf_occurrence_histogram(10);
+    let mut table = TextTable::new(
+        "Figure 5.6: IDF distribution of q-grams of size 3 (CU1)",
+        &["idf_bucket_center", "distinct_tokens", "token_occurrences"],
+    );
+    for ((center, count), (_, occ)) in hist.into_iter().zip(occ_hist) {
+        table.add_row(vec![format!("{center:.2}"), count.to_string(), occ.to_string()]);
+    }
+    table.render()
+}
+
+/// Run every experiment in sequence and concatenate their reports.
+pub fn run_all(scale: &Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "DASP experiment suite (scale: {})\n\n",
+        if scale.full { "full / paper" } else { "reduced" }
+    ));
+    for (name, result) in [
+        ("qgram size study", table_qgram_size(scale)),
+        ("Table 5.5", table_5_5(scale)),
+        ("Table 5.6", table_5_6(scale)),
+        ("Table 5.7", table_5_7(scale)),
+        ("Figure 5.1", figure_5_1(scale)),
+        ("Figure 5.2", figure_5_2(scale)),
+        ("Figure 5.3", figure_5_3(scale)),
+        ("Figure 5.4", figure_5_4(scale)),
+        ("Figure 5.5", figure_5_5(scale)),
+        ("Figure 5.6", figure_5_6(scale)),
+    ] {
+        out.push_str(&result);
+        out.push('\n');
+        let _ = name; // names are embedded in each table's title
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_limits_words() {
+        assert_eq!(truncate_words("a b c d e", 3), "a b c");
+        assert_eq!(truncate_words("one", 3), "one");
+        assert_eq!(truncate_words("", 3), "");
+    }
+
+    #[test]
+    fn qgram_table_smoke() {
+        let out = table_qgram_size(&Scale::tiny());
+        assert!(out.contains("Jaccard"));
+        assert!(out.contains("BM25"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn figure_5_6_smoke() {
+        let out = figure_5_6(&Scale::tiny());
+        assert!(out.contains("IDF distribution"));
+        assert!(out.lines().count() > 10);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dasp-bench — experiment harness
+//!
+//! One function per table/figure of the paper's evaluation chapter. Each
+//! returns the rendered rows/series; the thin binaries in `src/bin/` print
+//! them. `run_all` chains everything and is what EXPERIMENTS.md records.
+//!
+//! By default the experiments run at a reduced scale so the whole suite
+//! completes in minutes on a laptop; pass `--full` to any binary to use the
+//! paper's dataset sizes (5,000-tuple accuracy datasets, 500 queries,
+//! 10k–100k DBLP scaling).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use experiments::*;
+pub use scale::Scale;

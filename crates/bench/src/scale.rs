@@ -1,0 +1,110 @@
+//! Experiment scale: reduced by default, paper-scale with `--full`.
+
+/// Dataset/workload sizes used by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Number of tuples in each accuracy dataset (paper: 5000).
+    pub accuracy_dataset_size: usize,
+    /// Number of clean tuples behind each accuracy dataset (paper: 500).
+    pub accuracy_num_clean: usize,
+    /// Number of queries per accuracy measurement (paper: 500).
+    pub accuracy_queries: usize,
+    /// DBLP-like dataset size for the preprocessing/query-time figures (paper: 10,000).
+    pub perf_dataset_size: usize,
+    /// Number of queries for the query-time figure (paper: 100).
+    pub perf_queries: usize,
+    /// Base-table sizes for the scalability figure (paper: 10k–100k).
+    pub scalability_sizes: Vec<usize>,
+    /// Number of queries per size in the scalability figure.
+    pub scalability_queries: usize,
+    /// Whether this is the paper-scale configuration.
+    pub full: bool,
+}
+
+impl Scale {
+    /// The reduced scale used by default (finishes in minutes).
+    pub fn quick() -> Self {
+        Scale {
+            accuracy_dataset_size: 1500,
+            accuracy_num_clean: 150,
+            accuracy_queries: 60,
+            perf_dataset_size: 2000,
+            perf_queries: 30,
+            scalability_sizes: vec![1000, 2000, 4000, 8000],
+            scalability_queries: 15,
+            full: false,
+        }
+    }
+
+    /// The paper-scale configuration (§5.1, §5.5).
+    pub fn full() -> Self {
+        Scale {
+            accuracy_dataset_size: 5000,
+            accuracy_num_clean: 500,
+            accuracy_queries: 500,
+            perf_dataset_size: 10_000,
+            perf_queries: 100,
+            scalability_sizes: vec![10_000, 25_000, 50_000, 75_000, 100_000],
+            scalability_queries: 25,
+            full: true,
+        }
+    }
+
+    /// Parse the scale from command-line arguments (`--full` selects the
+    /// paper scale, `--tiny` an extra-small smoke-test scale).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        if args.iter().any(|a| a == "--full") {
+            Scale::full()
+        } else if args.iter().any(|a| a == "--tiny") {
+            Scale::tiny()
+        } else {
+            Scale::quick()
+        }
+    }
+
+    /// A minimal scale for smoke tests of the harness itself.
+    pub fn tiny() -> Self {
+        Scale {
+            accuracy_dataset_size: 300,
+            accuracy_num_clean: 30,
+            accuracy_queries: 12,
+            perf_dataset_size: 400,
+            perf_queries: 5,
+            scalability_sizes: vec![200, 400],
+            scalability_queries: 4,
+            full: false,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_parameters() {
+        let s = Scale::full();
+        assert_eq!(s.accuracy_dataset_size, 5000);
+        assert_eq!(s.accuracy_num_clean, 500);
+        assert_eq!(s.accuracy_queries, 500);
+        assert_eq!(s.perf_dataset_size, 10_000);
+        assert!(s.scalability_sizes.contains(&100_000));
+        assert!(s.full);
+    }
+
+    #[test]
+    fn args_select_scale() {
+        assert!(Scale::from_args(vec!["--full".to_string()]).full);
+        assert!(!Scale::from_args(vec![]).full);
+        let tiny = Scale::from_args(vec!["--tiny".to_string()]);
+        assert!(tiny.accuracy_dataset_size < Scale::quick().accuracy_dataset_size);
+        assert_eq!(Scale::default(), Scale::quick());
+    }
+}

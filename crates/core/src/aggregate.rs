@@ -1,0 +1,239 @@
+//! Aggregate weighted predicates (§3.2 / §4.2): tf-idf cosine similarity and
+//! BM25. Both share the query-time shape of Figure 4.3: a single join of
+//! `BASE_WEIGHTS` with `QUERY_WEIGHTS` followed by `SUM(w_d * w_q)` per tid.
+
+use crate::corpus::TokenizedCorpus;
+use crate::dict::TokenId;
+use crate::params::Bm25Params;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use crate::tables;
+use relq::{col, execute, AggFunc, Catalog, Plan};
+use std::sync::Arc;
+
+/// Run the shared aggregate-weighted query plan: join the base weight table
+/// with query weights on token and sum the weight products per tuple.
+fn run_weight_product_plan(
+    catalog: &Catalog,
+    query_weights: Vec<(TokenId, f64)>,
+) -> Vec<ScoredTid> {
+    if query_weights.is_empty() {
+        return Vec::new();
+    }
+    let query_table = tables::query_weights(&query_weights);
+    let plan = Plan::scan("base_weights")
+        .join_on(Plan::values(query_table), &["token"], &["token"])
+        .aggregate(
+            &["tid"],
+            vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")],
+        );
+    let result = execute(&plan, catalog).expect("aggregate weighted plan executes");
+    tables::scores_from_table(&result)
+}
+
+/// tf-idf cosine similarity (§3.2.1): normalized `tf * idf` weights on both
+/// sides, summed over common tokens.
+pub struct CosinePredicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl CosinePredicate {
+    /// Preprocess: register `BASE_WEIGHTS` with L2-normalized tf-idf weights.
+    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        // Per-tuple normalization constant sqrt(sum (tf*idf)^2).
+        let norms: Vec<f64> = (0..corpus.num_records())
+            .map(|idx| {
+                corpus
+                    .record_tokens(idx)
+                    .iter()
+                    .map(|&(t, tf)| {
+                        let w = tf as f64 * corpus.idf(t);
+                        w * w
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+            let norm = norms[idx];
+            if norm <= 0.0 {
+                return None;
+            }
+            Some(tf as f64 * corpus.idf(token) / norm)
+        });
+        let mut catalog = Catalog::new();
+        catalog.register("base_weights", weights);
+        CosinePredicate { corpus, catalog }
+    }
+
+    /// Normalized tf-idf weights of the query tokens (computed on the fly at
+    /// query time, exactly as the paper's `QUERY_WEIGHTS` subquery does).
+    fn query_weights(&self, query: &str) -> Vec<(TokenId, f64)> {
+        let q = self.corpus.tokenize_query(query);
+        let raw: Vec<(TokenId, f64)> = q
+            .tokens
+            .iter()
+            .map(|&(t, tf)| (t, tf as f64 * self.corpus.idf(t)))
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        let norm: f64 = raw.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm <= 0.0 {
+            return Vec::new();
+        }
+        raw.into_iter().map(|(t, w)| (t, w / norm)).collect()
+    }
+}
+
+impl Predicate for CosinePredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Cosine
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        run_weight_product_plan(&self.catalog, self.query_weights(query))
+    }
+}
+
+/// Okapi BM25 (§3.2.2), the weighting scheme the paper introduces to data
+/// cleaning and finds to be among the most accurate and efficient.
+pub struct Bm25Predicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+    params: Bm25Params,
+}
+
+impl Bm25Predicate {
+    /// Preprocess: register `BASE_WEIGHTS` with
+    /// `w_d(t, D) = w1(t) * (k1 + 1) tf / (K(D) + tf)` where `w1` is the
+    /// Robertson–Sparck Jones weight and `K(D) = k1((1-b) + b |D|/avgdl)`.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: Bm25Params) -> Self {
+        let avgdl = corpus.avgdl();
+        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+            let dl = corpus.record_dl(idx) as f64;
+            let k_d = params.k1 * ((1.0 - params.b) + params.b * dl / avgdl.max(1e-12));
+            let w1 = corpus.rsj_weight(token);
+            let tf = tf as f64;
+            Some(w1 * (params.k1 + 1.0) * tf / (k_d + tf))
+        });
+        let mut catalog = Catalog::new();
+        catalog.register("base_weights", weights);
+        Bm25Predicate { corpus, catalog, params }
+    }
+
+    fn query_weights(&self, query: &str) -> Vec<(TokenId, f64)> {
+        let q = self.corpus.tokenize_query(query);
+        q.tokens
+            .iter()
+            .map(|&(t, tf)| {
+                let tf = tf as f64;
+                (t, (self.params.k3 + 1.0) * tf / (self.params.k3 + tf))
+            })
+            .collect()
+    }
+}
+
+impl Predicate for Bm25Predicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Bm25
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        run_weight_product_plan(&self.catalog, self.query_weights(query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Stalney Morgan Group Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "IBM Incorporated",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_highest_and_near_one() {
+        let p = CosinePredicate::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+        assert!((ranking[0].score - 1.0).abs() < 1e-6);
+        for s in &ranking {
+            assert!(s.score <= 1.0 + 1e-9);
+            assert!(s.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn cosine_prefers_typo_variant_over_different_company() {
+        let p = CosinePredicate::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        let pos_typo = ranking.iter().position(|s| s.tid == 1).unwrap();
+        let pos_other = ranking.iter().position(|s| s.tid == 2).unwrap();
+        assert!(pos_typo < pos_other);
+    }
+
+    #[test]
+    fn bm25_scores_and_ranking() {
+        let p = Bm25Predicate::build(corpus(), Bm25Params::default());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+        let pos_typo = ranking.iter().position(|s| s.tid == 1).unwrap();
+        let pos_beijing = ranking.iter().position(|s| s.tid == 3);
+        // Beijing Hotel shares almost nothing; it is either absent or last.
+        if let Some(pos) = pos_beijing {
+            assert!(pos > pos_typo);
+        }
+    }
+
+    #[test]
+    fn bm25_query_tf_saturates_with_k3() {
+        let p = Bm25Predicate::build(corpus(), Bm25Params::default());
+        let w1 = p.query_weights("Morgan");
+        let w2 = p.query_weights("Morgan Morgan Morgan Morgan");
+        // Repeating the query words increases the query weight of each token
+        // but by less than the repetition factor (saturation).
+        let total1: f64 = w1.iter().map(|(_, w)| w).sum();
+        let total2: f64 = w2.iter().map(|(_, w)| w).sum();
+        assert!(total2 > total1);
+        assert!(total2 < 4.0 * total1);
+    }
+
+    #[test]
+    fn unknown_queries_return_empty() {
+        let c = corpus();
+        assert!(CosinePredicate::build(c.clone()).rank("zzqqvv").len() <= 5);
+        assert!(Bm25Predicate::build(c, Bm25Params::default()).rank("").is_empty());
+    }
+
+    #[test]
+    fn bm25_length_normalization_penalizes_long_tuples() {
+        // Two tuples contain the same rare token; the shorter one should get
+        // the larger BM25 weight for it.
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "zyx",
+                "zyx with a very long trailing description of the company holdings",
+                "unrelated tuple text",
+                "another company record",
+                "more filler rows here",
+                "and one final unrelated row",
+            ]),
+            QgramConfig::new(2),
+        ));
+        let p = Bm25Predicate::build(corpus, Bm25Params::default());
+        let ranking = p.rank("zyx");
+        assert_eq!(ranking[0].tid, 0);
+        assert!(ranking[0].score > ranking[1].score);
+    }
+}

@@ -1,0 +1,236 @@
+//! The generalized edit similarity (GES) of §3.5 and the exact GES predicate.
+//!
+//! GES aligns *word* tokens: transforming the query into the tuple by
+//! replacing a word (cost `(1 - simedit) · w(t)`), inserting a word
+//! (cost `cins · w(t)`) or deleting a word (cost `w(t)`), and normalizing the
+//! minimum transformation cost by the total query weight.
+
+use crate::corpus::TokenizedCorpus;
+use crate::params::GesParams;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use dasp_text::edit_similarity;
+use std::sync::Arc;
+
+/// A word token paired with its weight, the unit GES aligns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedWord {
+    /// Upper-cased word token.
+    pub word: String,
+    /// Token weight (IDF in the paper's evaluation).
+    pub weight: f64,
+}
+
+impl WeightedWord {
+    /// Create a weighted word.
+    pub fn new(word: impl Into<String>, weight: f64) -> Self {
+        WeightedWord { word: word.into(), weight }
+    }
+}
+
+/// Minimum transformation cost from `query` to `tuple` (word-level dynamic
+/// program over the three GES edit operations).
+pub fn ges_transformation_cost(query: &[WeightedWord], tuple: &[WeightedWord], cins: f64) -> f64 {
+    let n = query.len();
+    let m = tuple.len();
+    // dp[i][j]: cost of transforming the first i query words into the first
+    // j tuple words.
+    let mut dp = vec![vec![0.0f64; m + 1]; n + 1];
+    for i in 1..=n {
+        dp[i][0] = dp[i - 1][0] + query[i - 1].weight; // delete query word
+    }
+    for j in 1..=m {
+        dp[0][j] = dp[0][j - 1] + cins * tuple[j - 1].weight; // insert tuple word
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let delete = dp[i - 1][j] + query[i - 1].weight;
+            let insert = dp[i][j - 1] + cins * tuple[j - 1].weight;
+            let replace = dp[i - 1][j - 1]
+                + (1.0 - edit_similarity(&query[i - 1].word, &tuple[j - 1].word))
+                    * query[i - 1].weight;
+            dp[i][j] = delete.min(insert).min(replace);
+        }
+    }
+    dp[n][m]
+}
+
+/// GES similarity (Equation 3.14): `1 - min(tc / wt(Q), 1)`.
+pub fn ges_similarity(query: &[WeightedWord], tuple: &[WeightedWord], cins: f64) -> f64 {
+    let wt_q: f64 = query.iter().map(|w| w.weight).sum();
+    if wt_q <= 0.0 {
+        return 0.0;
+    }
+    let tc = ges_transformation_cost(query, tuple, cins);
+    1.0 - (tc / wt_q).min(1.0)
+}
+
+/// Build the weighted word-token view of a query string against a corpus:
+/// known words get their IDF weight, unknown words the average word IDF
+/// (§4.5).
+pub fn weighted_query_words(corpus: &TokenizedCorpus, query: &str) -> Vec<WeightedWord> {
+    let avg_idf = corpus.avg_word_idf();
+    dasp_text::word_tokens(query)
+        .into_iter()
+        .map(|w| {
+            let weight = match corpus.word_dict().get(&w) {
+                Some(id) => corpus.word_idf(id),
+                None => avg_idf,
+            };
+            // Never assign a zero weight: a word occurring in every tuple
+            // would otherwise be free to delete, which degenerates the score.
+            WeightedWord::new(w, weight.max(1e-6))
+        })
+        .collect()
+}
+
+/// Weighted word-token view of a base record.
+pub fn weighted_record_words(corpus: &TokenizedCorpus, record_idx: usize) -> Vec<WeightedWord> {
+    corpus
+        .record_words(record_idx)
+        .iter()
+        .map(|&id| {
+            WeightedWord::new(corpus.word_dict().token(id), corpus.word_idf(id).max(1e-6))
+        })
+        .collect()
+}
+
+/// The exact GES predicate: scores every tuple with Equation 3.14 (used by
+/// the paper for all GES accuracy numbers).
+pub struct GesPredicate {
+    corpus: Arc<TokenizedCorpus>,
+    params: GesParams,
+    /// Cached weighted word views of every record.
+    record_words: Vec<Vec<WeightedWord>>,
+}
+
+impl GesPredicate {
+    /// Preprocess: cache the weighted word tokens of every tuple.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
+        let record_words =
+            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
+        GesPredicate { corpus, params, record_words }
+    }
+}
+
+impl Predicate for GesPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Ges
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let query_words = weighted_query_words(&self.corpus, query);
+        if query_words.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.corpus.num_records());
+        for (idx, record) in self.corpus.corpus().records().iter().enumerate() {
+            let sim = ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
+            if sim > 0.0 {
+                out.push(ScoredTid::new(record.tid, sim));
+            }
+        }
+        crate::record::sort_ranked(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn ww(pairs: &[(&str, f64)]) -> Vec<WeightedWord> {
+        pairs.iter().map(|(w, x)| WeightedWord::new(*w, *x)).collect()
+    }
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        let q = ww(&[("MORGAN", 2.0), ("STANLEY", 3.0)]);
+        assert_eq!(ges_transformation_cost(&q, &q, 0.5), 0.0);
+        assert_eq!(ges_similarity(&q, &q, 0.5), 1.0);
+    }
+
+    #[test]
+    fn deleting_all_query_words_costs_their_weight() {
+        let q = ww(&[("A", 1.0), ("B", 2.0)]);
+        let empty: Vec<WeightedWord> = Vec::new();
+        assert_eq!(ges_transformation_cost(&q, &empty, 0.5), 3.0);
+        assert_eq!(ges_similarity(&q, &empty, 0.5), 0.0);
+    }
+
+    #[test]
+    fn insertion_uses_cins_factor() {
+        let q = ww(&[("A", 1.0)]);
+        let d = ww(&[("A", 1.0), ("B", 2.0)]);
+        // Keep A (free) and insert B at cost 0.5 * 2.
+        assert!((ges_transformation_cost(&q, &d, 0.5) - 1.0).abs() < 1e-12);
+        assert!((ges_similarity(&q, &d, 0.5) - 0.0).abs() < 1e-12);
+        // With a cheaper insertion factor the similarity improves.
+        assert!(ges_similarity(&q, &d, 0.1) > ges_similarity(&q, &d, 0.9));
+    }
+
+    #[test]
+    fn replacement_cost_scales_with_edit_similarity() {
+        let q = ww(&[("STANLEY", 2.0)]);
+        let close = ww(&[("STALNEY", 2.0)]);
+        let far = ww(&[("VALLEY", 2.0)]);
+        let sim_close = ges_similarity(&q, &close, 0.5);
+        let sim_far = ges_similarity(&q, &far, 0.5);
+        assert!(sim_close > sim_far);
+        assert!(sim_close > 0.5);
+    }
+
+    #[test]
+    fn token_swap_hurts_ges_as_in_the_paper() {
+        // Paper §5.4: GES cannot capture token swaps because it respects word
+        // order; "Hotel Beijing" scores lower against "Beijing Hotel" than an
+        // exact copy does.
+        let q = ww(&[("BEIJING", 2.0), ("HOTEL", 1.0)]);
+        let swapped = ww(&[("HOTEL", 1.0), ("BEIJING", 2.0)]);
+        let exact = ges_similarity(&q, &q, 0.5);
+        let swap = ges_similarity(&q, &swapped, 0.5);
+        assert!(swap < exact);
+    }
+
+    #[test]
+    fn predicate_ranks_edit_variant_above_unrelated() {
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Incorporated",
+                "Morgan Stanle Grop Incorporated",
+                "Silicon Valley Group Incorporated",
+                "Beijing Hotel",
+            ]),
+            QgramConfig::new(2),
+        ));
+        let p = GesPredicate::build(corpus, GesParams::default());
+        let ranking = p.rank("Morgan Stanley Group Incorporated");
+        assert_eq!(ranking[0].tid, 0);
+        let pos_typo = ranking.iter().position(|s| s.tid == 1).unwrap();
+        let pos_valley = ranking.iter().position(|s| s.tid == 2).unwrap();
+        assert!(pos_typo < pos_valley);
+    }
+
+    #[test]
+    fn unknown_query_words_get_average_idf() {
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec!["alpha beta", "gamma delta"]),
+            QgramConfig::new(2),
+        ));
+        let words = weighted_query_words(&corpus, "alpha zzzz");
+        assert_eq!(words.len(), 2);
+        assert!(words[1].weight > 0.0);
+    }
+
+    #[test]
+    fn similarity_is_bounded() {
+        let q = ww(&[("A", 1.0), ("BB", 0.5), ("CCC", 2.0)]);
+        let d = ww(&[("XX", 1.0), ("A", 1.0)]);
+        for cins in [0.0, 0.25, 0.5, 1.0] {
+            let s = ges_similarity(&q, &d, cins);
+            assert!((0.0..=1.0).contains(&s), "cins={cins} s={s}");
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Filtered GES predicates (§4.5): `GES_Jaccard` and `GES_apx`.
+//!
+//! Both first compute the order-insensitive over-estimate of Equation 4.7 /
+//! 4.8 declaratively — a relq plan over word-level q-gram (or min-hash
+//! signature) tables — keep the tuples whose estimate reaches the threshold
+//! θ, and then re-score the candidates with the exact GES of Equation 3.14.
+
+use crate::combination::ges::{ges_similarity, weighted_query_words, weighted_record_words, WeightedWord};
+use crate::corpus::TokenizedCorpus;
+use crate::dict::{TokenDict, TokenId};
+use crate::params::GesParams;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use dasp_text::{word_qgrams, MinHasher, QgramConfig};
+use relq::{col, execute, lit, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which filtering strategy a [`FilteredGes`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GesFilterKind {
+    /// Exact word-level Jaccard over q-grams of the word tokens.
+    Jaccard,
+    /// Min-hash approximation of the word-level Jaccard.
+    MinHash,
+}
+
+/// Shared state of the filtered GES predicates.
+pub struct FilteredGes {
+    corpus: Arc<TokenizedCorpus>,
+    params: GesParams,
+    filter: GesFilterKind,
+    catalog: Catalog,
+    /// Dictionary of word-level q-grams (separate from the corpus q-grams).
+    qgram_dict: TokenDict,
+    /// Per word id: number of distinct q-grams (denominator of the Jaccard).
+    word_qgram_sizes: Vec<usize>,
+    /// Min-hasher (only used by the MinHash variant).
+    hasher: MinHasher,
+    /// Cached weighted word views of every record for exact re-scoring.
+    record_words: Vec<Vec<WeightedWord>>,
+    /// tid -> record index.
+    tid_to_idx: HashMap<u32, usize>,
+}
+
+impl FilteredGes {
+    /// Preprocess the corpus for the chosen filter.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams, filter: GesFilterKind) -> Self {
+        let qcfg = QgramConfig::new(params.q);
+        let mut qgram_dict = TokenDict::new();
+        let hasher = MinHasher::new(params.num_hashes.max(1), params.minhash_seed);
+
+        // BASE_WORDS(tid, wtoken): word tokens of every tuple (distinct per
+        // tuple is enough for the filter).
+        let mut base_words =
+            Table::empty(Schema::from_pairs(&[("tid", DataType::Int), ("wtoken", DataType::Int)]));
+        for (idx, record) in corpus.corpus().records().iter().enumerate() {
+            let mut seen: Vec<TokenId> = Vec::new();
+            for &w in corpus.record_words(idx) {
+                if !seen.contains(&w) {
+                    seen.push(w);
+                    base_words
+                        .push_row(vec![Value::Int(record.tid as i64), Value::Int(w as i64)])
+                        .expect("schema matches");
+                }
+            }
+        }
+
+        // Word-level q-gram sets (interned) and their sizes.
+        let mut word_qgram_sizes = vec![0usize; corpus.num_word_tokens()];
+        let mut base_qgrams = Table::empty(Schema::from_pairs(&[
+            ("wtoken", DataType::Int),
+            ("qgram", DataType::Int),
+            ("wsize", DataType::Int),
+        ]));
+        let mut base_mhsig = Table::empty(Schema::from_pairs(&[
+            ("wtoken", DataType::Int),
+            ("fid", DataType::Int),
+            ("value", DataType::Int),
+        ]));
+        for (wid, word) in corpus.word_dict().iter() {
+            let mut grams = word_qgrams(word, qcfg);
+            grams.sort();
+            grams.dedup();
+            word_qgram_sizes[wid as usize] = grams.len();
+            match filter {
+                GesFilterKind::Jaccard => {
+                    for g in &grams {
+                        let gid = qgram_dict.intern(g);
+                        base_qgrams
+                            .push_row(vec![
+                                Value::Int(wid as i64),
+                                Value::Int(gid as i64),
+                                Value::Int(grams.len() as i64),
+                            ])
+                            .expect("schema matches");
+                    }
+                }
+                GesFilterKind::MinHash => {
+                    let sig = hasher.signature(grams.iter());
+                    for (fid, &v) in sig.iter().enumerate() {
+                        base_mhsig
+                            .push_row(vec![
+                                Value::Int(wid as i64),
+                                Value::Int(fid as i64),
+                                Value::Int((v % (i64::MAX as u64)) as i64),
+                            ])
+                            .expect("schema matches");
+                    }
+                    // Intern the grams anyway so query-side sizes are known.
+                    for g in &grams {
+                        qgram_dict.intern(g);
+                    }
+                }
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        catalog.register("base_words", base_words);
+        match filter {
+            GesFilterKind::Jaccard => catalog.register("base_qgrams", base_qgrams),
+            GesFilterKind::MinHash => catalog.register("base_mhsig", base_mhsig),
+        }
+
+        let record_words =
+            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
+        let tid_to_idx = corpus
+            .corpus()
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| (r.tid, idx))
+            .collect();
+
+        FilteredGes {
+            corpus,
+            params,
+            filter,
+            catalog,
+            qgram_dict,
+            word_qgram_sizes,
+            hasher,
+            record_words,
+            tid_to_idx,
+        }
+    }
+
+    /// Number of distinct q-grams of a base word token (the denominator of
+    /// the word-level Jaccard in Equation 4.7).
+    pub fn word_qgram_size(&self, word: TokenId) -> usize {
+        self.word_qgram_sizes[word as usize]
+    }
+
+    /// The over-estimating filter scores per tuple (Equation 4.7 / 4.8),
+    /// computed declaratively. Returns `(tid, estimate)` pairs.
+    pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
+        let qcfg = QgramConfig::new(self.params.q);
+        let query_words = weighted_query_words(&self.corpus, query);
+        if query_words.is_empty() {
+            return Vec::new();
+        }
+        let sum_idf: f64 = query_words.iter().map(|w| w.weight).sum();
+        if sum_idf <= 0.0 {
+            return Vec::new();
+        }
+        let dq = 1.0 - 1.0 / self.params.q as f64;
+        let two_over_q = 2.0 / self.params.q as f64;
+
+        // QUERY_IDF(qword, idf)
+        let mut query_idf =
+            Table::empty(Schema::from_pairs(&[("qword", DataType::Int), ("idf", DataType::Float)]));
+        for (i, w) in query_words.iter().enumerate() {
+            query_idf
+                .push_row(vec![Value::Int(i as i64), Value::Float(w.weight)])
+                .expect("schema matches");
+        }
+
+        // Per-query-word similarity table, produced by the declarative join.
+        let maxsim_plan = match self.filter {
+            GesFilterKind::Jaccard => {
+                // QUERY_QGRAMS(qword, qgram, qsize)
+                let mut query_qgrams = Table::empty(Schema::from_pairs(&[
+                    ("qword", DataType::Int),
+                    ("qgram", DataType::Int),
+                    ("qsize", DataType::Int),
+                ]));
+                for (i, w) in query_words.iter().enumerate() {
+                    let mut grams = word_qgrams(&w.word, qcfg);
+                    grams.sort();
+                    grams.dedup();
+                    let size = grams.len() as i64;
+                    for g in &grams {
+                        if let Some(gid) = self.qgram_dict.get(g) {
+                            query_qgrams
+                                .push_row(vec![
+                                    Value::Int(i as i64),
+                                    Value::Int(gid as i64),
+                                    Value::Int(size),
+                                ])
+                                .expect("schema matches");
+                        }
+                    }
+                }
+                // Jaccard between each base word and each query word.
+                Plan::scan("base_qgrams")
+                    .join_on(Plan::values(query_qgrams), &["qgram"], &["qgram"])
+                    .aggregate(&["wtoken", "qword", "wsize", "qsize"], vec![(AggFunc::CountStar, "cnt")])
+                    .project(vec![
+                        (col("wtoken"), "wtoken"),
+                        (col("qword"), "qword"),
+                        (
+                            col("cnt").div(
+                                col("wsize").add(col("qsize")).sub(col("cnt")).greatest(lit(1e-9)),
+                            ),
+                            "sim",
+                        ),
+                    ])
+            }
+            GesFilterKind::MinHash => {
+                // QUERY_MHSIG(qword, fid, value)
+                let mut query_sig = Table::empty(Schema::from_pairs(&[
+                    ("qword", DataType::Int),
+                    ("fid", DataType::Int),
+                    ("value", DataType::Int),
+                ]));
+                for (i, w) in query_words.iter().enumerate() {
+                    let mut grams = word_qgrams(&w.word, qcfg);
+                    grams.sort();
+                    grams.dedup();
+                    let sig = self.hasher.signature(grams.iter());
+                    for (fid, &v) in sig.iter().enumerate() {
+                        query_sig
+                            .push_row(vec![
+                                Value::Int(i as i64),
+                                Value::Int(fid as i64),
+                                Value::Int((v % (i64::MAX as u64)) as i64),
+                            ])
+                            .expect("schema matches");
+                    }
+                }
+                let h = self.hasher.num_hashes() as f64;
+                Plan::scan("base_mhsig")
+                    .join_on(Plan::values(query_sig), &["fid", "value"], &["fid", "value"])
+                    .aggregate(&["wtoken", "qword"], vec![(AggFunc::CountStar, "cnt")])
+                    .project(vec![
+                        (col("wtoken"), "wtoken"),
+                        (col("qword"), "qword"),
+                        (col("cnt").div(lit(h)), "sim"),
+                    ])
+            }
+        };
+
+        // max over base words of each tuple, per query word, then the
+        // weighted sum of Equation 4.7.
+        let plan = Plan::scan("base_words")
+            .join_on(maxsim_plan, &["wtoken"], &["wtoken"])
+            .aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")])
+            .join_on(Plan::values(query_idf), &["qword"], &["qword"])
+            .project(vec![
+                (col("tid"), "tid"),
+                (
+                    col("idf").mul(col("maxsim").mul(lit(two_over_q)).add(lit(dq))),
+                    "contrib",
+                ),
+            ])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "total")])
+            .project(vec![(col("tid"), "tid"), (col("total").div(lit(sum_idf)), "score")]);
+
+        let result = execute(&plan, &self.catalog).expect("ges filter plan executes");
+        crate::tables::scores_from_table(&result)
+    }
+
+    /// Rank: filter by the over-estimate, then re-score candidates exactly.
+    fn rank_impl(&self, query: &str) -> Vec<ScoredTid> {
+        let query_words = weighted_query_words(&self.corpus, query);
+        if query_words.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for candidate in self.filter_scores(query) {
+            if candidate.score < self.params.filter_threshold {
+                continue;
+            }
+            let idx = self.tid_to_idx[&candidate.tid];
+            let exact =
+                ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
+            out.push(ScoredTid::new(candidate.tid, exact));
+        }
+        crate::record::sort_ranked(&mut out);
+        out
+    }
+}
+
+/// `GES_Jaccard`: exact word-level Jaccard filtering + exact GES re-scoring.
+pub struct GesJaccardPredicate {
+    inner: FilteredGes,
+}
+
+impl GesJaccardPredicate {
+    /// Preprocess the corpus.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
+        GesJaccardPredicate { inner: FilteredGes::build(corpus, params, GesFilterKind::Jaccard) }
+    }
+
+    /// Access the filter scores (used by the threshold-sweep experiments).
+    pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
+        self.inner.filter_scores(query)
+    }
+}
+
+impl Predicate for GesJaccardPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::GesJaccard
+    }
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        self.inner.rank_impl(query)
+    }
+}
+
+/// `GES_apx`: min-hash filtering + exact GES re-scoring.
+pub struct GesApxPredicate {
+    inner: FilteredGes,
+}
+
+impl GesApxPredicate {
+    /// Preprocess the corpus.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
+        GesApxPredicate { inner: FilteredGes::build(corpus, params, GesFilterKind::MinHash) }
+    }
+
+    /// Access the filter scores (used by the threshold-sweep experiments).
+    pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
+        self.inner.filter_scores(query)
+    }
+}
+
+impl Predicate for GesApxPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::GesApx
+    }
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        self.inner.rank_impl(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Incorporated",
+                "Morgan Stanle Grop Incorporated",
+                "Stalney Morgan Group Inc",
+                "Silicon Valley Group Incorporated",
+                "Beijing Hotel",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn filter_estimate_is_high_for_exact_duplicates() {
+        let p = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let scores = p.filter_scores("Morgan Stanley Group Incorporated");
+        let own = scores.iter().find(|s| s.tid == 0).expect("tuple 0 present");
+        assert!(own.score > 0.95, "estimate for exact duplicate was {}", own.score);
+    }
+
+    #[test]
+    fn filter_overestimates_exact_ges() {
+        // Equation 4.7 ignores word order, so it over-estimates GES.
+        let p = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let q = "Morgan Stanley Group Incorporated";
+        let filter = p.filter_scores(q);
+        let query_words = weighted_query_words(&p.inner.corpus, q);
+        for s in &filter {
+            let idx = p.inner.tid_to_idx[&s.tid];
+            let exact = ges_similarity(&query_words, &p.inner.record_words[idx], 0.5);
+            assert!(
+                s.score >= exact - 0.15,
+                "filter {} should not be far below exact {} for tid {}",
+                s.score,
+                exact,
+                s.tid
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_returns_edit_variant_first_among_candidates() {
+        let p = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let ranking = p.rank("Morgan Stanley Group Incorporated");
+        assert!(!ranking.is_empty());
+        assert_eq!(ranking[0].tid, 0);
+        // The unrelated Beijing tuple must be filtered out at θ = 0.8.
+        assert!(ranking.iter().all(|s| s.tid != 4));
+    }
+
+    #[test]
+    fn higher_threshold_returns_fewer_candidates() {
+        let loose = GesJaccardPredicate::build(
+            corpus(),
+            GesParams { filter_threshold: 0.5, ..GesParams::default() },
+        );
+        let strict = GesJaccardPredicate::build(
+            corpus(),
+            GesParams { filter_threshold: 0.95, ..GesParams::default() },
+        );
+        let q = "Morgan Stanle Grop Incorporated";
+        assert!(loose.rank(q).len() >= strict.rank(q).len());
+    }
+
+    #[test]
+    fn minhash_variant_approximates_jaccard_variant() {
+        let exact = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let apx = GesApxPredicate::build(
+            corpus(),
+            GesParams { num_hashes: 64, ..GesParams::default() },
+        );
+        let q = "Morgan Stanley Group Incorporated";
+        let e = exact.filter_scores(q);
+        let a = apx.filter_scores(q);
+        // The same top tuple must surface in both.
+        assert_eq!(e.first().map(|s| s.tid), a.first().map(|s| s.tid));
+        for s in &a {
+            if let Some(es) = e.iter().find(|x| x.tid == s.tid) {
+                assert!((es.score - s.score).abs() < 0.25, "tid {} apx {} exact {}", s.tid, s.score, es.score);
+            }
+        }
+    }
+
+    #[test]
+    fn word_qgram_sizes_match_padded_word_lengths() {
+        let p = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let corpus = corpus();
+        for (wid, word) in corpus.word_dict().iter() {
+            // A word of n chars padded with q-1 on each side has n + q - 1
+            // grams before deduplication, so the distinct count is at most that.
+            let upper = word.chars().count() + 1;
+            let size = p.inner.word_qgram_size(wid);
+            assert!(size >= 1 && size <= upper, "{word}: {size} vs upper {upper}");
+        }
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let p = GesApxPredicate::build(corpus(), GesParams::default());
+        assert!(p.rank("").is_empty());
+        assert!(p.filter_scores("").is_empty());
+    }
+}

@@ -1,0 +1,590 @@
+//! The base relation and its tokenized form.
+//!
+//! Preprocessing in the paper happens in two phases (§5.5.1): tokenization
+//! (common to all predicates) and weight computation (predicate specific).
+//! [`TokenizedCorpus`] is the output of the first phase; the predicate
+//! constructors in the sibling modules perform the second phase.
+
+use crate::dict::{TokenDict, TokenId};
+use crate::record::{Record, Tid};
+use dasp_text::{qgrams, word_tokens, QgramConfig};
+
+/// The base relation `R`: a collection of string tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    records: Vec<Record>,
+}
+
+impl Corpus {
+    /// Build a corpus from strings; tuple ids are assigned densely from 0.
+    pub fn from_strings<I, S>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let records = strings
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(i as Tid, s))
+            .collect();
+        Corpus { records }
+    }
+
+    /// Build a corpus from pre-assigned records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        Corpus { records }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of tuples `N`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the corpus has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with the given tuple id, if present.
+    pub fn get(&self, tid: Tid) -> Option<&Record> {
+        self.records.iter().find(|r| r.tid == tid)
+    }
+
+    /// Average string length in characters (reported in Table 5.1).
+    pub fn avg_string_len(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.records.iter().map(|r| r.text.chars().count()).sum();
+        total as f64 / self.records.len() as f64
+    }
+
+    /// Average number of whitespace-separated words per tuple (Table 5.1).
+    pub fn avg_words_per_tuple(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.records.iter().map(|r| word_tokens(&r.text).len()).sum();
+        total as f64 / self.records.len() as f64
+    }
+}
+
+/// A query string tokenized against an existing corpus dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTokens {
+    /// Known tokens with their query term frequency, sorted by token id.
+    pub tokens: Vec<(TokenId, u32)>,
+    /// Number of query token occurrences whose token never appears in the
+    /// base relation (they can never join, but they count towards |Q|).
+    pub unknown_occurrences: u32,
+    /// Number of *distinct* unknown tokens.
+    pub unknown_distinct: u32,
+}
+
+impl QueryTokens {
+    /// Total number of token occurrences in the query (|Q| with multiplicity).
+    pub fn total_occurrences(&self) -> u32 {
+        self.tokens.iter().map(|(_, tf)| tf).sum::<u32>() + self.unknown_occurrences
+    }
+
+    /// Number of distinct tokens in the query (known + unknown).
+    pub fn distinct_count(&self) -> u32 {
+        self.tokens.len() as u32 + self.unknown_distinct
+    }
+}
+
+/// The tokenized base relation plus all corpus-level statistics every
+/// predicate's weight formulas need (tf, df, cf, dl, avgdl, word tokens).
+#[derive(Debug, Clone)]
+pub struct TokenizedCorpus {
+    corpus: Corpus,
+    config: QgramConfig,
+    dict: TokenDict,
+    /// Per record: (token id, term frequency) pairs, sorted by token id.
+    rec_tokens: Vec<Vec<(TokenId, u32)>>,
+    /// Per record: total number of q-gram token occurrences (`dl`).
+    rec_dl: Vec<u32>,
+    /// Per token id: number of records containing the token (`df` / `n_t`).
+    df: Vec<u32>,
+    /// Per token id: total number of occurrences in the collection (`cf`).
+    cf: Vec<u64>,
+    /// Collection size `cs`: total token occurrences.
+    cs: u64,
+    /// Word-token dictionary (combination predicates).
+    word_dict: TokenDict,
+    /// Per record: word tokens in order (with duplicates).
+    rec_words: Vec<Vec<TokenId>>,
+    /// Per word id: number of records containing it.
+    word_df: Vec<u32>,
+    /// Per word id: distinct q-gram set of the word (second-level tokens).
+    word_qgram_sets: Vec<Vec<String>>,
+}
+
+impl TokenizedCorpus {
+    /// Tokenize a corpus: q-gram tokens for every tuple, word tokens and
+    /// word-level q-grams for the combination predicates, plus statistics.
+    pub fn build(corpus: Corpus, config: QgramConfig) -> Self {
+        let n = corpus.len();
+        let mut dict = TokenDict::new();
+        let mut word_dict = TokenDict::new();
+        let mut rec_tokens = Vec::with_capacity(n);
+        let mut rec_dl = Vec::with_capacity(n);
+        let mut rec_words = Vec::with_capacity(n);
+        let mut df: Vec<u32> = Vec::new();
+        let mut cf: Vec<u64> = Vec::new();
+        let mut word_df: Vec<u32> = Vec::new();
+        let mut cs: u64 = 0;
+
+        for record in corpus.records() {
+            // Q-gram tokens with multiplicity.
+            let grams = qgrams(&record.text, config);
+            let mut counts: Vec<(TokenId, u32)> = Vec::new();
+            for gram in &grams {
+                let id = dict.intern(gram);
+                if id as usize >= cf.len() {
+                    cf.push(0);
+                    df.push(0);
+                }
+                cf[id as usize] += 1;
+                match counts.binary_search_by_key(&id, |(t, _)| *t) {
+                    Ok(pos) => counts[pos].1 += 1,
+                    Err(pos) => counts.insert(pos, (id, 1)),
+                }
+            }
+            for (id, _) in &counts {
+                df[*id as usize] += 1;
+            }
+            cs += grams.len() as u64;
+            rec_dl.push(grams.len() as u32);
+            rec_tokens.push(counts);
+
+            // Word tokens.
+            let words = word_tokens(&record.text);
+            let mut ids = Vec::with_capacity(words.len());
+            let mut seen_in_rec: Vec<TokenId> = Vec::new();
+            for w in &words {
+                let id = word_dict.intern(w);
+                if id as usize >= word_df.len() {
+                    word_df.push(0);
+                }
+                ids.push(id);
+                if !seen_in_rec.contains(&id) {
+                    seen_in_rec.push(id);
+                    word_df[id as usize] += 1;
+                }
+            }
+            rec_words.push(ids);
+        }
+
+        // Second-level tokenization: q-grams of each distinct word token.
+        let word_qgram_sets = word_dict
+            .iter()
+            .map(|(_, w)| dasp_text::qgram::word_qgrams(w, config).into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect())
+            .collect();
+
+        TokenizedCorpus {
+            corpus,
+            config,
+            dict,
+            rec_tokens,
+            rec_dl,
+            df,
+            cf,
+            cs,
+            word_dict,
+            rec_words,
+            word_df,
+            word_qgram_sets,
+        }
+    }
+
+    /// The underlying base relation.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Q-gram configuration used for tokenization.
+    pub fn config(&self) -> QgramConfig {
+        self.config
+    }
+
+    /// Number of tuples `N`.
+    pub fn num_records(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Number of distinct q-gram tokens in the collection.
+    pub fn num_tokens(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Number of distinct word tokens in the collection.
+    pub fn num_word_tokens(&self) -> usize {
+        self.word_dict.len()
+    }
+
+    /// The q-gram token dictionary.
+    pub fn dict(&self) -> &TokenDict {
+        &self.dict
+    }
+
+    /// The word token dictionary.
+    pub fn word_dict(&self) -> &TokenDict {
+        &self.word_dict
+    }
+
+    /// Per-record `(token, tf)` pairs.
+    pub fn record_tokens(&self, idx: usize) -> &[(TokenId, u32)] {
+        &self.rec_tokens[idx]
+    }
+
+    /// Record length `dl` in token occurrences.
+    pub fn record_dl(&self, idx: usize) -> u32 {
+        self.rec_dl[idx]
+    }
+
+    /// Word tokens of a record, in order, with duplicates.
+    pub fn record_words(&self, idx: usize) -> &[TokenId] {
+        &self.rec_words[idx]
+    }
+
+    /// Document frequency of a q-gram token.
+    pub fn df(&self, token: TokenId) -> u32 {
+        self.df[token as usize]
+    }
+
+    /// Collection frequency of a q-gram token.
+    pub fn cf(&self, token: TokenId) -> u64 {
+        self.cf[token as usize]
+    }
+
+    /// Collection size `cs` (total q-gram occurrences).
+    pub fn cs(&self) -> u64 {
+        self.cs
+    }
+
+    /// Average record length in q-gram tokens (`avgdl`).
+    pub fn avgdl(&self) -> f64 {
+        if self.rec_dl.is_empty() {
+            return 0.0;
+        }
+        self.cs as f64 / self.rec_dl.len() as f64
+    }
+
+    /// Document frequency of a word token.
+    pub fn word_df(&self, word: TokenId) -> u32 {
+        self.word_df[word as usize]
+    }
+
+    /// Distinct q-gram set of a word token (second-level tokenization).
+    pub fn word_qgram_set(&self, word: TokenId) -> &[String] {
+        &self.word_qgram_sets[word as usize]
+    }
+
+    /// IDF of a q-gram token: `log(N) - log(df)` (zero for unseen tokens).
+    pub fn idf(&self, token: TokenId) -> f64 {
+        let df = self.df(token);
+        if df == 0 {
+            return 0.0;
+        }
+        (self.num_records() as f64).ln() - (df as f64).ln()
+    }
+
+    /// IDF of a word token.
+    pub fn word_idf(&self, word: TokenId) -> f64 {
+        let df = self.word_df(word);
+        if df == 0 {
+            return 0.0;
+        }
+        (self.num_records() as f64).ln() - (df as f64).ln()
+    }
+
+    /// Average IDF over all word tokens: the weight the paper assigns to
+    /// query words never seen in the base relation (§4.5).
+    pub fn avg_word_idf(&self) -> f64 {
+        if self.word_df.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.word_df.len()).map(|i| self.word_idf(i as TokenId)).sum();
+        total / self.word_df.len() as f64
+    }
+
+    /// Robertson–Sparck Jones weight of a token (Equation 3.5), clamped at 0.
+    pub fn rsj_weight(&self, token: TokenId) -> f64 {
+        let n = self.num_records() as f64;
+        let nt = self.df(token) as f64;
+        ((n - nt + 0.5) / (nt + 0.5)).ln().max(0.0)
+    }
+
+    /// Tokenize a query string against the corpus dictionary.
+    pub fn tokenize_query(&self, query: &str) -> QueryTokens {
+        let grams = qgrams(query, self.config);
+        let mut tokens: Vec<(TokenId, u32)> = Vec::new();
+        let mut unknown_occurrences = 0u32;
+        let mut unknown: std::collections::HashSet<&str> = Default::default();
+        for gram in &grams {
+            match self.dict.get(gram) {
+                Some(id) => match tokens.binary_search_by_key(&id, |(t, _)| *t) {
+                    Ok(pos) => tokens[pos].1 += 1,
+                    Err(pos) => tokens.insert(pos, (id, 1)),
+                },
+                None => {
+                    unknown_occurrences += 1;
+                    unknown.insert(gram.as_str());
+                }
+            }
+        }
+        QueryTokens { tokens, unknown_occurrences, unknown_distinct: unknown.len() as u32 }
+    }
+
+    /// Word-tokenize a query string. Returns `(known word ids in order,
+    /// unknown word strings in order)`.
+    pub fn tokenize_query_words(&self, query: &str) -> (Vec<TokenId>, Vec<String>) {
+        let mut known = Vec::new();
+        let mut unknown = Vec::new();
+        for w in word_tokens(query) {
+            match self.word_dict.get(&w) {
+                Some(id) => known.push(id),
+                None => unknown.push(w),
+            }
+        }
+        (known, unknown)
+    }
+
+    /// Histogram of q-gram IDF values with `bins` equal-width buckets between
+    /// the minimum and maximum IDF (Figure 5.6 of the paper).
+    pub fn idf_histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        assert!(bins > 0);
+        let idfs: Vec<f64> = (0..self.dict.len()).map(|i| self.idf(i as TokenId)).collect();
+        if idfs.is_empty() {
+            return Vec::new();
+        }
+        let min = idfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = idfs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+        let mut hist = vec![0usize; bins];
+        for &v in &idfs {
+            let mut bucket = ((v - min) / width) as usize;
+            if bucket >= bins {
+                bucket = bins - 1;
+            }
+            hist[bucket] += 1;
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(i, count)| (min + (i as f64 + 0.5) * width, count))
+            .collect()
+    }
+
+    /// Histogram of q-gram IDF values weighted by collection frequency: each
+    /// bucket counts token *occurrences* rather than distinct tokens. This is
+    /// the view in which frequent (low-IDF) grams dominate, matching the
+    /// paper's Figure 5.6 observation that pruning a low-IDF band removes a
+    /// large fraction of the token table.
+    pub fn idf_occurrence_histogram(&self, bins: usize) -> Vec<(f64, u64)> {
+        assert!(bins > 0);
+        if self.dict.is_empty() {
+            return Vec::new();
+        }
+        let (min, max) = self.idf_range();
+        let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+        let mut hist = vec![0u64; bins];
+        for t in 0..self.dict.len() {
+            let v = self.idf(t as TokenId);
+            let mut bucket = ((v - min) / width) as usize;
+            if bucket >= bins {
+                bucket = bins - 1;
+            }
+            hist[bucket] += self.cf(t as TokenId);
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(i, count)| (min + (i as f64 + 0.5) * width, count))
+            .collect()
+    }
+
+    /// Produce a copy of this tokenized corpus in which only the q-gram
+    /// tokens accepted by `keep` remain. Per-record token lists, `dl`, `cs`,
+    /// `df` and `cf` are recomputed over the surviving tokens; dropped tokens
+    /// keep their dictionary ids (so query tokenization still resolves them)
+    /// but have `df = cf = 0` and therefore never join. Word-level state is
+    /// untouched. This is the mechanism behind the IDF-based pruning of §5.6.
+    pub fn retain_tokens<F: Fn(TokenId) -> bool>(&self, keep: F) -> TokenizedCorpus {
+        let mut out = self.clone();
+        let mut df = vec![0u32; self.df.len()];
+        let mut cf = vec![0u64; self.cf.len()];
+        let mut cs = 0u64;
+        for (idx, tokens) in self.rec_tokens.iter().enumerate() {
+            let kept: Vec<(TokenId, u32)> =
+                tokens.iter().copied().filter(|&(t, _)| keep(t)).collect();
+            let dl: u32 = kept.iter().map(|&(_, tf)| tf).sum();
+            for &(t, tf) in &kept {
+                df[t as usize] += 1;
+                cf[t as usize] += tf as u64;
+            }
+            cs += dl as u64;
+            out.rec_tokens[idx] = kept;
+            out.rec_dl[idx] = dl;
+        }
+        out.df = df;
+        out.cf = cf;
+        out.cs = cs;
+        out
+    }
+
+    /// Minimum and maximum token IDF (used by the pruning threshold of §5.6).
+    pub fn idf_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..self.dict.len() {
+            let v = self.idf(i as TokenId);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if self.dict.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> TokenizedCorpus {
+        let corpus = Corpus::from_strings(vec![
+            "Morgan Stanley Group Inc.",
+            "Morgan Stanley Group Incorporated",
+            "Beijing Hotel",
+            "Beijing Labs",
+            "AT&T Inc.",
+        ]);
+        TokenizedCorpus::build(corpus, QgramConfig::new(2))
+    }
+
+    #[test]
+    fn corpus_statistics() {
+        let c = Corpus::from_strings(vec!["ab cd", "xyz"]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(0).unwrap().text, "ab cd");
+        assert_eq!(c.get(5), None);
+        assert!((c.avg_string_len() - 4.0).abs() < 1e-12);
+        assert!((c.avg_words_per_tuple() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokenization_counts_are_consistent() {
+        let tc = small_corpus();
+        assert_eq!(tc.num_records(), 5);
+        // cs equals the sum of record lengths.
+        let total: u64 = (0..tc.num_records()).map(|i| tc.record_dl(i) as u64).sum();
+        assert_eq!(tc.cs(), total);
+        assert!((tc.avgdl() - total as f64 / 5.0).abs() < 1e-12);
+        // cf of each token sums to cs.
+        let cf_total: u64 = (0..tc.num_tokens()).map(|i| tc.cf(i as TokenId)).sum();
+        assert_eq!(cf_total, tc.cs());
+        // df never exceeds N and is at least 1 for every interned token.
+        for t in 0..tc.num_tokens() {
+            let df = tc.df(t as TokenId);
+            assert!(df >= 1 && df as usize <= tc.num_records());
+        }
+    }
+
+    #[test]
+    fn record_tf_sums_to_dl() {
+        let tc = small_corpus();
+        for i in 0..tc.num_records() {
+            let sum: u32 = tc.record_tokens(i).iter().map(|(_, tf)| tf).sum();
+            assert_eq!(sum, tc.record_dl(i));
+        }
+    }
+
+    #[test]
+    fn idf_orders_rare_above_frequent() {
+        let tc = small_corpus();
+        // "MORGAN" bigrams appear in 2 records, "BEIJING" bigrams in 2,
+        // the "$I"-ish grams of Inc appear in several; a gram unique to AT&T
+        // should have the maximal idf.
+        let unique = tc.dict().get("T&").expect("gram from AT&T");
+        let common = tc.dict().get("$I").expect("word-initial I gram");
+        assert!(tc.idf(unique) > tc.idf(common));
+        assert!(tc.rsj_weight(unique) >= tc.rsj_weight(common));
+    }
+
+    #[test]
+    fn query_tokenization_matches_dictionary() {
+        let tc = small_corpus();
+        let q = tc.tokenize_query("Morgan Stanley Group Inc.");
+        assert!(q.unknown_occurrences == 0);
+        assert!(q.tokens.len() > 5);
+        let q2 = tc.tokenize_query("zzzzqqqq");
+        assert!(q2.unknown_occurrences > 0);
+        assert!(q2.distinct_count() >= q2.unknown_distinct);
+        // Total occurrences equals the number of generated grams.
+        let grams = dasp_text::qgrams("zzzzqqqq", tc.config());
+        assert_eq!(q2.total_occurrences() as usize, grams.len());
+    }
+
+    #[test]
+    fn word_tokenization_and_idf() {
+        let tc = small_corpus();
+        let (known, unknown) = tc.tokenize_query_words("Morgan Stanley Widgets");
+        assert_eq!(known.len(), 2);
+        assert_eq!(unknown, vec!["WIDGETS".to_string()]);
+        let morgan = tc.word_dict().get("MORGAN").unwrap();
+        let beijing = tc.word_dict().get("BEIJING").unwrap();
+        assert_eq!(tc.word_df(morgan), 2);
+        assert_eq!(tc.word_df(beijing), 2);
+        assert!(tc.avg_word_idf() > 0.0);
+        // Word q-gram sets are non-empty and padded.
+        assert!(!tc.word_qgram_set(morgan).is_empty());
+        assert!(tc.word_qgram_set(morgan).iter().any(|g| g.starts_with('$')));
+    }
+
+    #[test]
+    fn idf_histogram_covers_all_tokens() {
+        let tc = small_corpus();
+        let hist = tc.idf_histogram(10);
+        assert_eq!(hist.len(), 10);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, tc.num_tokens());
+        let (lo, hi) = tc.idf_range();
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn idf_occurrence_histogram_covers_all_occurrences() {
+        let tc = small_corpus();
+        let hist = tc.idf_occurrence_histogram(8);
+        assert_eq!(hist.len(), 8);
+        let total: u64 = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, tc.cs());
+        // Bucket centers are increasing.
+        for w in hist.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        assert!(TokenizedCorpus::build(Corpus::default(), QgramConfig::default())
+            .idf_occurrence_histogram(4)
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_is_handled() {
+        let tc = TokenizedCorpus::build(Corpus::default(), QgramConfig::default());
+        assert_eq!(tc.num_records(), 0);
+        assert_eq!(tc.num_tokens(), 0);
+        assert_eq!(tc.avgdl(), 0.0);
+        assert_eq!(tc.idf_range(), (0.0, 0.0));
+        let q = tc.tokenize_query("anything");
+        assert!(q.tokens.is_empty());
+        assert!(q.unknown_occurrences > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Token dictionaries: intern token strings as dense integer ids.
+//!
+//! The declarative plans join on token ids rather than token strings; this
+//! keeps the relq tables compact without changing the relational structure of
+//! the paper's SQL (a join on an interned key is still an equi-join).
+
+use std::collections::HashMap;
+
+/// Integer identifier of an interned token.
+pub type TokenId = u32;
+
+/// A bidirectional map between token strings and dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct TokenDict {
+    by_token: HashMap<String, TokenId>,
+    tokens: Vec<String>,
+}
+
+impl TokenDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a token, returning its id (existing or newly assigned).
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as TokenId;
+        self.tokens.push(token.to_string());
+        self.by_token.insert(token.to_string(), id);
+        id
+    }
+
+    /// Look up the id of a token without interning it.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.by_token.get(token).copied()
+    }
+
+    /// The token string for an id.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterate over `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (i as TokenId, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = TokenDict::new();
+        let a = d.intern("ab");
+        let b = d.intern("bc");
+        assert_eq!(d.intern("ab"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.token(a), "ab");
+        assert_eq!(d.get("bc"), Some(b));
+        assert_eq!(d.get("zz"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = TokenDict::new();
+        for (i, t) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(d.intern(t), i as TokenId);
+        }
+        let collected: Vec<(TokenId, &str)> = d.iter().collect();
+        assert_eq!(collected, vec![(0, "x"), (1, "y"), (2, "z")]);
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = TokenDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.get("a"), None);
+    }
+}

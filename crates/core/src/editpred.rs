@@ -1,0 +1,204 @@
+//! Edit-based predicate (§3.4 / §4.4): edit similarity with the declarative
+//! q-gram filtering of Gravano et al.
+//!
+//! The candidate set is produced relationally — a join of the base and query
+//! term-frequency tables with a grouped `SUM(LEAST(tf, tf_q))` (the multiset
+//! intersection size of their q-grams) — and then verified with an exact
+//! (banded) edit-distance computation, playing the role of the paper's UDF.
+
+use crate::corpus::TokenizedCorpus;
+use crate::params::EditParams;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use crate::tables;
+use dasp_text::{edit_distance_within, normalize};
+use relq::{col, execute, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Edit-similarity predicate with q-gram count filtering.
+pub struct EditPredicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+    params: EditParams,
+    /// Normalized text per record index (the strings the "UDF" compares).
+    normalized: Vec<String>,
+    /// Map from tid to record index for candidate verification.
+    tid_to_idx: HashMap<u32, usize>,
+}
+
+impl EditPredicate {
+    /// Preprocess: register the `BASE_TF` table used by the count filter and
+    /// cache the normalized strings for verification.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: EditParams) -> Self {
+        let mut catalog = Catalog::new();
+        catalog.register("base_tf", tables::base_tf(&corpus));
+        let normalized =
+            corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect::<Vec<_>>();
+        let tid_to_idx = corpus
+            .corpus()
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| (r.tid, idx))
+            .collect();
+        EditPredicate { corpus, catalog, params, normalized, tid_to_idx }
+    }
+
+    /// The maximum edit distance admitted for a pair of lengths under the
+    /// configured similarity threshold: `k = ⌊(1 - θ)·max(|Q|, |D|)⌋`.
+    fn max_edits(&self, query_len: usize, record_len: usize) -> usize {
+        ((1.0 - self.params.filter_threshold) * query_len.max(record_len) as f64).floor() as usize
+    }
+
+    /// Build the query tf table.
+    fn query_tf_table(q: &crate::corpus::QueryTokens) -> Table {
+        let schema = Schema::from_pairs(&[("token", DataType::Int), ("tf", DataType::Int)]);
+        let mut t = Table::empty(schema);
+        for &(token, tf) in &q.tokens {
+            t.push_row(vec![Value::Int(token as i64), Value::Int(tf as i64)])
+                .expect("schema matches");
+        }
+        t
+    }
+}
+
+impl Predicate for EditPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::EditSimilarity
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        let query_norm = normalize(query);
+        let query_len = query_norm.chars().count();
+        let query_grams = q.total_occurrences() as i64;
+
+        // Candidate generation: multiset q-gram intersection per tuple.
+        let plan = Plan::scan("base_tf")
+            .join_on(Plan::values(Self::query_tf_table(&q)), &["token"], &["token"])
+            .aggregate(
+                &["tid"],
+                vec![(AggFunc::Sum(col("tf").least(col("tf_r"))), "common")],
+            );
+        let candidates = execute(&plan, &self.catalog).expect("edit filter plan executes");
+
+        let mut out = Vec::new();
+        for row in candidates.rows() {
+            let tid = row[0].as_i64().expect("tid") as u32;
+            let common = row[1].as_f64().expect("common") as i64;
+            let idx = self.tid_to_idx[&tid];
+            let text = &self.normalized[idx];
+            let record_len = text.chars().count();
+            let max_len = record_len.max(query_len);
+            if max_len == 0 {
+                continue;
+            }
+            let k = self.max_edits(query_len, record_len);
+            // Count filter: strings within k edits share at least
+            // max(|G(Q)|, |G(D)|) - k*q q-grams (each edit destroys <= q grams).
+            let record_grams = self.corpus.record_dl(idx) as i64;
+            let needed = query_grams.max(record_grams) - (k * self.corpus.config().q) as i64;
+            if common < needed {
+                continue;
+            }
+            if let Some(d) = edit_distance_within(&query_norm, text, k) {
+                let sim = 1.0 - d as f64 / max_len as f64;
+                out.push(ScoredTid::new(tid, sim));
+            }
+        }
+        crate::record::sort_ranked(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::{edit_distance, QgramConfig};
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Morgan Stanley Grup Inc.",
+                "Morgan Stnaley Group Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+        assert!((ranking[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_typos_pass_the_filter_and_are_scored_correctly() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        let tids: Vec<u32> = ranking.iter().map(|s| s.tid).collect();
+        assert!(tids.contains(&1));
+        assert!(tids.contains(&2));
+        // Verify the reported similarity equals 1 - ed/max_len.
+        for s in &ranking {
+            let idx = s.tid as usize;
+            let text = normalize(&corpus().corpus().records()[idx].text);
+            let qn = normalize("Morgan Stanley Group Inc.");
+            let expected =
+                1.0 - edit_distance(&qn, &text) as f64 / qn.chars().count().max(text.chars().count()) as f64;
+            assert!((s.score - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_excludes_dissimilar_strings() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        // Beijing Hotel is far beyond the 0.7 threshold and must be filtered.
+        assert!(ranking.iter().all(|s| s.tid != 4));
+        assert!(ranking.iter().all(|s| s.score >= 0.69));
+    }
+
+    #[test]
+    fn lower_threshold_admits_more_candidates() {
+        let strict = EditPredicate::build(corpus(), EditParams { filter_threshold: 0.9 });
+        let loose = EditPredicate::build(corpus(), EditParams { filter_threshold: 0.5 });
+        let q = "Morgan Stanley Group Inc.";
+        assert!(loose.rank(q).len() >= strict.rank(q).len());
+    }
+
+    #[test]
+    fn no_false_negatives_within_threshold() {
+        // Every tuple whose true edit similarity is >= θ must be returned.
+        let theta = 0.7;
+        let p = EditPredicate::build(corpus(), EditParams { filter_threshold: theta });
+        let q = "Morgan Stanley Group Inc.";
+        let qn = normalize(q);
+        let returned: Vec<u32> = p.rank(q).iter().map(|s| s.tid).collect();
+        for (idx, rec) in corpus().corpus().records().iter().enumerate() {
+            let text = normalize(&rec.text);
+            let sim = 1.0
+                - edit_distance(&qn, &text) as f64
+                    / qn.chars().count().max(text.chars().count()) as f64;
+            if sim >= theta {
+                assert!(returned.contains(&(idx as u32)), "tid {idx} with sim {sim} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        assert!(p.rank("").is_empty());
+    }
+}

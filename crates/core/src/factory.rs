@@ -1,0 +1,102 @@
+//! Construction of any predicate from a [`PredicateKind`] and a parameter
+//! set — the entry point the benchmark harness and examples use.
+
+use crate::aggregate::{Bm25Predicate, CosinePredicate};
+use crate::combination::{GesApxPredicate, GesJaccardPredicate, GesPredicate, SoftTfIdfPredicate};
+use crate::corpus::TokenizedCorpus;
+use crate::editpred::EditPredicate;
+use crate::hmm::HmmPredicate;
+use crate::langmodel::LanguageModelPredicate;
+use crate::overlap::{IntersectSize, JaccardPredicate, WeightedJaccard, WeightedMatch};
+use crate::params::Params;
+use crate::predicate::{Predicate, PredicateKind};
+use std::sync::Arc;
+
+/// Build (preprocess) a predicate of the requested kind over a tokenized
+/// corpus. This is the paper's "phase 2" preprocessing: weight tables are
+/// computed and registered here.
+pub fn build_predicate(
+    kind: PredicateKind,
+    corpus: Arc<TokenizedCorpus>,
+    params: &Params,
+) -> Box<dyn Predicate> {
+    match kind {
+        PredicateKind::IntersectSize => Box::new(IntersectSize::build(corpus)),
+        PredicateKind::Jaccard => Box::new(JaccardPredicate::build(corpus)),
+        PredicateKind::WeightedMatch => {
+            Box::new(WeightedMatch::build(corpus, params.overlap_weighting))
+        }
+        PredicateKind::WeightedJaccard => {
+            Box::new(WeightedJaccard::build(corpus, params.overlap_weighting))
+        }
+        PredicateKind::Cosine => Box::new(CosinePredicate::build(corpus)),
+        PredicateKind::Bm25 => Box::new(Bm25Predicate::build(corpus, params.bm25)),
+        PredicateKind::LanguageModel => Box::new(LanguageModelPredicate::build(corpus)),
+        PredicateKind::Hmm => Box::new(HmmPredicate::build(corpus, params.hmm)),
+        PredicateKind::EditSimilarity => Box::new(EditPredicate::build(corpus, params.edit)),
+        PredicateKind::Ges => Box::new(GesPredicate::build(corpus, params.ges)),
+        PredicateKind::GesJaccard => Box::new(GesJaccardPredicate::build(corpus, params.ges)),
+        PredicateKind::GesApx => Box::new(GesApxPredicate::build(corpus, params.ges)),
+        PredicateKind::SoftTfIdf => {
+            Box::new(SoftTfIdfPredicate::build(corpus, params.soft_tfidf))
+        }
+    }
+}
+
+/// Build every predicate the paper evaluates, in its canonical order.
+pub fn build_all(
+    corpus: Arc<TokenizedCorpus>,
+    params: &Params,
+) -> Vec<(PredicateKind, Box<dyn Predicate>)> {
+    PredicateKind::all()
+        .iter()
+        .map(|&kind| (kind, build_predicate(kind, corpus.clone(), params)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Morgan Stanle Grop Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+                "AT&T Incorporated",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn every_kind_builds_and_ranks_its_own_duplicate_first() {
+        let corpus = corpus();
+        let params = Params::default();
+        for (kind, predicate) in build_all(corpus.clone(), &params) {
+            assert_eq!(predicate.kind(), kind);
+            let ranking = predicate.rank("Morgan Stanley Group Inc.");
+            assert!(!ranking.is_empty(), "{kind} returned nothing");
+            assert_eq!(
+                ranking[0].tid, 0,
+                "{kind} did not rank the exact duplicate first: {:?}",
+                &ranking[..ranking.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_report_their_identity() {
+        let corpus = corpus();
+        let params = Params::default();
+        let p = build_predicate(PredicateKind::Bm25, corpus.clone(), &params);
+        assert_eq!(p.kind(), PredicateKind::Bm25);
+        let p = build_predicate(PredicateKind::SoftTfIdf, corpus, &params);
+        assert_eq!(p.kind(), PredicateKind::SoftTfIdf);
+    }
+}

@@ -1,0 +1,145 @@
+//! The two-state hidden Markov model predicate (§3.3.2 / §4.3.2).
+//!
+//! The score is the rewritten Equation 4.6: the product over query tokens of
+//! `1 + a1·P(q|D) / (a0·P(q|GE))`, restricted to `Q ∩ D`. Preprocessing
+//! stores `log` of that factor per `(tid, token)` in `BASE_WEIGHTS`; the
+//! query plan is a single join plus `EXP(SUM(weight))` — which is why HMM is
+//! as fast as the unweighted overlap predicates in the paper's Figure 5.3.
+
+use crate::corpus::TokenizedCorpus;
+use crate::params::HmmParams;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use crate::tables;
+use relq::{col, execute, AggFunc, Catalog, Plan};
+use std::sync::Arc;
+
+/// Hidden Markov model predicate.
+pub struct HmmPredicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl HmmPredicate {
+    /// Preprocess: `weight(tid, t) = log(1 + a1·pml(t, D) / (a0·P(t|GE)))`
+    /// where `P(t|GE) = cf_t / cs` is the General-English probability.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: HmmParams) -> Self {
+        let cs = corpus.cs() as f64;
+        let a0 = params.a0;
+        let a1 = params.a1();
+        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+            let dl = corpus.record_dl(idx) as f64;
+            let pml = tf as f64 / dl.max(1.0);
+            let ptge = corpus.cf(token) as f64 / cs.max(1.0);
+            if ptge <= 0.0 {
+                return None;
+            }
+            Some((1.0 + a1 * pml / (a0 * ptge)).ln())
+        });
+        let mut catalog = Catalog::new();
+        catalog.register("base_weights", weights);
+        HmmPredicate { corpus, catalog }
+    }
+}
+
+impl Predicate for HmmPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Hmm
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        // Query tokens keep their multiplicity: a token occurring twice in the
+        // query contributes its factor twice (the SQL joins the raw
+        // QUERY_TOKENS table, which has one row per occurrence).
+        let query_table = tables::query_tokens(&q, false);
+        let plan = Plan::scan("base_weights")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
+            .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]);
+        let result = execute(&plan, &self.catalog).expect("hmm plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Stalney Morgan Group Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn exact_duplicate_ranks_first() {
+        let p = HmmPredicate::build(corpus(), HmmParams::default());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+    }
+
+    #[test]
+    fn scores_are_at_least_one_and_finite() {
+        // Every matched token multiplies the score by a factor > 1, so any
+        // tuple sharing at least one token scores above 1.
+        let p = HmmPredicate::build(corpus(), HmmParams::default());
+        for s in p.rank("Morgan Stanley") {
+            assert!(s.score > 1.0);
+            assert!(s.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn rare_token_match_beats_common_token_match() {
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "zzzq specialised widget",
+                "generic common widget",
+                "another common widget",
+                "more common widget",
+            ]),
+            QgramConfig::new(2),
+        ));
+        let p = HmmPredicate::build(corpus, HmmParams::default());
+        let ranking = p.rank("zzzq widget");
+        assert_eq!(ranking[0].tid, 0, "the tuple containing the rare token must rank first");
+    }
+
+    #[test]
+    fn a0_extremes_do_not_break_ranking() {
+        for a0 in [0.05, 0.2, 0.5, 0.9] {
+            let p = HmmPredicate::build(corpus(), HmmParams { a0 });
+            let ranking = p.rank("Beijing Hotel");
+            assert_eq!(ranking[0].tid, 3, "a0={a0}");
+        }
+    }
+
+    #[test]
+    fn repeated_query_tokens_increase_score() {
+        let p = HmmPredicate::build(corpus(), HmmParams::default());
+        let once = p.rank("Beijing");
+        let twice = p.rank("Beijing Beijing");
+        let s1 = once.iter().find(|s| s.tid == 3).unwrap().score;
+        let s2 = twice.iter().find(|s| s.tid == 3).unwrap().score;
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let p = HmmPredicate::build(corpus(), HmmParams::default());
+        assert!(p.rank("").is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! The Ponte–Croft language modeling predicate (§3.3.1 / §4.3.1).
+//!
+//! Preprocessing materializes `BASE_PM(tid, token, pm, cfcs)` — the smoothed
+//! probability `p̂(t|M_D)` of each token of each tuple together with the
+//! collection probability `cf_t / cs` — and `BASE_SUMCOMPM(tid, sumcompm)`
+//! holding `Σ_{t ∈ D} log(1 - p̂(t|M_D))`. The query-time plan is the
+//! rewritten Equation 4.4 (Figure 4.4): one join with the query tokens, a
+//! grouped sum of `log pm − log(1 − pm) − log(cf/cs)` and a final join with
+//! the per-tuple sums.
+
+use crate::corpus::TokenizedCorpus;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use crate::tables;
+use relq::{col, execute, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use std::sync::Arc;
+
+/// Numerical floor/ceiling keeping `log(pm)` and `log(1 - pm)` finite.
+const PM_EPS: f64 = 1e-9;
+
+/// Language modeling predicate.
+pub struct LanguageModelPredicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl LanguageModelPredicate {
+    /// Preprocess the corpus into `BASE_PM` and `BASE_SUMCOMPM`.
+    ///
+    /// Intermediate quantities (pml, pavg, f̄, risk) follow Equations 3.7–3.9:
+    /// * `pml(t, D) = tf / dl`
+    /// * `pavg(t) = mean of pml over tuples containing t`
+    /// * `f̄(t, D) = pavg(t) * dl`
+    /// * `R(t, D) = 1/(1+f̄) * (f̄/(1+f̄))^tf`
+    /// * `pm = pml^(1-R) * pavg^R` for tokens present in D.
+    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        let n_tokens = corpus.num_tokens();
+        // pavg per token: average maximum-likelihood estimate over the tuples
+        // containing the token.
+        let mut pml_sum = vec![0.0f64; n_tokens];
+        for idx in 0..corpus.num_records() {
+            let dl = corpus.record_dl(idx) as f64;
+            for &(token, tf) in corpus.record_tokens(idx) {
+                pml_sum[token as usize] += tf as f64 / dl.max(1.0);
+            }
+        }
+        let pavg: Vec<f64> = (0..n_tokens)
+            .map(|t| {
+                let df = corpus.df(t as u32) as f64;
+                if df > 0.0 {
+                    pml_sum[t] / df
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let cs = corpus.cs() as f64;
+        // BASE_PM rows: (tid, token, pm, cfcs).
+        let schema = Schema::from_pairs(&[
+            ("tid", DataType::Int),
+            ("token", DataType::Int),
+            ("pm", DataType::Float),
+            ("cfcs", DataType::Float),
+        ]);
+        let mut base_pm = Table::empty(schema);
+        let mut sumcompm = vec![0.0f64; corpus.num_records()];
+        for (idx, record) in corpus.corpus().records().iter().enumerate() {
+            let dl = corpus.record_dl(idx) as f64;
+            for &(token, tf) in corpus.record_tokens(idx) {
+                let pml = tf as f64 / dl.max(1.0);
+                let pa = pavg[token as usize];
+                let fbar = pa * dl;
+                let risk = (1.0 / (1.0 + fbar)) * (fbar / (1.0 + fbar)).powf(tf as f64);
+                let pm = pml.powf(1.0 - risk) * pa.powf(risk);
+                let pm = pm.clamp(PM_EPS, 1.0 - PM_EPS);
+                let cfcs = (corpus.cf(token) as f64 / cs).clamp(PM_EPS, 1.0 - PM_EPS);
+                sumcompm[idx] += (1.0 - pm).ln();
+                base_pm
+                    .push_row(vec![
+                        Value::Int(record.tid as i64),
+                        Value::Int(token as i64),
+                        Value::Float(pm),
+                        Value::Float(cfcs),
+                    ])
+                    .expect("schema matches");
+            }
+        }
+        let base_sum = tables::per_tuple_scalar(&corpus, "sumcompm", |idx| sumcompm[idx]);
+
+        let mut catalog = Catalog::new();
+        catalog.register("base_pm", base_pm);
+        catalog.register("base_sumcompm", base_sum);
+        LanguageModelPredicate { corpus, catalog }
+    }
+}
+
+impl Predicate for LanguageModelPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::LanguageModel
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        let query_table = tables::query_tokens(&q, true);
+        // Inner aggregation over Q ∩ D (Figure 4.4).
+        let inner = Plan::scan("base_pm")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(
+                &["tid"],
+                vec![
+                    (AggFunc::Sum(col("pm").ln()), "sum_log_pm"),
+                    (AggFunc::Sum(lit_one().sub(col("pm")).ln()), "sum_log_compm"),
+                    (AggFunc::Sum(col("cfcs").ln()), "sum_log_cfcs"),
+                ],
+            );
+        // Combine with the per-tuple Σ log(1 - pm) term.
+        let plan = inner
+            .join_on(Plan::scan("base_sumcompm"), &["tid"], &["tid"])
+            .project(vec![
+                (col("tid"), "tid"),
+                (
+                    col("sum_log_pm")
+                        .sub(col("sum_log_compm"))
+                        .sub(col("sum_log_cfcs"))
+                        .add(col("sumcompm"))
+                        .exp(),
+                    "score",
+                ),
+            ]);
+        let result = execute(&plan, &self.catalog).expect("language model plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+fn lit_one() -> relq::Expr {
+    relq::lit(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Stalney Morgan Group Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn exact_duplicate_ranks_first() {
+        let p = LanguageModelPredicate::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert!(!ranking.is_empty());
+        assert_eq!(ranking[0].tid, 0);
+    }
+
+    #[test]
+    fn scores_are_positive_and_finite() {
+        let p = LanguageModelPredicate::build(corpus());
+        for q in ["Morgan Stanley", "Beijing Hotel", "Group Inc."] {
+            for s in p.rank(q) {
+                assert!(s.score.is_finite());
+                assert!(s.score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn typo_variant_outranks_unrelated_tuple() {
+        let p = LanguageModelPredicate::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        let pos_typo = ranking.iter().position(|s| s.tid == 1).unwrap();
+        let pos_beijing = ranking.iter().position(|s| s.tid == 3);
+        if let Some(pos) = pos_beijing {
+            assert!(pos_typo < pos);
+        }
+    }
+
+    #[test]
+    fn single_token_tuples_do_not_break_the_model() {
+        // A tuple whose only token would give pm = 1 exercises the clamping.
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec!["a", "a", "abc def"]),
+            QgramConfig::new(2),
+        ));
+        let p = LanguageModelPredicate::build(corpus);
+        let ranking = p.rank("a");
+        assert!(!ranking.is_empty());
+        for s in &ranking {
+            assert!(s.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let p = LanguageModelPredicate::build(corpus());
+        assert!(p.rank("").is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! # dasp-core — declarative approximate selection predicates
+//!
+//! A Rust reproduction of the similarity-predicate framework of
+//! *"Benchmarking Declarative Approximate Selection Predicates"*
+//! (Hassanzadeh, 2007). The library implements every predicate class of the
+//! paper on top of the [`relq`] relational engine: preprocessing materializes
+//! token and weight tables into a relational catalog, and every query is
+//! executed as a declarative plan over those tables — the Rust analogue of
+//! the paper's SQL statements.
+//!
+//! ## Predicate classes
+//!
+//! * **Overlap** (§3.1): [`overlap::IntersectSize`], [`overlap::JaccardPredicate`],
+//!   [`overlap::WeightedMatch`], [`overlap::WeightedJaccard`]
+//! * **Aggregate weighted** (§3.2): [`aggregate::CosinePredicate`],
+//!   [`aggregate::Bm25Predicate`]
+//! * **Language modeling** (§3.3): [`langmodel::LanguageModelPredicate`],
+//!   [`hmm::HmmPredicate`]
+//! * **Edit based** (§3.4): [`editpred::EditPredicate`]
+//! * **Combination** (§3.5): [`combination::GesPredicate`],
+//!   [`combination::GesJaccardPredicate`], [`combination::GesApxPredicate`],
+//!   [`combination::SoftTfIdfPredicate`]
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dasp_core::{Corpus, TokenizedCorpus, Params, PredicateKind, build_predicate, Predicate};
+//! use std::sync::Arc;
+//!
+//! let corpus = Corpus::from_strings(vec![
+//!     "Morgan Stanley Group Inc.",
+//!     "Morgan Stanle Grop Inc.",
+//!     "Beijing Hotel",
+//! ]);
+//! let tokenized = Arc::new(TokenizedCorpus::build(corpus, Default::default()));
+//! let bm25 = build_predicate(PredicateKind::Bm25, tokenized, &Params::default());
+//! let ranking = bm25.rank("Morgan Stanley Group Incorporated");
+//! assert_eq!(ranking[0].tid, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod combination;
+pub mod corpus;
+pub mod dict;
+pub mod editpred;
+pub mod factory;
+pub mod hmm;
+pub mod langmodel;
+pub mod native;
+pub mod overlap;
+pub mod params;
+pub mod predicate;
+pub mod pruning;
+pub mod record;
+pub mod tables;
+
+pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
+pub use dict::{TokenDict, TokenId};
+pub use factory::{build_all, build_predicate};
+pub use params::{
+    Bm25Params, EditParams, GesParams, HmmParams, OverlapWeighting, Params, SoftTfIdfParams,
+};
+pub use predicate::{Predicate, PredicateClass, PredicateKind};
+pub use pruning::{prune_by_idf, PruneStats};
+pub use record::{Record, ScoredTid, Tid};

@@ -1,0 +1,342 @@
+//! Overlap predicates (§3.1 / §4.1): IntersectSize, Jaccard, WeightedMatch
+//! and WeightedJaccard, realized declaratively as relq plans over token and
+//! weight tables — the direct analogues of Figures 4.1 and 4.2 of the paper.
+
+use crate::corpus::TokenizedCorpus;
+use crate::params::OverlapWeighting;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::ScoredTid;
+use crate::tables;
+use relq::{col, execute, lit, AggFunc, Catalog, Plan};
+use std::sync::Arc;
+
+fn overlap_weight(tc: &TokenizedCorpus, weighting: OverlapWeighting, token: crate::dict::TokenId) -> f64 {
+    match weighting {
+        OverlapWeighting::Idf => tc.idf(token),
+        OverlapWeighting::RobertsonSparckJones => tc.rsj_weight(token),
+    }
+}
+
+/// IntersectSize: the number of common distinct tokens between query and
+/// tuple (Equation 3.1, Figure 4.1).
+pub struct IntersectSize {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl IntersectSize {
+    /// Preprocess the corpus: register `BASE_TOKENS` with distinct tokens.
+    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        let mut catalog = Catalog::new();
+        catalog.register("base_tokens", tables::base_tokens_distinct(&corpus));
+        IntersectSize { corpus, catalog }
+    }
+}
+
+impl Predicate for IntersectSize {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::IntersectSize
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        let query_table = tables::query_tokens(&q, true);
+        // SELECT tid, COUNT(*) FROM base_tokens JOIN query_tokens USING (token) GROUP BY tid
+        let plan = Plan::scan("base_tokens")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+            .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]);
+        let result = execute(&plan, &self.catalog).expect("intersect plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+/// Jaccard coefficient over distinct token sets (Equation 3.2, Figure 4.2).
+pub struct JaccardPredicate {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl JaccardPredicate {
+    /// Preprocess: register `BASE_DDL(tid, token, len)` where `len` is the
+    /// number of distinct tokens of the tuple.
+    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        let mut catalog = Catalog::new();
+        // base_tokens_ddl: tid, token, len  (len stored redundantly per row,
+        // exactly as the paper's BASE_DDL table does).
+        let tokens = tables::base_tokens_distinct(&corpus);
+        let lens = tables::per_tuple_scalar(&corpus, "len", |idx| {
+            corpus.record_tokens(idx).len() as f64
+        });
+        let mut c = Catalog::new();
+        c.register("tokens", tokens);
+        c.register("lens", lens);
+        let plan = Plan::scan("tokens").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(
+            vec![(col("tid"), "tid"), (col("token"), "token"), (col("len"), "len")],
+        );
+        let ddl = execute(&plan, &c).expect("ddl table build");
+        catalog.register("base_ddl", ddl);
+        JaccardPredicate { corpus, catalog }
+    }
+}
+
+impl Predicate for JaccardPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Jaccard
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        // |Q| counts distinct query tokens including those absent from the
+        // base relation (the SQL's COUNT(*) over QUERY_TOKENS does the same).
+        let query_len = q.distinct_count() as f64;
+        let query_table = tables::query_tokens(&q, true);
+        let plan = Plan::scan("base_ddl")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(&["tid", "len"], vec![(AggFunc::CountStar, "cnt")])
+            .project(vec![
+                (col("tid"), "tid"),
+                (
+                    col("cnt").div(
+                        col("len")
+                            .add(lit(query_len))
+                            .sub(col("cnt"))
+                            .greatest(lit(1e-9)),
+                    ),
+                    "score",
+                ),
+            ]);
+        let result = execute(&plan, &self.catalog).expect("jaccard plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+/// WeightedMatch: total weight of common tokens (§3.1), using the
+/// Robertson–Sparck Jones weights the paper found superior to IDF (§5.3.1).
+pub struct WeightedMatch {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+}
+
+impl WeightedMatch {
+    /// Preprocess: register `BASE_TOKENS_WEIGHTS(tid, token, weight)`.
+    pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
+        let mut catalog = Catalog::new();
+        let weights = tables::base_weights(&corpus, |_, token, _| {
+            Some(overlap_weight(&corpus, weighting, token))
+        });
+        catalog.register("base_weights", weights);
+        WeightedMatch { corpus, catalog }
+    }
+}
+
+impl Predicate for WeightedMatch {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::WeightedMatch
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        let query_table = tables::query_tokens(&q, true);
+        let plan = Plan::scan("base_weights")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
+        let result = execute(&plan, &self.catalog).expect("weighted match plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+/// WeightedJaccard: weight of common tokens over weight of the union (§3.1).
+pub struct WeightedJaccard {
+    corpus: Arc<TokenizedCorpus>,
+    catalog: Catalog,
+    weighting: OverlapWeighting,
+}
+
+impl WeightedJaccard {
+    /// Preprocess: register `BASE_TOKENSDDL(tid, token, weight, len)` where
+    /// `len` is the total token weight of the tuple.
+    pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
+        let weights = tables::base_weights(&corpus, |_, token, _| {
+            Some(overlap_weight(&corpus, weighting, token))
+        });
+        let lens = tables::per_tuple_scalar(&corpus, "len", |idx| {
+            corpus
+                .record_tokens(idx)
+                .iter()
+                .map(|&(t, _)| overlap_weight(&corpus, weighting, t))
+                .sum()
+        });
+        let mut temp = Catalog::new();
+        temp.register("weights", weights);
+        temp.register("lens", lens);
+        let plan = Plan::scan("weights").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(
+            vec![
+                (col("tid"), "tid"),
+                (col("token"), "token"),
+                (col("weight"), "weight"),
+                (col("len"), "len"),
+            ],
+        );
+        let ddl = execute(&plan, &temp).expect("weighted ddl build");
+        let mut catalog = Catalog::new();
+        catalog.register("base_tokensddl", ddl);
+        WeightedJaccard { corpus, catalog, weighting }
+    }
+}
+
+impl Predicate for WeightedJaccard {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::WeightedJaccard
+    }
+
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Vec::new();
+        }
+        // Sum of weights of (known) distinct query tokens — the SQL computes
+        // this from the base weight table, so unknown tokens contribute 0.
+        let query_weight_sum: f64 = q
+            .tokens
+            .iter()
+            .map(|&(t, _)| overlap_weight(&self.corpus, self.weighting, t))
+            .sum();
+        let query_table = tables::query_tokens(&q, true);
+        let plan = Plan::scan("base_tokensddl")
+            .join_on(Plan::values(query_table), &["token"], &["token"])
+            .aggregate(&["tid", "len"], vec![(AggFunc::Sum(col("weight")), "inter")])
+            .project(vec![
+                (col("tid"), "tid"),
+                (
+                    col("inter").div(
+                        col("len")
+                            .add(lit(query_weight_sum))
+                            .sub(col("inter"))
+                            .greatest(lit(1e-9)),
+                    ),
+                    "score",
+                ),
+            ]);
+        let result = execute(&plan, &self.catalog).expect("weighted jaccard plan executes");
+        tables::scores_from_table(&result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::predicate::ranked_tids;
+    use dasp_text::QgramConfig;
+
+    fn corpus() -> Arc<TokenizedCorpus> {
+        Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",   // 0
+                "Morgan Stanley Group Incorporated", // 1
+                "Beijing Hotel",               // 2
+                "Beijing Labs",                // 3
+                "IBM Incorporated",            // 4
+            ]),
+            QgramConfig::new(2),
+        ))
+    }
+
+    #[test]
+    fn intersect_ranks_exact_duplicate_first() {
+        let p = IntersectSize::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+        assert!(ranking[0].score >= ranking[1].score);
+        // Beijing Hotel shares essentially nothing with the query.
+        assert!(ranking.iter().all(|s| s.score > 0.0));
+    }
+
+    #[test]
+    fn jaccard_is_normalized_to_unit_interval() {
+        let p = JaccardPredicate::build(corpus());
+        let ranking = p.rank("Morgan Stanley Group Inc.");
+        assert_eq!(ranking[0].tid, 0);
+        assert!((ranking[0].score - 1.0).abs() < 1e-9, "self similarity should be 1");
+        for s in &ranking {
+            assert!(s.score > 0.0 && s.score <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_predicates_downweight_frequent_suffixes() {
+        // Paper §5.4: for query "AT&T Incorporated"-style inputs, unweighted
+        // overlap confuses tuples sharing the frequent word, while weighted
+        // overlap keys on the rare tokens.
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "AT&T Incorporated",
+                "AT&T Inc.",
+                "IBM Incorporated",
+                "Cisco Incorporated",
+                "Oracle Incorporated",
+                "Sun Incorporated",
+            ]),
+            QgramConfig::new(2),
+        ));
+        let wm = WeightedMatch::build(corpus.clone(), OverlapWeighting::RobertsonSparckJones);
+        let ranking = wm.rank("AT&T Incorporated");
+        assert_eq!(ranking[0].tid, 0);
+        // The AT&T abbreviation variant must outrank the IBM full-word tuple.
+        let pos_att_inc = ranking.iter().position(|s| s.tid == 1).unwrap();
+        let pos_ibm = ranking.iter().position(|s| s.tid == 2).unwrap();
+        assert!(pos_att_inc < pos_ibm, "weighted overlap should prefer AT&T Inc. over IBM Incorporated");
+    }
+
+    #[test]
+    fn weighted_jaccard_self_similarity_is_one() {
+        let p = WeightedJaccard::build(corpus(), OverlapWeighting::RobertsonSparckJones);
+        let ranking = p.rank("Beijing Hotel");
+        assert_eq!(ranking[0].tid, 2);
+        assert!((ranking[0].score - 1.0).abs() < 1e-6);
+        for s in &ranking {
+            assert!(s.score <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn idf_weighting_variant_also_works() {
+        let p = WeightedMatch::build(corpus(), OverlapWeighting::Idf);
+        let ranking = p.rank("Morgan Stanley");
+        assert!(ranked_tids(&ranking).contains(&0));
+        assert!(ranked_tids(&ranking).contains(&1));
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let c = corpus();
+        assert!(IntersectSize::build(c.clone()).rank("").is_empty());
+        assert!(JaccardPredicate::build(c.clone()).rank("   ").is_empty());
+        let unknown = "\u{4e16}\u{754c}"; // tokens absent from the corpus
+        assert!(WeightedMatch::build(c.clone(), OverlapWeighting::RobertsonSparckJones)
+            .rank(unknown)
+            .is_empty());
+        assert!(WeightedJaccard::build(c, OverlapWeighting::RobertsonSparckJones)
+            .rank(unknown)
+            .is_empty());
+    }
+
+    #[test]
+    fn select_filters_by_threshold() {
+        let p = JaccardPredicate::build(corpus());
+        let all = p.rank("Morgan Stanley Group Inc.");
+        let selected = p.select("Morgan Stanley Group Inc.", 0.5);
+        assert!(selected.len() <= all.len());
+        assert!(selected.iter().all(|s| s.score >= 0.5));
+    }
+}

@@ -1,0 +1,200 @@
+//! The approximate-selection predicate abstraction.
+
+use crate::record::{ScoredTid, Tid};
+use std::fmt;
+
+/// Identifies every similarity predicate studied in the paper, grouped into
+/// the five classes of Chapter 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredicateKind {
+    // Overlap predicates (§3.1)
+    /// |Q ∩ D| over q-gram token sets.
+    IntersectSize,
+    /// |Q ∩ D| / |Q ∪ D|.
+    Jaccard,
+    /// Sum of weights of common tokens.
+    WeightedMatch,
+    /// Weighted Jaccard coefficient.
+    WeightedJaccard,
+    // Aggregate weighted predicates (§3.2)
+    /// tf-idf cosine similarity.
+    Cosine,
+    /// Okapi BM25.
+    Bm25,
+    // Language modeling predicates (§3.3)
+    /// Ponte–Croft language model.
+    LanguageModel,
+    /// Two-state hidden Markov model.
+    Hmm,
+    // Edit-based predicates (§3.4)
+    /// Edit similarity with declarative q-gram filtering.
+    EditSimilarity,
+    // Combination predicates (§3.5)
+    /// Exact generalized edit similarity.
+    Ges,
+    /// GES with Jaccard-based filtering (candidate set + exact rescoring).
+    GesJaccard,
+    /// GES with min-hash approximate filtering.
+    GesApx,
+    /// SoftTFIDF with Jaro-Winkler word similarity.
+    SoftTfIdf,
+}
+
+/// The five predicate classes of Chapter 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredicateClass {
+    /// Token-overlap based.
+    Overlap,
+    /// Aggregate weighted (IR-style weighting).
+    AggregateWeighted,
+    /// Probabilistic language models.
+    LanguageModeling,
+    /// Edit-operation based.
+    EditBased,
+    /// Combinations of the above.
+    Combination,
+}
+
+impl PredicateKind {
+    /// Every predicate, in the order the paper's figures list them.
+    pub fn all() -> &'static [PredicateKind] {
+        use PredicateKind::*;
+        &[
+            IntersectSize,
+            Jaccard,
+            WeightedMatch,
+            WeightedJaccard,
+            Cosine,
+            Bm25,
+            LanguageModel,
+            Hmm,
+            EditSimilarity,
+            Ges,
+            GesJaccard,
+            GesApx,
+            SoftTfIdf,
+        ]
+    }
+
+    /// The short display name used in the paper's tables.
+    pub fn short_name(&self) -> &'static str {
+        use PredicateKind::*;
+        match self {
+            IntersectSize => "Xect",
+            Jaccard => "Jaccard",
+            WeightedMatch => "WM",
+            WeightedJaccard => "WJ",
+            Cosine => "Cosine",
+            Bm25 => "BM25",
+            LanguageModel => "LM",
+            Hmm => "HMM",
+            EditSimilarity => "ED",
+            Ges => "GES",
+            GesJaccard => "GESJac",
+            GesApx => "GESapx",
+            SoftTfIdf => "STfIdf w/JW",
+        }
+    }
+
+    /// The class a predicate belongs to (Chapter 3 grouping).
+    pub fn class(&self) -> PredicateClass {
+        use PredicateKind::*;
+        match self {
+            IntersectSize | Jaccard | WeightedMatch | WeightedJaccard => PredicateClass::Overlap,
+            Cosine | Bm25 => PredicateClass::AggregateWeighted,
+            LanguageModel | Hmm => PredicateClass::LanguageModeling,
+            EditSimilarity => PredicateClass::EditBased,
+            Ges | GesJaccard | GesApx | SoftTfIdf => PredicateClass::Combination,
+        }
+    }
+
+    /// Whether the predicate tokenizes at the word level (combination class),
+    /// which the paper identifies as the source of their slower preprocessing.
+    pub fn uses_word_tokens(&self) -> bool {
+        matches!(self.class(), PredicateClass::Combination)
+    }
+}
+
+impl fmt::Display for PredicateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// An approximate-selection predicate: ranks base tuples by similarity to a
+/// query string, or selects those above a threshold.
+pub trait Predicate {
+    /// Which predicate this is.
+    fn kind(&self) -> PredicateKind;
+
+    /// Rank base tuples by decreasing similarity to `query`. Only tuples with
+    /// a defined (usually non-zero) score are returned; ties are broken by
+    /// tuple id so rankings are deterministic.
+    fn rank(&self, query: &str) -> Vec<ScoredTid>;
+
+    /// Approximate selection: all tuples with `sim(query, t) >= threshold`.
+    fn select(&self, query: &str, threshold: f64) -> Vec<ScoredTid> {
+        self.rank(query).into_iter().filter(|s| s.score >= threshold).collect()
+    }
+
+    /// The `k` most similar tuples.
+    fn top_k(&self, query: &str, k: usize) -> Vec<ScoredTid> {
+        let mut ranked = self.rank(query);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The single most similar tuple, if any tuple scored at all.
+    fn best_match(&self, query: &str) -> Option<ScoredTid> {
+        self.rank(query).into_iter().next()
+    }
+}
+
+/// Convenience: turn a ranking into the set of tids (used by tests).
+pub fn ranked_tids(ranking: &[ScoredTid]) -> Vec<Tid> {
+    ranking.iter().map(|s| s.tid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<ScoredTid>);
+    impl Predicate for Fixed {
+        fn kind(&self) -> PredicateKind {
+            PredicateKind::IntersectSize
+        }
+        fn rank(&self, _query: &str) -> Vec<ScoredTid> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let p = Fixed(vec![
+            ScoredTid::new(1, 0.9),
+            ScoredTid::new(2, 0.8),
+            ScoredTid::new(3, 0.2),
+        ]);
+        assert_eq!(p.select("q", 0.5).len(), 2);
+        assert_eq!(p.top_k("q", 1).len(), 1);
+        assert_eq!(p.best_match("q").unwrap().tid, 1);
+        assert_eq!(ranked_tids(&p.rank("q")), vec![1, 2, 3]);
+        let empty = Fixed(vec![]);
+        assert!(empty.best_match("q").is_none());
+    }
+
+    #[test]
+    fn kind_metadata_is_complete() {
+        assert_eq!(PredicateKind::all().len(), 13);
+        for kind in PredicateKind::all() {
+            assert!(!kind.short_name().is_empty());
+            let _ = kind.class();
+        }
+        assert_eq!(PredicateKind::Bm25.class(), PredicateClass::AggregateWeighted);
+        assert_eq!(PredicateKind::Ges.class(), PredicateClass::Combination);
+        assert!(PredicateKind::SoftTfIdf.uses_word_tokens());
+        assert!(!PredicateKind::Cosine.uses_word_tokens());
+        assert_eq!(PredicateKind::Hmm.to_string(), "HMM");
+    }
+}

@@ -1,0 +1,91 @@
+//! Base-relation records and scored results.
+
+use std::fmt;
+
+/// Identifier of a tuple in the base relation (the paper's `tid`).
+pub type Tid = u32;
+
+/// One tuple of the base relation `R`: an identifier and a string attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Tuple identifier.
+    pub tid: Tid,
+    /// The string attribute approximate selections match against.
+    pub text: String,
+}
+
+impl Record {
+    /// Create a record.
+    pub fn new(tid: Tid, text: impl Into<String>) -> Self {
+        Record { tid, text: text.into() }
+    }
+}
+
+/// One entry of an approximate-selection result: a tuple id and its
+/// similarity score to the query string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTid {
+    /// Tuple identifier of the matching base record.
+    pub tid: Tid,
+    /// Similarity score (higher = more similar). The scale is
+    /// predicate-specific; only the ordering is comparable across tuples.
+    pub score: f64,
+}
+
+impl ScoredTid {
+    /// Create a scored result entry.
+    pub fn new(tid: Tid, score: f64) -> Self {
+        ScoredTid { tid, score }
+    }
+}
+
+impl fmt::Display for ScoredTid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid={} score={:.6}", self.tid, self.score)
+    }
+}
+
+/// Sort scored results by descending score, breaking ties by ascending tid so
+/// rankings are deterministic across runs and predicates.
+pub fn sort_ranked(results: &mut [ScoredTid]) {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.tid.cmp(&b.tid))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorting_is_descending_with_tid_tiebreak() {
+        let mut v = vec![
+            ScoredTid::new(3, 0.5),
+            ScoredTid::new(1, 0.9),
+            ScoredTid::new(2, 0.5),
+            ScoredTid::new(4, 0.7),
+        ];
+        sort_ranked(&mut v);
+        let tids: Vec<Tid> = v.iter().map(|s| s.tid).collect();
+        assert_eq!(tids, vec![1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let mut v = vec![ScoredTid::new(1, f64::NAN), ScoredTid::new(2, 1.0)];
+        sort_ranked(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn record_display_and_construction() {
+        let r = Record::new(7, "AT&T Inc.");
+        assert_eq!(r.tid, 7);
+        assert_eq!(r.text, "AT&T Inc.");
+        let s = ScoredTid::new(7, 0.25);
+        assert!(s.to_string().contains("tid=7"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Builders for the relational tables the declarative predicates register in
+//! their catalogs — the analogues of the paper's `BASE_TOKENS`,
+//! `BASE_WEIGHTS`, `QUERY_TOKENS`, ... relations (Appendix A/B).
+//!
+//! Tokens are stored as interned integer ids (see [`crate::dict`]), which
+//! keeps the tables compact while preserving the relational structure of the
+//! paper's SQL (joins remain plain equi-joins).
+
+use crate::corpus::{QueryTokens, TokenizedCorpus};
+use crate::dict::TokenId;
+use relq::{DataType, Schema, Table, Value};
+
+/// `BASE_TOKENS(tid, token)` with *distinct* tokens per tuple, as the paper
+/// stores for the unweighted overlap predicates.
+pub fn base_tokens_distinct(tc: &TokenizedCorpus) -> Table {
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("token", DataType::Int)]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        for &(token, _tf) in tc.record_tokens(idx) {
+            table
+                .push_row(vec![Value::Int(record.tid as i64), Value::Int(token as i64)])
+                .expect("schema matches");
+        }
+    }
+    table
+}
+
+/// `BASE_TF(tid, token, tf)` — term frequencies per tuple.
+pub fn base_tf(tc: &TokenizedCorpus) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("tid", DataType::Int),
+        ("token", DataType::Int),
+        ("tf", DataType::Int),
+    ]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        for &(token, tf) in tc.record_tokens(idx) {
+            table
+                .push_row(vec![
+                    Value::Int(record.tid as i64),
+                    Value::Int(token as i64),
+                    Value::Int(tf as i64),
+                ])
+                .expect("schema matches");
+        }
+    }
+    table
+}
+
+/// `BASE_DL(tid, dl)` — number of token occurrences per tuple.
+pub fn base_dl(tc: &TokenizedCorpus) -> Table {
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("dl", DataType::Int)]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        table
+            .push_row(vec![Value::Int(record.tid as i64), Value::Int(tc.record_dl(idx) as i64)])
+            .expect("schema matches");
+    }
+    table
+}
+
+/// A generic `BASE_WEIGHTS(tid, token, weight)` table where the weight of
+/// each `(tuple, token)` pair is produced by `weight_fn(record_index, token,
+/// tf)`. Pairs whose weight is `None` are omitted.
+pub fn base_weights<F>(tc: &TokenizedCorpus, mut weight_fn: F) -> Table
+where
+    F: FnMut(usize, TokenId, u32) -> Option<f64>,
+{
+    let schema = Schema::from_pairs(&[
+        ("tid", DataType::Int),
+        ("token", DataType::Int),
+        ("weight", DataType::Float),
+    ]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        for &(token, tf) in tc.record_tokens(idx) {
+            if let Some(w) = weight_fn(idx, token, tf) {
+                table
+                    .push_row(vec![
+                        Value::Int(record.tid as i64),
+                        Value::Int(token as i64),
+                        Value::Float(w),
+                    ])
+                    .expect("schema matches");
+            }
+        }
+    }
+    table
+}
+
+/// A generic per-tuple scalar table `(tid, <alias>)`.
+pub fn per_tuple_scalar<F>(tc: &TokenizedCorpus, alias: &str, mut value_fn: F) -> Table
+where
+    F: FnMut(usize) -> f64,
+{
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), (alias, DataType::Float)]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        table
+            .push_row(vec![Value::Int(record.tid as i64), Value::Float(value_fn(idx))])
+            .expect("schema matches");
+    }
+    table
+}
+
+/// `QUERY_TOKENS(token)` built from tokenized query tokens. When `distinct`
+/// is false, one row is emitted per occurrence (the multiplicity-preserving
+/// variant used by HMM); unknown tokens are omitted because they cannot join.
+pub fn query_tokens(tokens: &QueryTokens, distinct: bool) -> Table {
+    let schema = Schema::from_pairs(&[("token", DataType::Int)]);
+    let mut table = Table::empty(schema);
+    for &(token, tf) in &tokens.tokens {
+        let repeats = if distinct { 1 } else { tf };
+        for _ in 0..repeats {
+            table.push_row(vec![Value::Int(token as i64)]).expect("schema matches");
+        }
+    }
+    table
+}
+
+/// `QUERY_WEIGHTS(token, weight)` built from `(token, weight)` pairs.
+pub fn query_weights(weights: &[(TokenId, f64)]) -> Table {
+    let schema = Schema::from_pairs(&[("token", DataType::Int), ("weight", DataType::Float)]);
+    let mut table = Table::empty(schema);
+    for &(token, w) in weights {
+        table
+            .push_row(vec![Value::Int(token as i64), Value::Float(w)])
+            .expect("schema matches");
+    }
+    table
+}
+
+/// Convert a `(tid, score)` result table into scored results sorted by
+/// descending score (ties broken by tid).
+pub fn scores_from_table(table: &Table) -> Vec<crate::record::ScoredTid> {
+    let mut out = Vec::with_capacity(table.num_rows());
+    let tid_idx = table.schema().index_of("tid").expect("tid column");
+    let score_idx = table.schema().index_of("score").expect("score column");
+    for row in table.rows() {
+        let tid = row[tid_idx].as_i64().expect("tid is integer") as crate::record::Tid;
+        let score = match &row[score_idx] {
+            Value::Null => continue,
+            v => v.as_f64().expect("score is numeric"),
+        };
+        out.push(crate::record::ScoredTid::new(tid, score));
+    }
+    crate::record::sort_ranked(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn tc() -> TokenizedCorpus {
+        TokenizedCorpus::build(
+            Corpus::from_strings(vec!["ab ab", "cd"]),
+            QgramConfig::new(2),
+        )
+    }
+
+    #[test]
+    fn base_tables_have_expected_shapes() {
+        let tc = tc();
+        let tokens = base_tokens_distinct(&tc);
+        let tf = base_tf(&tc);
+        let dl = base_dl(&tc);
+        // Distinct table has one row per distinct (tid, token).
+        assert_eq!(tokens.num_rows(), tc.record_tokens(0).len() + tc.record_tokens(1).len());
+        assert_eq!(tf.num_rows(), tokens.num_rows());
+        assert_eq!(dl.num_rows(), 2);
+        // dl matches the recorded lengths.
+        assert_eq!(dl.value(0, "dl").unwrap().as_i64().unwrap(), tc.record_dl(0) as i64);
+    }
+
+    #[test]
+    fn weights_table_skips_none() {
+        let tc = tc();
+        let table = base_weights(&tc, |_, token, _| if token == 0 { None } else { Some(1.5) });
+        assert!(table.num_rows() > 0);
+        for row in table.rows() {
+            assert_ne!(row[1].as_i64().unwrap(), 0);
+            assert_eq!(row[2].as_f64().unwrap(), 1.5);
+        }
+    }
+
+    #[test]
+    fn query_tables_respect_multiplicity() {
+        let tc = tc();
+        let q = tc.tokenize_query("ab ab");
+        let distinct = query_tokens(&q, true);
+        let multi = query_tokens(&q, false);
+        assert!(multi.num_rows() >= distinct.num_rows());
+        let weights = query_weights(&[(0, 0.5), (1, 0.25)]);
+        assert_eq!(weights.num_rows(), 2);
+    }
+
+    #[test]
+    fn scores_from_table_sorts_descending() {
+        let schema = Schema::from_pairs(&[("tid", DataType::Int), ("score", DataType::Float)]);
+        let mut t = Table::empty(schema);
+        t.push_row(vec![Value::Int(1), Value::Float(0.5)]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::Float(0.9)]).unwrap();
+        t.push_row(vec![Value::Int(3), Value::Null]).unwrap();
+        let scores = scores_from_table(&t);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].tid, 2);
+    }
+
+    #[test]
+    fn per_tuple_scalar_emits_one_row_per_record() {
+        let tc = tc();
+        let t = per_tuple_scalar(&tc, "sumcompm", |idx| idx as f64 * -1.0);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "sumcompm").unwrap().as_f64().unwrap(), -1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the predicate framework: the declarative (relq)
+//! realizations must agree with independent native implementations on random
+//! corpora, and every predicate must satisfy basic ranking invariants.
+
+use dasp_core::{
+    build_predicate, native::NativeKind, native::NativePredicate, Corpus, Params, Predicate,
+    PredicateKind, TokenizedCorpus,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random short strings over a small alphabet with spaces, so corpora have
+/// overlapping tokens (otherwise every test is trivially empty joins).
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[abc ]{1,14}", 2..12).prop_map(|mut v| {
+        // Guarantee at least one non-blank string.
+        v.push("abc cab".to_string());
+        v
+    })
+}
+
+fn tokenized(strings: &[String]) -> Arc<TokenizedCorpus> {
+    Arc::new(TokenizedCorpus::build(
+        Corpus::from_strings(strings.to_vec()),
+        Params::default().qgram,
+    ))
+}
+
+fn rankings_match(a: &[dasp_core::ScoredTid], b: &[dasp_core::ScoredTid]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.tid == y.tid && (x.score - y.score).abs() < 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Declarative and native BM25 / Cosine / Jaccard / HMM / IntersectSize
+    /// produce identical rankings and scores on random corpora and queries.
+    #[test]
+    fn declarative_equals_native_on_random_corpora(
+        strings in corpus_strategy(),
+        query in "[abc ]{1,10}",
+    ) {
+        let corpus = tokenized(&strings);
+        let params = Params::default();
+        let pairs = [
+            (PredicateKind::IntersectSize, NativeKind::IntersectSize),
+            (PredicateKind::Jaccard, NativeKind::Jaccard),
+            (PredicateKind::Cosine, NativeKind::Cosine),
+            (PredicateKind::Bm25, NativeKind::Bm25),
+            (PredicateKind::Hmm, NativeKind::Hmm),
+        ];
+        for (decl_kind, native_kind) in pairs {
+            let declarative = build_predicate(decl_kind, corpus.clone(), &params);
+            let native = NativePredicate::build(corpus.clone(), native_kind);
+            let a = declarative.rank(&query);
+            let b = native.rank(&query);
+            prop_assert!(
+                rankings_match(&a, &b),
+                "{decl_kind}: declarative {:?} != native {:?} for query {query:?} over {strings:?}",
+                a, b
+            );
+        }
+    }
+
+    /// Ranking invariants that hold for every predicate: scores are finite,
+    /// sorted in non-increasing order, tids are valid, and no tid repeats.
+    #[test]
+    fn rankings_are_sorted_finite_and_unique(
+        strings in corpus_strategy(),
+        query in "[abc ]{1,10}",
+    ) {
+        let corpus = tokenized(&strings);
+        let params = Params::default();
+        for &kind in PredicateKind::all() {
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let ranking = predicate.rank(&query);
+            let mut seen = std::collections::HashSet::new();
+            for window in ranking.windows(2) {
+                prop_assert!(
+                    window[0].score >= window[1].score - 1e-12,
+                    "{kind}: ranking not sorted"
+                );
+            }
+            for s in &ranking {
+                prop_assert!(s.score.is_finite(), "{kind}: non-finite score");
+                prop_assert!((s.tid as usize) < corpus.num_records(), "{kind}: invalid tid");
+                prop_assert!(seen.insert(s.tid), "{kind}: duplicate tid {}", s.tid);
+            }
+        }
+    }
+
+    /// Self-retrieval: querying the corpus with one of its own strings must
+    /// return the corresponding tuple, and for the normalized predicates
+    /// (whose score is maximal at textual identity) that tuple must be tied
+    /// with the top of the ranking.
+    #[test]
+    fn self_queries_retrieve_the_identical_tuple(
+        strings in corpus_strategy(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let corpus = tokenized(&strings);
+        let params = Params::default();
+        let idx = pick.index(strings.len());
+        let query = &strings[idx];
+        // Skip blank strings: they produce no tokens by design.
+        prop_assume!(!query.trim().is_empty());
+        let normalized_query = dasp_text::normalize(query);
+        prop_assume!(!normalized_query.is_empty());
+        // Predicates whose score is normalized and maximal for identical text.
+        for kind in [PredicateKind::Jaccard, PredicateKind::Cosine, PredicateKind::Ges] {
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let ranking = predicate.rank(query);
+            prop_assert!(!ranking.is_empty(), "{kind}: no results for a corpus string");
+            let own = ranking
+                .iter()
+                .find(|s| dasp_text::normalize(&strings[s.tid as usize]) == normalized_query);
+            let own = own.expect("the identical tuple must appear in its own ranking");
+            prop_assert!(
+                own.score >= ranking[0].score - 1e-9,
+                "{kind}: identical tuple scored {} below the top score {}",
+                own.score, ranking[0].score
+            );
+        }
+        // Every predicate must at least return the identical tuple somewhere.
+        for &kind in PredicateKind::all() {
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let ranking = predicate.rank(query);
+            prop_assert!(
+                ranking.iter().any(|s| s.tid as usize == idx
+                    || dasp_text::normalize(&strings[s.tid as usize]) == normalized_query),
+                "{kind}: the query's own tuple is missing from the ranking"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Dirty datasets: records that carry the cluster id of the clean tuple they
+//! were generated from, which is what the accuracy evaluation needs.
+
+/// Identifier of a cluster of duplicates (the clean tuple's index).
+pub type ClusterId = u32;
+
+/// One record of a generated dirty dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyRecord {
+    /// The (possibly perturbed) string.
+    pub text: String,
+    /// Cluster id shared by a clean tuple and all its duplicates.
+    pub cluster: ClusterId,
+    /// Whether any error was injected into this record.
+    pub is_erroneous: bool,
+}
+
+/// A generated benchmark dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `CU1`, `F3`, `DBLP-10k`).
+    pub name: String,
+    /// The records, in generation order.
+    pub records: Vec<DirtyRecord>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataset { name: name.into(), records: Vec::new() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record strings in order (what the base relation is built from).
+    pub fn strings(&self) -> Vec<String> {
+        self.records.iter().map(|r| r.text.clone()).collect()
+    }
+
+    /// Cluster id of every record, aligned with [`Dataset::strings`].
+    pub fn clusters(&self) -> Vec<ClusterId> {
+        self.records.iter().map(|r| r.cluster).collect()
+    }
+
+    /// Number of distinct clusters.
+    pub fn num_clusters(&self) -> usize {
+        let mut ids: Vec<ClusterId> = self.clusters();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Fraction of records that had errors injected.
+    pub fn erroneous_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.is_erroneous).count() as f64 / self.records.len() as f64
+    }
+
+    /// Size of each cluster, keyed by cluster id.
+    pub fn cluster_sizes(&self) -> std::collections::HashMap<ClusterId, usize> {
+        let mut sizes = std::collections::HashMap::new();
+        for r in &self.records {
+            *sizes.entry(r.cluster).or_insert(0) += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset {
+            name: "test".into(),
+            records: vec![
+                DirtyRecord { text: "a".into(), cluster: 0, is_erroneous: false },
+                DirtyRecord { text: "a1".into(), cluster: 0, is_erroneous: true },
+                DirtyRecord { text: "b".into(), cluster: 1, is_erroneous: false },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.strings(), vec!["a", "a1", "b"]);
+        assert_eq!(d.clusters(), vec![0, 0, 1]);
+        assert_eq!(d.num_clusters(), 2);
+        assert!((d.erroneous_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.cluster_sizes()[&0], 2);
+        assert_eq!(d.cluster_sizes()[&1], 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new("empty");
+        assert!(d.is_empty());
+        assert_eq!(d.erroneous_fraction(), 0.0);
+        assert_eq!(d.num_clusters(), 0);
+    }
+}

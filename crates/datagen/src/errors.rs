@@ -1,0 +1,189 @@
+//! Error injection: the three error types of the paper's enhanced UIS
+//! generator (§5.1) — character edit errors, token-swap errors and
+//! domain-specific abbreviation errors.
+
+use crate::vocab::ABBREVIATIONS;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inject character-level edit errors into `extent` percent of the string's
+/// character positions. Each selected position receives one of: insertion,
+/// deletion, replacement, or a swap with the next character.
+pub fn inject_edit_errors(text: &str, extent_pct: f64, rng: &mut StdRng) -> String {
+    if extent_pct <= 0.0 {
+        return text.to_string();
+    }
+    let mut chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return text.to_string();
+    }
+    let num_errors = ((extent_pct / 100.0) * chars.len() as f64).round() as usize;
+    for _ in 0..num_errors {
+        if chars.is_empty() {
+            break;
+        }
+        let pos = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // insertion of a random lowercase letter
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                chars.insert(pos, c);
+            }
+            1 => {
+                // deletion
+                chars.remove(pos);
+            }
+            2 => {
+                // replacement
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                chars[pos] = c;
+            }
+            _ => {
+                // swap with the following character (if any)
+                if pos + 1 < chars.len() {
+                    chars.swap(pos, pos + 1);
+                }
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Swap adjacent word pairs: each adjacent pair is swapped with probability
+/// `swap_pct / 100`.
+pub fn inject_token_swaps(text: &str, swap_pct: f64, rng: &mut StdRng) -> String {
+    if swap_pct <= 0.0 {
+        return text.to_string();
+    }
+    let mut words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() < 2 {
+        return text.to_string();
+    }
+    let mut i = 0;
+    while i + 1 < words.len() {
+        if rng.gen_bool((swap_pct / 100.0).clamp(0.0, 1.0)) {
+            words.swap(i, i + 1);
+            i += 2; // don't immediately swap the same word back
+        } else {
+            i += 1;
+        }
+    }
+    words.join(" ")
+}
+
+/// Apply a domain abbreviation error with probability `abbr_pct / 100`:
+/// replace a known abbreviation with its expansion or vice versa
+/// (e.g. `Inc.` ↔ `Incorporated`).
+pub fn inject_abbreviation_error(text: &str, abbr_pct: f64, rng: &mut StdRng) -> String {
+    if abbr_pct <= 0.0 || !rng.gen_bool((abbr_pct / 100.0).clamp(0.0, 1.0)) {
+        return text.to_string();
+    }
+    let words: Vec<&str> = text.split_whitespace().collect();
+    // Collect candidate (position, replacement) pairs.
+    let mut candidates: Vec<(usize, &str)> = Vec::new();
+    for (i, w) in words.iter().enumerate() {
+        for (short, long) in ABBREVIATIONS {
+            if w.eq_ignore_ascii_case(short) {
+                candidates.push((i, long));
+            } else if w.eq_ignore_ascii_case(long) {
+                candidates.push((i, short));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return text.to_string();
+    }
+    let (pos, replacement) = candidates[rng.gen_range(0..candidates.len())];
+    let mut out: Vec<&str> = words;
+    out[pos] = replacement;
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_text::edit_distance;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_extent_is_identity() {
+        let mut r = rng(1);
+        assert_eq!(inject_edit_errors("Morgan Stanley", 0.0, &mut r), "Morgan Stanley");
+        assert_eq!(inject_token_swaps("Morgan Stanley", 0.0, &mut r), "Morgan Stanley");
+        assert_eq!(inject_abbreviation_error("AT&T Inc.", 0.0, &mut r), "AT&T Inc.");
+    }
+
+    #[test]
+    fn edit_errors_scale_with_extent() {
+        let text = "Morgan Stanley Group Incorporated";
+        let mut small_total = 0usize;
+        let mut large_total = 0usize;
+        for seed in 0..20 {
+            let mut r = rng(seed);
+            small_total += edit_distance(text, &inject_edit_errors(text, 10.0, &mut r));
+            let mut r = rng(seed + 1000);
+            large_total += edit_distance(text, &inject_edit_errors(text, 30.0, &mut r));
+        }
+        assert!(small_total > 0);
+        assert!(large_total > small_total);
+        // 10% extent over ~33 chars is ~3 ops per string; edit distance can't
+        // exceed the number of injected operations.
+        assert!(small_total <= 20 * 5);
+    }
+
+    #[test]
+    fn token_swap_preserves_word_multiset() {
+        let text = "alpha beta gamma delta epsilon";
+        for seed in 0..10 {
+            let mut r = rng(seed);
+            let swapped = inject_token_swaps(text, 50.0, &mut r);
+            let mut a: Vec<&str> = text.split_whitespace().collect();
+            let mut b: Vec<&str> = swapped.split_whitespace().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "token swap must only reorder words");
+        }
+    }
+
+    #[test]
+    fn token_swap_eventually_changes_order() {
+        let text = "alpha beta gamma delta";
+        let changed = (0..50).any(|seed| {
+            let mut r = rng(seed);
+            inject_token_swaps(text, 50.0, &mut r) != text
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn abbreviation_error_swaps_known_forms() {
+        let mut seen_expansion = false;
+        for seed in 0..50 {
+            let mut r = rng(seed);
+            let out = inject_abbreviation_error("AT&T Inc.", 100.0, &mut r);
+            if out == "AT&T Incorporated" {
+                seen_expansion = true;
+            } else {
+                assert_eq!(out, "AT&T Inc.");
+            }
+        }
+        assert!(seen_expansion, "Inc. should be expanded at least once across seeds");
+        // Strings with no known abbreviation are untouched.
+        let mut r = rng(0);
+        assert_eq!(inject_abbreviation_error("Beijing Hotel", 100.0, &mut r), "Beijing Hotel");
+    }
+
+    #[test]
+    fn single_word_strings_are_safe() {
+        let mut r = rng(3);
+        assert_eq!(inject_token_swaps("single", 100.0, &mut r), "single");
+        let out = inject_edit_errors("a", 50.0, &mut r);
+        assert!(out.chars().count() <= 2);
+        let out = inject_edit_errors("", 50.0, &mut r);
+        assert_eq!(out, "");
+    }
+}

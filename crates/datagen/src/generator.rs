@@ -1,0 +1,286 @@
+//! The UIS-style dirty-duplicate generator (§5.1).
+//!
+//! Given a set of clean tuples, the generator produces a dataset of a target
+//! size in which each clean tuple is duplicated according to a distribution
+//! (uniform, Zipfian or Poisson); a configurable fraction of the duplicates
+//! receives character edit errors, token swaps and abbreviation errors.
+
+use crate::dataset::{Dataset, DirtyRecord};
+use crate::errors;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of the number of duplicates generated per clean tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DuplicateDistribution {
+    /// Every clean tuple gets the same number of duplicates.
+    Uniform,
+    /// Duplicate counts proportional to `1 / rank^s`.
+    Zipfian {
+        /// Skew exponent (1.0 is classic Zipf).
+        s: f64,
+    },
+    /// Duplicate counts drawn from a Poisson distribution with the mean
+    /// implied by the target dataset size.
+    Poisson,
+}
+
+/// Full parameter set of the generator (Table 5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Total number of records to generate (clean tuples + duplicates).
+    pub dataset_size: usize,
+    /// Distribution of duplicates over clean tuples.
+    pub distribution: DuplicateDistribution,
+    /// Percentage (0–100) of duplicates that receive injected errors.
+    pub erroneous_pct: f64,
+    /// Percentage (0–100) of characters edited in each erroneous duplicate.
+    pub edit_extent_pct: f64,
+    /// Percentage (0–100) of adjacent word pairs swapped in each erroneous duplicate.
+    pub token_swap_pct: f64,
+    /// Percentage (0–100) chance of an abbreviation error in each erroneous duplicate.
+    pub abbreviation_pct: f64,
+    /// RNG seed; the same seed and clean input reproduce the same dataset.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            dataset_size: 5000,
+            distribution: DuplicateDistribution::Uniform,
+            erroneous_pct: 50.0,
+            edit_extent_pct: 20.0,
+            token_swap_pct: 20.0,
+            abbreviation_pct: 50.0,
+            seed: 0xD1517,
+        }
+    }
+}
+
+/// Generate a dirty dataset from clean tuples according to the configuration.
+///
+/// The first copy of every clean tuple is always emitted unmodified (it is the
+/// cluster's clean representative); the remaining duplicates are subject to
+/// error injection with probability `erroneous_pct`.
+pub fn generate(name: &str, clean: &[String], config: &GeneratorConfig) -> Dataset {
+    assert!(!clean.is_empty(), "need at least one clean tuple");
+    assert!(config.dataset_size >= clean.len(), "dataset size must cover the clean tuples");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let counts = duplicate_counts(clean.len(), config.dataset_size, config.distribution, &mut rng);
+    let mut dataset = Dataset::new(name);
+    for (cluster, (text, &count)) in clean.iter().zip(&counts).enumerate() {
+        // The clean representative.
+        dataset.records.push(DirtyRecord {
+            text: text.clone(),
+            cluster: cluster as u32,
+            is_erroneous: false,
+        });
+        // Its duplicates.
+        for _ in 1..count {
+            let erroneous = rng.gen_bool((config.erroneous_pct / 100.0).clamp(0.0, 1.0));
+            let text = if erroneous {
+                perturb(text, config, &mut rng)
+            } else {
+                text.clone()
+            };
+            dataset.records.push(DirtyRecord { text, cluster: cluster as u32, is_erroneous: erroneous });
+        }
+    }
+    dataset
+}
+
+/// Apply the three error types to one duplicate.
+fn perturb(text: &str, config: &GeneratorConfig, rng: &mut StdRng) -> String {
+    let mut out = errors::inject_abbreviation_error(text, config.abbreviation_pct, rng);
+    out = errors::inject_token_swaps(&out, config.token_swap_pct, rng);
+    out = errors::inject_edit_errors(&out, config.edit_extent_pct, rng);
+    out
+}
+
+/// Number of records (clean + duplicates) per cluster under a distribution;
+/// always at least 1 per cluster and summing to `total`.
+fn duplicate_counts(
+    num_clean: usize,
+    total: usize,
+    distribution: DuplicateDistribution,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut counts = vec![1usize; num_clean];
+    let extra = total - num_clean;
+    match distribution {
+        DuplicateDistribution::Uniform => {
+            for i in 0..extra {
+                counts[i % num_clean] += 1;
+            }
+        }
+        DuplicateDistribution::Zipfian { s } => {
+            let weights: Vec<f64> =
+                (0..num_clean).map(|rank| 1.0 / ((rank + 1) as f64).powf(s)).collect();
+            let sum: f64 = weights.iter().sum();
+            let mut assigned = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                let share = ((w / sum) * extra as f64).floor() as usize;
+                counts[i] += share;
+                assigned += share;
+            }
+            // Distribute the rounding remainder to the head of the ranking.
+            let mut i = 0;
+            while assigned < extra {
+                counts[i % num_clean] += 1;
+                assigned += 1;
+                i += 1;
+            }
+        }
+        DuplicateDistribution::Poisson => {
+            let mean = extra as f64 / num_clean as f64;
+            let mut assigned = 0usize;
+            for count in counts.iter_mut() {
+                let draw = sample_poisson(mean, rng);
+                *count += draw;
+                assigned += draw;
+            }
+            // Correct towards the exact total.
+            let mut i = 0;
+            while assigned < extra {
+                counts[i % num_clean] += 1;
+                assigned += 1;
+                i += 1;
+            }
+            while assigned > extra {
+                let idx = i % num_clean;
+                if counts[idx] > 1 {
+                    counts[idx] -= 1;
+                    assigned -= 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Knuth's algorithm for sampling a Poisson-distributed count.
+fn sample_poisson(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // safety bound; unreachable for sensible means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clean::company_names;
+
+    fn clean() -> Vec<String> {
+        company_names(100, 11)
+    }
+
+    #[test]
+    fn dataset_has_requested_size_and_clusters() {
+        let config = GeneratorConfig { dataset_size: 1000, ..Default::default() };
+        let d = generate("test", &clean(), &config);
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.num_clusters(), 100);
+        // Every cluster has its clean representative.
+        for (cluster, size) in d.cluster_sizes() {
+            assert!(size >= 1, "cluster {cluster} is empty");
+        }
+    }
+
+    #[test]
+    fn erroneous_fraction_tracks_configuration() {
+        let base = GeneratorConfig { dataset_size: 2000, ..Default::default() };
+        let dirty =
+            generate("dirty", &clean(), &GeneratorConfig { erroneous_pct: 90.0, ..base });
+        let low = generate("low", &clean(), &GeneratorConfig { erroneous_pct: 10.0, ..base });
+        assert!(dirty.erroneous_fraction() > low.erroneous_fraction());
+        // 90% of duplicates (=1900 of 2000 minus 100 clean reps) ≈ 0.85 overall.
+        assert!(dirty.erroneous_fraction() > 0.6);
+        assert!(low.erroneous_fraction() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = GeneratorConfig { dataset_size: 500, ..Default::default() };
+        let a = generate("a", &clean(), &config);
+        let b = generate("b", &clean(), &config);
+        assert_eq!(a.strings(), b.strings());
+        let c = generate("c", &clean(), &GeneratorConfig { seed: 99, ..config });
+        assert_ne!(a.strings(), c.strings());
+    }
+
+    #[test]
+    fn uniform_distribution_balances_cluster_sizes() {
+        let config = GeneratorConfig {
+            dataset_size: 1000,
+            distribution: DuplicateDistribution::Uniform,
+            ..Default::default()
+        };
+        let d = generate("u", &clean(), &config);
+        let sizes = d.cluster_sizes();
+        let min = sizes.values().min().unwrap();
+        let max = sizes.values().max().unwrap();
+        assert!(max - min <= 1, "uniform cluster sizes should differ by at most 1");
+    }
+
+    #[test]
+    fn zipfian_distribution_is_skewed() {
+        let config = GeneratorConfig {
+            dataset_size: 2000,
+            distribution: DuplicateDistribution::Zipfian { s: 1.0 },
+            ..Default::default()
+        };
+        let d = generate("z", &clean(), &config);
+        assert_eq!(d.len(), 2000);
+        let sizes = d.cluster_sizes();
+        let first = sizes[&0];
+        let last = sizes[&99];
+        assert!(first > last, "head cluster ({first}) should dominate tail cluster ({last})");
+    }
+
+    #[test]
+    fn poisson_distribution_hits_exact_total() {
+        let config = GeneratorConfig {
+            dataset_size: 1500,
+            distribution: DuplicateDistribution::Poisson,
+            ..Default::default()
+        };
+        let d = generate("p", &clean(), &config);
+        assert_eq!(d.len(), 1500);
+    }
+
+    #[test]
+    fn clean_representatives_are_preserved_verbatim() {
+        let clean = clean();
+        let config = GeneratorConfig { dataset_size: 800, erroneous_pct: 100.0, ..Default::default() };
+        let d = generate("t", &clean, &config);
+        for (cluster, original) in clean.iter().enumerate() {
+            assert!(
+                d.records.iter().any(|r| r.cluster == cluster as u32 && &r.text == original),
+                "cluster {cluster} lost its clean representative"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset size must cover")]
+    fn too_small_dataset_size_panics() {
+        let config = GeneratorConfig { dataset_size: 10, ..Default::default() };
+        let _ = generate("bad", &clean(), &config);
+    }
+}

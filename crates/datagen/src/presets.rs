@@ -1,0 +1,232 @@
+//! The named datasets of the paper's evaluation: CU1–CU8 (Table 5.3), the
+//! single-error-type datasets F1–F5, and DBLP-like scaling datasets.
+
+use crate::clean::{company_names, dblp_titles};
+use crate::dataset::Dataset;
+use crate::generator::{generate, DuplicateDistribution, GeneratorConfig};
+
+/// Error-level class of a CU dataset (Figure 5.1 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// CU1, CU2.
+    Dirty,
+    /// CU3–CU6.
+    Medium,
+    /// CU7, CU8.
+    Low,
+}
+
+/// Specification of one named company dataset from Table 5.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuSpec {
+    /// Dataset name (`CU1` ... `CU8`).
+    pub name: &'static str,
+    /// Error class the paper groups it into.
+    pub class: ErrorClass,
+    /// Percentage of erroneous duplicates.
+    pub erroneous_pct: f64,
+    /// Extent of character edit errors per erroneous duplicate.
+    pub edit_extent_pct: f64,
+    /// Token swap percentage.
+    pub token_swap_pct: f64,
+    /// Abbreviation error percentage.
+    pub abbreviation_pct: f64,
+}
+
+/// Table 5.3: the eight company datasets (5,000 tuples from 500 clean ones,
+/// uniform duplicate distribution).
+pub const CU_SPECS: &[CuSpec] = &[
+    CuSpec { name: "CU1", class: ErrorClass::Dirty, erroneous_pct: 90.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU2", class: ErrorClass::Dirty, erroneous_pct: 50.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU3", class: ErrorClass::Medium, erroneous_pct: 30.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU4", class: ErrorClass::Medium, erroneous_pct: 10.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU5", class: ErrorClass::Medium, erroneous_pct: 90.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU6", class: ErrorClass::Medium, erroneous_pct: 50.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU7", class: ErrorClass::Low, erroneous_pct: 30.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec { name: "CU8", class: ErrorClass::Low, erroneous_pct: 10.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+];
+
+/// Specification of one single-error-type dataset (F1–F5 in Table 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FSpec {
+    /// Dataset name (`F1` ... `F5`).
+    pub name: &'static str,
+    /// Percentage of erroneous duplicates.
+    pub erroneous_pct: f64,
+    /// Extent of character edit errors.
+    pub edit_extent_pct: f64,
+    /// Token swap percentage.
+    pub token_swap_pct: f64,
+    /// Abbreviation error percentage.
+    pub abbreviation_pct: f64,
+}
+
+/// Table 5.3: the five single-error-type datasets.
+pub const F_SPECS: &[FSpec] = &[
+    FSpec { name: "F1", erroneous_pct: 50.0, edit_extent_pct: 0.0, token_swap_pct: 0.0, abbreviation_pct: 50.0 },
+    FSpec { name: "F2", erroneous_pct: 50.0, edit_extent_pct: 0.0, token_swap_pct: 20.0, abbreviation_pct: 0.0 },
+    FSpec { name: "F3", erroneous_pct: 50.0, edit_extent_pct: 10.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
+    FSpec { name: "F4", erroneous_pct: 50.0, edit_extent_pct: 20.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
+    FSpec { name: "F5", erroneous_pct: 50.0, edit_extent_pct: 30.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
+];
+
+/// Default sizes used by the accuracy experiments: 5,000 tuples generated
+/// from 500 clean company names (paper §5.1). Smaller sizes can be requested
+/// for fast test runs.
+pub const DEFAULT_CU_SIZE: usize = 5000;
+/// Default number of clean company tuples.
+pub const DEFAULT_CU_CLEAN: usize = 500;
+
+/// Base RNG seed shared by the preset datasets; the dataset name is hashed in
+/// so each preset gets a distinct but reproducible stream.
+const PRESET_SEED: u64 = 0xC0FFEE;
+
+fn name_seed(name: &str) -> u64 {
+    let mut h = PRESET_SEED;
+    for b in name.bytes() {
+        h = h.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    h
+}
+
+/// Build one CU dataset at a custom size.
+pub fn cu_dataset_sized(spec: &CuSpec, dataset_size: usize, num_clean: usize) -> Dataset {
+    let clean = company_names(num_clean, name_seed("company-clean"));
+    let config = GeneratorConfig {
+        dataset_size,
+        distribution: DuplicateDistribution::Uniform,
+        erroneous_pct: spec.erroneous_pct,
+        edit_extent_pct: spec.edit_extent_pct,
+        token_swap_pct: spec.token_swap_pct,
+        abbreviation_pct: spec.abbreviation_pct,
+        seed: name_seed(spec.name),
+    };
+    generate(spec.name, &clean, &config)
+}
+
+/// Build one CU dataset at the paper's size (5,000 from 500 clean tuples).
+pub fn cu_dataset(spec: &CuSpec) -> Dataset {
+    cu_dataset_sized(spec, DEFAULT_CU_SIZE, DEFAULT_CU_CLEAN)
+}
+
+/// Look up a CU spec by name (`"CU1"`..`"CU8"`).
+pub fn cu_spec(name: &str) -> Option<&'static CuSpec> {
+    CU_SPECS.iter().find(|s| s.name == name)
+}
+
+/// Build one F dataset at a custom size.
+pub fn f_dataset_sized(spec: &FSpec, dataset_size: usize, num_clean: usize) -> Dataset {
+    let clean = company_names(num_clean, name_seed("company-clean"));
+    let config = GeneratorConfig {
+        dataset_size,
+        distribution: DuplicateDistribution::Uniform,
+        erroneous_pct: spec.erroneous_pct,
+        edit_extent_pct: spec.edit_extent_pct,
+        token_swap_pct: spec.token_swap_pct,
+        abbreviation_pct: spec.abbreviation_pct,
+        seed: name_seed(spec.name),
+    };
+    generate(spec.name, &clean, &config)
+}
+
+/// Build one F dataset at the paper's size.
+pub fn f_dataset(spec: &FSpec) -> Dataset {
+    f_dataset_sized(spec, DEFAULT_CU_SIZE, DEFAULT_CU_CLEAN)
+}
+
+/// Look up an F spec by name (`"F1"`..`"F5"`).
+pub fn f_spec(name: &str) -> Option<&'static FSpec> {
+    F_SPECS.iter().find(|s| s.name == name)
+}
+
+/// DBLP-like dataset used by the performance experiments (§5.5): `size`
+/// records generated from `size / 10` clean titles with 70% erroneous
+/// duplicates, 20% edit extent, 20% token swap and no abbreviation errors.
+pub fn dblp_dataset(size: usize) -> Dataset {
+    let num_clean = (size / 10).max(1);
+    let clean = dblp_titles(num_clean, name_seed("dblp-clean"));
+    let config = GeneratorConfig {
+        dataset_size: size,
+        distribution: DuplicateDistribution::Uniform,
+        erroneous_pct: 70.0,
+        edit_extent_pct: 20.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 0.0,
+        seed: name_seed("dblp"),
+    };
+    generate(&format!("DBLP-{size}"), &clean, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_5_3() {
+        assert_eq!(CU_SPECS.len(), 8);
+        assert_eq!(F_SPECS.len(), 5);
+        assert_eq!(cu_spec("CU1").unwrap().erroneous_pct, 90.0);
+        assert_eq!(cu_spec("CU1").unwrap().edit_extent_pct, 30.0);
+        assert_eq!(cu_spec("CU8").unwrap().class, ErrorClass::Low);
+        assert!(cu_spec("CU9").is_none());
+        assert_eq!(f_spec("F1").unwrap().edit_extent_pct, 0.0);
+        assert_eq!(f_spec("F5").unwrap().edit_extent_pct, 30.0);
+        assert!(f_spec("F9").is_none());
+        // All CU datasets share token swap 20 / abbreviation 50 (Table 5.3).
+        for s in CU_SPECS {
+            assert_eq!(s.token_swap_pct, 20.0);
+            assert_eq!(s.abbreviation_pct, 50.0);
+        }
+    }
+
+    #[test]
+    fn small_cu_dataset_builds_with_expected_shape() {
+        let d = cu_dataset_sized(cu_spec("CU1").unwrap(), 500, 50);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.num_clusters(), 50);
+        assert_eq!(d.name, "CU1");
+        // CU1 is dirty: most duplicates erroneous.
+        assert!(d.erroneous_fraction() > 0.5);
+        let d8 = cu_dataset_sized(cu_spec("CU8").unwrap(), 500, 50);
+        assert!(d8.erroneous_fraction() < d.erroneous_fraction());
+    }
+
+    #[test]
+    fn f_datasets_inject_only_their_error_type() {
+        // F1 (abbreviation only): word multisets may change but no character
+        // garbling beyond whole-word substitution; verify cheaply by checking
+        // that erroneous records still consist of vocabulary-looking words.
+        let d = f_dataset_sized(f_spec("F2").unwrap(), 300, 30);
+        for r in &d.records {
+            if r.is_erroneous {
+                // Token swap only: the character multiset (ignoring spaces)
+                // of the record equals some permutation of its clean tuple.
+                let clean = d
+                    .records
+                    .iter()
+                    .find(|c| c.cluster == r.cluster && !c.is_erroneous)
+                    .expect("clean representative");
+                let mut a: Vec<char> = r.text.chars().filter(|c| !c.is_whitespace()).collect();
+                let mut b: Vec<char> = clean.text.chars().filter(|c| !c.is_whitespace()).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "F2 must only reorder words");
+            }
+        }
+    }
+
+    #[test]
+    fn dblp_dataset_scales() {
+        let d = dblp_dataset(1000);
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.num_clusters(), 100);
+        assert!(d.erroneous_fraction() > 0.4);
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = cu_dataset_sized(cu_spec("CU5").unwrap(), 200, 20);
+        let b = cu_dataset_sized(cu_spec("CU5").unwrap(), 200, 20);
+        assert_eq!(a.strings(), b.strings());
+    }
+}

@@ -1,0 +1,111 @@
+//! Vocabularies for the synthetic clean data sources.
+//!
+//! The paper uses a proprietary company-names dataset and DBLP titles
+//! (Table 5.1). Neither is redistributable, so these vocabularies drive
+//! generators that match the published statistics (average length, words per
+//! tuple, frequent legal-suffix words) — see the substitution notes in
+//! DESIGN.md.
+
+/// Surnames / brand stems used as the leading words of company names.
+pub const COMPANY_STEMS: &[&str] = &[
+    "Morgan", "Stanley", "Goldman", "Sachs", "Lehman", "Baring", "Hudson", "Pacific", "Atlas",
+    "Sterling", "Summit", "Pinnacle", "Crescent", "Falcon", "Granite", "Harbor", "Ironwood",
+    "Juniper", "Keystone", "Lakeside", "Meridian", "Northgate", "Oakmont", "Paragon", "Quantum",
+    "Redwood", "Silverton", "Titan", "Vanguard", "Westbrook", "Yorkshire", "Zenith", "Alpine",
+    "Beacon", "Cascade", "Dorado", "Evergreen", "Fairmont", "Gateway", "Highland", "Imperial",
+    "Jackson", "Kendall", "Lancaster", "Madison", "Newport", "Orion", "Preston", "Quincy",
+    "Riverside", "Sheffield", "Thornton", "Underwood", "Vermont", "Wellington", "Xavier",
+    "Yale", "Zephyr", "Ashford", "Brookfield", "Carlton", "Davenport", "Ellsworth", "Fletcher",
+    "Grayson", "Hamilton", "Irving", "Jefferson", "Kingsley", "Livingston", "Montgomery",
+    "Norwood", "Osborne", "Pemberton", "Radcliffe", "Sinclair", "Templeton", "Upton",
+    "Vandermeer", "Whitfield", "Langley", "Mercer", "Caldwell", "Donovan", "Emerson", "Forsythe",
+];
+
+/// Industry / descriptor words that follow the stem.
+pub const COMPANY_DESCRIPTORS: &[&str] = &[
+    "Systems", "Technologies", "Holdings", "Partners", "Capital", "Financial", "Industries",
+    "Solutions", "Networks", "Dynamics", "Ventures", "Securities", "Logistics", "Energy",
+    "Pharmaceuticals", "Semiconductors", "Analytics", "Robotics", "Aerospace", "Materials",
+    "Software", "Consulting", "Communications", "Laboratories", "Instruments", "Resources",
+    "Equities", "Brokerage", "Insurance", "Trust", "Media", "Motors", "Airlines", "Foods",
+    "Retail", "Chemicals", "Biotech", "Microsystems", "Electronics", "Engineering",
+];
+
+/// Legal suffixes; the abbreviation-error generator swaps the paired forms.
+pub const COMPANY_SUFFIXES: &[&str] = &[
+    "Inc.", "Incorporated", "Corp.", "Corporation", "Ltd.", "Limited", "LLC", "Group", "Co.",
+    "Company",
+];
+
+/// Abbreviation pairs (short form, long form) for the domain-specific
+/// abbreviation errors of the company-names dataset.
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("Inc.", "Incorporated"),
+    ("Corp.", "Corporation"),
+    ("Ltd.", "Limited"),
+    ("Co.", "Company"),
+    ("Intl.", "International"),
+    ("Mfg.", "Manufacturing"),
+    ("Svcs.", "Services"),
+    ("Assoc.", "Associates"),
+    ("Bros.", "Brothers"),
+    ("Dept.", "Department"),
+];
+
+/// Vocabulary for DBLP-like paper titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "distributed", "parallel", "approximate", "adaptive", "incremental",
+    "declarative", "probabilistic", "robust", "optimal", "dynamic", "secure", "streaming",
+    "relational", "temporal", "spatial", "semantic", "statistical", "hierarchical",
+    "query", "queries", "database", "databases", "data", "index", "indexing", "join", "joins",
+    "selection", "selections", "aggregation", "transaction", "transactions", "storage",
+    "processing", "optimization", "evaluation", "estimation", "integration", "cleaning",
+    "mining", "learning", "retrieval", "search", "matching", "similarity", "clustering",
+    "classification", "detection", "duplicate", "record", "linkage", "entity", "resolution",
+    "schema", "mapping", "xml", "graph", "graphs", "stream", "streams", "cache", "memory",
+    "disk", "network", "networks", "web", "text", "string", "strings", "keyword", "keywords",
+    "model", "models", "modeling", "framework", "system", "systems", "architecture", "engine",
+    "algorithm", "algorithms", "structure", "structures", "analysis", "management", "support",
+    "performance", "benchmark", "benchmarking", "workload", "workloads", "sampling", "sketches",
+    "histogram", "histograms", "cardinality", "selectivity", "cost", "plan", "plans", "operator",
+    "operators", "predicate", "predicates", "view", "views", "materialized", "warehouse",
+    "olap", "oltp", "concurrency", "control", "recovery", "replication", "partitioning",
+    "compression", "encoding", "filter", "filters", "bloom", "hashing", "locality", "sensitive",
+    "nearest", "neighbor", "dimensional", "multidimensional", "top", "ranking", "skyline",
+    "uncertain", "probabilities", "provenance", "lineage", "privacy", "anonymization",
+    "federated", "cloud", "elastic", "columnar", "vectorized", "compilation", "adaptivity",
+    "crowdsourcing", "visualization", "interactive", "exploration", "sql", "nosql", "mapreduce",
+];
+
+/// Connector words used occasionally inside titles.
+pub const TITLE_CONNECTORS: &[&str] = &["for", "of", "in", "with", "over", "using", "via", "on"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_are_non_trivial_and_unique() {
+        for vocab in [COMPANY_STEMS, COMPANY_DESCRIPTORS, COMPANY_SUFFIXES, TITLE_WORDS] {
+            assert!(vocab.len() >= 10);
+            let mut v: Vec<&str> = vocab.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), vocab.len(), "vocabulary contains duplicates");
+        }
+    }
+
+    #[test]
+    fn abbreviation_pairs_are_distinct_forms() {
+        for (short, long) in ABBREVIATIONS {
+            assert_ne!(short, long);
+            assert!(short.len() < long.len());
+        }
+    }
+
+    #[test]
+    fn suffixes_include_both_abbreviation_forms() {
+        assert!(COMPANY_SUFFIXES.contains(&"Inc."));
+        assert!(COMPANY_SUFFIXES.contains(&"Incorporated"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # dasp-eval — accuracy and performance evaluation harness
+//!
+//! Implements the paper's evaluation methodology (§5.2, §5.5): mean average
+//! precision and mean maximum F1 over random query workloads where relevance
+//! is defined by the data generator's cluster ids, plus wall-clock timing of
+//! the two preprocessing phases and of query execution, and plain-text
+//! table/series reporting used by the benchmark binaries.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod report;
+pub mod timing;
+pub mod workload;
+
+pub use metrics::{average_precision, max_f1, mean, precision_recall_curve};
+pub use report::{format_millis, format_number, render_series, Series, TextTable};
+pub use timing::{
+    time_preprocess, time_queries, time_tokenization, time_weight_phase, PreprocessTiming,
+    QueryTiming,
+};
+pub use workload::{
+    evaluate_accuracy, evaluate_kind, evaluate_kinds, sample_query_indices, tokenize_dataset,
+    AccuracyResult,
+};

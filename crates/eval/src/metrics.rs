@@ -1,0 +1,130 @@
+//! Accuracy metrics (§5.2): average precision, MAP, precision/recall at rank
+//! and the maximum F1 measure, computed over rankings and relevance sets
+//! exactly as the paper prescribes.
+
+use std::collections::HashSet;
+
+/// Average precision of one ranking.
+///
+/// `ranking` is the list of returned item ids in decreasing similarity order;
+/// `relevant` is the set of items relevant to the query. The denominator is
+/// the *total* number of relevant items (Equation 5.1), so relevant items
+/// that were never returned pull the score down.
+pub fn average_precision(ranking: &[u32], relevant: &HashSet<u32>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (i, item) in ranking.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Precision and recall at every rank of the returned list.
+pub fn precision_recall_curve(ranking: &[u32], relevant: &HashSet<u32>) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(ranking.len());
+    let mut hits = 0usize;
+    for (i, item) in ranking.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+        }
+        let precision = hits as f64 / (i + 1) as f64;
+        let recall = if relevant.is_empty() { 0.0 } else { hits as f64 / relevant.len() as f64 };
+        out.push((precision, recall));
+    }
+    out
+}
+
+/// Maximum F1 over all ranks (Equation 5.2).
+pub fn max_f1(ranking: &[u32], relevant: &HashSet<u32>) -> f64 {
+    precision_recall_curve(ranking, relevant)
+        .into_iter()
+        .map(|(p, r)| if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 })
+        .fold(0.0, f64::max)
+}
+
+/// Mean of a slice of per-query scores (MAP / mean max-F1).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> HashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let relevant = set(&[1, 2, 3]);
+        let ranking = vec![1, 2, 3, 4, 5];
+        assert!((average_precision(&ranking, &relevant) - 1.0).abs() < 1e-12);
+        assert!((max_f1(&ranking, &relevant) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_ap() {
+        let relevant = set(&[4, 5]);
+        let ranking = vec![1, 2, 3, 4, 5];
+        // Relevant items at ranks 4 and 5: AP = (1/4 + 2/5)/2 = 0.325
+        assert!((average_precision(&ranking, &relevant) - 0.325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_relevant_items_penalize_ap() {
+        let relevant = set(&[1, 2, 3, 4]);
+        let ranking = vec![1, 2]; // only half of the relevant items returned
+        // AP = (1/1 + 2/2) / 4 = 0.5
+        assert!((average_precision(&ranking, &relevant) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic IR example: relevant at ranks 1, 3, 5.
+        let relevant = set(&[10, 30, 50]);
+        let ranking = vec![10, 20, 30, 40, 50];
+        let expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&ranking, &relevant) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_f1_peaks_at_best_cutoff() {
+        let relevant = set(&[1, 2]);
+        let ranking = vec![1, 9, 2, 8];
+        // Cutoffs: r1: P=1,R=.5,F1=.667; r2: P=.5,R=.5,F1=.5; r3: P=.667,R=1,F1=.8
+        assert!((max_f1(&ranking, &relevant) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_recall_curve_is_monotone_in_recall() {
+        let relevant = set(&[1, 3, 5, 7]);
+        let ranking = vec![1, 2, 3, 4, 5, 6, 7];
+        let curve = precision_recall_curve(&ranking, &relevant);
+        assert_eq!(curve.len(), 7);
+        for window in curve.windows(2) {
+            assert!(window[1].1 >= window[0].1, "recall must be non-decreasing");
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty_rel: HashSet<u32> = HashSet::new();
+        assert_eq!(average_precision(&[1, 2], &empty_rel), 0.0);
+        assert_eq!(max_f1(&[1, 2], &empty_rel), 0.0);
+        assert_eq!(average_precision(&[], &set(&[1])), 0.0);
+        assert_eq!(max_f1(&[], &set(&[1])), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[0.5, 1.0]) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text reporting helpers used by the benchmark harness to print the
+//! paper's tables and figure series.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as there are headers).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        out
+    }
+}
+
+/// A named data series for a figure: `(x, y)` points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    /// Series label (usually a predicate name).
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(name: &str) -> Self {
+        Series { name: name.to_string(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Render several series as a column-per-series table keyed by x, the way the
+/// paper's figures tabulate their underlying data.
+pub fn render_series(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.dedup();
+    let mut headers: Vec<&str> = vec![x_label];
+    headers.extend(series.iter().map(|s| s.name.as_str()));
+    let mut table = TextTable::new(title, &headers);
+    for x in xs {
+        let mut row = vec![format_number(x)];
+        for s in series {
+            let cell = s
+                .points
+                .iter()
+                .find(|(px, _)| (px - x).abs() < 1e-9)
+                .map(|(_, y)| format!("{y:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        table.add_row(row);
+    }
+    table.render()
+}
+
+/// Format an x value: integers without a decimal point, fractions with 2.
+pub fn format_number(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a duration in milliseconds with three significant decimals.
+pub fn format_millis(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows_aligned() {
+        let mut t = TextTable::new("Table 5.5", &["Predicate", "F1", "F2"]);
+        t.add_row(vec!["Jaccard".into(), "0.96".into(), "1.00".into()]);
+        t.add_row(vec!["BM25".into(), "1.00".into(), "1.00".into()]);
+        let s = t.render();
+        assert!(s.contains("Table 5.5"));
+        assert!(s.contains("Jaccard"));
+        assert!(s.contains("BM25"));
+        assert_eq!(t.num_rows(), 2);
+        // Each data line has the same number of columns.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_row_arity_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn series_rendering_merges_x_values() {
+        let mut a = Series::new("G1");
+        a.push(10.0, 1.0);
+        a.push(20.0, 2.0);
+        let mut b = Series::new("LM");
+        b.push(10.0, 5.0);
+        let s = render_series("Figure 5.4", "size", &[a, b]);
+        assert!(s.contains("G1"));
+        assert!(s.contains("LM"));
+        assert!(s.contains("10"));
+        assert!(s.contains("20"));
+        assert!(s.contains('-'), "missing points are rendered as dashes");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(10.0), "10");
+        assert_eq!(format_number(0.25), "0.25");
+        assert_eq!(format_millis(std::time::Duration::from_micros(1500)), "1.500");
+    }
+}

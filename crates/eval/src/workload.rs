@@ -1,0 +1,159 @@
+//! Query workloads over generated datasets: build the base relation, pick
+//! random query tuples (clean and erroneous alike, as in §5.2), run a
+//! predicate and aggregate MAP / mean max-F1.
+
+use crate::metrics::{average_precision, max_f1, mean};
+use dasp_core::{Corpus, Params, Predicate, PredicateKind, TokenizedCorpus};
+use dasp_datagen::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Accuracy of one predicate over a query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyResult {
+    /// Mean average precision.
+    pub map: f64,
+    /// Mean of the per-query maximum F1.
+    pub mean_max_f1: f64,
+    /// Number of queries evaluated.
+    pub num_queries: usize,
+}
+
+/// Tokenize a dataset's strings into a corpus ready for predicate building.
+pub fn tokenize_dataset(dataset: &Dataset, params: &Params) -> Arc<TokenizedCorpus> {
+    let corpus = Corpus::from_strings(dataset.strings());
+    Arc::new(TokenizedCorpus::build(corpus, params.qgram))
+}
+
+/// Choose `num_queries` record indices of the dataset as the query workload.
+/// Queries are sampled uniformly, so the workload mixes clean and erroneous
+/// tuples as the paper's does.
+pub fn sample_query_indices(dataset: &Dataset, num_queries: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = dataset.len();
+    (0..num_queries.min(n)).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Evaluate a prebuilt predicate over a dataset: for each sampled query tuple
+/// the records sharing its cluster id are the relevant set.
+pub fn evaluate_accuracy(
+    predicate: &dyn Predicate,
+    dataset: &Dataset,
+    num_queries: usize,
+    seed: u64,
+) -> AccuracyResult {
+    let indices = sample_query_indices(dataset, num_queries, seed);
+    let mut aps = Vec::with_capacity(indices.len());
+    let mut f1s = Vec::with_capacity(indices.len());
+    for idx in indices {
+        let query = &dataset.records[idx];
+        let relevant: HashSet<u32> = dataset
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cluster == query.cluster)
+            .map(|(tid, _)| tid as u32)
+            .collect();
+        let ranking: Vec<u32> = predicate.rank(&query.text).iter().map(|s| s.tid).collect();
+        aps.push(average_precision(&ranking, &relevant));
+        f1s.push(max_f1(&ranking, &relevant));
+    }
+    AccuracyResult { map: mean(&aps), mean_max_f1: mean(&f1s), num_queries: aps.len() }
+}
+
+/// Build and evaluate one predicate kind on a dataset.
+pub fn evaluate_kind(
+    kind: PredicateKind,
+    dataset: &Dataset,
+    params: &Params,
+    num_queries: usize,
+    seed: u64,
+) -> AccuracyResult {
+    let corpus = tokenize_dataset(dataset, params);
+    let predicate = dasp_core::build_predicate(kind, corpus, params);
+    evaluate_accuracy(predicate.as_ref(), dataset, num_queries, seed)
+}
+
+/// Build and evaluate several predicate kinds on the same dataset, reusing
+/// the tokenized corpus (phase-1 preprocessing) across predicates.
+pub fn evaluate_kinds(
+    kinds: &[PredicateKind],
+    dataset: &Dataset,
+    params: &Params,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<(PredicateKind, AccuracyResult)> {
+    let corpus = tokenize_dataset(dataset, params);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let predicate = dasp_core::build_predicate(kind, corpus.clone(), params);
+            (kind, evaluate_accuracy(predicate.as_ref(), dataset, num_queries, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_datagen::presets::{cu_dataset_sized, cu_spec, f_dataset_sized, f_spec};
+
+    fn small_low_error() -> Dataset {
+        cu_dataset_sized(cu_spec("CU8").unwrap(), 300, 30)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let d = small_low_error();
+        let a = sample_query_indices(&d, 50, 1);
+        let b = sample_query_indices(&d, 50, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|&i| i < d.len()));
+        let c = sample_query_indices(&d, 50, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bm25_has_high_map_on_low_error_data() {
+        let d = small_low_error();
+        let result = evaluate_kind(PredicateKind::Bm25, &d, &Params::default(), 30, 7);
+        assert_eq!(result.num_queries, 30);
+        assert!(result.map > 0.8, "BM25 MAP on a low-error dataset was {}", result.map);
+        assert!(result.mean_max_f1 > 0.8);
+    }
+
+    #[test]
+    fn weighted_predicates_beat_unweighted_on_abbreviation_errors() {
+        // Table 5.5 in miniature: on the abbreviation-only dataset F1 the
+        // weighted overlap predicates must not lose to IntersectSize.
+        let d = f_dataset_sized(f_spec("F1").unwrap(), 300, 30);
+        let results = evaluate_kinds(
+            &[PredicateKind::IntersectSize, PredicateKind::WeightedMatch],
+            &d,
+            &Params::default(),
+            25,
+            11,
+        );
+        let xect = results[0].1.map;
+        let wm = results[1].1.map;
+        assert!(wm >= xect - 0.02, "WeightedMatch ({wm}) should not trail IntersectSize ({xect})");
+    }
+
+    #[test]
+    fn metrics_are_within_unit_interval() {
+        let d = small_low_error();
+        for (_, r) in evaluate_kinds(
+            &[PredicateKind::Jaccard, PredicateKind::Hmm],
+            &d,
+            &Params::default(),
+            10,
+            3,
+        ) {
+            assert!((0.0..=1.0).contains(&r.map));
+            assert!((0.0..=1.0).contains(&r.mean_max_f1));
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! # dasp-integration — cross-crate integration tests
+//!
+//! This crate intentionally has no library code; its `tests/` directory hosts
+//! the end-to-end tests that span the data generator, the predicate framework
+//! and the evaluation harness (see `tests/end_to_end.rs` and
+//! `tests/paper_shape.rs`).
+
+#![forbid(unsafe_code)]

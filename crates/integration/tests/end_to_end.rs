@@ -1,0 +1,115 @@
+//! End-to-end integration tests: generator → tokenization → predicates →
+//! evaluation, spanning every crate of the workspace.
+
+use dasp_core::{build_all, build_predicate, Params, PredicateKind};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset};
+use dasp_eval::{
+    evaluate_accuracy, evaluate_kinds, time_preprocess, time_queries, tokenize_dataset,
+};
+use std::collections::HashSet;
+
+#[test]
+fn full_pipeline_runs_for_every_predicate() {
+    let dataset = cu_dataset_sized(cu_spec("CU6").unwrap(), 250, 25);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    for (kind, predicate) in build_all(corpus, &params) {
+        let result = evaluate_accuracy(predicate.as_ref(), &dataset, 10, 99);
+        assert!(
+            result.map > 0.2,
+            "{kind} produced an implausibly low MAP ({}) on a medium dataset",
+            result.map
+        );
+        assert!(result.map <= 1.0 + 1e-9);
+        assert_eq!(result.num_queries, 10);
+    }
+}
+
+#[test]
+fn rankings_agree_on_the_exact_duplicate() {
+    // Every predicate must place a verbatim duplicate of the query at rank 1.
+    let dataset = cu_dataset_sized(cu_spec("CU8").unwrap(), 200, 20);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    // Use a clean representative (guaranteed to exist verbatim in the base).
+    let clean = dataset.records.iter().find(|r| !r.is_erroneous).expect("clean record exists");
+    let clean_tid = dataset.records.iter().position(|r| r.text == clean.text).unwrap() as u32;
+    for (kind, predicate) in build_all(corpus, &params) {
+        let ranking = predicate.rank(&clean.text);
+        assert!(!ranking.is_empty(), "{kind} returned nothing for a verbatim query");
+        // The top result must be a record with identical text (there may be
+        // several verbatim duplicates; any of them is a correct rank-1).
+        let top = &dataset.records[ranking[0].tid as usize];
+        assert_eq!(
+            top.text, clean.text,
+            "{kind} ranked {:?} above the verbatim duplicate {:?} (clean tid {clean_tid})",
+            top.text, clean.text
+        );
+    }
+}
+
+#[test]
+fn select_threshold_is_consistent_with_rank() {
+    let dataset = cu_dataset_sized(cu_spec("CU7").unwrap(), 200, 20);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    let predicate = build_predicate(PredicateKind::Cosine, corpus, &params);
+    let query = &dataset.records[5].text;
+    let ranking = predicate.rank(query);
+    let threshold = 0.5;
+    let selected = predicate.select(query, threshold);
+    let expected: HashSet<u32> =
+        ranking.iter().filter(|s| s.score >= threshold).map(|s| s.tid).collect();
+    let got: HashSet<u32> = selected.iter().map(|s| s.tid).collect();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn timing_harness_measures_all_phases_on_dblp_data() {
+    let dataset = dblp_dataset(400);
+    let params = Params::default();
+    let (predicate, timing) = time_preprocess(PredicateKind::LanguageModel, &dataset, &params);
+    assert!(timing.tokenize.as_nanos() > 0);
+    assert!(timing.weights.as_nanos() > 0);
+    let queries: Vec<String> = dataset.strings().into_iter().take(5).collect();
+    let qt = time_queries(predicate.as_ref(), &queries);
+    assert_eq!(qt.num_queries, 5);
+    assert!(qt.average().as_nanos() > 0);
+}
+
+#[test]
+fn evaluate_kinds_shares_one_corpus_across_predicates() {
+    let dataset = cu_dataset_sized(cu_spec("CU8").unwrap(), 150, 15);
+    let results = evaluate_kinds(
+        &[PredicateKind::Jaccard, PredicateKind::Bm25, PredicateKind::Hmm],
+        &dataset,
+        &Params::default(),
+        8,
+        3,
+    );
+    assert_eq!(results.len(), 3);
+    for (kind, r) in results {
+        assert!(r.map > 0.3, "{kind} MAP {} too low on a low-error dataset", r.map);
+    }
+}
+
+#[test]
+fn pruning_preserves_accuracy_on_low_rates_and_speeds_nothing_up_in_tiny_data() {
+    // Functional check of the §5.6 pipeline end to end (timing claims are
+    // covered by the benches, not asserted here).
+    let dataset = cu_dataset_sized(cu_spec("CU1").unwrap(), 250, 25);
+    let params = Params::default();
+    let corpus = tokenize_dataset(&dataset, &params);
+    let (pruned, stats) = dasp_core::prune_by_idf(&corpus, 0.2);
+    assert!(stats.tokens_dropped > 0);
+    let base = build_predicate(PredicateKind::Bm25, corpus, &params);
+    let pruned_pred = build_predicate(PredicateKind::Bm25, std::sync::Arc::new(pruned), &params);
+    let acc_base = evaluate_accuracy(base.as_ref(), &dataset, 15, 5);
+    let acc_pruned = evaluate_accuracy(pruned_pred.as_ref(), &dataset, 15, 5);
+    assert!(
+        acc_pruned.map > acc_base.map - 0.15,
+        "low-rate pruning should not collapse accuracy: {} vs {}",
+        acc_pruned.map,
+        acc_base.map
+    );
+}

@@ -1,0 +1,118 @@
+//! "Shape" tests: small-scale versions of the paper's headline findings.
+//! Absolute numbers differ from the paper (different clean data, smaller
+//! workloads), but the orderings the paper reports must hold.
+
+use dasp_core::{build_predicate, Params, PredicateKind};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, f_dataset_sized, f_spec};
+use dasp_eval::{evaluate_accuracy, tokenize_dataset};
+
+const QUERIES: usize = 40;
+const SEED: u64 = 0xBEEF;
+
+fn map_of(kind: PredicateKind, dataset: &dasp_datagen::Dataset, params: &Params) -> f64 {
+    let corpus = tokenize_dataset(dataset, params);
+    let predicate = build_predicate(kind, corpus, params);
+    evaluate_accuracy(predicate.as_ref(), dataset, QUERIES, SEED).map
+}
+
+/// Table 5.5, abbreviation errors: weighted predicates are robust, edit
+/// distance suffers the most.
+#[test]
+fn abbreviation_errors_favor_weighted_predicates() {
+    let dataset = f_dataset_sized(f_spec("F1").unwrap(), 800, 80);
+    let params = Params::default();
+    let bm25 = map_of(PredicateKind::Bm25, &dataset, &params);
+    let wj = map_of(PredicateKind::WeightedJaccard, &dataset, &params);
+    let ed = map_of(PredicateKind::EditSimilarity, &dataset, &params);
+    assert!(bm25 > 0.9, "BM25 should be near-perfect on abbreviation-only errors, got {bm25}");
+    assert!(wj > 0.9, "WeightedJaccard should be near-perfect, got {wj}");
+    assert!(ed <= bm25 + 1e-9, "edit distance ({ed}) should not beat BM25 ({bm25}) on F1");
+}
+
+/// Table 5.5, token-swap errors: order-insensitive predicates are near
+/// perfect; GES (order sensitive) is measurably worse.
+#[test]
+fn token_swaps_hurt_order_sensitive_predicates() {
+    let dataset = f_dataset_sized(f_spec("F2").unwrap(), 800, 80);
+    let params = Params::default();
+    let cosine = map_of(PredicateKind::Cosine, &dataset, &params);
+    let hmm = map_of(PredicateKind::Hmm, &dataset, &params);
+    let ges = map_of(PredicateKind::Ges, &dataset, &params);
+    let ed = map_of(PredicateKind::EditSimilarity, &dataset, &params);
+    assert!(cosine > 0.95, "cosine should shrug off token swaps, got {cosine}");
+    assert!(hmm > 0.95, "HMM should shrug off token swaps, got {hmm}");
+    assert!(ed < cosine, "edit distance ({ed}) must trail cosine ({cosine}) under token swaps");
+    assert!(ges <= cosine + 1e-9, "GES ({ges}) should not beat cosine ({cosine}) under token swaps");
+}
+
+/// Table 5.6: as edit error grows, every predicate degrades, and the
+/// unweighted overlap predicates degrade the fastest.
+#[test]
+fn edit_errors_degrade_unweighted_overlap_fastest() {
+    let params = Params::default();
+    let low = f_dataset_sized(f_spec("F3").unwrap(), 800, 80);
+    let high = f_dataset_sized(f_spec("F5").unwrap(), 800, 80);
+
+    let jaccard_low = map_of(PredicateKind::Jaccard, &low, &params);
+    let jaccard_high = map_of(PredicateKind::Jaccard, &high, &params);
+    let bm25_low = map_of(PredicateKind::Bm25, &low, &params);
+    let bm25_high = map_of(PredicateKind::Bm25, &high, &params);
+
+    assert!(jaccard_high < jaccard_low + 1e-9, "Jaccard should degrade with more edit error");
+    // At this reduced scale the BM25/Jaccard gap is small, so allow a modest
+    // tolerance; the ordering is asserted strictly in the dirty-data test
+    // below where the paper reports a wide margin.
+    assert!(
+        bm25_high >= jaccard_high - 0.05,
+        "BM25 ({bm25_high}) should stay close to or above Jaccard ({jaccard_high}) under heavy edit error"
+    );
+    assert!(bm25_low > 0.85, "BM25 on low edit error should be strong, got {bm25_low}");
+}
+
+/// Figure 5.1, dirty datasets: the IR-weighted predicates (BM25 / HMM) beat
+/// the unweighted overlap predicates and edit distance.
+#[test]
+fn dirty_data_ranking_matches_figure_5_1() {
+    let dataset = cu_dataset_sized(cu_spec("CU1").unwrap(), 800, 80);
+    let params = Params::default();
+    let bm25 = map_of(PredicateKind::Bm25, &dataset, &params);
+    let hmm = map_of(PredicateKind::Hmm, &dataset, &params);
+    let xect = map_of(PredicateKind::IntersectSize, &dataset, &params);
+    let ed = map_of(PredicateKind::EditSimilarity, &dataset, &params);
+    assert!(bm25 > xect, "BM25 ({bm25}) must beat IntersectSize ({xect}) on dirty data");
+    assert!(hmm > xect, "HMM ({hmm}) must beat IntersectSize ({xect}) on dirty data");
+    assert!(bm25 > ed, "BM25 ({bm25}) must beat edit distance ({ed}) on dirty data");
+}
+
+/// §5.3.3: q = 2 beats q = 3 for q-gram predicates on dirty data.
+#[test]
+fn bigram_tokenization_beats_trigrams_on_dirty_data() {
+    let dataset = cu_dataset_sized(cu_spec("CU1").unwrap(), 600, 60);
+    let q2 = map_of(PredicateKind::Bm25, &dataset, &Params::with_q(2));
+    let q3 = map_of(PredicateKind::Bm25, &dataset, &Params::with_q(3));
+    assert!(
+        q2 >= q3 - 0.02,
+        "q=2 ({q2}) should be at least as accurate as q=3 ({q3}) on dirty data"
+    );
+}
+
+/// Table 5.7: raising the GES filter threshold can only shrink (or keep) the
+/// candidate sets, so accuracy is non-increasing in θ.
+#[test]
+fn ges_filter_threshold_tradeoff() {
+    let dataset = cu_dataset_sized(cu_spec("CU1").unwrap(), 500, 50);
+    let corpus = tokenize_dataset(&dataset, &Params::default());
+    let mut maps = Vec::new();
+    for theta in [0.7, 0.9] {
+        let mut params = Params::default();
+        params.ges.filter_threshold = theta;
+        let predicate = build_predicate(PredicateKind::GesJaccard, corpus.clone(), &params);
+        maps.push(evaluate_accuracy(predicate.as_ref(), &dataset, 25, SEED).map);
+    }
+    assert!(
+        maps[1] <= maps[0] + 0.02,
+        "θ=0.9 accuracy ({}) should not exceed θ=0.7 accuracy ({})",
+        maps[1],
+        maps[0]
+    );
+}

@@ -1,0 +1,102 @@
+//! A named collection of tables (the "database" the plans run against).
+
+use crate::error::{RelqError, Result};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// Catalog of named, materialized tables.
+///
+/// Predicate preprocessing registers token/weight tables here (the analogue
+/// of the paper's `BASE_TOKENS`, `BASE_WEIGHTS`, ... relations); query-time
+/// plans scan them by name.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table under a name.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| RelqError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total number of rows across all registered tables (used to report
+    /// preprocessing space, analogous to the paper's intermediate-table count).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.num_rows()).sum()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn small_table(rows: usize) -> Table {
+        let mut t = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        for i in 0..rows {
+            t.push_row(vec![(i as i64).into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("a", small_table(3));
+        c.register("b", small_table(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains("a"));
+        assert_eq!(c.get("a").unwrap().num_rows(), 3);
+        assert!(c.get("zzz").is_err());
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+        assert_eq!(c.total_rows(), 5);
+    }
+
+    #[test]
+    fn replace_and_deregister() {
+        let mut c = Catalog::new();
+        c.register("a", small_table(3));
+        c.register("a", small_table(7));
+        assert_eq!(c.get("a").unwrap().num_rows(), 7);
+        let removed = c.deregister("a").unwrap();
+        assert_eq!(removed.num_rows(), 7);
+        assert!(!c.contains("a"));
+        assert!(c.deregister("a").is_none());
+    }
+}

@@ -1,0 +1,439 @@
+//! Plan execution: evaluates a [`Plan`] against a [`Catalog`] and produces a
+//! materialized [`Table`].
+//!
+//! The execution strategy is intentionally simple but realistic: hash
+//! equi-joins, hash aggregation, and row-at-a-time expression evaluation —
+//! the same operations a relational engine would use for the paper's SQL.
+
+use crate::agg::{Accumulator, AggFunc};
+use crate::catalog::Catalog;
+use crate::error::{RelqError, Result};
+use crate::plan::{Plan, ProjectItem, SortOrder};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Row, Value};
+use std::collections::HashMap;
+
+/// Execute a plan against the catalog, returning the result table.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table> {
+    match plan {
+        Plan::Scan { table } => Ok(catalog.get(table)?.clone()),
+        Plan::Values { table } => Ok(table.clone()),
+        Plan::Filter { input, predicate } => {
+            let input = execute(input, catalog)?;
+            let schema = input.schema().clone();
+            let mut rows = Vec::new();
+            for row in input.rows() {
+                if predicate.evaluate(row, &schema)?.as_bool()? {
+                    rows.push(row.clone());
+                }
+            }
+            Ok(Table::from_parts_unchecked(schema, rows))
+        }
+        Plan::Project { input, items } => {
+            let input = execute(input, catalog)?;
+            project(&input, items)
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, suffix } => {
+            let left = execute(left, catalog)?;
+            let right = execute(right, catalog)?;
+            hash_join(&left, &right, left_keys, right_keys, suffix)
+        }
+        Plan::Aggregate { input, group_by, aggregates } => {
+            let input = execute(input, catalog)?;
+            aggregate(&input, group_by, aggregates)
+        }
+        Plan::Sort { input, keys } => {
+            let input = execute(input, catalog)?;
+            sort(input, keys)
+        }
+        Plan::Limit { input, count } => {
+            let input = execute(input, catalog)?;
+            let schema = input.schema().clone();
+            let rows: Vec<Row> = input.into_rows().into_iter().take(*count).collect();
+            Ok(Table::from_parts_unchecked(schema, rows))
+        }
+        Plan::Distinct { input } => {
+            let input = execute(input, catalog)?;
+            distinct(input)
+        }
+        Plan::UnionAll { left, right } => {
+            let left = execute(left, catalog)?;
+            let right = execute(right, catalog)?;
+            left.schema().check_union_compatible(right.schema())?;
+            let schema = left.schema().clone();
+            let mut rows = left.into_rows();
+            rows.extend(right.into_rows());
+            Ok(Table::from_parts_unchecked(schema, rows))
+        }
+    }
+}
+
+fn project(input: &Table, items: &[ProjectItem]) -> Result<Table> {
+    let in_schema = input.schema();
+    // Infer output types from the first row; default to Float when the table
+    // is empty or the first value is NULL (weights and scores dominate).
+    let mut fields = Vec::with_capacity(items.len());
+    for item in items {
+        let dtype = input
+            .rows()
+            .first()
+            .and_then(|row| item.expr.evaluate(row, in_schema).ok())
+            .and_then(|v| v.data_type())
+            .unwrap_or(DataType::Float);
+        fields.push(Field::new(item.alias.clone(), dtype));
+    }
+    let out_schema = Schema::new(fields);
+    let mut rows = Vec::with_capacity(input.num_rows());
+    for row in input.rows() {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(item.expr.evaluate(row, in_schema)?);
+        }
+        rows.push(out);
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[String],
+    right_keys: &[String],
+    suffix: &str,
+) -> Result<Table> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(RelqError::InvalidPlan(format!(
+            "join key lists must be equal length and non-empty: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let left_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|k| left.schema().index_of(k))
+        .collect::<Result<_>>()?;
+    let right_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|k| right.schema().index_of(k))
+        .collect::<Result<_>>()?;
+
+    // Build on the smaller input.
+    let build_left = left.num_rows() <= right.num_rows();
+    let (build, build_idx, probe, probe_idx) = if build_left {
+        (left, &left_idx, right, &right_idx)
+    } else {
+        (right, &right_idx, left, &left_idx)
+    };
+
+    let mut hash_table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (row_no, row) in build.rows().iter().enumerate() {
+        let key: Vec<Value> = build_idx.iter().map(|&i| row[i].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // SQL equality never matches NULL keys.
+        }
+        hash_table.entry(key).or_default().push(row_no);
+    }
+
+    let out_schema = left.schema().join(right.schema(), suffix);
+    let mut rows = Vec::new();
+    for probe_row in probe.rows() {
+        let key: Vec<Value> = probe_idx.iter().map(|&i| probe_row[i].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = hash_table.get(&key) {
+            for &build_no in matches {
+                let build_row = &build.rows()[build_no];
+                let (lrow, rrow) =
+                    if build_left { (build_row, probe_row) } else { (probe_row, build_row) };
+                let mut out = Vec::with_capacity(out_schema.len());
+                out.extend(lrow.iter().cloned());
+                out.extend(rrow.iter().cloned());
+                rows.push(out);
+            }
+        }
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+fn aggregate(input: &Table, group_by: &[String], aggregates: &[crate::agg::Aggregate]) -> Result<Table> {
+    let in_schema = input.schema();
+    let group_idx: Vec<usize> =
+        group_by.iter().map(|k| in_schema.index_of(k)).collect::<Result<_>>()?;
+
+    // Output schema: group-by columns first (with their input types), then
+    // one column per aggregate.
+    let mut fields = Vec::new();
+    for &i in &group_idx {
+        fields.push(in_schema.field(i).clone());
+    }
+    for agg in aggregates {
+        fields.push(Field::new(agg.alias.clone(), agg.output_type()));
+    }
+    let out_schema = Schema::new(fields);
+
+    // Group rows preserving first-seen order so results are deterministic.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut accumulators: Vec<Vec<Accumulator>> = Vec::new();
+
+    for row in input.rows() {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let slot = match groups.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = order.len();
+                groups.insert(key.clone(), s);
+                order.push(key);
+                accumulators
+                    .push(aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect());
+                s
+            }
+        };
+        for (acc, agg) in accumulators[slot].iter_mut().zip(aggregates) {
+            let value = match &agg.func {
+                AggFunc::CountStar => None,
+                AggFunc::Count(e)
+                | AggFunc::CountDistinct(e)
+                | AggFunc::Sum(e)
+                | AggFunc::Min(e)
+                | AggFunc::Max(e)
+                | AggFunc::Avg(e) => Some(e.evaluate(row, in_schema)?),
+            };
+            acc.update(value)?;
+        }
+    }
+
+    // Global aggregation over an empty input still produces a single row of
+    // "empty" aggregates, matching SQL semantics.
+    if order.is_empty() && group_by.is_empty() {
+        order.push(Vec::new());
+        accumulators.push(aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect());
+    }
+
+    let mut rows = Vec::with_capacity(order.len());
+    for (key, accs) in order.into_iter().zip(accumulators) {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        rows.push(row);
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+fn sort(input: Table, keys: &[(String, SortOrder)]) -> Result<Table> {
+    let schema = input.schema().clone();
+    let key_idx: Vec<(usize, SortOrder)> = keys
+        .iter()
+        .map(|(name, order)| Ok((schema.index_of(name)?, *order)))
+        .collect::<Result<_>>()?;
+    let mut rows = input.into_rows();
+    rows.sort_by(|a, b| {
+        for &(idx, order) in &key_idx {
+            let ord = a[idx].total_cmp(&b[idx]);
+            let ord = match order {
+                SortOrder::Ascending => ord,
+                SortOrder::Descending => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Table::from_parts_unchecked(schema, rows))
+}
+
+fn distinct(input: Table) -> Result<Table> {
+    let schema = input.schema().clone();
+    let mut seen: std::collections::HashSet<Vec<Value>> = Default::default();
+    let mut rows = Vec::new();
+    for row in input.into_rows() {
+        if seen.insert(row.clone()) {
+            rows.push(row);
+        }
+    }
+    Ok(Table::from_parts_unchecked(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::table::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let base = TableBuilder::new()
+            .column("tid", DataType::Int)
+            .column("token", DataType::Str)
+            .row(vec![1.into(), "ab".into()])
+            .row(vec![1.into(), "bc".into()])
+            .row(vec![1.into(), "cd".into()])
+            .row(vec![2.into(), "ab".into()])
+            .row(vec![2.into(), "xy".into()])
+            .row(vec![3.into(), "zz".into()])
+            .build()
+            .unwrap();
+        let query = TableBuilder::new()
+            .column("token", DataType::Str)
+            .row(vec!["ab".into()])
+            .row(vec!["cd".into()])
+            .build()
+            .unwrap();
+        let mut c = Catalog::new();
+        c.register("base_tokens", base);
+        c.register("query_tokens", query);
+        c
+    }
+
+    #[test]
+    fn intersect_size_plan_matches_hand_count() {
+        // This is exactly Figure 4.1 of the paper: join on token, COUNT(*)
+        // grouped by tid.
+        let plan = Plan::scan("base_tokens")
+            .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+            .sort_by("score", SortOrder::Descending);
+        let result = execute(&plan, &catalog()).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.value(0, "tid").unwrap(), &Value::Int(1));
+        assert_eq!(result.value(0, "score").unwrap(), &Value::Int(2));
+        assert_eq!(result.value(1, "tid").unwrap(), &Value::Int(2));
+        assert_eq!(result.value(1, "score").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let plan = Plan::scan("base_tokens")
+            .filter(col("tid").eq(lit(1i64)))
+            .project(vec![(col("token"), "t"), (col("tid").mul(lit(10i64)), "tid10")]);
+        let result = execute(&plan, &catalog()).unwrap();
+        assert_eq!(result.num_rows(), 3);
+        assert_eq!(result.schema().names(), vec!["t", "tid10"]);
+        assert_eq!(result.value(0, "tid10").unwrap(), &Value::Int(10));
+    }
+
+    #[test]
+    fn join_renames_colliding_columns() {
+        let plan =
+            Plan::scan("base_tokens").join_on(Plan::scan("base_tokens"), &["token"], &["token"]);
+        let result = execute(&plan, &catalog()).unwrap();
+        assert!(result.schema().contains("token"));
+        assert!(result.schema().contains("token_r"));
+        assert!(result.schema().contains("tid_r"));
+        // Self-join on token: 'ab' appears in tids {1,2} -> 4 pairs, others 1 each.
+        assert_eq!(result.num_rows(), 4 + 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn aggregate_with_sum_min_max_avg() {
+        let t = TableBuilder::new()
+            .column("g", DataType::Str)
+            .column("v", DataType::Float)
+            .row(vec!["a".into(), 1.0.into()])
+            .row(vec!["a".into(), 3.0.into()])
+            .row(vec!["b".into(), 10.0.into()])
+            .build()
+            .unwrap();
+        let plan = Plan::values(t).aggregate(
+            &["g"],
+            vec![
+                (AggFunc::Sum(col("v")), "s"),
+                (AggFunc::Avg(col("v")), "a"),
+                (AggFunc::Min(col("v")), "lo"),
+                (AggFunc::Max(col("v")), "hi"),
+                (AggFunc::CountStar, "n"),
+            ],
+        );
+        let result = execute(&plan, &Catalog::new()).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.value(0, "s").unwrap(), &Value::Float(4.0));
+        assert_eq!(result.value(0, "a").unwrap(), &Value::Float(2.0));
+        assert_eq!(result.value(0, "lo").unwrap(), &Value::Float(1.0));
+        assert_eq!(result.value(0, "hi").unwrap(), &Value::Float(3.0));
+        assert_eq!(result.value(0, "n").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let plan = Plan::scan("base_tokens").aggregate(
+            &[],
+            vec![(AggFunc::CountStar, "n"), (AggFunc::CountDistinct(col("tid")), "d")],
+        );
+        let result = execute(&plan, &catalog()).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.value(0, "n").unwrap(), &Value::Int(6));
+        assert_eq!(result.value(0, "d").unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_produces_one_row() {
+        let empty = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let plan = Plan::values(empty).aggregate(&[], vec![(AggFunc::CountStar, "n")]);
+        let result = execute(&plan, &Catalog::new()).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.value(0, "n").unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_union_limit() {
+        let plan = Plan::scan("query_tokens")
+            .union_all(Plan::scan("query_tokens"))
+            .distinct();
+        let result = execute(&plan, &catalog()).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        let plan = Plan::scan("base_tokens").limit(4);
+        assert_eq!(execute(&plan, &catalog()).unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn union_incompatible_schemas_fail() {
+        let plan = Plan::scan("base_tokens").union_all(Plan::scan("query_tokens"));
+        assert!(execute(&plan, &catalog()).is_err());
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let plan = Plan::scan("base_tokens").sort_by_many(vec![
+            ("tid", SortOrder::Descending),
+            ("token", SortOrder::Ascending),
+        ]);
+        let result = execute(&plan, &catalog()).unwrap();
+        assert_eq!(result.value(0, "tid").unwrap(), &Value::Int(3));
+        assert_eq!(result.value(1, "tid").unwrap(), &Value::Int(2));
+        assert_eq!(result.value(1, "token").unwrap(), &Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let left = TableBuilder::new()
+            .column("k", DataType::Str)
+            .row(vec![Value::Null])
+            .row(vec!["a".into()])
+            .build()
+            .unwrap();
+        let right = TableBuilder::new()
+            .column("k", DataType::Str)
+            .row(vec![Value::Null])
+            .row(vec!["a".into()])
+            .build()
+            .unwrap();
+        let plan = Plan::values(left).join_on(Plan::values(right), &["k"], &["k"]);
+        let result = execute(&plan, &Catalog::new()).unwrap();
+        assert_eq!(result.num_rows(), 1);
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let plan = Plan::scan("nope");
+        assert!(matches!(execute(&plan, &Catalog::new()), Err(RelqError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn join_key_arity_mismatch_is_an_error() {
+        let plan = Plan::scan("base_tokens").join_on(Plan::scan("query_tokens"), &["token"], &[]);
+        assert!(execute(&plan, &catalog()).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Scalar expressions evaluated against rows.
+//!
+//! The paper's SQL statements use arithmetic, `LOG`, `EXP`, `POWER`, `SQRT`
+//! and comparisons; this module provides exactly that surface.
+
+use crate::error::{RelqError, Result};
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// Binary arithmetic and comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    /// Natural logarithm.
+    Ln,
+    Exp,
+    Sqrt,
+    Abs,
+    /// `POWER(base, exponent)`.
+    Power,
+    /// Smallest of two numbers (SQL `LEAST`).
+    Least,
+    /// Largest of two numbers (SQL `GREATEST`).
+    Greatest,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column of the input schema by name.
+    Column(String),
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    /// One-argument scalar function call.
+    Unary { func: ScalarFn, arg: Box<Expr> },
+    /// Two-argument scalar function call (`Power`, `Least`, `Greatest`).
+    BinaryFn { func: ScalarFn, left: Box<Expr>, right: Box<Expr> },
+}
+
+/// Reference a column by name.
+pub fn col(name: &str) -> Expr {
+    Expr::Column(name.to_string())
+}
+
+/// A literal value.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::Literal(value.into())
+}
+
+impl Expr {
+    fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(other) }
+    }
+
+    pub fn add(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Add, other)
+    }
+    pub fn sub(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Sub, other)
+    }
+    pub fn mul(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Mul, other)
+    }
+    pub fn div(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Div, other)
+    }
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Eq, other)
+    }
+    pub fn not_eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::NotEq, other)
+    }
+    pub fn lt(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Lt, other)
+    }
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::LtEq, other)
+    }
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Gt, other)
+    }
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::GtEq, other)
+    }
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::And, other)
+    }
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Or, other)
+    }
+
+    /// Natural logarithm of this expression.
+    pub fn ln(self) -> Expr {
+        Expr::Unary { func: ScalarFn::Ln, arg: Box::new(self) }
+    }
+    pub fn exp(self) -> Expr {
+        Expr::Unary { func: ScalarFn::Exp, arg: Box::new(self) }
+    }
+    pub fn sqrt(self) -> Expr {
+        Expr::Unary { func: ScalarFn::Sqrt, arg: Box::new(self) }
+    }
+    pub fn abs(self) -> Expr {
+        Expr::Unary { func: ScalarFn::Abs, arg: Box::new(self) }
+    }
+    /// `POWER(self, exponent)`.
+    pub fn power(self, exponent: Expr) -> Expr {
+        Expr::BinaryFn { func: ScalarFn::Power, left: Box::new(self), right: Box::new(exponent) }
+    }
+    pub fn least(self, other: Expr) -> Expr {
+        Expr::BinaryFn { func: ScalarFn::Least, left: Box::new(self), right: Box::new(other) }
+    }
+    pub fn greatest(self, other: Expr) -> Expr {
+        Expr::BinaryFn { func: ScalarFn::Greatest, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Evaluate the expression against one row with the given schema.
+    pub fn evaluate(&self, row: &Row, schema: &Schema) -> Result<Value> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.index_of(name)?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => {
+                let l = left.evaluate(row, schema)?;
+                let r = right.evaluate(row, schema)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Unary { func, arg } => {
+                let v = arg.evaluate(row, schema)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let x = v.as_f64()?;
+                let out = match func {
+                    ScalarFn::Ln => {
+                        if x <= 0.0 {
+                            return Err(RelqError::Arithmetic(format!("LOG of non-positive value {x}")));
+                        }
+                        x.ln()
+                    }
+                    ScalarFn::Exp => x.exp(),
+                    ScalarFn::Sqrt => {
+                        if x < 0.0 {
+                            return Err(RelqError::Arithmetic(format!("SQRT of negative value {x}")));
+                        }
+                        x.sqrt()
+                    }
+                    ScalarFn::Abs => x.abs(),
+                    other => {
+                        return Err(RelqError::InvalidPlan(format!(
+                            "{other:?} is not a one-argument function"
+                        )))
+                    }
+                };
+                Ok(Value::Float(out))
+            }
+            Expr::BinaryFn { func, left, right } => {
+                let l = left.evaluate(row, schema)?;
+                let r = right.evaluate(row, schema)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                let (a, b) = (l.as_f64()?, r.as_f64()?);
+                let out = match func {
+                    ScalarFn::Power => a.powf(b),
+                    ScalarFn::Least => a.min(b),
+                    ScalarFn::Greatest => a.max(b),
+                    other => {
+                        return Err(RelqError::InvalidPlan(format!(
+                            "{other:?} is not a two-argument function"
+                        )))
+                    }
+                };
+                Ok(Value::Float(out))
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Keep integer arithmetic exact when both sides are integers and
+            // the operation is not division (SQL-style division is fractional
+            // here because every weight formula in the paper needs it).
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                match op {
+                    Add => return Ok(Value::Int(a + b)),
+                    Sub => return Ok(Value::Int(a - b)),
+                    Mul => return Ok(Value::Int(a * b)),
+                    _ => {}
+                }
+            }
+            let (a, b) = (l.as_f64()?, r.as_f64()?);
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(RelqError::Arithmetic("division by zero".to_string()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+        Eq => Ok(Value::Int((l == r) as i64)),
+        NotEq => Ok(Value::Int((l != r) as i64)),
+        Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Int(0));
+            }
+            let ord = l.total_cmp(r);
+            let b = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(b as i64))
+        }
+        And => Ok(Value::Int((l.as_bool()? && r.as_bool()?) as i64)),
+        Or => Ok(Value::Int((l.as_bool()? || r.as_bool()?) as i64)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float), ("s", DataType::Str)])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(4), Value::Float(2.5), Value::Str("x".into())]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        assert_eq!(col("a").evaluate(&row(), &s).unwrap(), Value::Int(4));
+        assert_eq!(lit(7i64).evaluate(&row(), &s).unwrap(), Value::Int(7));
+        assert!(col("zzz").evaluate(&row(), &s).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let e = col("a").add(col("b"));
+        assert_eq!(e.evaluate(&row(), &s).unwrap(), Value::Float(6.5));
+        let e = col("a").mul(lit(3i64));
+        assert_eq!(e.evaluate(&row(), &s).unwrap(), Value::Int(12));
+        let e = col("a").div(lit(8i64));
+        assert_eq!(e.evaluate(&row(), &s).unwrap(), Value::Float(0.5));
+        let e = col("a").div(lit(0i64));
+        assert!(e.evaluate(&row(), &s).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let s = schema();
+        assert_eq!(col("a").gt(lit(3i64)).evaluate(&row(), &s).unwrap(), Value::Int(1));
+        assert_eq!(col("a").lt(lit(3i64)).evaluate(&row(), &s).unwrap(), Value::Int(0));
+        assert_eq!(col("s").eq(lit("x")).evaluate(&row(), &s).unwrap(), Value::Int(1));
+        let e = col("a").gt(lit(3i64)).and(col("b").lt(lit(3.0)));
+        assert_eq!(e.evaluate(&row(), &s).unwrap(), Value::Int(1));
+        let e = col("a").gt(lit(100i64)).or(col("b").lt(lit(3.0)));
+        assert_eq!(e.evaluate(&row(), &s).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let s = schema();
+        let v = col("b").ln().evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert!((v - 2.5f64.ln()).abs() < 1e-12);
+        let v = lit(1.0).exp().evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert!((v - std::f64::consts::E).abs() < 1e-12);
+        let v = lit(9.0).sqrt().evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert!((v - 3.0).abs() < 1e-12);
+        let v = lit(2.0).power(lit(10.0)).evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert!((v - 1024.0).abs() < 1e-9);
+        let v = lit(2.0).least(lit(5.0)).evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert_eq!(v, 2.0);
+        let v = lit(2.0).greatest(lit(5.0)).evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert_eq!(v, 5.0);
+        assert!(lit(-1.0).ln().evaluate(&row(), &s).is_err());
+        assert!(lit(-1.0).sqrt().evaluate(&row(), &s).is_err());
+        let v = lit(-1.5).abs().evaluate(&row(), &s).unwrap().as_f64().unwrap();
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let s = Schema::from_pairs(&[("n", DataType::Float)]);
+        let r = vec![Value::Null];
+        assert_eq!(col("n").add(lit(1.0)).evaluate(&r, &s).unwrap(), Value::Null);
+        assert_eq!(col("n").ln().evaluate(&r, &s).unwrap(), Value::Null);
+        assert_eq!(col("n").gt(lit(0.0)).evaluate(&r, &s).unwrap(), Value::Int(0));
+    }
+}

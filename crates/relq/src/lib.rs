@@ -1,0 +1,63 @@
+//! # relq — a small in-memory relational query engine
+//!
+//! `relq` is the declarative substrate of the DASP reproduction. The paper
+//! ("Benchmarking Declarative Approximate Selection Predicates") expresses
+//! every similarity predicate as SQL over token and weight tables executed by
+//! a relational DBMS; this crate provides the equivalent building blocks:
+//!
+//! * typed in-memory [`Table`]s with a [`Catalog`] of named relations,
+//! * scalar [`Expr`]essions (arithmetic, `LOG`, `EXP`, `POWER`, comparisons),
+//! * grouped aggregation ([`AggFunc`]: `COUNT`, `SUM`, `MIN`, `MAX`, `AVG`),
+//! * composable logical [`Plan`]s (scan, filter, project, hash join,
+//!   aggregate, sort, distinct, union, limit) executed by [`execute`].
+//!
+//! ```
+//! use relq::{Catalog, Plan, TableBuilder, DataType, AggFunc, execute, col};
+//!
+//! let tokens = TableBuilder::new()
+//!     .column("tid", DataType::Int)
+//!     .column("token", DataType::Str)
+//!     .row(vec![1.into(), "db".into()])
+//!     .row(vec![1.into(), "lab".into()])
+//!     .row(vec![2.into(), "db".into()])
+//!     .build()
+//!     .unwrap();
+//! let query = TableBuilder::new()
+//!     .column("token", DataType::Str)
+//!     .row(vec!["db".into()])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register("base_tokens", tokens);
+//!
+//! // The IntersectSize predicate of the paper (Figure 4.1):
+//! let plan = Plan::scan("base_tokens")
+//!     .join_on(Plan::values(query), &["token"], &["token"])
+//!     .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]);
+//! let scores = execute(&plan, &catalog).unwrap();
+//! assert_eq!(scores.num_rows(), 2);
+//! # let _ = col("tid");
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod agg;
+mod catalog;
+mod error;
+mod exec;
+mod expr;
+mod plan;
+mod schema;
+mod table;
+mod value;
+
+pub use agg::{AggFunc, Aggregate};
+pub use catalog::Catalog;
+pub use error::{RelqError, Result};
+pub use exec::execute;
+pub use expr::{col, lit, BinaryOp, Expr, ScalarFn};
+pub use plan::{Plan, ProjectItem, SortOrder};
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Row, Value};

@@ -1,0 +1,226 @@
+//! Logical query plans and a fluent builder.
+//!
+//! Plans are deliberately logical-only: the executor in [`crate::exec`]
+//! evaluates them directly (hash joins, hash aggregation). This mirrors how
+//! the paper expresses each similarity predicate as a declarative statement
+//! over token/weight tables, leaving execution strategy to the engine.
+
+use crate::agg::{AggFunc, Aggregate};
+use crate::expr::Expr;
+use crate::table::Table;
+
+/// Direction for a sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Ascending,
+    Descending,
+}
+
+/// A projection item: expression plus output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectItem {
+    pub expr: Expr,
+    pub alias: String,
+}
+
+impl ProjectItem {
+    pub fn new(expr: Expr, alias: &str) -> Self {
+        ProjectItem { expr, alias: alias.to_string() }
+    }
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a named table from the catalog.
+    Scan { table: String },
+    /// Use an inline, already-materialized table (e.g. query-time token table).
+    Values { table: Table },
+    /// Keep rows where the predicate evaluates to true.
+    Filter { input: Box<Plan>, predicate: Expr },
+    /// Compute output columns from expressions.
+    Project { input: Box<Plan>, items: Vec<ProjectItem> },
+    /// Inner hash equi-join on pairs of key columns. Right-side columns whose
+    /// names collide with left-side names are suffixed with `suffix`.
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<String>,
+        right_keys: Vec<String>,
+        suffix: String,
+    },
+    /// Hash aggregation: GROUP BY `group_by` computing `aggregates`.
+    Aggregate { input: Box<Plan>, group_by: Vec<String>, aggregates: Vec<Aggregate> },
+    /// ORDER BY.
+    Sort { input: Box<Plan>, keys: Vec<(String, SortOrder)> },
+    /// LIMIT.
+    Limit { input: Box<Plan>, count: usize },
+    /// SELECT DISTINCT over all columns.
+    Distinct { input: Box<Plan> },
+    /// UNION ALL of two union-compatible inputs.
+    UnionAll { left: Box<Plan>, right: Box<Plan> },
+}
+
+impl Plan {
+    /// Scan a catalog table.
+    pub fn scan(table: &str) -> Plan {
+        Plan::Scan { table: table.to_string() }
+    }
+
+    /// Wrap a materialized table as a plan leaf.
+    pub fn values(table: Table) -> Plan {
+        Plan::Values { table }
+    }
+
+    /// Filter rows by a boolean expression.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Project expressions to named output columns.
+    pub fn project(self, items: Vec<(Expr, &str)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            items: items.into_iter().map(|(e, a)| ProjectItem::new(e, a)).collect(),
+        }
+    }
+
+    /// Inner equi-join with another plan on equally named key lists.
+    pub fn join_on(self, right: Plan, left_keys: &[&str], right_keys: &[&str]) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys: left_keys.iter().map(|s| s.to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
+            suffix: "_r".to_string(),
+        }
+    }
+
+    /// Inner equi-join with an explicit rename suffix for colliding columns.
+    pub fn join_on_with_suffix(
+        self,
+        right: Plan,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        suffix: &str,
+    ) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys: left_keys.iter().map(|s| s.to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
+            suffix: suffix.to_string(),
+        }
+    }
+
+    /// GROUP BY the named columns and compute aggregates.
+    pub fn aggregate(self, group_by: &[&str], aggregates: Vec<(AggFunc, &str)>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            aggregates: aggregates
+                .into_iter()
+                .map(|(f, alias)| Aggregate::new(f, alias))
+                .collect(),
+        }
+    }
+
+    /// ORDER BY one column.
+    pub fn sort_by(self, column: &str, order: SortOrder) -> Plan {
+        Plan::Sort { input: Box::new(self), keys: vec![(column.to_string(), order)] }
+    }
+
+    /// ORDER BY multiple columns.
+    pub fn sort_by_many(self, keys: Vec<(&str, SortOrder)>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys: keys.into_iter().map(|(c, o)| (c.to_string(), o)).collect(),
+        }
+    }
+
+    /// LIMIT the number of output rows.
+    pub fn limit(self, count: usize) -> Plan {
+        Plan::Limit { input: Box::new(self), count }
+    }
+
+    /// SELECT DISTINCT.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct { input: Box::new(self) }
+    }
+
+    /// UNION ALL.
+    pub fn union_all(self, right: Plan) -> Plan {
+        Plan::UnionAll { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Number of nodes in the plan tree (used in tests and plan statistics).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } | Plan::Values { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input } => input.node_count(),
+            Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
+                left.node_count() + right.node_count()
+            }
+        }
+    }
+
+    /// Names of the catalog tables referenced by the plan.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Plan::Scan { table } => out.push(table.clone()),
+            Plan::Values { .. } => {}
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input } => input.collect_tables(out),
+            Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn builder_constructs_expected_tree() {
+        let plan = Plan::scan("base_tokens")
+            .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+            .sort_by("score", SortOrder::Descending)
+            .limit(10);
+        // scan + scan + join + aggregate + sort + limit
+        assert_eq!(plan.node_count(), 6);
+        let tables = plan.referenced_tables();
+        assert_eq!(tables, vec!["base_tokens".to_string(), "query_tokens".to_string()]);
+    }
+
+    #[test]
+    fn filter_and_project_nodes() {
+        let plan = Plan::scan("t")
+            .filter(col("x").gt(lit(1i64)))
+            .project(vec![(col("x").mul(lit(2i64)), "y")]);
+        assert_eq!(plan.node_count(), 3);
+        match plan {
+            Plan::Project { items, .. } => assert_eq!(items[0].alias, "y"),
+            _ => panic!("expected project"),
+        }
+    }
+}

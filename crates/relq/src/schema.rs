@@ -1,0 +1,157 @@
+//! Column and schema definitions.
+
+use crate::error::{RelqError, Result};
+use crate::value::DataType;
+use std::fmt;
+
+/// A single named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered collection of fields describing a table or intermediate result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from name/type tuples.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema { fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect() }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelqError::UnknownColumn(name.to_string()))
+    }
+
+    /// Whether a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas (used by joins). Columns appearing in both
+    /// inputs get a `suffix` appended on the right side so names stay unique.
+    pub fn join(&self, right: &Schema, suffix: &str) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.contains(&f.name) {
+                format!("{}{}", f.name, suffix)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.dtype));
+        }
+        Schema { fields }
+    }
+
+    /// Ensure two schemas are union-compatible (same arity and types).
+    pub fn check_union_compatible(&self, other: &Schema) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(RelqError::SchemaMismatch(format!(
+                "union arity mismatch: {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        for (a, b) in self.fields.iter().zip(other.fields.iter()) {
+            if a.dtype != b.dtype {
+                return Err(RelqError::SchemaMismatch(format!(
+                    "union type mismatch on column {}: {} vs {}",
+                    a.name, a.dtype, b.dtype
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> =
+            self.fields.iter().map(|c| format!("{}:{}", c.name, c.dtype)).collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[("tid", DataType::Int), ("token", DataType::Str)])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("tid").unwrap(), 0);
+        assert_eq!(s.index_of("token").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert!(s.contains("token"));
+        assert!(!s.contains("weight"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn join_renames_duplicates() {
+        let left = sample();
+        let right = Schema::from_pairs(&[("token", DataType::Str), ("weight", DataType::Float)]);
+        let joined = left.join(&right, "_r");
+        assert_eq!(joined.names(), vec!["tid", "token", "token_r", "weight"]);
+    }
+
+    #[test]
+    fn union_compat_checks_types_and_arity() {
+        let a = sample();
+        let b = sample();
+        assert!(a.check_union_compatible(&b).is_ok());
+        let c = Schema::from_pairs(&[("tid", DataType::Int)]);
+        assert!(a.check_union_compatible(&c).is_err());
+        let d = Schema::from_pairs(&[("tid", DataType::Str), ("token", DataType::Str)]);
+        assert!(a.check_union_compatible(&d).is_err());
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        assert_eq!(sample().to_string(), "(tid:Int, token:Str)");
+    }
+}

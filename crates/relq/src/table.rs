@@ -1,0 +1,238 @@
+//! In-memory tables: a schema plus a row store.
+
+use crate::error::{RelqError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Row, Value};
+
+/// A materialized relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Create a table from a schema and pre-built rows (rows are validated).
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let mut t = Table::empty(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Create a table without validating rows. Used internally by operators
+    /// that construct rows known to match the schema.
+    pub(crate) fn from_parts_unchecked(schema: Schema, rows: Vec<Row>) -> Self {
+        Table { schema, rows }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row, checking arity and types (NULL is allowed in any column).
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(RelqError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        for (value, field) in row.iter().zip(self.schema.fields()) {
+            if let Some(dt) = value.data_type() {
+                let compatible = dt == field.dtype
+                    || (field.dtype == DataType::Float && dt == DataType::Int);
+                if !compatible {
+                    return Err(RelqError::TypeMismatch {
+                        expected: match field.dtype {
+                            DataType::Int => "Int",
+                            DataType::Float => "Float",
+                            DataType::Str => "Str",
+                        },
+                        found: format!("{dt} in column {}", field.name),
+                    });
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for r in rows {
+            self.push_row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Get the value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Result<&Value> {
+        let idx = self.schema.index_of(column)?;
+        Ok(&self.rows[row][idx])
+    }
+
+    /// Extract a whole column by name.
+    pub fn column(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.index_of(column)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Sort rows in place by the given column, ascending or descending.
+    pub fn sort_by_column(&mut self, column: &str, descending: bool) -> Result<()> {
+        let idx = self.schema.index_of(column)?;
+        self.rows.sort_by(|a, b| {
+            let ord = a[idx].total_cmp(&b[idx]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        Ok(())
+    }
+
+    /// Render the table as a simple aligned text grid (for examples / debug).
+    pub fn to_pretty_string(&self) -> String {
+        let headers: Vec<String> =
+            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Fluent builder for constructing tables in tests and preprocessing code.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    fields: Vec<Field>,
+    rows: Vec<Row>,
+}
+
+impl TableBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a column.
+    pub fn column(mut self, name: &str, dtype: DataType) -> Self {
+        self.fields.push(Field::new(name, dtype));
+        self
+    }
+
+    /// Add a row of values.
+    pub fn row(mut self, values: Vec<Value>) -> Self {
+        self.rows.push(values);
+        self
+    }
+
+    /// Finish, validating every row against the declared schema.
+    pub fn build(self) -> Result<Table> {
+        Table::new(Schema::new(self.fields), self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token_table() -> Table {
+        TableBuilder::new()
+            .column("tid", DataType::Int)
+            .column("token", DataType::Str)
+            .row(vec![1.into(), "ab".into()])
+            .row(vec![1.into(), "bc".into()])
+            .row(vec![2.into(), "ab".into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = token_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(0, "token").unwrap(), &Value::Str("ab".into()));
+        assert_eq!(t.column("tid").unwrap(), vec![1.into(), 1.into(), 2.into()]);
+        assert!(t.value(0, "missing").is_err());
+    }
+
+    #[test]
+    fn arity_and_type_checking() {
+        let mut t = Table::empty(Schema::from_pairs(&[("a", DataType::Int)]));
+        assert!(t.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(t.push_row(vec![Value::Str("x".into())]).is_err());
+        assert!(t.push_row(vec![Value::Null]).is_ok());
+        assert!(t.push_row(vec![Value::Int(7)]).is_ok());
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn int_values_accepted_in_float_columns() {
+        let mut t = Table::empty(Schema::from_pairs(&[("w", DataType::Float)]));
+        assert!(t.push_row(vec![Value::Int(3)]).is_ok());
+        assert!(t.push_row(vec![Value::Float(0.5)]).is_ok());
+    }
+
+    #[test]
+    fn sorting_descending() {
+        let mut t = token_table();
+        t.sort_by_column("tid", true).unwrap();
+        assert_eq!(t.value(0, "tid").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn pretty_print_contains_headers_and_cells() {
+        let s = token_table().to_pretty_string();
+        assert!(s.contains("tid"));
+        assert!(s.contains("token"));
+        assert!(s.contains("bc"));
+    }
+}

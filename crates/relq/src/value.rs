@@ -1,0 +1,283 @@
+//! Scalar values and data types.
+//!
+//! `relq` supports the three scalar types the paper's SQL statements need:
+//! 64-bit integers, 64-bit floats and UTF-8 strings, plus NULL.
+
+use crate::error::{RelqError, Result};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "Int"),
+            DataType::Float => write!(f, "Float"),
+            DataType::Str => write!(f, "Str"),
+        }
+    }
+}
+
+/// A scalar value stored in a table cell or produced by an expression.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Data type of this value, `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (integers widen to floats).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(RelqError::TypeMismatch {
+                expected: "numeric",
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Integer view of the value.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) => Ok(*f as i64),
+            other => Err(RelqError::TypeMismatch {
+                expected: "integer",
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RelqError::TypeMismatch {
+                expected: "string",
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Boolean interpretation used by filters: non-zero numerics are true.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Null => Ok(false),
+            Value::Int(i) => Ok(*i != 0),
+            Value::Float(f) => Ok(*f != 0.0),
+            other => Err(RelqError::TypeMismatch {
+                expected: "boolean",
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Float(_) => "Float",
+            Value::Str(_) => "Str",
+        }
+    }
+
+    /// Total ordering used by ORDER BY and MIN/MAX: NULL sorts first,
+    /// numerics compare by value across Int/Float, strings lexicographically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => {
+                let (af, bf) = (a.as_f64(), b.as_f64());
+                match (af, bf) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                    // Mixed string/number: order strings after numbers.
+                    _ => match (a, b) {
+                        (Str(_), _) => Ordering::Greater,
+                        (_, Str(_)) => Ordering::Less,
+                        _ => Ordering::Equal,
+                    },
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            (Str(a), Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash Int and equal-valued Float identically so joins on mixed
+            // numeric keys behave like SQL equality.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                if f.is_nan() {
+                    f64::NAN.to_bits().hash(state);
+                } else {
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A row is a vector of values matching a table's schema.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_equality_crosses_types() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_compares_lowest() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(0).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.5).total_cmp(&Value::Int(3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert_eq!(
+            Value::Str("abc".into()).total_cmp(&Value::Str("abd".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::Str("x".to_string()));
+        assert_eq!(Value::Int(4).as_f64().unwrap(), 4.0);
+        assert_eq!(Value::Float(4.7).as_i64().unwrap(), 4);
+        assert!(Value::Str("a".into()).as_f64().is_err());
+        assert_eq!(Value::Str("a".into()).as_str().unwrap(), "a");
+        assert!(Value::Int(1).as_bool().unwrap());
+        assert!(!Value::Int(0).as_bool().unwrap());
+        assert!(!Value::Null.as_bool().unwrap());
+    }
+
+    #[test]
+    fn nan_is_self_equal_for_hashing() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+}

@@ -1,0 +1,202 @@
+//! Integration tests exercising relq plans the way dasp-core uses them:
+//! token tables, weight tables, joins and grouped aggregation, plus property
+//! tests comparing the engine against straightforward hand computations.
+
+use proptest::prelude::*;
+use relq::{col, execute, AggFunc, Catalog, DataType, Plan, SortOrder, TableBuilder, Value};
+use std::collections::{HashMap, HashSet};
+
+fn build_token_catalog(base: &[(i64, &str)], query: &[&str]) -> Catalog {
+    let mut bt = TableBuilder::new().column("tid", DataType::Int).column("token", DataType::Str);
+    for (tid, tok) in base {
+        bt = bt.row(vec![(*tid).into(), (*tok).into()]);
+    }
+    let mut qt = TableBuilder::new().column("token", DataType::Str);
+    for tok in query {
+        qt = qt.row(vec![(*tok).into()]);
+    }
+    let mut c = Catalog::new();
+    c.register("base_tokens", bt.build().unwrap());
+    c.register("query_tokens", qt.build().unwrap());
+    c
+}
+
+#[test]
+fn weighted_match_style_plan() {
+    // BASE_WEIGHTS(tid, token, weight) joined with query tokens, SUM(weight).
+    let weights = TableBuilder::new()
+        .column("tid", DataType::Int)
+        .column("token", DataType::Str)
+        .column("weight", DataType::Float)
+        .row(vec![1.into(), "morgan".into(), 2.0.into()])
+        .row(vec![1.into(), "stanley".into(), 3.0.into()])
+        .row(vec![1.into(), "inc".into(), 0.1.into()])
+        .row(vec![2.into(), "morgan".into(), 2.0.into()])
+        .row(vec![2.into(), "labs".into(), 1.5.into()])
+        .build()
+        .unwrap();
+    let query = TableBuilder::new()
+        .column("token", DataType::Str)
+        .row(vec!["morgan".into()])
+        .row(vec!["stanley".into()])
+        .build()
+        .unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register("base_weights", weights);
+
+    let plan = Plan::scan("base_weights")
+        .join_on(Plan::values(query), &["token"], &["token"])
+        .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")])
+        .sort_by("score", SortOrder::Descending);
+    let result = execute(&plan, &catalog).unwrap();
+    assert_eq!(result.num_rows(), 2);
+    assert_eq!(result.value(0, "tid").unwrap(), &Value::Int(1));
+    assert_eq!(result.value(0, "score").unwrap().as_f64().unwrap(), 5.0);
+    assert_eq!(result.value(1, "score").unwrap().as_f64().unwrap(), 2.0);
+}
+
+#[test]
+fn three_way_join_like_language_model_plan() {
+    // LM needs a join of a per-(tid, token) table with query tokens and a
+    // per-tid table (Figure 4.4). Verify a three-way join composes correctly.
+    let pm = TableBuilder::new()
+        .column("tid", DataType::Int)
+        .column("token", DataType::Str)
+        .column("pm", DataType::Float)
+        .row(vec![1.into(), "a".into(), 0.5.into()])
+        .row(vec![1.into(), "b".into(), 0.25.into()])
+        .row(vec![2.into(), "a".into(), 0.75.into()])
+        .build()
+        .unwrap();
+    let sums = TableBuilder::new()
+        .column("tid", DataType::Int)
+        .column("sumcompm", DataType::Float)
+        .row(vec![1.into(), (-1.0).into()])
+        .row(vec![2.into(), (-2.0).into()])
+        .build()
+        .unwrap();
+    let query = TableBuilder::new()
+        .column("token", DataType::Str)
+        .row(vec!["a".into()])
+        .row(vec!["b".into()])
+        .build()
+        .unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register("base_pm", pm);
+    catalog.register("base_sums", sums);
+
+    let inner = Plan::scan("base_pm")
+        .join_on(Plan::values(query), &["token"], &["token"])
+        .aggregate(&["tid"], vec![(AggFunc::Sum(col("pm").ln()), "score")]);
+    let plan = inner
+        .join_on(Plan::scan("base_sums"), &["tid"], &["tid"])
+        .project(vec![(col("tid"), "tid"), (col("score").add(col("sumcompm")).exp(), "final")])
+        .sort_by("final", SortOrder::Descending);
+    let result = execute(&plan, &catalog).unwrap();
+    assert_eq!(result.num_rows(), 2);
+    // tid 2: exp(ln(0.75) - 2) ; tid 1: exp(ln(0.5) + ln(0.25) - 1)
+    let t2 = (0.75f64.ln() - 2.0).exp();
+    let t1 = (0.5f64.ln() + 0.25f64.ln() - 1.0).exp();
+    let top = result.value(0, "final").unwrap().as_f64().unwrap();
+    let bottom = result.value(1, "final").unwrap().as_f64().unwrap();
+    assert!((top - t2.max(t1)).abs() < 1e-12);
+    assert!((bottom - t2.min(t1)).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The IntersectSize plan (join + COUNT(*) GROUP BY tid) must agree with a
+    /// direct hash-set computation for arbitrary token assignments.
+    #[test]
+    fn prop_intersect_plan_matches_hashmap(
+        base in proptest::collection::vec((0i64..20, "[a-d]{1,2}"), 0..120),
+        query in proptest::collection::vec("[a-d]{1,2}", 0..10),
+    ) {
+        // The paper stores distinct tokens for overlap predicates; emulate that.
+        let base_set: HashSet<(i64, String)> =
+            base.iter().map(|(t, s)| (*t, s.clone())).collect();
+        let query_set: HashSet<String> = query.iter().cloned().collect();
+
+        let base_vec: Vec<(i64, &str)> =
+            base_set.iter().map(|(t, s)| (*t, s.as_str())).collect();
+        let query_vec: Vec<&str> = query_set.iter().map(|s| s.as_str()).collect();
+        let catalog = build_token_catalog(&base_vec, &query_vec);
+
+        let plan = Plan::scan("base_tokens")
+            .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]);
+        let result = execute(&plan, &catalog).unwrap();
+
+        let mut expected: HashMap<i64, i64> = HashMap::new();
+        for (tid, tok) in &base_set {
+            if query_set.contains(tok) {
+                *expected.entry(*tid).or_insert(0) += 1;
+            }
+        }
+        let mut actual: HashMap<i64, i64> = HashMap::new();
+        for row in result.rows() {
+            actual.insert(row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// SUM/COUNT aggregation over random groups matches a fold.
+    #[test]
+    fn prop_group_sum_matches_fold(
+        rows in proptest::collection::vec((0i64..8, -100.0f64..100.0), 0..200)
+    ) {
+        let mut builder = TableBuilder::new()
+            .column("g", DataType::Int)
+            .column("v", DataType::Float);
+        for (g, v) in &rows {
+            builder = builder.row(vec![(*g).into(), (*v).into()]);
+        }
+        let table = builder.build().unwrap();
+        let plan = Plan::values(table).aggregate(
+            &["g"],
+            vec![(AggFunc::Sum(col("v")), "s"), (AggFunc::CountStar, "n")],
+        );
+        let result = execute(&plan, &Catalog::new()).unwrap();
+
+        let mut expected_sum: HashMap<i64, f64> = HashMap::new();
+        let mut expected_cnt: HashMap<i64, i64> = HashMap::new();
+        for (g, v) in &rows {
+            *expected_sum.entry(*g).or_insert(0.0) += v;
+            *expected_cnt.entry(*g).or_insert(0) += 1;
+        }
+        prop_assert_eq!(result.num_rows(), expected_sum.len());
+        for row in result.rows() {
+            let g = row[0].as_i64().unwrap();
+            let s = row[1].as_f64().unwrap();
+            let n = row[2].as_i64().unwrap();
+            prop_assert!((s - expected_sum[&g]).abs() < 1e-6);
+            prop_assert_eq!(n, expected_cnt[&g]);
+        }
+    }
+
+    /// Joining then counting never produces more rows than |left| * |right|
+    /// and respects key equality.
+    #[test]
+    fn prop_join_is_subset_of_cross_product(
+        left in proptest::collection::vec("[a-c]", 0..30),
+        right in proptest::collection::vec("[a-c]", 0..30),
+    ) {
+        let mut lb = TableBuilder::new().column("k", DataType::Str);
+        for k in &left { lb = lb.row(vec![k.as_str().into()]); }
+        let mut rb = TableBuilder::new().column("k", DataType::Str);
+        for k in &right { rb = rb.row(vec![k.as_str().into()]); }
+        let plan = Plan::values(lb.build().unwrap())
+            .join_on(Plan::values(rb.build().unwrap()), &["k"], &["k"]);
+        let result = execute(&plan, &Catalog::new()).unwrap();
+        prop_assert!(result.num_rows() <= left.len() * right.len());
+        let expected: usize = left
+            .iter()
+            .map(|l| right.iter().filter(|r| *r == l).count())
+            .sum();
+        prop_assert_eq!(result.num_rows(), expected);
+        for row in result.rows() {
+            prop_assert_eq!(&row[0], &row[1]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Levenshtein edit distance and the edit similarity of §3.4.
+
+/// Levenshtein edit distance between two strings (unit costs for insert,
+/// delete and substitute; copy is free), computed over Unicode scalar values.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    edit_distance_chars(&a, &b)
+}
+
+/// Edit distance over pre-split character slices (avoids re-collecting when
+/// callers already hold `Vec<char>`).
+pub fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row dynamic program.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Banded edit distance: returns `None` when the distance exceeds `max_d`.
+/// Used by the edit-based predicate after q-gram filtering, where only
+/// candidates within a threshold matter.
+pub fn edit_distance_within(a: &str, b: &str, max_d: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max_d {
+        return None;
+    }
+    if a.is_empty() {
+        return (b.len() <= max_d).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= max_d).then_some(a.len());
+    }
+    let inf = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=b.len()).map(|j| if j <= max_d { j } else { inf }).collect();
+    let mut curr: Vec<usize> = vec![inf; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(max_d);
+        let hi = (i + 1 + max_d).min(b.len());
+        curr[0] = if i + 1 <= max_d { i + 1 } else { inf };
+        if lo > 1 {
+            curr[lo - 1] = inf;
+        }
+        let mut row_min = curr[0];
+        for j in lo.max(1)..=hi {
+            let cb = b[j - 1];
+            let cost = usize::from(ca != cb);
+            let del = if prev[j] < inf { prev[j] + 1 } else { inf };
+            let ins = if curr[j - 1] < inf { curr[j - 1] + 1 } else { inf };
+            let sub = if prev[j - 1] < inf { prev[j - 1] + cost } else { inf };
+            curr[j] = del.min(ins).min(sub);
+            row_min = row_min.min(curr[j]);
+        }
+        // Reset the cells outside the band for the next row.
+        for cell in curr.iter_mut().take(lo.max(1)).skip(1) {
+            *cell = inf;
+        }
+        for cell in curr.iter_mut().skip(hi + 1) {
+            *cell = inf;
+        }
+        if row_min > max_d {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[b.len()];
+    (d <= max_d).then_some(d)
+}
+
+/// Edit similarity (Equation 3.13): `1 - ed(Q, D) / max(|Q|, |D|)`,
+/// defined as 1.0 when both strings are empty.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert_eq!(edit_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds_and_examples() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("stanley", "valley");
+        assert!(s > 0.0 && s < 1.0);
+        // Paper §5.4.1: "Stanley" and "Valley" have low edit distance, which
+        // is why edit-based predicates confuse them.
+        assert!(s >= 0.5);
+    }
+
+    #[test]
+    fn banded_matches_full_when_within_threshold() {
+        let pairs = [("kitten", "sitting"), ("morgan", "mogran"), ("a", "abcdef"), ("abc", "abc")];
+        for (a, b) in pairs {
+            let full = edit_distance(a, b);
+            for k in 0..=8usize {
+                let banded = edit_distance_within(a, b, k);
+                if full <= k {
+                    assert_eq!(banded, Some(full), "{a} vs {b} k={k}");
+                } else {
+                    assert_eq!(banded, None, "{a} vs {b} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_empty_strings() {
+        assert_eq!(edit_distance_within("", "", 0), Some(0));
+        assert_eq!(edit_distance_within("", "ab", 1), None);
+        assert_eq!(edit_distance_within("", "ab", 2), Some(2));
+        assert_eq!(edit_distance_within("ab", "", 5), Some(2));
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("hello", "help"), ("data", "date"), ("", "x")] {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+            assert_eq!(edit_similarity(a, b), edit_similarity(b, a));
+        }
+    }
+}

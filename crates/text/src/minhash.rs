@@ -1,0 +1,160 @@
+//! Min-wise independent permutations (Broder et al.) used to approximate the
+//! Jaccard similarity of q-gram sets for the `GESapx` predicate (§4.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of `k` hash permutations over token strings. Signatures are the
+/// component-wise minimum of the permuted hash values over a token set, and
+/// the fraction of equal components estimates the Jaccard similarity.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    /// (multiplier, addend) pairs of the affine permutations.
+    coefficients: Vec<(u64, u64)>,
+}
+
+/// A fixed Mersenne prime used as the modulus of the affine permutations.
+const PRIME: u64 = (1 << 61) - 1;
+
+impl MinHasher {
+    /// Create a hasher with `k` permutations seeded deterministically.
+    pub fn new(num_hashes: usize, seed: u64) -> Self {
+        assert!(num_hashes > 0, "at least one hash function is required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coefficients = (0..num_hashes)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        MinHasher { coefficients }
+    }
+
+    /// Number of hash functions / signature length.
+    pub fn num_hashes(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Stable 64-bit hash of a token (FNV-1a), independent of platform.
+    fn token_hash(token: &str) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in token.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
+
+    /// Compute the min-hash signature of a set of tokens. Empty inputs get a
+    /// sentinel signature of all `u64::MAX` (which never matches anything
+    /// except another empty set).
+    pub fn signature<I, S>(&self, tokens: I) -> Vec<u64>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut sig = vec![u64::MAX; self.coefficients.len()];
+        for token in tokens {
+            let h = Self::token_hash(token.as_ref()) % PRIME;
+            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coefficients) {
+                let permuted = (a.wrapping_mul(h).wrapping_add(b)) % PRIME;
+                if permuted < *slot {
+                    *slot = permuted;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimated Jaccard similarity: fraction of matching signature slots.
+    pub fn similarity(sig_a: &[u64], sig_b: &[u64]) -> f64 {
+        assert_eq!(sig_a.len(), sig_b.len(), "signatures must have equal length");
+        if sig_a.is_empty() {
+            return 0.0;
+        }
+        let matches = sig_a.iter().zip(sig_b).filter(|(a, b)| a == b).count();
+        matches as f64 / sig_a.len() as f64
+    }
+
+    /// Convenience: estimate the Jaccard similarity of two token sets.
+    pub fn estimate_jaccard<S: AsRef<str>>(&self, a: &[S], b: &[S]) -> f64 {
+        Self::similarity(&self.signature(a.iter()), &self.signature(b.iter()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgram::{qgram_set, QgramConfig};
+    use std::collections::HashSet;
+
+    fn exact_jaccard(a: &[String], b: &[String]) -> f64 {
+        let sa: HashSet<&String> = a.iter().collect();
+        let sb: HashSet<&String> = b.iter().collect();
+        let inter = sa.intersection(&sb).count();
+        let union = sa.union(&sb).count();
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let h = MinHasher::new(16, 7);
+        let tokens = ["ab", "bc", "cd"];
+        assert_eq!(h.signature(tokens), h.signature(tokens));
+        assert_eq!(h.estimate_jaccard(&tokens, &tokens), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_near_zero_similarity() {
+        let h = MinHasher::new(64, 7);
+        let a = ["aa", "bb", "cc"];
+        let b = ["xx", "yy", "zz"];
+        assert!(h.estimate_jaccard(&a, &b) < 0.2);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard_for_qgrams() {
+        let h = MinHasher::new(128, 42);
+        let config = QgramConfig::new(2);
+        let pairs = [
+            ("stanley", "stalney"),
+            ("incorporated", "inc"),
+            ("morgan", "morgan"),
+            ("beijing hotel", "hotel beijing"),
+        ];
+        for (x, y) in pairs {
+            let a = qgram_set(x, config);
+            let b = qgram_set(y, config);
+            let exact = exact_jaccard(&a, &b);
+            let est = h.estimate_jaccard(&a, &b);
+            assert!(
+                (exact - est).abs() < 0.2,
+                "estimate {est} too far from exact {exact} for {x}/{y}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let h1 = MinHasher::new(8, 99);
+        let h2 = MinHasher::new(8, 99);
+        assert_eq!(h1.signature(["ab", "cd"]), h2.signature(["ab", "cd"]));
+        let h3 = MinHasher::new(8, 100);
+        assert_ne!(h1.signature(["ab", "cd"]), h3.signature(["ab", "cd"]));
+    }
+
+    #[test]
+    fn empty_input_gets_sentinel() {
+        let h = MinHasher::new(4, 1);
+        let empty: Vec<&str> = Vec::new();
+        let sig = h.signature(empty.iter());
+        assert!(sig.iter().all(|&v| v == u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_signature_lengths_panic() {
+        MinHasher::similarity(&[1, 2], &[1]);
+    }
+}

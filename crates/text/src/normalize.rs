@@ -1,0 +1,62 @@
+//! String normalization applied before tokenization.
+//!
+//! The paper's SQL upper-cases strings and collapses whitespace before
+//! generating q-grams (Appendix A.1); this module provides the equivalent.
+
+/// Uppercase a string and collapse runs of whitespace into single spaces,
+/// trimming leading/trailing whitespace.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true; // trims leading whitespace
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            for up in ch.to_uppercase() {
+                out.push(up);
+            }
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// True when the string contains nothing but whitespace.
+pub fn is_blank(s: &str) -> bool {
+    s.chars().all(char::is_whitespace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uppercases_and_collapses_whitespace() {
+        assert_eq!(normalize("  Morgan   Stanley\tGroup  Inc. "), "MORGAN STANLEY GROUP INC.");
+    }
+
+    #[test]
+    fn empty_and_blank() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   \t  "), "");
+        assert!(is_blank("  \t"));
+        assert!(!is_blank(" a "));
+    }
+
+    #[test]
+    fn unicode_uppercasing() {
+        assert_eq!(normalize("straße"), "STRASSE");
+    }
+
+    #[test]
+    fn idempotent() {
+        let s = normalize("Beijing   Hotel");
+        assert_eq!(normalize(&s), s);
+    }
+}

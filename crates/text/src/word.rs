@@ -1,0 +1,66 @@
+//! Word tokenization (Appendix A.2 of the paper).
+
+use crate::normalize::normalize;
+
+/// Split a string into word tokens, uppercased, on whitespace.
+///
+/// Matches the behaviour of the paper's word-token SQL: every
+/// whitespace-separated maximal substring is one token; punctuation is kept
+/// as part of the word (e.g. `Inc.` stays `INC.`).
+pub fn word_tokens(s: &str) -> Vec<String> {
+    let normalized = normalize(s);
+    normalized.split(' ').filter(|w| !w.is_empty()).map(|w| w.to_string()).collect()
+}
+
+/// Distinct word tokens, sorted.
+pub fn word_token_set(s: &str) -> Vec<String> {
+    let mut tokens = word_tokens(s);
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+/// Word tokens with punctuation stripped from the ends of each word.
+/// Useful for abbreviation handling ("Inc." vs "Inc").
+pub fn word_tokens_stripped(s: &str) -> Vec<String> {
+    word_tokens(s)
+        .into_iter()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_string())
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_uppercases() {
+        assert_eq!(
+            word_tokens("Morgan  Stanley Group Inc."),
+            vec!["MORGAN", "STANLEY", "GROUP", "INC."]
+        );
+    }
+
+    #[test]
+    fn empty_and_blank_strings() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens("   ").is_empty());
+    }
+
+    #[test]
+    fn single_word() {
+        assert_eq!(word_tokens("AT&T"), vec!["AT&T"]);
+    }
+
+    #[test]
+    fn set_is_deduplicated_and_sorted() {
+        assert_eq!(word_token_set("the cat the hat"), vec!["CAT", "HAT", "THE"]);
+    }
+
+    #[test]
+    fn stripped_removes_punctuation() {
+        assert_eq!(word_tokens_stripped("Inc. , Corp."), vec!["INC", "CORP"]);
+        assert_eq!(word_tokens_stripped("..."), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the text primitives: metric-like invariants of
+//! edit distance, bounds of Jaro-Winkler, and q-gram counting identities.
+
+use dasp_text::{
+    edit_distance, edit_distance_within, edit_similarity, jaro, jaro_winkler, qgrams, word_tokens,
+    MinHasher, QgramConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[a-c]{0,12}",
+        b in "[a-c]{0,12}",
+        c in "[a-c]{0,12}",
+    ) {
+        let dab = edit_distance(&a, &b);
+        let dba = edit_distance(&b, &a);
+        prop_assert_eq!(dab, dba);                       // symmetry
+        prop_assert_eq!(edit_distance(&a, &a), 0);       // identity
+        let dac = edit_distance(&a, &c);
+        let dbc = edit_distance(&b, &c);
+        prop_assert!(dac <= dab + dbc);                  // triangle inequality
+        // Distance is bounded by the longer string's length.
+        prop_assert!(dab <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn banded_edit_distance_agrees_with_full(
+        a in "[a-d]{0,10}",
+        b in "[a-d]{0,10}",
+        k in 0usize..12,
+    ) {
+        let full = edit_distance(&a, &b);
+        match edit_distance_within(&a, &b, k) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= k);
+            }
+            None => prop_assert!(full > k),
+        }
+    }
+
+    #[test]
+    fn edit_similarity_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+        let s = edit_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_bounds_and_symmetry(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+        let j = jaro(&a, &b);
+        let w = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((0.0..=1.0).contains(&w));
+        prop_assert!(w >= j - 1e-12);
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12 || a.is_empty());
+    }
+
+    #[test]
+    fn qgram_count_matches_padded_length(s in "[a-z ]{0,30}", q in 1usize..5) {
+        let config = QgramConfig { q, normalize: true };
+        let grams = qgrams(&s, config);
+        prop_assert!(!grams.is_empty());
+        for g in &grams {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+        // Word-order invariance: reversing word order preserves the multiset.
+        let words = word_tokens(&s);
+        if words.len() >= 2 {
+            let reversed = words.iter().rev().cloned().collect::<Vec<_>>().join(" ");
+            let mut a = qgrams(&s, config);
+            let mut b = qgrams(&reversed, config);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn minhash_estimate_close_to_exact(
+        a in proptest::collection::hash_set("[a-f]{2}", 0..30),
+        b in proptest::collection::hash_set("[a-f]{2}", 0..30),
+    ) {
+        let hasher = MinHasher::new(256, 1234);
+        let av: Vec<String> = a.iter().cloned().collect();
+        let bv: Vec<String> = b.iter().cloned().collect();
+        let est = hasher.estimate_jaccard(&av, &bv);
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        let exact = if union == 0.0 { est } else { inter / union };
+        // 256 hashes: standard error ~ sqrt(p(1-p)/256) <= 0.032; allow 5 sigma.
+        prop_assert!((est - exact).abs() < 0.17, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn word_tokens_never_contain_whitespace(s in ".{0,40}") {
+        for w in word_tokens(&s) {
+            prop_assert!(!w.contains(char::is_whitespace));
+            prop_assert!(!w.is_empty());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a small base relation, preprocess it for BM25 and run an
+//! approximate selection — the 30-second tour of the public API.
+//!
+//! Run with: `cargo run -p dasp-bench --example quickstart`
+
+use dasp_core::{build_predicate, Corpus, Params, PredicateKind, TokenizedCorpus};
+use std::sync::Arc;
+
+fn main() {
+    // 1. The base relation: a handful of dirty company names.
+    let corpus = Corpus::from_strings(vec![
+        "Morgan Stanley Group Inc.",
+        "Morgan Stanle Grop Incorporated",
+        "Stalney Morgan Group Inc.",
+        "Goldman Sachs Group Inc.",
+        "Silicon Valley Group, Inc.",
+        "Beijing Hotel",
+        "Beijing Labs Limited",
+        "AT&T Incorporated",
+        "AT&T Inc.",
+    ]);
+
+    // 2. Phase-1 preprocessing: tokenize into q-grams (q = 2, the paper's choice).
+    let tokenized = Arc::new(TokenizedCorpus::build(corpus, Params::default().qgram));
+    println!(
+        "base relation: {} tuples, {} distinct q-grams, avgdl {:.1}",
+        tokenized.num_records(),
+        tokenized.num_tokens(),
+        tokenized.avgdl()
+    );
+
+    // 3. Phase-2 preprocessing: build a predicate (weight tables).
+    let params = Params::default();
+    let bm25 = build_predicate(PredicateKind::Bm25, tokenized.clone(), &params);
+
+    // 4. Approximate selection: rank tuples by similarity to a dirty query.
+    let query = "Morgan Stanley Group Incorporated";
+    println!("\nBM25 ranking for query {query:?}:");
+    for s in bm25.top_k(query, 5) {
+        println!(
+            "  tid {:>2}  score {:8.4}  {}",
+            s.tid,
+            s.score,
+            tokenized.corpus().records()[s.tid as usize].text
+        );
+    }
+
+    // 5. The same query through a different predicate class for comparison.
+    let soft = build_predicate(PredicateKind::SoftTfIdf, tokenized.clone(), &params);
+    println!("\nSoftTFIDF (Jaro-Winkler) ranking for the same query:");
+    for s in soft.top_k(query, 5) {
+        println!(
+            "  tid {:>2}  score {:8.4}  {}",
+            s.tid,
+            s.score,
+            tokenized.corpus().records()[s.tid as usize].text
+        );
+    }
+
+    // 6. Threshold-based selection (the approximate selection operator).
+    let selected = bm25.select(query, 5.0);
+    println!("\ntuples with BM25 score >= 5.0: {}", selected.len());
+}
