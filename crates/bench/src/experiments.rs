@@ -2,9 +2,7 @@
 
 use crate::scale::Scale;
 use dasp_core::{build_predicate, prune_by_idf, Params, PredicateKind};
-use dasp_datagen::presets::{
-    cu_dataset_sized, dblp_dataset, f_dataset_sized,
-};
+use dasp_datagen::presets::{cu_dataset_sized, dblp_dataset, f_dataset_sized};
 use dasp_datagen::Dataset;
 use dasp_eval::{
     evaluate_accuracy, format_millis, render_series, sample_query_indices, time_queries,
@@ -99,12 +97,8 @@ fn accuracy_table(
 /// dataset (the small table in the Q-gram Generation section).
 pub fn table_qgram_size(scale: &Scale) -> String {
     let dataset = cu(scale, "CU1");
-    let kinds = [
-        PredicateKind::Jaccard,
-        PredicateKind::Cosine,
-        PredicateKind::Hmm,
-        PredicateKind::Bm25,
-    ];
+    let kinds =
+        [PredicateKind::Jaccard, PredicateKind::Cosine, PredicateKind::Hmm, PredicateKind::Bm25];
     let mut table = TextTable::new(
         "Q-gram size study (MAP on CU1, paper section 5.3.3)",
         &["q", "Jaccard", "Cosine", "HMM", "BM25"],
@@ -204,7 +198,8 @@ pub fn figure_5_1(scale: &Scale) -> String {
         &["Predicate", "Low", "Medium", "Dirty"],
     );
     // Pre-build datasets and corpora per class.
-    let class_data: Vec<(usize, Vec<(Dataset, Arc<dasp_core::TokenizedCorpus>)>)> = classes
+    type ClassCorpora = Vec<(Dataset, Arc<dasp_core::TokenizedCorpus>)>;
+    let class_data: Vec<(usize, ClassCorpora)> = classes
         .iter()
         .enumerate()
         .map(|(i, (_, names))| {
@@ -248,10 +243,7 @@ pub fn figure_5_2(scale: &Scale) -> String {
     let params = Params::default();
     let (corpus, tokenize_time) = time_tokenization(&dataset, &params);
     let mut table = TextTable::new(
-        &format!(
-            "Figure 5.2: preprocessing time (ms) on {} records",
-            scale.perf_dataset_size
-        ),
+        &format!("Figure 5.2: preprocessing time (ms) on {} records", scale.perf_dataset_size),
         &["Predicate", "tokenize_ms", "weights_ms", "total_ms"],
     );
     for &kind in PERFORMANCE_KINDS {
@@ -362,11 +354,7 @@ pub fn figure_5_4(scale: &Scale) -> String {
             series[2 + i].push(size as f64, t.average().as_secs_f64() * 1000.0);
         }
     }
-    render_series(
-        "Figure 5.4: query time (ms) vs base table size",
-        "base_table_size",
-        &series,
-    )
+    render_series("Figure 5.4: query time (ms) vs base table size", "base_table_size", &series)
 }
 
 /// Figure 5.5 — effect of IDF-based pruning on MAP (a) and query time (b).
@@ -383,10 +371,8 @@ pub fn figure_5_5(scale: &Scale) -> String {
     ];
     let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 
-    let mut map_series: Vec<Series> =
-        kinds.iter().map(|k| Series::new(k.short_name())).collect();
-    let mut time_series: Vec<Series> =
-        kinds.iter().map(|k| Series::new(k.short_name())).collect();
+    let mut map_series: Vec<Series> = kinds.iter().map(|k| Series::new(k.short_name())).collect();
+    let mut time_series: Vec<Series> = kinds.iter().map(|k| Series::new(k.short_name())).collect();
     let mut dropped_series = Series::new("tokens_dropped");
 
     for &rate in &rates {
@@ -408,11 +394,8 @@ pub fn figure_5_5(scale: &Scale) -> String {
         }
     }
 
-    let mut out = render_series(
-        "Figure 5.5(a): MAP vs pruning rate (CU1)",
-        "pruning_rate",
-        &map_series,
-    );
+    let mut out =
+        render_series("Figure 5.5(a): MAP vs pruning rate (CU1)", "pruning_rate", &map_series);
     out.push('\n');
     out.push_str(&render_series(
         "Figure 5.5(b): avg query time (ms) vs pruning rate (CU1)",

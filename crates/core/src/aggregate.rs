@@ -1,6 +1,11 @@
 //! Aggregate weighted predicates (§3.2 / §4.2): tf-idf cosine similarity and
 //! BM25. Both share the query-time shape of Figure 4.3: a single join of
 //! `BASE_WEIGHTS` with `QUERY_WEIGHTS` followed by `SUM(w_d * w_q)` per tid.
+//!
+//! **Indexed-catalog contract:** `build()` registers `BASE_WEIGHTS` with
+//! `register_indexed(..., &["token"])` and prepares the weight-product plan
+//! once; `rank()` binds the per-query `QUERY_WEIGHTS` table and probes the
+//! token index.
 
 use crate::corpus::TokenizedCorpus;
 use crate::dict::TokenId;
@@ -8,27 +13,37 @@ use crate::params::Bm25Params;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use crate::tables;
-use relq::{col, execute, AggFunc, Catalog, Plan};
+use relq::{col, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
 use std::sync::Arc;
 
-/// Run the shared aggregate-weighted query plan: join the base weight table
-/// with query weights on token and sum the weight products per tuple.
+/// Register a `(tid, token, weight)` base table (indexed on token) and
+/// prepare the shared aggregate-weighted plan: join with query weights on
+/// token and sum the weight products per tuple.
+fn weight_product_catalog(weights: relq::Table) -> (Catalog, PreparedPlan) {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_indexed("base_weights", weights, &["token"])
+        .expect("weights have a token column");
+    let plan = PreparedPlan::new(
+        Plan::index_join("base_weights", &["token"], Plan::param("query_weights"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")]),
+    );
+    (catalog, plan)
+}
+
+/// Run the shared plan for one query's weights.
 fn run_weight_product_plan(
     catalog: &Catalog,
+    plan: &PreparedPlan,
     query_weights: Vec<(TokenId, f64)>,
-) -> Vec<ScoredTid> {
+    naive: bool,
+) -> crate::error::Result<Vec<ScoredTid>> {
     if query_weights.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let query_table = tables::query_weights(&query_weights);
-    let plan = Plan::scan("base_weights")
-        .join_on(Plan::values(query_table), &["token"], &["token"])
-        .aggregate(
-            &["tid"],
-            vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")],
-        );
-    let result = execute(&plan, catalog).expect("aggregate weighted plan executes");
-    tables::scores_from_table(&result)
+    let bindings =
+        Bindings::new().with_table("query_weights", tables::query_weights(&query_weights));
+    tables::run_ranking_plan(plan, catalog, &bindings, naive)
 }
 
 /// tf-idf cosine similarity (§3.2.1): normalized `tf * idf` weights on both
@@ -36,6 +51,7 @@ fn run_weight_product_plan(
 pub struct CosinePredicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl CosinePredicate {
@@ -62,9 +78,8 @@ impl CosinePredicate {
             }
             Some(tf as f64 * corpus.idf(token) / norm)
         });
-        let mut catalog = Catalog::new();
-        catalog.register("base_weights", weights);
-        CosinePredicate { corpus, catalog }
+        let (catalog, plan) = weight_product_catalog(weights);
+        CosinePredicate { corpus, catalog, plan }
     }
 
     /// Normalized tf-idf weights of the query tokens (computed on the fly at
@@ -90,8 +105,12 @@ impl Predicate for CosinePredicate {
         PredicateKind::Cosine
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        run_weight_product_plan(&self.catalog, self.query_weights(query))
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), true)
     }
 }
 
@@ -100,6 +119,7 @@ impl Predicate for CosinePredicate {
 pub struct Bm25Predicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
     params: Bm25Params,
 }
 
@@ -116,9 +136,8 @@ impl Bm25Predicate {
             let tf = tf as f64;
             Some(w1 * (params.k1 + 1.0) * tf / (k_d + tf))
         });
-        let mut catalog = Catalog::new();
-        catalog.register("base_weights", weights);
-        Bm25Predicate { corpus, catalog, params }
+        let (catalog, plan) = weight_product_catalog(weights);
+        Bm25Predicate { corpus, catalog, plan, params }
     }
 
     fn query_weights(&self, query: &str) -> Vec<(TokenId, f64)> {
@@ -138,8 +157,12 @@ impl Predicate for Bm25Predicate {
         PredicateKind::Bm25
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        run_weight_product_plan(&self.catalog, self.query_weights(query))
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), true)
     }
 }
 
@@ -235,5 +258,15 @@ mod tests {
         let ranking = p.rank("zyx");
         assert_eq!(ranking[0].tid, 0);
         assert!(ranking[0].score > ranking[1].score);
+    }
+
+    #[test]
+    fn naive_path_is_byte_identical() {
+        let c = corpus();
+        let q = "Morgan Stanley Group Inc.";
+        let cosine = CosinePredicate::build(c.clone());
+        let bm25 = Bm25Predicate::build(c, Bm25Params::default());
+        assert_eq!(cosine.rank(q), cosine.rank_naive(q));
+        assert_eq!(bm25.rank(q), bm25.rank_naive(q));
     }
 }

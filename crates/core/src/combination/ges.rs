@@ -89,14 +89,19 @@ pub fn weighted_record_words(corpus: &TokenizedCorpus, record_idx: usize) -> Vec
     corpus
         .record_words(record_idx)
         .iter()
-        .map(|&id| {
-            WeightedWord::new(corpus.word_dict().token(id), corpus.word_idf(id).max(1e-6))
-        })
+        .map(|&id| WeightedWord::new(corpus.word_dict().token(id), corpus.word_idf(id).max(1e-6)))
         .collect()
 }
 
 /// The exact GES predicate: scores every tuple with Equation 3.14 (used by
 /// the paper for all GES accuracy numbers).
+///
+/// GES is the one predicate with no relational realization at all — the
+/// paper computes it with a UDF because the word-alignment dynamic program
+/// cannot be expressed as joins — so it is also the only predicate that does
+/// not execute through a prepared `IndexJoin` plan: it scores every tuple
+/// natively from its cached word views. Use [`super::GesJaccardPredicate`] /
+/// [`super::GesApxPredicate`] for the index-filtered realizations.
 pub struct GesPredicate {
     corpus: Arc<TokenizedCorpus>,
     params: GesParams,
@@ -118,10 +123,10 @@ impl Predicate for GesPredicate {
         PredicateKind::Ges
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
         let query_words = weighted_query_words(&self.corpus, query);
         if query_words.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity(self.corpus.num_records());
         for (idx, record) in self.corpus.corpus().records().iter().enumerate() {
@@ -131,7 +136,7 @@ impl Predicate for GesPredicate {
             }
         }
         crate::record::sort_ranked(&mut out);
-        out
+        Ok(out)
     }
 }
 

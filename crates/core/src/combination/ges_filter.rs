@@ -4,15 +4,25 @@
 //! 4.8 declaratively — a relq plan over word-level q-gram (or min-hash
 //! signature) tables — keep the tuples whose estimate reaches the threshold
 //! θ, and then re-score the candidates with the exact GES of Equation 3.14.
+//!
+//! **Indexed-catalog contract:** `BASE_WORDS` (keyed on wtoken) and
+//! `BASE_QGRAMS` (keyed on qgram) / `BASE_MHSIG` (keyed on the composite
+//! `(fid, value)`) are registered indexed; the whole filter pipeline is one
+//! [`PreparedPlan`] whose query-side tables and the `Σ idf` normalizer bind
+//! per query.
 
-use crate::combination::ges::{ges_similarity, weighted_query_words, weighted_record_words, WeightedWord};
+use crate::combination::ges::{
+    ges_similarity, weighted_query_words, weighted_record_words, WeightedWord,
+};
 use crate::corpus::TokenizedCorpus;
 use crate::dict::{TokenDict, TokenId};
 use crate::params::GesParams;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use dasp_text::{word_qgrams, MinHasher, QgramConfig};
-use relq::{col, execute, lit, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use relq::{
+    col, lit, param, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,6 +41,8 @@ pub struct FilteredGes {
     params: GesParams,
     filter: GesFilterKind,
     catalog: Catalog,
+    /// The whole filter pipeline (Equation 4.7 / 4.8), prepared once.
+    plan: PreparedPlan,
     /// Dictionary of word-level q-grams (separate from the corpus q-grams).
     qgram_dict: TokenDict,
     /// Per word id: number of distinct q-grams (denominator of the Jaccard).
@@ -116,27 +128,78 @@ impl FilteredGes {
         }
 
         let mut catalog = Catalog::new();
-        catalog.register("base_words", base_words);
-        match filter {
-            GesFilterKind::Jaccard => catalog.register("base_qgrams", base_qgrams),
-            GesFilterKind::MinHash => catalog.register("base_mhsig", base_mhsig),
-        }
+        catalog
+            .register_indexed("base_words", base_words, &["wtoken"])
+            .expect("base_words has a wtoken column");
+        // Per-query-word similarity sub-plan (probing the second-level index).
+        let maxsim_plan = match filter {
+            GesFilterKind::Jaccard => {
+                catalog
+                    .register_indexed("base_qgrams", base_qgrams, &["qgram"])
+                    .expect("base_qgrams has a qgram column");
+                // Jaccard between each base word and each query word.
+                Plan::index_join("base_qgrams", &["qgram"], Plan::param("query_qgrams"), &["qgram"])
+                    .aggregate(
+                        &["wtoken", "qword", "wsize", "qsize"],
+                        vec![(AggFunc::CountStar, "cnt")],
+                    )
+                    .project(vec![
+                        (col("wtoken"), "wtoken"),
+                        (col("qword"), "qword"),
+                        (
+                            col("cnt").div(
+                                col("wsize").add(col("qsize")).sub(col("cnt")).greatest(lit(1e-9)),
+                            ),
+                            "sim",
+                        ),
+                    ])
+            }
+            GesFilterKind::MinHash => {
+                catalog
+                    .register_indexed("base_mhsig", base_mhsig, &["fid", "value"])
+                    .expect("base_mhsig has fid/value columns");
+                let h = hasher.num_hashes() as f64;
+                Plan::index_join(
+                    "base_mhsig",
+                    &["fid", "value"],
+                    Plan::param("query_sig"),
+                    &["fid", "value"],
+                )
+                .aggregate(&["wtoken", "qword"], vec![(AggFunc::CountStar, "cnt")])
+                .project(vec![
+                    (col("wtoken"), "wtoken"),
+                    (col("qword"), "qword"),
+                    (col("cnt").div(lit(h)), "sim"),
+                ])
+            }
+        };
+        // max over base words of each tuple, per query word, then the
+        // weighted sum of Equation 4.7 normalized by the query's Σ idf.
+        let dq = 1.0 - 1.0 / params.q as f64;
+        let two_over_q = 2.0 / params.q as f64;
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_words", &["wtoken"], maxsim_plan, &["wtoken"])
+                .aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")])
+                .join_on(Plan::param("query_idf"), &["qword"], &["qword"])
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (col("idf").mul(col("maxsim").mul(lit(two_over_q)).add(lit(dq))), "contrib"),
+                ])
+                .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "total")])
+                .project(vec![(col("tid"), "tid"), (col("total").div(param("sum_idf")), "score")]),
+        );
 
         let record_words =
             (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
-        let tid_to_idx = corpus
-            .corpus()
-            .records()
-            .iter()
-            .enumerate()
-            .map(|(idx, r)| (r.tid, idx))
-            .collect();
+        let tid_to_idx =
+            corpus.corpus().records().iter().enumerate().map(|(idx, r)| (r.tid, idx)).collect();
 
         FilteredGes {
             corpus,
             params,
             filter,
             catalog,
+            plan,
             qgram_dict,
             word_qgram_sizes,
             hasher,
@@ -154,17 +217,20 @@ impl FilteredGes {
     /// The over-estimating filter scores per tuple (Equation 4.7 / 4.8),
     /// computed declaratively. Returns `(tid, estimate)` pairs.
     pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
+        self.filter_scores_mode(query, false)
+            .expect("prepared ges filter plans over registered catalogs are infallible")
+    }
+
+    fn filter_scores_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
         let qcfg = QgramConfig::new(self.params.q);
         let query_words = weighted_query_words(&self.corpus, query);
         if query_words.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let sum_idf: f64 = query_words.iter().map(|w| w.weight).sum();
         if sum_idf <= 0.0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let dq = 1.0 - 1.0 / self.params.q as f64;
-        let two_over_q = 2.0 / self.params.q as f64;
 
         // QUERY_IDF(qword, idf)
         let mut query_idf =
@@ -174,9 +240,11 @@ impl FilteredGes {
                 .push_row(vec![Value::Int(i as i64), Value::Float(w.weight)])
                 .expect("schema matches");
         }
+        let mut bindings =
+            Bindings::new().with_table("query_idf", query_idf).with_scalar("sum_idf", sum_idf);
 
-        // Per-query-word similarity table, produced by the declarative join.
-        let maxsim_plan = match self.filter {
+        // The per-query probe table of the second-level index.
+        match self.filter {
             GesFilterKind::Jaccard => {
                 // QUERY_QGRAMS(qword, qgram, qsize)
                 let mut query_qgrams = Table::empty(Schema::from_pairs(&[
@@ -201,20 +269,7 @@ impl FilteredGes {
                         }
                     }
                 }
-                // Jaccard between each base word and each query word.
-                Plan::scan("base_qgrams")
-                    .join_on(Plan::values(query_qgrams), &["qgram"], &["qgram"])
-                    .aggregate(&["wtoken", "qword", "wsize", "qsize"], vec![(AggFunc::CountStar, "cnt")])
-                    .project(vec![
-                        (col("wtoken"), "wtoken"),
-                        (col("qword"), "qword"),
-                        (
-                            col("cnt").div(
-                                col("wsize").add(col("qsize")).sub(col("cnt")).greatest(lit(1e-9)),
-                            ),
-                            "sim",
-                        ),
-                    ])
+                bindings = bindings.with_table("query_qgrams", query_qgrams);
             }
             GesFilterKind::MinHash => {
                 // QUERY_MHSIG(qword, fid, value)
@@ -238,56 +293,30 @@ impl FilteredGes {
                             .expect("schema matches");
                     }
                 }
-                let h = self.hasher.num_hashes() as f64;
-                Plan::scan("base_mhsig")
-                    .join_on(Plan::values(query_sig), &["fid", "value"], &["fid", "value"])
-                    .aggregate(&["wtoken", "qword"], vec![(AggFunc::CountStar, "cnt")])
-                    .project(vec![
-                        (col("wtoken"), "wtoken"),
-                        (col("qword"), "qword"),
-                        (col("cnt").div(lit(h)), "sim"),
-                    ])
+                bindings = bindings.with_table("query_sig", query_sig);
             }
-        };
+        }
 
-        // max over base words of each tuple, per query word, then the
-        // weighted sum of Equation 4.7.
-        let plan = Plan::scan("base_words")
-            .join_on(maxsim_plan, &["wtoken"], &["wtoken"])
-            .aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")])
-            .join_on(Plan::values(query_idf), &["qword"], &["qword"])
-            .project(vec![
-                (col("tid"), "tid"),
-                (
-                    col("idf").mul(col("maxsim").mul(lit(two_over_q)).add(lit(dq))),
-                    "contrib",
-                ),
-            ])
-            .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "total")])
-            .project(vec![(col("tid"), "tid"), (col("total").div(lit(sum_idf)), "score")]);
-
-        let result = execute(&plan, &self.catalog).expect("ges filter plan executes");
-        crate::tables::scores_from_table(&result)
+        crate::tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 
     /// Rank: filter by the over-estimate, then re-score candidates exactly.
-    fn rank_impl(&self, query: &str) -> Vec<ScoredTid> {
+    fn rank_impl(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
         let query_words = weighted_query_words(&self.corpus, query);
         if query_words.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut out = Vec::new();
-        for candidate in self.filter_scores(query) {
+        for candidate in self.filter_scores_mode(query, naive)? {
             if candidate.score < self.params.filter_threshold {
                 continue;
             }
             let idx = self.tid_to_idx[&candidate.tid];
-            let exact =
-                ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
+            let exact = ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
             out.push(ScoredTid::new(candidate.tid, exact));
         }
         crate::record::sort_ranked(&mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -312,8 +341,11 @@ impl Predicate for GesJaccardPredicate {
     fn kind(&self) -> PredicateKind {
         PredicateKind::GesJaccard
     }
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        self.inner.rank_impl(query)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.rank_impl(query, false)
+    }
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.rank_impl(query, true)
     }
 }
 
@@ -338,8 +370,11 @@ impl Predicate for GesApxPredicate {
     fn kind(&self) -> PredicateKind {
         PredicateKind::GesApx
     }
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        self.inner.rank_impl(query)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.rank_impl(query, false)
+    }
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.rank_impl(query, true)
     }
 }
 
@@ -416,10 +451,8 @@ mod tests {
     #[test]
     fn minhash_variant_approximates_jaccard_variant() {
         let exact = GesJaccardPredicate::build(corpus(), GesParams::default());
-        let apx = GesApxPredicate::build(
-            corpus(),
-            GesParams { num_hashes: 64, ..GesParams::default() },
-        );
+        let apx =
+            GesApxPredicate::build(corpus(), GesParams { num_hashes: 64, ..GesParams::default() });
         let q = "Morgan Stanley Group Incorporated";
         let e = exact.filter_scores(q);
         let a = apx.filter_scores(q);
@@ -427,7 +460,13 @@ mod tests {
         assert_eq!(e.first().map(|s| s.tid), a.first().map(|s| s.tid));
         for s in &a {
             if let Some(es) = e.iter().find(|x| x.tid == s.tid) {
-                assert!((es.score - s.score).abs() < 0.25, "tid {} apx {} exact {}", s.tid, s.score, es.score);
+                assert!(
+                    (es.score - s.score).abs() < 0.25,
+                    "tid {} apx {} exact {}",
+                    s.tid,
+                    s.score,
+                    es.score
+                );
             }
         }
     }

@@ -11,14 +11,19 @@ use crate::params::SoftTfIdfParams;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use dasp_text::{jaro_winkler, word_tokens};
-use relq::{col, execute, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
 use std::sync::Arc;
 
 /// SoftTFIDF predicate with Jaro-Winkler word similarity.
+///
+/// **Indexed-catalog contract:** `BASE_WORD_WEIGHTS` is registered indexed
+/// on wtoken; the MAXTOKEN pipeline of Figure 4.7 is one [`PreparedPlan`]
+/// whose `CLOSE` (UDF-produced) and `QUERY_WEIGHTS` tables bind per query.
 pub struct SoftTfIdfPredicate {
     corpus: Arc<TokenizedCorpus>,
     params: SoftTfIdfParams,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl SoftTfIdfPredicate {
@@ -65,8 +70,45 @@ impl SoftTfIdfPredicate {
             }
         }
         let mut catalog = Catalog::new();
-        catalog.register("base_word_weights", table);
-        SoftTfIdfPredicate { corpus, params, catalog }
+        catalog
+            .register_indexed("base_word_weights", table, &["wtoken"])
+            .expect("word weights have a wtoken column");
+
+        // Detailed table: (tid, wtoken, weight, qword, sim), probing the
+        // wtoken index with the query-time CLOSE table.
+        let detail =
+            Plan::index_join("base_word_weights", &["wtoken"], Plan::param("close"), &["wtoken"])
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (col("wtoken"), "wtoken"),
+                    (col("weight"), "weight"),
+                    (col("qword"), "qword"),
+                    (col("sim"), "sim"),
+                ]);
+        // MAXSIM(tid, qword, maxsim)
+        let maxsim =
+            detail.clone().aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")]);
+        // MAXTOKEN: rows of the detail table attaining the per-(tid, qword)
+        // maximum, then the final weighted sum of Figure 4.7.
+        let plan = PreparedPlan::new(
+            detail
+                .join_on_with_suffix(maxsim, &["tid", "qword"], &["tid", "qword"], "_m")
+                .filter(col("sim").eq(col("maxsim")))
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (col("qword"), "qword"),
+                    (col("weight"), "weight"),
+                    (col("maxsim"), "maxsim"),
+                ])
+                .distinct()
+                .join_on(Plan::param("query_weights"), &["qword"], &["qword"])
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (col("qweight").mul(col("weight")).mul(col("maxsim")), "contrib"),
+                ])
+                .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "score")]),
+        );
+        SoftTfIdfPredicate { corpus, params, catalog, plan }
     }
 
     /// Normalized tf-idf weights of the query's word tokens (known words only,
@@ -95,19 +137,16 @@ impl SoftTfIdfPredicate {
     }
 }
 
-impl Predicate for SoftTfIdfPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::SoftTfIdf
-    }
-
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+impl SoftTfIdfPredicate {
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
         let query_weights = self.query_word_weights(query);
         if query_weights.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         // CLOSE_SIM_SCORES(wtoken, qword, sim): Jaro-Winkler similarity of
         // every distinct base word against every query word, thresholded.
+        // This stays a query-time UDF product, exactly as in the paper.
         let mut close = Table::empty(Schema::from_pairs(&[
             ("wtoken", DataType::Int),
             ("qword", DataType::Int),
@@ -128,7 +167,7 @@ impl Predicate for SoftTfIdfPredicate {
             }
         }
         if close.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         // QUERY_WEIGHTS(qword, qweight)
@@ -141,41 +180,22 @@ impl Predicate for SoftTfIdfPredicate {
                 .expect("schema matches");
         }
 
-        // Detailed table: (tid, wtoken, weight, qword, sim).
-        let detail = Plan::scan("base_word_weights")
-            .join_on(Plan::values(close), &["wtoken"], &["wtoken"])
-            .project(vec![
-                (col("tid"), "tid"),
-                (col("wtoken"), "wtoken"),
-                (col("weight"), "weight"),
-                (col("qword"), "qword"),
-                (col("sim"), "sim"),
-            ]);
-        // MAXSIM(tid, qword, maxsim)
-        let maxsim = detail
-            .clone()
-            .aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")]);
-        // MAXTOKEN: rows of the detail table attaining the per-(tid, qword)
-        // maximum, then the final weighted sum of Figure 4.7.
-        let plan = detail
-            .join_on_with_suffix(maxsim, &["tid", "qword"], &["tid", "qword"], "_m")
-            .filter(col("sim").eq(col("maxsim")))
-            .project(vec![
-                (col("tid"), "tid"),
-                (col("qword"), "qword"),
-                (col("weight"), "weight"),
-                (col("maxsim"), "maxsim"),
-            ])
-            .distinct()
-            .join_on(Plan::values(qw), &["qword"], &["qword"])
-            .project(vec![
-                (col("tid"), "tid"),
-                (col("qweight").mul(col("weight")).mul(col("maxsim")), "contrib"),
-            ])
-            .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "score")]);
+        let bindings = Bindings::new().with_table("close", close).with_table("query_weights", qw);
+        crate::tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+    }
+}
 
-        let result = execute(&plan, &self.catalog).expect("soft tfidf plan executes");
-        crate::tables::scores_from_table(&result)
+impl Predicate for SoftTfIdfPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::SoftTfIdf
+    }
+
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 

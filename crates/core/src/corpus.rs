@@ -22,11 +22,8 @@ impl Corpus {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let records = strings
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| Record::new(i as Tid, s))
-            .collect();
+        let records =
+            strings.into_iter().enumerate().map(|(i, s)| Record::new(i as Tid, s)).collect();
         Corpus { records }
     }
 
@@ -184,7 +181,13 @@ impl TokenizedCorpus {
         // Second-level tokenization: q-grams of each distinct word token.
         let word_qgram_sets = word_dict
             .iter()
-            .map(|(_, w)| dasp_text::qgram::word_qgrams(w, config).into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect())
+            .map(|(_, w)| {
+                dasp_text::qgram::word_qgrams(w, config)
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            })
             .collect();
 
         TokenizedCorpus {

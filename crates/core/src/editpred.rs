@@ -12,14 +12,20 @@ use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use crate::tables;
 use dasp_text::{edit_distance_within, normalize};
-use relq::{col, execute, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Edit-similarity predicate with q-gram count filtering.
+///
+/// **Indexed-catalog contract:** `BASE_TF` is registered indexed on token;
+/// the candidate-generation join is a prepared `IndexJoin` probed with the
+/// query's term-frequency table, and only the surviving candidates reach the
+/// exact (banded) edit-distance verification.
 pub struct EditPredicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
     params: EditParams,
     /// Normalized text per record index (the strings the "UDF" compares).
     normalized: Vec<String>,
@@ -28,21 +34,24 @@ pub struct EditPredicate {
 }
 
 impl EditPredicate {
-    /// Preprocess: register the `BASE_TF` table used by the count filter and
-    /// cache the normalized strings for verification.
+    /// Preprocess: register the `BASE_TF` table used by the count filter
+    /// (indexed on token), prepare the filter plan, and cache the normalized
+    /// strings for verification.
     pub fn build(corpus: Arc<TokenizedCorpus>, params: EditParams) -> Self {
         let mut catalog = Catalog::new();
-        catalog.register("base_tf", tables::base_tf(&corpus));
+        catalog
+            .register_indexed("base_tf", tables::base_tf(&corpus), &["token"])
+            .expect("base_tf has a token column");
+        // Candidate generation: multiset q-gram intersection per tuple.
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_tf", &["token"], Plan::param("query_tf"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::Sum(col("tf").least(col("tf_r"))), "common")]),
+        );
         let normalized =
             corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect::<Vec<_>>();
-        let tid_to_idx = corpus
-            .corpus()
-            .records()
-            .iter()
-            .enumerate()
-            .map(|(idx, r)| (r.tid, idx))
-            .collect();
-        EditPredicate { corpus, catalog, params, normalized, tid_to_idx }
+        let tid_to_idx =
+            corpus.corpus().records().iter().enumerate().map(|(idx, r)| (r.tid, idx)).collect();
+        EditPredicate { corpus, catalog, plan, params, normalized, tid_to_idx }
     }
 
     /// The maximum edit distance admitted for a pair of lengths under the
@@ -63,33 +72,31 @@ impl EditPredicate {
     }
 }
 
-impl Predicate for EditPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::EditSimilarity
-    }
-
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+impl EditPredicate {
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
         let q = self.corpus.tokenize_query(query);
         if q.tokens.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let query_norm = normalize(query);
         let query_len = query_norm.chars().count();
         let query_grams = q.total_occurrences() as i64;
 
-        // Candidate generation: multiset q-gram intersection per tuple.
-        let plan = Plan::scan("base_tf")
-            .join_on(Plan::values(Self::query_tf_table(&q)), &["token"], &["token"])
-            .aggregate(
-                &["tid"],
-                vec![(AggFunc::Sum(col("tf").least(col("tf_r"))), "common")],
-            );
-        let candidates = execute(&plan, &self.catalog).expect("edit filter plan executes");
+        let bindings = Bindings::new().with_table("query_tf", Self::query_tf_table(&q));
+        let candidates = if naive {
+            self.plan.execute_unindexed(&self.catalog, &bindings)?
+        } else {
+            self.plan.execute(&self.catalog, &bindings)?
+        };
 
         let mut out = Vec::new();
         for row in candidates.rows() {
-            let tid = row[0].as_i64().expect("tid") as u32;
-            let common = row[1].as_f64().expect("common") as i64;
+            let tid = row[0].as_i64().map_err(|_| {
+                crate::error::DaspError::MalformedResult(format!("non-integer tid {}", row[0]))
+            })? as u32;
+            let common = row[1].as_f64().map_err(|_| {
+                crate::error::DaspError::MalformedResult(format!("non-numeric count {}", row[1]))
+            })? as i64;
             let idx = self.tid_to_idx[&tid];
             let text = &self.normalized[idx];
             let record_len = text.chars().count();
@@ -111,7 +118,21 @@ impl Predicate for EditPredicate {
             }
         }
         crate::record::sort_ranked(&mut out);
-        out
+        Ok(out)
+    }
+}
+
+impl Predicate for EditPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::EditSimilarity
+    }
+
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 
@@ -154,8 +175,9 @@ mod tests {
             let idx = s.tid as usize;
             let text = normalize(&corpus().corpus().records()[idx].text);
             let qn = normalize("Morgan Stanley Group Inc.");
-            let expected =
-                1.0 - edit_distance(&qn, &text) as f64 / qn.chars().count().max(text.chars().count()) as f64;
+            let expected = 1.0
+                - edit_distance(&qn, &text) as f64
+                    / qn.chars().count().max(text.chars().count()) as f64;
             assert!((s.score - expected).abs() < 1e-12);
         }
     }

@@ -37,9 +37,7 @@ pub fn build_predicate(
         PredicateKind::Ges => Box::new(GesPredicate::build(corpus, params.ges)),
         PredicateKind::GesJaccard => Box::new(GesJaccardPredicate::build(corpus, params.ges)),
         PredicateKind::GesApx => Box::new(GesApxPredicate::build(corpus, params.ges)),
-        PredicateKind::SoftTfIdf => {
-            Box::new(SoftTfIdfPredicate::build(corpus, params.soft_tfidf))
-        }
+        PredicateKind::SoftTfIdf => Box::new(SoftTfIdfPredicate::build(corpus, params.soft_tfidf)),
     }
 }
 
@@ -83,7 +81,8 @@ mod tests {
             let ranking = predicate.rank("Morgan Stanley Group Inc.");
             assert!(!ranking.is_empty(), "{kind} returned nothing");
             assert_eq!(
-                ranking[0].tid, 0,
+                ranking[0].tid,
+                0,
                 "{kind} did not rank the exact duplicate first: {:?}",
                 &ranking[..ranking.len().min(3)]
             );

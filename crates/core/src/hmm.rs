@@ -11,13 +11,18 @@ use crate::params::HmmParams;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use crate::tables;
-use relq::{col, execute, AggFunc, Catalog, Plan};
+use relq::{col, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
 use std::sync::Arc;
 
 /// Hidden Markov model predicate.
+///
+/// **Indexed-catalog contract:** `BASE_WEIGHTS` is registered indexed on
+/// token; `rank()` binds the multiplicity-preserving query token table into
+/// the [`PreparedPlan`] built here once.
 pub struct HmmPredicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl HmmPredicate {
@@ -37,8 +42,27 @@ impl HmmPredicate {
             Some((1.0 + a1 * pml / (a0 * ptge)).ln())
         });
         let mut catalog = Catalog::new();
-        catalog.register("base_weights", weights);
-        HmmPredicate { corpus, catalog }
+        catalog
+            .register_indexed("base_weights", weights, &["token"])
+            .expect("weights have a token column");
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_weights", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
+                .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]),
+        );
+        HmmPredicate { corpus, catalog, plan }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Query tokens keep their multiplicity: a token occurring twice in the
+        // query contributes its factor twice (the SQL joins the raw
+        // QUERY_TOKENS table, which has one row per occurrence).
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, false));
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
@@ -47,21 +71,12 @@ impl Predicate for HmmPredicate {
         PredicateKind::Hmm
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        // Query tokens keep their multiplicity: a token occurring twice in the
-        // query contributes its factor twice (the SQL joins the raw
-        // QUERY_TOKENS table, which has one row per occurrence).
-        let query_table = tables::query_tokens(&q, false);
-        let plan = Plan::scan("base_weights")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
-            .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]);
-        let result = execute(&plan, &self.catalog).expect("hmm plan executes");
-        tables::scores_from_table(&result)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 

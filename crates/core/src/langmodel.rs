@@ -7,12 +7,17 @@
 //! rewritten Equation 4.4 (Figure 4.4): one join with the query tokens, a
 //! grouped sum of `log pm − log(1 − pm) − log(cf/cs)` and a final join with
 //! the per-tuple sums.
+//!
+//! **Indexed-catalog contract:** `BASE_PM` is registered indexed on token and
+//! `BASE_SUMCOMPM` indexed on tid, so both query-time joins are index probes
+//! (the second one probes the per-tuple sums with the handful of tids the
+//! inner aggregation produced). The whole pipeline is one [`PreparedPlan`].
 
 use crate::corpus::TokenizedCorpus;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use crate::tables;
-use relq::{col, execute, AggFunc, Catalog, DataType, Plan, Schema, Table, Value};
+use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
 use std::sync::Arc;
 
 /// Numerical floor/ceiling keeping `log(pm)` and `log(1 - pm)` finite.
@@ -22,6 +27,7 @@ const PM_EPS: f64 = 1e-9;
 pub struct LanguageModelPredicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl LanguageModelPredicate {
@@ -56,12 +62,17 @@ impl LanguageModelPredicate {
             .collect();
 
         let cs = corpus.cs() as f64;
-        // BASE_PM rows: (tid, token, pm, cfcs).
+        // BASE_PM rows: (tid, token, log_pm, log_compm, log_cfcs). The paper
+        // stores pm and cf/cs; the rewritten Equation 4.4 only ever consumes
+        // their logarithms, so those are materialized at preprocessing time —
+        // the query plan then sums plain float columns instead of computing
+        // three `ln` calls per joined row.
         let schema = Schema::from_pairs(&[
             ("tid", DataType::Int),
             ("token", DataType::Int),
-            ("pm", DataType::Float),
-            ("cfcs", DataType::Float),
+            ("log_pm", DataType::Float),
+            ("log_compm", DataType::Float),
+            ("log_cfcs", DataType::Float),
         ]);
         let mut base_pm = Table::empty(schema);
         let mut sumcompm = vec![0.0f64; corpus.num_records()];
@@ -80,8 +91,9 @@ impl LanguageModelPredicate {
                     .push_row(vec![
                         Value::Int(record.tid as i64),
                         Value::Int(token as i64),
-                        Value::Float(pm),
-                        Value::Float(cfcs),
+                        Value::Float(pm.ln()),
+                        Value::Float((1.0 - pm).ln()),
+                        Value::Float(cfcs.ln()),
                     ])
                     .expect("schema matches");
             }
@@ -89,38 +101,28 @@ impl LanguageModelPredicate {
         let base_sum = tables::per_tuple_scalar(&corpus, "sumcompm", |idx| sumcompm[idx]);
 
         let mut catalog = Catalog::new();
-        catalog.register("base_pm", base_pm);
-        catalog.register("base_sumcompm", base_sum);
-        LanguageModelPredicate { corpus, catalog }
-    }
-}
+        catalog
+            .register_indexed("base_pm", base_pm, &["token"])
+            .expect("base_pm has a token column");
+        catalog
+            .register_indexed("base_sumcompm", base_sum, &["tid"])
+            .expect("base_sumcompm has a tid column");
 
-impl Predicate for LanguageModelPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::LanguageModel
-    }
-
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        let query_table = tables::query_tokens(&q, true);
-        // Inner aggregation over Q ∩ D (Figure 4.4).
-        let inner = Plan::scan("base_pm")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(
-                &["tid"],
-                vec![
-                    (AggFunc::Sum(col("pm").ln()), "sum_log_pm"),
-                    (AggFunc::Sum(lit_one().sub(col("pm")).ln()), "sum_log_compm"),
-                    (AggFunc::Sum(col("cfcs").ln()), "sum_log_cfcs"),
-                ],
-            );
-        // Combine with the per-tuple Σ log(1 - pm) term.
-        let plan = inner
-            .join_on(Plan::scan("base_sumcompm"), &["tid"], &["tid"])
-            .project(vec![
+        // Inner aggregation over Q ∩ D (Figure 4.4), probing the token index.
+        let inner =
+            Plan::index_join("base_pm", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(
+                    &["tid"],
+                    vec![
+                        (AggFunc::Sum(col("log_pm")), "sum_log_pm"),
+                        (AggFunc::Sum(col("log_compm")), "sum_log_compm"),
+                        (AggFunc::Sum(col("log_cfcs")), "sum_log_cfcs"),
+                    ],
+                );
+        // Combine with the per-tuple Σ log(1 - pm) term by probing the tid
+        // index of BASE_SUMCOMPM with the aggregated tids.
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_sumcompm", &["tid"], inner, &["tid"]).project(vec![
                 (col("tid"), "tid"),
                 (
                     col("sum_log_pm")
@@ -130,14 +132,33 @@ impl Predicate for LanguageModelPredicate {
                         .exp(),
                     "score",
                 ),
-            ]);
-        let result = execute(&plan, &self.catalog).expect("language model plan executes");
-        tables::scores_from_table(&result)
+            ]),
+        );
+        LanguageModelPredicate { corpus, catalog, plan }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
-fn lit_one() -> relq::Expr {
-    relq::lit(1.0)
+impl Predicate for LanguageModelPredicate {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::LanguageModel
+    }
+
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
+    }
 }
 
 #[cfg(test)]

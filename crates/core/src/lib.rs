@@ -45,6 +45,7 @@ pub mod combination;
 pub mod corpus;
 pub mod dict;
 pub mod editpred;
+pub mod error;
 pub mod factory;
 pub mod hmm;
 pub mod langmodel;
@@ -58,6 +59,7 @@ pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
 pub use dict::{TokenDict, TokenId};
+pub use error::DaspError;
 pub use factory::{build_all, build_predicate};
 pub use params::{
     Bm25Params, EditParams, GesParams, HmmParams, OverlapWeighting, Params, SoftTfIdfParams,

@@ -186,8 +186,7 @@ impl NativePredicate {
                     for &(rec, tf) in self.index.postings(token) {
                         let dl = self.corpus.record_dl(rec as usize) as f64;
                         let pml = tf as f64 / dl.max(1.0);
-                        scores[rec as usize] +=
-                            qtf as f64 * (1.0 + a1 * pml / (a0 * ptge)).ln();
+                        scores[rec as usize] += qtf as f64 * (1.0 + a1 * pml / (a0 * ptge)).ln();
                         touched[rec as usize] = true;
                     }
                 }
@@ -226,8 +225,8 @@ impl Predicate for NativePredicate {
         }
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        self.accumulate(query)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        Ok(self.accumulate(query))
     }
 }
 

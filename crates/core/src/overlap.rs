@@ -1,16 +1,26 @@
 //! Overlap predicates (§3.1 / §4.1): IntersectSize, Jaccard, WeightedMatch
 //! and WeightedJaccard, realized declaratively as relq plans over token and
 //! weight tables — the direct analogues of Figures 4.1 and 4.2 of the paper.
+//!
+//! **Indexed-catalog contract:** each `build()` registers its base relation
+//! with `register_indexed(..., &["token"])` and constructs one
+//! [`PreparedPlan`] whose leaves are `Param` placeholders; `rank()` only
+//! binds the query token table (plus per-query scalars like `|Q|`) and
+//! probes the token index — the base relation is never scanned per query.
 
 use crate::corpus::TokenizedCorpus;
 use crate::params::OverlapWeighting;
 use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use crate::tables;
-use relq::{col, execute, lit, AggFunc, Catalog, Plan};
+use relq::{col, execute, lit, param, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
 use std::sync::Arc;
 
-fn overlap_weight(tc: &TokenizedCorpus, weighting: OverlapWeighting, token: crate::dict::TokenId) -> f64 {
+fn overlap_weight(
+    tc: &TokenizedCorpus,
+    weighting: OverlapWeighting,
+    token: crate::dict::TokenId,
+) -> f64 {
     match weighting {
         OverlapWeighting::Idf => tc.idf(token),
         OverlapWeighting::RobertsonSparckJones => tc.rsj_weight(token),
@@ -22,14 +32,33 @@ fn overlap_weight(tc: &TokenizedCorpus, weighting: OverlapWeighting, token: crat
 pub struct IntersectSize {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl IntersectSize {
-    /// Preprocess the corpus: register `BASE_TOKENS` with distinct tokens.
+    /// Preprocess the corpus: register `BASE_TOKENS` (indexed on token) and
+    /// prepare the query plan once.
     pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
         let mut catalog = Catalog::new();
-        catalog.register("base_tokens", tables::base_tokens_distinct(&corpus));
-        IntersectSize { corpus, catalog }
+        catalog
+            .register_indexed("base_tokens", tables::base_tokens_distinct(&corpus), &["token"])
+            .expect("base_tokens has a token column");
+        // SELECT tid, COUNT(*) FROM base_tokens JOIN query_tokens USING (token) GROUP BY tid
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+                .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]),
+        );
+        IntersectSize { corpus, catalog, plan }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
@@ -38,19 +67,12 @@ impl Predicate for IntersectSize {
         PredicateKind::IntersectSize
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        let query_table = tables::query_tokens(&q, true);
-        // SELECT tid, COUNT(*) FROM base_tokens JOIN query_tokens USING (token) GROUP BY tid
-        let plan = Plan::scan("base_tokens")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
-            .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]);
-        let result = execute(&plan, &self.catalog).expect("intersect plan executes");
-        tables::scores_from_table(&result)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 
@@ -58,28 +80,62 @@ impl Predicate for IntersectSize {
 pub struct JaccardPredicate {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl JaccardPredicate {
-    /// Preprocess: register `BASE_DDL(tid, token, len)` where `len` is the
-    /// number of distinct tokens of the tuple.
+    /// Preprocess: register `BASE_DDL(tid, token, len)` — where `len` is the
+    /// number of distinct tokens of the tuple — indexed on token, and prepare
+    /// the query plan with `|Q|` as a scalar parameter.
     pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
-        let mut catalog = Catalog::new();
-        // base_tokens_ddl: tid, token, len  (len stored redundantly per row,
+        // base_ddl: tid, token, len  (len stored redundantly per row,
         // exactly as the paper's BASE_DDL table does).
         let tokens = tables::base_tokens_distinct(&corpus);
-        let lens = tables::per_tuple_scalar(&corpus, "len", |idx| {
-            corpus.record_tokens(idx).len() as f64
-        });
-        let mut c = Catalog::new();
-        c.register("tokens", tokens);
-        c.register("lens", lens);
-        let plan = Plan::scan("tokens").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(
-            vec![(col("tid"), "tid"), (col("token"), "token"), (col("len"), "len")],
+        let lens =
+            tables::per_tuple_scalar(&corpus, "len", |idx| corpus.record_tokens(idx).len() as f64);
+        let mut temp = Catalog::new();
+        temp.register("tokens", tokens);
+        temp.register("lens", lens);
+        let build_plan = Plan::scan("tokens")
+            .join_on(Plan::scan("lens"), &["tid"], &["tid"])
+            .project(vec![(col("tid"), "tid"), (col("token"), "token"), (col("len"), "len")]);
+        let ddl = execute(&build_plan, &temp).expect("ddl table build");
+        let mut catalog = Catalog::new();
+        catalog.register_indexed("base_ddl", ddl, &["token"]).expect("ddl has a token column");
+        // `len` is constant per tuple, so instead of widening the GROUP BY key
+        // to (tid, len) it rides along as MAX(len) — keeping the group key a
+        // single Int column, which the executor resolves through a dense
+        // slot array.
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_ddl", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(
+                    &["tid"],
+                    vec![(AggFunc::CountStar, "cnt"), (AggFunc::Max(col("len")), "len")],
+                )
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (
+                        col("cnt").div(
+                            col("len").add(param("query_len")).sub(col("cnt")).greatest(lit(1e-9)),
+                        ),
+                        "score",
+                    ),
+                ]),
         );
-        let ddl = execute(&plan, &c).expect("ddl table build");
-        catalog.register("base_ddl", ddl);
-        JaccardPredicate { corpus, catalog }
+        JaccardPredicate { corpus, catalog, plan }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        // |Q| counts distinct query tokens including those absent from the
+        // base relation (the SQL's COUNT(*) over QUERY_TOKENS does the same).
+        let bindings = Bindings::new()
+            .with_table("query_tokens", tables::query_tokens(&q, true))
+            .with_scalar("query_len", q.distinct_count() as f64);
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
@@ -88,32 +144,12 @@ impl Predicate for JaccardPredicate {
         PredicateKind::Jaccard
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        // |Q| counts distinct query tokens including those absent from the
-        // base relation (the SQL's COUNT(*) over QUERY_TOKENS does the same).
-        let query_len = q.distinct_count() as f64;
-        let query_table = tables::query_tokens(&q, true);
-        let plan = Plan::scan("base_ddl")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(&["tid", "len"], vec![(AggFunc::CountStar, "cnt")])
-            .project(vec![
-                (col("tid"), "tid"),
-                (
-                    col("cnt").div(
-                        col("len")
-                            .add(lit(query_len))
-                            .sub(col("cnt"))
-                            .greatest(lit(1e-9)),
-                    ),
-                    "score",
-                ),
-            ]);
-        let result = execute(&plan, &self.catalog).expect("jaccard plan executes");
-        tables::scores_from_table(&result)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 
@@ -122,17 +158,34 @@ impl Predicate for JaccardPredicate {
 pub struct WeightedMatch {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
 }
 
 impl WeightedMatch {
-    /// Preprocess: register `BASE_TOKENS_WEIGHTS(tid, token, weight)`.
+    /// Preprocess: register `BASE_TOKENS_WEIGHTS(tid, token, weight)` indexed
+    /// on token and prepare the SUM(weight) plan.
     pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
         let mut catalog = Catalog::new();
         let weights = tables::base_weights(&corpus, |_, token, _| {
             Some(overlap_weight(&corpus, weighting, token))
         });
-        catalog.register("base_weights", weights);
-        WeightedMatch { corpus, catalog }
+        catalog
+            .register_indexed("base_weights", weights, &["token"])
+            .expect("weights have a token column");
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_weights", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]),
+        );
+        WeightedMatch { corpus, catalog, plan }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
@@ -141,17 +194,12 @@ impl Predicate for WeightedMatch {
         PredicateKind::WeightedMatch
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        let query_table = tables::query_tokens(&q, true);
-        let plan = Plan::scan("base_weights")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
-        let result = execute(&plan, &self.catalog).expect("weighted match plan executes");
-        tables::scores_from_table(&result)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 
@@ -159,12 +207,15 @@ impl Predicate for WeightedMatch {
 pub struct WeightedJaccard {
     corpus: Arc<TokenizedCorpus>,
     catalog: Catalog,
+    plan: PreparedPlan,
     weighting: OverlapWeighting,
 }
 
 impl WeightedJaccard {
-    /// Preprocess: register `BASE_TOKENSDDL(tid, token, weight, len)` where
-    /// `len` is the total token weight of the tuple.
+    /// Preprocess: register `BASE_TOKENSDDL(tid, token, weight, len)` — where
+    /// `len` is the total token weight of the tuple — indexed on token, and
+    /// prepare the query plan with the query weight sum as a scalar
+    /// parameter.
     pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
         let weights = tables::base_weights(&corpus, |_, token, _| {
             Some(overlap_weight(&corpus, weighting, token))
@@ -179,18 +230,55 @@ impl WeightedJaccard {
         let mut temp = Catalog::new();
         temp.register("weights", weights);
         temp.register("lens", lens);
-        let plan = Plan::scan("weights").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(
-            vec![
+        let build_plan =
+            Plan::scan("weights").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(vec![
                 (col("tid"), "tid"),
                 (col("token"), "token"),
                 (col("weight"), "weight"),
                 (col("len"), "len"),
-            ],
-        );
-        let ddl = execute(&plan, &temp).expect("weighted ddl build");
+            ]);
+        let ddl = execute(&build_plan, &temp).expect("weighted ddl build");
         let mut catalog = Catalog::new();
-        catalog.register("base_tokensddl", ddl);
-        WeightedJaccard { corpus, catalog, weighting }
+        catalog
+            .register_indexed("base_tokensddl", ddl, &["token"])
+            .expect("ddl has a token column");
+        // As with Jaccard: `len` is constant per tuple, so carry it as
+        // MAX(len) and keep the group key a single dense Int column.
+        let plan = PreparedPlan::new(
+            Plan::index_join("base_tokensddl", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(
+                    &["tid"],
+                    vec![(AggFunc::Sum(col("weight")), "inter"), (AggFunc::Max(col("len")), "len")],
+                )
+                .project(vec![
+                    (col("tid"), "tid"),
+                    (
+                        col("inter").div(
+                            col("len")
+                                .add(param("query_weight_sum"))
+                                .sub(col("inter"))
+                                .greatest(lit(1e-9)),
+                        ),
+                        "score",
+                    ),
+                ]),
+        );
+        WeightedJaccard { corpus, catalog, plan, weighting }
+    }
+
+    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = self.corpus.tokenize_query(query);
+        if q.tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Sum of weights of (known) distinct query tokens — the SQL computes
+        // this from the base weight table, so unknown tokens contribute 0.
+        let query_weight_sum: f64 =
+            q.tokens.iter().map(|&(t, _)| overlap_weight(&self.corpus, self.weighting, t)).sum();
+        let bindings = Bindings::new()
+            .with_table("query_tokens", tables::query_tokens(&q, true))
+            .with_scalar("query_weight_sum", query_weight_sum);
+        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 }
 
@@ -199,36 +287,12 @@ impl Predicate for WeightedJaccard {
         PredicateKind::WeightedJaccard
     }
 
-    fn rank(&self, query: &str) -> Vec<ScoredTid> {
-        let q = self.corpus.tokenize_query(query);
-        if q.tokens.is_empty() {
-            return Vec::new();
-        }
-        // Sum of weights of (known) distinct query tokens — the SQL computes
-        // this from the base weight table, so unknown tokens contribute 0.
-        let query_weight_sum: f64 = q
-            .tokens
-            .iter()
-            .map(|&(t, _)| overlap_weight(&self.corpus, self.weighting, t))
-            .sum();
-        let query_table = tables::query_tokens(&q, true);
-        let plan = Plan::scan("base_tokensddl")
-            .join_on(Plan::values(query_table), &["token"], &["token"])
-            .aggregate(&["tid", "len"], vec![(AggFunc::Sum(col("weight")), "inter")])
-            .project(vec![
-                (col("tid"), "tid"),
-                (
-                    col("inter").div(
-                        col("len")
-                            .add(lit(query_weight_sum))
-                            .sub(col("inter"))
-                            .greatest(lit(1e-9)),
-                    ),
-                    "score",
-                ),
-            ]);
-        let result = execute(&plan, &self.catalog).expect("weighted jaccard plan executes");
-        tables::scores_from_table(&result)
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, false)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.rank_mode(query, true)
     }
 }
 
@@ -242,11 +306,11 @@ mod tests {
     fn corpus() -> Arc<TokenizedCorpus> {
         Arc::new(TokenizedCorpus::build(
             Corpus::from_strings(vec![
-                "Morgan Stanley Group Inc.",   // 0
+                "Morgan Stanley Group Inc.",         // 0
                 "Morgan Stanley Group Incorporated", // 1
-                "Beijing Hotel",               // 2
-                "Beijing Labs",                // 3
-                "IBM Incorporated",            // 4
+                "Beijing Hotel",                     // 2
+                "Beijing Labs",                      // 3
+                "IBM Incorporated",                  // 4
             ]),
             QgramConfig::new(2),
         ))
@@ -295,7 +359,10 @@ mod tests {
         // The AT&T abbreviation variant must outrank the IBM full-word tuple.
         let pos_att_inc = ranking.iter().position(|s| s.tid == 1).unwrap();
         let pos_ibm = ranking.iter().position(|s| s.tid == 2).unwrap();
-        assert!(pos_att_inc < pos_ibm, "weighted overlap should prefer AT&T Inc. over IBM Incorporated");
+        assert!(
+            pos_att_inc < pos_ibm,
+            "weighted overlap should prefer AT&T Inc. over IBM Incorporated"
+        );
     }
 
     #[test]
@@ -338,5 +405,20 @@ mod tests {
         let selected = p.select("Morgan Stanley Group Inc.", 0.5);
         assert!(selected.len() <= all.len());
         assert!(selected.iter().all(|s| s.score >= 0.5));
+    }
+
+    #[test]
+    fn naive_path_is_byte_identical() {
+        let c = corpus();
+        let q = "Morgan Stanley Group Inc.";
+        let preds: Vec<Box<dyn Predicate>> = vec![
+            Box::new(IntersectSize::build(c.clone())),
+            Box::new(JaccardPredicate::build(c.clone())),
+            Box::new(WeightedMatch::build(c.clone(), OverlapWeighting::RobertsonSparckJones)),
+            Box::new(WeightedJaccard::build(c, OverlapWeighting::RobertsonSparckJones)),
+        ];
+        for p in &preds {
+            assert_eq!(p.rank(q), p.rank_naive(q), "{} diverged", p.kind());
+        }
     }
 }

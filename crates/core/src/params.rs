@@ -107,7 +107,7 @@ pub enum OverlapWeighting {
 }
 
 /// The complete parameter set handed to the predicate factory.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Params {
     /// Q-gram configuration used for corpus and query tokenization.
     pub qgram: QgramConfig,
@@ -125,25 +125,15 @@ pub struct Params {
     pub overlap_weighting: OverlapWeighting,
 }
 
-impl Default for Params {
-    fn default() -> Self {
-        Params {
-            qgram: QgramConfig::default(),
-            bm25: Bm25Params::default(),
-            hmm: HmmParams::default(),
-            edit: EditParams::default(),
-            ges: GesParams::default(),
-            soft_tfidf: SoftTfIdfParams::default(),
-            overlap_weighting: OverlapWeighting::default(),
-        }
-    }
-}
-
 impl Params {
     /// Paper defaults but with a different q-gram size (used by the q-gram
     /// size study of §5.3.3).
     pub fn with_q(q: usize) -> Self {
-        Params { qgram: QgramConfig::new(q), ges: GesParams { q, ..GesParams::default() }, ..Params::default() }
+        Params {
+            qgram: QgramConfig::new(q),
+            ges: GesParams { q, ..GesParams::default() },
+            ..Params::default()
+        }
     }
 }
 

@@ -123,6 +123,17 @@ impl fmt::Display for PredicateKind {
 
 /// An approximate-selection predicate: ranks base tuples by similarity to a
 /// query string, or selects those above a threshold.
+///
+/// ## Execution contract
+///
+/// Declarative predicates follow the prepared-plan protocol: `build()`
+/// registers base relations (indexed) in a private catalog and constructs
+/// prepared plans once; [`try_rank`](Self::try_rank) binds the query-side
+/// tables/scalars and executes. [`try_rank_naive`](Self::try_rank_naive)
+/// runs the same prepared plans under the engine's pre-refactor cost model
+/// (clone-per-scan, per-query full-table hash builds) and is byte-identical
+/// by construction — it exists as the equivalence baseline for tests and
+/// benchmarks, never as a production path.
 pub trait Predicate {
     /// Which predicate this is.
     fn kind(&self) -> PredicateKind;
@@ -130,7 +141,29 @@ pub trait Predicate {
     /// Rank base tuples by decreasing similarity to `query`. Only tuples with
     /// a defined (usually non-zero) score are returned; ties are broken by
     /// tuple id so rankings are deterministic.
-    fn rank(&self, query: &str) -> Vec<ScoredTid>;
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>>;
+
+    /// [`try_rank`](Self::try_rank) through the naive engine path. The
+    /// default forwards to `try_rank`; plan-based predicates override it.
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.try_rank(query)
+    }
+
+    /// Infallible ranking. Predicate plans only reference tables the same
+    /// constructor registered and project `(tid, score)`, so query execution
+    /// cannot fail for any query string; this wrapper makes that argument
+    /// loud (with the underlying engine error) if it is ever violated.
+    fn rank(&self, query: &str) -> Vec<ScoredTid> {
+        self.try_rank(query)
+            .expect("predicate plans over their own registered catalogs are infallible")
+    }
+
+    /// Infallible ranking through the naive engine path (see
+    /// [`try_rank_naive`](Self::try_rank_naive)).
+    fn rank_naive(&self, query: &str) -> Vec<ScoredTid> {
+        self.try_rank_naive(query)
+            .expect("predicate plans over their own registered catalogs are infallible")
+    }
 
     /// Approximate selection: all tuples with `sim(query, t) >= threshold`.
     fn select(&self, query: &str, threshold: f64) -> Vec<ScoredTid> {
@@ -164,22 +197,21 @@ mod tests {
         fn kind(&self) -> PredicateKind {
             PredicateKind::IntersectSize
         }
-        fn rank(&self, _query: &str) -> Vec<ScoredTid> {
-            self.0.clone()
+        fn try_rank(&self, _query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+            Ok(self.0.clone())
         }
     }
 
     #[test]
     fn default_trait_methods() {
-        let p = Fixed(vec![
-            ScoredTid::new(1, 0.9),
-            ScoredTid::new(2, 0.8),
-            ScoredTid::new(3, 0.2),
-        ]);
+        let p = Fixed(vec![ScoredTid::new(1, 0.9), ScoredTid::new(2, 0.8), ScoredTid::new(3, 0.2)]);
         assert_eq!(p.select("q", 0.5).len(), 2);
         assert_eq!(p.top_k("q", 1).len(), 1);
         assert_eq!(p.best_match("q").unwrap().tid, 1);
         assert_eq!(ranked_tids(&p.rank("q")), vec![1, 2, 3]);
+        // The naive path defaults to the primary path.
+        assert_eq!(p.rank_naive("q"), p.rank("q"));
+        assert_eq!(p.try_rank_naive("q").unwrap(), p.try_rank("q").unwrap());
         let empty = Fixed(vec![]);
         assert!(empty.best_match("q").is_none());
     }

@@ -5,6 +5,13 @@
 //! Tokens are stored as interned integer ids (see [`crate::dict`]), which
 //! keeps the tables compact while preserving the relational structure of the
 //! paper's SQL (joins remain plain equi-joins).
+//!
+//! **Indexed-catalog contract:** predicates register their base relations
+//! with `Catalog::register_indexed(name, table, &["token"])` (or the
+//! appropriate key), so the token index is built exactly once at
+//! preprocessing time; every query-time join against a base relation is a
+//! `Plan::IndexJoin` probing that index with the (small) query-side table,
+//! executed through a `PreparedPlan` constructed in `build()`.
 
 use crate::corpus::{QueryTokens, TokenizedCorpus};
 use crate::dict::TokenId;
@@ -123,29 +130,66 @@ pub fn query_weights(weights: &[(TokenId, f64)]) -> Table {
     let schema = Schema::from_pairs(&[("token", DataType::Int), ("weight", DataType::Float)]);
     let mut table = Table::empty(schema);
     for &(token, w) in weights {
-        table
-            .push_row(vec![Value::Int(token as i64), Value::Float(w)])
-            .expect("schema matches");
+        table.push_row(vec![Value::Int(token as i64), Value::Float(w)]).expect("schema matches");
     }
     table
 }
 
 /// Convert a `(tid, score)` result table into scored results sorted by
-/// descending score (ties broken by tid).
-pub fn scores_from_table(table: &Table) -> Vec<crate::record::ScoredTid> {
+/// descending score (ties broken by tid). Fails with
+/// [`DaspError::MalformedResult`](crate::DaspError::MalformedResult) when the
+/// table does not have the expected shape: a `tid` column holding integers
+/// and a `score` column holding numerics (NULL scores are skipped, matching
+/// SQL's treatment of empty aggregates).
+pub fn try_scores_from_table(table: &Table) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+    use crate::error::DaspError;
+    let tid_idx = table
+        .schema()
+        .index_of("tid")
+        .map_err(|_| DaspError::MalformedResult(format!("no tid column in {}", table.schema())))?;
+    let score_idx = table.schema().index_of("score").map_err(|_| {
+        DaspError::MalformedResult(format!("no score column in {}", table.schema()))
+    })?;
     let mut out = Vec::with_capacity(table.num_rows());
-    let tid_idx = table.schema().index_of("tid").expect("tid column");
-    let score_idx = table.schema().index_of("score").expect("score column");
     for row in table.rows() {
-        let tid = row[tid_idx].as_i64().expect("tid is integer") as crate::record::Tid;
+        let tid = row[tid_idx]
+            .as_i64()
+            .map_err(|_| DaspError::MalformedResult(format!("non-integer tid {}", row[tid_idx])))?
+            as crate::record::Tid;
         let score = match &row[score_idx] {
             Value::Null => continue,
-            v => v.as_f64().expect("score is numeric"),
+            v => v.as_f64().map_err(|_| {
+                DaspError::MalformedResult(format!("non-numeric score {v} for tid {tid}"))
+            })?,
         };
         out.push(crate::record::ScoredTid::new(tid, score));
     }
     crate::record::sort_ranked(&mut out);
-    out
+    Ok(out)
+}
+
+/// Infallible variant of [`try_scores_from_table`] for call sites whose plans
+/// are statically known to project `(tid, score)`; panics (with the
+/// underlying error) when that contract is violated.
+pub fn scores_from_table(table: &Table) -> Vec<crate::record::ScoredTid> {
+    try_scores_from_table(table).expect("result table has the (tid, score) shape")
+}
+
+/// Execute a prepared ranking plan — through the indexed engine or, when
+/// `naive` is set, the pre-refactor clone-and-hash baseline — and convert its
+/// `(tid, score)` output into a sorted ranking.
+pub fn run_ranking_plan(
+    plan: &relq::PreparedPlan,
+    catalog: &relq::Catalog,
+    bindings: &relq::Bindings,
+    naive: bool,
+) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+    let result = if naive {
+        plan.execute_unindexed(catalog, bindings)?
+    } else {
+        plan.execute(catalog, bindings)?
+    };
+    try_scores_from_table(&result)
 }
 
 #[cfg(test)]
@@ -155,10 +199,7 @@ mod tests {
     use dasp_text::QgramConfig;
 
     fn tc() -> TokenizedCorpus {
-        TokenizedCorpus::build(
-            Corpus::from_strings(vec!["ab ab", "cd"]),
-            QgramConfig::new(2),
-        )
+        TokenizedCorpus::build(Corpus::from_strings(vec!["ab ab", "cd"]), QgramConfig::new(2))
     }
 
     #[test]
@@ -210,9 +251,37 @@ mod tests {
     }
 
     #[test]
+    fn malformed_result_tables_are_reported_not_panicked() {
+        use crate::error::DaspError;
+        // Missing score column.
+        let schema = Schema::from_pairs(&[("tid", DataType::Int), ("value", DataType::Float)]);
+        let t = Table::empty(schema);
+        assert!(matches!(
+            try_scores_from_table(&t),
+            Err(DaspError::MalformedResult(m)) if m.contains("score")
+        ));
+        // Missing tid column.
+        let t = Table::empty(Schema::from_pairs(&[("score", DataType::Float)]));
+        assert!(matches!(
+            try_scores_from_table(&t),
+            Err(DaspError::MalformedResult(m)) if m.contains("tid")
+        ));
+        // Non-integer tid.
+        let schema = Schema::from_pairs(&[("tid", DataType::Str), ("score", DataType::Float)]);
+        let mut t = Table::empty(schema);
+        t.push_row(vec![Value::Str("x".into()), Value::Float(0.5)]).unwrap();
+        assert!(matches!(try_scores_from_table(&t), Err(DaspError::MalformedResult(_))));
+        // Non-numeric score.
+        let schema = Schema::from_pairs(&[("tid", DataType::Int), ("score", DataType::Str)]);
+        let mut t = Table::empty(schema);
+        t.push_row(vec![Value::Int(1), Value::Str("oops".into())]).unwrap();
+        assert!(matches!(try_scores_from_table(&t), Err(DaspError::MalformedResult(_))));
+    }
+
+    #[test]
     fn per_tuple_scalar_emits_one_row_per_record() {
         let tc = tc();
-        let t = per_tuple_scalar(&tc, "sumcompm", |idx| idx as f64 * -1.0);
+        let t = per_tuple_scalar(&tc, "sumcompm", |idx| -(idx as f64));
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(1, "sumcompm").unwrap().as_f64().unwrap(), -1.0);
     }

@@ -1,6 +1,7 @@
 //! Property-based tests of the predicate framework: the declarative (relq)
 //! realizations must agree with independent native implementations on random
-//! corpora, and every predicate must satisfy basic ranking invariants.
+//! corpora, every predicate must satisfy basic ranking invariants, and the
+//! indexed engine path must be byte-identical to the naive hash-join path.
 
 use dasp_core::{
     build_predicate, native::NativeKind, native::NativePredicate, Corpus, Params, Predicate,
@@ -11,12 +12,15 @@ use std::sync::Arc;
 
 /// Random short strings over a small alphabet with spaces, so corpora have
 /// overlapping tokens (otherwise every test is trivially empty joins).
-fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[abc ]{1,14}", 2..12).prop_map(|mut v| {
-        // Guarantee at least one non-blank string.
-        v.push("abc cab".to_string());
-        v
-    })
+fn gen_corpus_strings(g: &mut Gen) -> Vec<String> {
+    let mut v = g.vec(2..12, |g| g.string_of("abc ", 1..15));
+    // Guarantee at least one non-blank string.
+    v.push("abc cab".to_string());
+    v
+}
+
+fn gen_query(g: &mut Gen) -> String {
+    g.string_of("abc ", 1..11)
 }
 
 fn tokenized(strings: &[String]) -> Arc<TokenizedCorpus> {
@@ -27,22 +31,23 @@ fn tokenized(strings: &[String]) -> Arc<TokenizedCorpus> {
 }
 
 fn rankings_match(a: &[dasp_core::ScoredTid], b: &[dasp_core::ScoredTid]) -> bool {
+    // Relative tolerance: HMM scores are exponentiated sums, so two correct
+    // evaluations summing in different orders can differ in the last ulps of
+    // a very large magnitude.
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.tid == y.tid && (x.score - y.score).abs() < 1e-6)
+        && a.iter().zip(b).all(|(x, y)| {
+            x.tid == y.tid
+                && (x.score - y.score).abs() <= 1e-9 * x.score.abs().max(y.score.abs()).max(1.0)
+        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Declarative and native BM25 / Cosine / Jaccard / HMM / IntersectSize
-    /// produce identical rankings and scores on random corpora and queries.
-    #[test]
-    fn declarative_equals_native_on_random_corpora(
-        strings in corpus_strategy(),
-        query in "[abc ]{1,10}",
-    ) {
+/// Declarative and native BM25 / Cosine / Jaccard / HMM / IntersectSize
+/// produce identical rankings and scores on random corpora and queries.
+#[test]
+fn declarative_equals_native_on_random_corpora() {
+    check(24, |g| {
+        let strings = gen_corpus_strings(g);
+        let query = gen_query(g);
         let corpus = tokenized(&strings);
         let params = Params::default();
         let pairs = [
@@ -57,21 +62,40 @@ proptest! {
             let native = NativePredicate::build(corpus.clone(), native_kind);
             let a = declarative.rank(&query);
             let b = native.rank(&query);
-            prop_assert!(
+            assert!(
                 rankings_match(&a, &b),
-                "{decl_kind}: declarative {:?} != native {:?} for query {query:?} over {strings:?}",
-                a, b
+                "{decl_kind}: declarative {a:?} != native {b:?} for query {query:?} over {strings:?}"
             );
         }
-    }
+    });
+}
 
-    /// Ranking invariants that hold for every predicate: scores are finite,
-    /// sorted in non-increasing order, tids are valid, and no tid repeats.
-    #[test]
-    fn rankings_are_sorted_finite_and_unique(
-        strings in corpus_strategy(),
-        query in "[abc ]{1,10}",
-    ) {
+/// All 13 predicates return byte-identical rankings through the indexed
+/// prepared plans and through the naive (clone-per-scan, full-table hash
+/// build) execution mode, on random corpora and queries.
+#[test]
+fn indexed_and_naive_paths_are_byte_identical() {
+    check(16, |g| {
+        let strings = gen_corpus_strings(g);
+        let query = gen_query(g);
+        let corpus = tokenized(&strings);
+        let params = Params::default();
+        for &kind in PredicateKind::all() {
+            let predicate = build_predicate(kind, corpus.clone(), &params);
+            let fast = predicate.rank(&query);
+            let slow = predicate.rank_naive(&query);
+            assert_eq!(fast, slow, "{kind}: indexed and naive rankings diverge for {query:?}");
+        }
+    });
+}
+
+/// Ranking invariants that hold for every predicate: scores are finite,
+/// sorted in non-increasing order, tids are valid, and no tid repeats.
+#[test]
+fn rankings_are_sorted_finite_and_unique() {
+    check(24, |g| {
+        let strings = gen_corpus_strings(g);
+        let query = gen_query(g);
         let corpus = tokenized(&strings);
         let params = Params::default();
         for &kind in PredicateKind::all() {
@@ -79,60 +103,62 @@ proptest! {
             let ranking = predicate.rank(&query);
             let mut seen = std::collections::HashSet::new();
             for window in ranking.windows(2) {
-                prop_assert!(
-                    window[0].score >= window[1].score - 1e-12,
-                    "{kind}: ranking not sorted"
-                );
+                assert!(window[0].score >= window[1].score - 1e-12, "{kind}: ranking not sorted");
             }
             for s in &ranking {
-                prop_assert!(s.score.is_finite(), "{kind}: non-finite score");
-                prop_assert!((s.tid as usize) < corpus.num_records(), "{kind}: invalid tid");
-                prop_assert!(seen.insert(s.tid), "{kind}: duplicate tid {}", s.tid);
+                assert!(s.score.is_finite(), "{kind}: non-finite score");
+                assert!((s.tid as usize) < corpus.num_records(), "{kind}: invalid tid");
+                assert!(seen.insert(s.tid), "{kind}: duplicate tid {}", s.tid);
             }
         }
-    }
+    });
+}
 
-    /// Self-retrieval: querying the corpus with one of its own strings must
-    /// return the corresponding tuple, and for the normalized predicates
-    /// (whose score is maximal at textual identity) that tuple must be tied
-    /// with the top of the ranking.
-    #[test]
-    fn self_queries_retrieve_the_identical_tuple(
-        strings in corpus_strategy(),
-        pick in any::<prop::sample::Index>(),
-    ) {
+/// Self-retrieval: querying the corpus with one of its own strings must
+/// return the corresponding tuple, and for the normalized predicates
+/// (whose score is maximal at textual identity) that tuple must be tied
+/// with the top of the ranking.
+#[test]
+fn self_queries_retrieve_the_identical_tuple() {
+    check(24, |g| {
+        let strings = gen_corpus_strings(g);
         let corpus = tokenized(&strings);
         let params = Params::default();
-        let idx = pick.index(strings.len());
+        let idx = g.usize_in(0..strings.len());
         let query = &strings[idx];
         // Skip blank strings: they produce no tokens by design.
-        prop_assume!(!query.trim().is_empty());
+        if query.trim().is_empty() {
+            return;
+        }
         let normalized_query = dasp_text::normalize(query);
-        prop_assume!(!normalized_query.is_empty());
+        if normalized_query.is_empty() {
+            return;
+        }
         // Predicates whose score is normalized and maximal for identical text.
         for kind in [PredicateKind::Jaccard, PredicateKind::Cosine, PredicateKind::Ges] {
             let predicate = build_predicate(kind, corpus.clone(), &params);
             let ranking = predicate.rank(query);
-            prop_assert!(!ranking.is_empty(), "{kind}: no results for a corpus string");
+            assert!(!ranking.is_empty(), "{kind}: no results for a corpus string");
             let own = ranking
                 .iter()
                 .find(|s| dasp_text::normalize(&strings[s.tid as usize]) == normalized_query);
             let own = own.expect("the identical tuple must appear in its own ranking");
-            prop_assert!(
+            assert!(
                 own.score >= ranking[0].score - 1e-9,
                 "{kind}: identical tuple scored {} below the top score {}",
-                own.score, ranking[0].score
+                own.score,
+                ranking[0].score
             );
         }
         // Every predicate must at least return the identical tuple somewhere.
         for &kind in PredicateKind::all() {
             let predicate = build_predicate(kind, corpus.clone(), &params);
             let ranking = predicate.rank(query);
-            prop_assert!(
+            assert!(
                 ranking.iter().any(|s| s.tid as usize == idx
                     || dasp_text::normalize(&strings[s.tid as usize]) == normalized_query),
                 "{kind}: the query's own tuple is missing from the ranking"
             );
         }
-    }
+    });
 }

@@ -29,7 +29,9 @@ pub fn company_names(n: usize, seed: u64) -> Vec<String> {
         }
         // ~55%: an industry descriptor.
         if rng.gen_bool(0.55) {
-            parts.push((*vocab::COMPANY_DESCRIPTORS.choose(&mut rng).expect("non-empty")).to_string());
+            parts.push(
+                (*vocab::COMPANY_DESCRIPTORS.choose(&mut rng).expect("non-empty")).to_string(),
+            );
         }
         // ~85%: a legal suffix.
         if rng.gen_bool(0.85) {
@@ -67,7 +69,9 @@ pub fn dblp_titles(n: usize, seed: u64) -> Vec<String> {
             parts.push(word.to_string());
             // Occasionally insert a connector between content words.
             if i + 1 < num_words && rng.gen_bool(0.25) {
-                parts.push((*vocab::TITLE_CONNECTORS.choose(&mut rng).expect("non-empty")).to_string());
+                parts.push(
+                    (*vocab::TITLE_CONNECTORS.choose(&mut rng).expect("non-empty")).to_string(),
+                );
             }
         }
         let title = parts.join(" ");
@@ -116,8 +120,9 @@ mod tests {
         assert_eq!(titles.len(), 1000);
         let avg_len: f64 =
             titles.iter().map(|s| s.chars().count() as f64).sum::<f64>() / titles.len() as f64;
-        let avg_words: f64 = titles.iter().map(|s| s.split_whitespace().count() as f64).sum::<f64>()
-            / titles.len() as f64;
+        let avg_words: f64 =
+            titles.iter().map(|s| s.split_whitespace().count() as f64).sum::<f64>()
+                / titles.len() as f64;
         assert!((25.0..=50.0).contains(&avg_len), "avg length {avg_len}");
         assert!((3.0..=7.0).contains(&avg_words), "avg words {avg_words}");
     }

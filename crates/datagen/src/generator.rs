@@ -80,12 +80,12 @@ pub fn generate(name: &str, clean: &[String], config: &GeneratorConfig) -> Datas
         // Its duplicates.
         for _ in 1..count {
             let erroneous = rng.gen_bool((config.erroneous_pct / 100.0).clamp(0.0, 1.0));
-            let text = if erroneous {
-                perturb(text, config, &mut rng)
-            } else {
-                text.clone()
-            };
-            dataset.records.push(DirtyRecord { text, cluster: cluster as u32, is_erroneous: erroneous });
+            let text = if erroneous { perturb(text, config, &mut rng) } else { text.clone() };
+            dataset.records.push(DirtyRecord {
+                text,
+                cluster: cluster as u32,
+                is_erroneous: erroneous,
+            });
         }
     }
     dataset
@@ -205,8 +205,7 @@ mod tests {
     #[test]
     fn erroneous_fraction_tracks_configuration() {
         let base = GeneratorConfig { dataset_size: 2000, ..Default::default() };
-        let dirty =
-            generate("dirty", &clean(), &GeneratorConfig { erroneous_pct: 90.0, ..base });
+        let dirty = generate("dirty", &clean(), &GeneratorConfig { erroneous_pct: 90.0, ..base });
         let low = generate("low", &clean(), &GeneratorConfig { erroneous_pct: 10.0, ..base });
         assert!(dirty.erroneous_fraction() > low.erroneous_fraction());
         // 90% of duplicates (=1900 of 2000 minus 100 clean reps) ≈ 0.85 overall.
@@ -267,7 +266,8 @@ mod tests {
     #[test]
     fn clean_representatives_are_preserved_verbatim() {
         let clean = clean();
-        let config = GeneratorConfig { dataset_size: 800, erroneous_pct: 100.0, ..Default::default() };
+        let config =
+            GeneratorConfig { dataset_size: 800, erroneous_pct: 100.0, ..Default::default() };
         let d = generate("t", &clean, &config);
         for (cluster, original) in clean.iter().enumerate() {
             assert!(

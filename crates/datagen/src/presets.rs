@@ -36,14 +36,70 @@ pub struct CuSpec {
 /// Table 5.3: the eight company datasets (5,000 tuples from 500 clean ones,
 /// uniform duplicate distribution).
 pub const CU_SPECS: &[CuSpec] = &[
-    CuSpec { name: "CU1", class: ErrorClass::Dirty, erroneous_pct: 90.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU2", class: ErrorClass::Dirty, erroneous_pct: 50.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU3", class: ErrorClass::Medium, erroneous_pct: 30.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU4", class: ErrorClass::Medium, erroneous_pct: 10.0, edit_extent_pct: 30.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU5", class: ErrorClass::Medium, erroneous_pct: 90.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU6", class: ErrorClass::Medium, erroneous_pct: 50.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU7", class: ErrorClass::Low, erroneous_pct: 30.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
-    CuSpec { name: "CU8", class: ErrorClass::Low, erroneous_pct: 10.0, edit_extent_pct: 10.0, token_swap_pct: 20.0, abbreviation_pct: 50.0 },
+    CuSpec {
+        name: "CU1",
+        class: ErrorClass::Dirty,
+        erroneous_pct: 90.0,
+        edit_extent_pct: 30.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU2",
+        class: ErrorClass::Dirty,
+        erroneous_pct: 50.0,
+        edit_extent_pct: 30.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU3",
+        class: ErrorClass::Medium,
+        erroneous_pct: 30.0,
+        edit_extent_pct: 30.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU4",
+        class: ErrorClass::Medium,
+        erroneous_pct: 10.0,
+        edit_extent_pct: 30.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU5",
+        class: ErrorClass::Medium,
+        erroneous_pct: 90.0,
+        edit_extent_pct: 10.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU6",
+        class: ErrorClass::Medium,
+        erroneous_pct: 50.0,
+        edit_extent_pct: 10.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU7",
+        class: ErrorClass::Low,
+        erroneous_pct: 30.0,
+        edit_extent_pct: 10.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
+    CuSpec {
+        name: "CU8",
+        class: ErrorClass::Low,
+        erroneous_pct: 10.0,
+        edit_extent_pct: 10.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 50.0,
+    },
 ];
 
 /// Specification of one single-error-type dataset (F1–F5 in Table 5.3).
@@ -63,11 +119,41 @@ pub struct FSpec {
 
 /// Table 5.3: the five single-error-type datasets.
 pub const F_SPECS: &[FSpec] = &[
-    FSpec { name: "F1", erroneous_pct: 50.0, edit_extent_pct: 0.0, token_swap_pct: 0.0, abbreviation_pct: 50.0 },
-    FSpec { name: "F2", erroneous_pct: 50.0, edit_extent_pct: 0.0, token_swap_pct: 20.0, abbreviation_pct: 0.0 },
-    FSpec { name: "F3", erroneous_pct: 50.0, edit_extent_pct: 10.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
-    FSpec { name: "F4", erroneous_pct: 50.0, edit_extent_pct: 20.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
-    FSpec { name: "F5", erroneous_pct: 50.0, edit_extent_pct: 30.0, token_swap_pct: 0.0, abbreviation_pct: 0.0 },
+    FSpec {
+        name: "F1",
+        erroneous_pct: 50.0,
+        edit_extent_pct: 0.0,
+        token_swap_pct: 0.0,
+        abbreviation_pct: 50.0,
+    },
+    FSpec {
+        name: "F2",
+        erroneous_pct: 50.0,
+        edit_extent_pct: 0.0,
+        token_swap_pct: 20.0,
+        abbreviation_pct: 0.0,
+    },
+    FSpec {
+        name: "F3",
+        erroneous_pct: 50.0,
+        edit_extent_pct: 10.0,
+        token_swap_pct: 0.0,
+        abbreviation_pct: 0.0,
+    },
+    FSpec {
+        name: "F4",
+        erroneous_pct: 50.0,
+        edit_extent_pct: 20.0,
+        token_swap_pct: 0.0,
+        abbreviation_pct: 0.0,
+    },
+    FSpec {
+        name: "F5",
+        erroneous_pct: 50.0,
+        edit_extent_pct: 30.0,
+        token_swap_pct: 0.0,
+        abbreviation_pct: 0.0,
+    },
 ];
 
 /// Default sizes used by the accuracy experiments: 5,000 tuples generated

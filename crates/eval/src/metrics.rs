@@ -84,7 +84,7 @@ mod tests {
     fn missing_relevant_items_penalize_ap() {
         let relevant = set(&[1, 2, 3, 4]);
         let ranking = vec![1, 2]; // only half of the relevant items returned
-        // AP = (1/1 + 2/2) / 4 = 0.5
+                                  // AP = (1/1 + 2/2) / 4 = 0.5
         assert!((average_precision(&ranking, &relevant) - 0.5).abs() < 1e-12);
     }
 

@@ -53,7 +53,11 @@ impl TextTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", render_row(&self.headers));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", render_row(row));
         }

@@ -1,0 +1,58 @@
+//! Engine-equivalence tests for the indexed-catalog refactor: all 13
+//! predicates, built over seeded `dasp-datagen` corpora, must return
+//! byte-identical rankings through the indexed prepared plans and through
+//! the naive pre-refactor path (clone-per-scan, per-query full-table hash
+//! builds). "Byte-identical" is literal: `ScoredTid` compares `f64` scores
+//! exactly, which works because both engine modes emit join rows in the same
+//! order and therefore accumulate floating-point sums identically.
+
+use dasp_core::{build_all, Params, PredicateKind};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
+use dasp_eval::{sample_query_indices, tokenize_dataset};
+
+fn assert_equivalent_on(dataset: &dasp_datagen::Dataset, label: &str) {
+    let params = Params::default();
+    let corpus = tokenize_dataset(dataset, &params);
+    let indices = sample_query_indices(dataset, 8, 0xE0_1D);
+    for (kind, predicate) in build_all(corpus, &params) {
+        for &idx in &indices {
+            let query = &dataset.records[idx].text;
+            let fast = predicate.rank(query);
+            let slow = predicate.rank_naive(query);
+            assert_eq!(
+                fast, slow,
+                "{label}/{kind}: indexed and naive rankings diverge for query {query:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_13_predicates_are_equivalent_on_company_names() {
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 250, 25);
+    assert_equivalent_on(&dataset, "CU2");
+}
+
+#[test]
+fn all_13_predicates_are_equivalent_on_abbreviation_errors() {
+    let dataset = f_dataset_sized(f_spec("F1").unwrap(), 200, 20);
+    assert_equivalent_on(&dataset, "F1");
+}
+
+#[test]
+fn all_13_predicates_are_equivalent_on_dblp_titles() {
+    let dataset = dblp_dataset(200);
+    assert_equivalent_on(&dataset, "DBLP");
+}
+
+#[test]
+fn equivalence_covers_every_predicate_kind() {
+    // Guard against a predicate silently opting out: build_all must cover the
+    // full 13-predicate roster the equivalence tests iterate.
+    let dataset = cu_dataset_sized(cu_spec("CU8").unwrap(), 60, 10);
+    let corpus = tokenize_dataset(&dataset, &Params::default());
+    let kinds: Vec<PredicateKind> =
+        build_all(corpus, &Params::default()).iter().map(|(k, _)| *k).collect();
+    assert_eq!(kinds.len(), 13);
+    assert_eq!(kinds, PredicateKind::all().to_vec());
+}

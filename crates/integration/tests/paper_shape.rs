@@ -42,7 +42,10 @@ fn token_swaps_hurt_order_sensitive_predicates() {
     assert!(cosine > 0.95, "cosine should shrug off token swaps, got {cosine}");
     assert!(hmm > 0.95, "HMM should shrug off token swaps, got {hmm}");
     assert!(ed < cosine, "edit distance ({ed}) must trail cosine ({cosine}) under token swaps");
-    assert!(ges <= cosine + 1e-9, "GES ({ges}) should not beat cosine ({cosine}) under token swaps");
+    assert!(
+        ges <= cosine + 1e-9,
+        "GES ({ges}) should not beat cosine ({cosine}) under token swaps"
+    );
 }
 
 /// Table 5.6: as edit error grows, every predicate degrades, and the

@@ -70,13 +70,11 @@ impl Accumulator {
     /// Fold one evaluated value (`None` means COUNT(*), which ignores values).
     pub(crate) fn update(&mut self, value: Option<Value>) -> Result<()> {
         match self {
-            Accumulator::Count(n) => {
-                match value {
-                    None => *n += 1,
-                    Some(v) if !v.is_null() => *n += 1,
-                    Some(_) => {}
-                }
-            }
+            Accumulator::Count(n) => match value {
+                None => *n += 1,
+                Some(v) if !v.is_null() => *n += 1,
+                Some(_) => {}
+            },
             Accumulator::CountDistinct(set) => {
                 if let Some(v) = value {
                     if !v.is_null() {

@@ -1,0 +1,73 @@
+//! Per-execution bindings for prepared plans.
+//!
+//! A prepared plan (see [`crate::PreparedPlan`]) is built once at predicate
+//! preprocessing time; everything that varies per query — the query-side
+//! token/weight tables and scalar constants like `|Q|` — enters execution as
+//! a *binding*: [`Plan::Param`](crate::Plan::Param) leaves resolve against the
+//! table bindings and [`Expr::Param`](crate::Expr::Param) leaves against the
+//! scalar bindings.
+
+use crate::error::{RelqError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Named table and scalar parameters for one plan execution.
+#[derive(Debug, Default, Clone)]
+pub struct Bindings {
+    tables: HashMap<String, Arc<Table>>,
+    scalars: HashMap<String, Value>,
+}
+
+impl Bindings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a table parameter (consumed by [`Plan::Param`](crate::Plan::Param)).
+    pub fn with_table(mut self, name: &str, table: impl Into<Arc<Table>>) -> Self {
+        self.tables.insert(name.to_string(), table.into());
+        self
+    }
+
+    /// Bind a scalar parameter (consumed by [`Expr::Param`](crate::Expr::Param)).
+    pub fn with_scalar(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.scalars.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Look up a table binding.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables.get(name).ok_or_else(|| RelqError::UnboundParam(name.to_string()))
+    }
+
+    /// Look up a scalar binding.
+    pub fn scalar(&self, name: &str) -> Result<&Value> {
+        self.scalars.get(name).ok_or_else(|| RelqError::UnboundParam(name.to_string()))
+    }
+
+    /// True when no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.scalars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    #[test]
+    fn bind_and_lookup() {
+        let t = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let b = Bindings::new().with_table("q", t).with_scalar("len", 3.5);
+        assert!(!b.is_empty());
+        assert_eq!(b.table("q").unwrap().num_rows(), 0);
+        assert_eq!(b.scalar("len").unwrap(), &Value::Float(3.5));
+        assert!(matches!(b.table("zzz"), Err(RelqError::UnboundParam(_))));
+        assert!(matches!(b.scalar("zzz"), Err(RelqError::UnboundParam(_))));
+        assert!(Bindings::new().is_empty());
+    }
+}

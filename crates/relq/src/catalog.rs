@@ -1,17 +1,111 @@
-//! A named collection of tables (the "database" the plans run against).
+//! A named collection of tables (the "database" the plans run against), with
+//! optional persistent inverted indexes.
+//!
+//! ## The indexed-catalog contract
+//!
+//! Tables are stored as `Arc<Table>`: [`Plan::Scan`](crate::Plan::Scan) hands
+//! out a shared handle, so scanning never copies rows. Registration is the
+//! *only* time a table's rows are walked — [`Catalog::register_indexed`]
+//! builds a persistent [`TableIndex`] (key values → row ids) right then,
+//! which is the preprocessing-time analogue of the paper's clustered index on
+//! the token/weight relations. At query time
+//! [`Plan::IndexJoin`](crate::Plan::IndexJoin) probes that index, so a lookup
+//! costs O(matching rows) instead of O(table) — the base relation is never
+//! re-hashed or re-scanned per query.
 
 use crate::error::{RelqError, Result};
 use crate::table::Table;
-use std::collections::BTreeMap;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-/// Catalog of named, materialized tables.
-///
-/// Predicate preprocessing registers token/weight tables here (the analogue
-/// of the paper's `BASE_TOKENS`, `BASE_WEIGHTS`, ... relations); query-time
-/// plans scan them by name.
+/// A persistent inverted index over one or more key columns of a table: maps
+/// each distinct non-NULL key to the ids of the rows carrying it, in table
+/// order (so index probes enumerate matches exactly as a hash join built on
+/// the full table would).
+#[derive(Debug, Clone)]
+pub struct TableIndex {
+    key_cols: Vec<String>,
+    map: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl TableIndex {
+    fn build(table: &Table, key_cols: &[String]) -> Result<Self> {
+        if key_cols.is_empty() {
+            return Err(RelqError::InvalidPlan(
+                "an index needs at least one key column".to_string(),
+            ));
+        }
+        let key_idx: Vec<usize> =
+            key_cols.iter().map(|c| table.schema().index_of(c)).collect::<Result<_>>()?;
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for (row_no, row) in table.rows().iter().enumerate() {
+            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // SQL equality never matches NULL keys.
+            }
+            map.entry(key).or_default().push(row_no as u32);
+        }
+        Ok(TableIndex { key_cols: key_cols.to_vec(), map })
+    }
+
+    /// The indexed key columns, in key order.
+    pub fn key_cols(&self) -> &[String] {
+        &self.key_cols
+    }
+
+    /// Row ids whose key equals `key`, in table order.
+    pub fn lookup(&self, key: &[Value]) -> Option<&[u32]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Per-column `(min, max)` ranges of the Int columns of an indexed table.
+/// Computed once at registration; `None` for non-Int columns, for columns
+/// containing no Int values, and for columns holding unexpected value types.
+/// The fused index-join aggregation uses these to switch from hash-based to
+/// dense-array group lookup when a GROUP BY key has a compact Int range.
+fn int_column_stats(table: &Table) -> Vec<Option<(i64, i64)>> {
+    table
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, field)| {
+            if field.dtype != crate::value::DataType::Int {
+                return None;
+            }
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            let mut any = false;
+            for row in table.rows() {
+                match &row[i] {
+                    Value::Int(v) => {
+                        any = true;
+                        min = min.min(*v);
+                        max = max.max(*v);
+                    }
+                    Value::Null => {}
+                    _ => return None,
+                }
+            }
+            any.then_some((min, max))
+        })
+        .collect()
+}
+
+/// Catalog of named, materialized tables stored behind `Arc` plus their
+/// persistent indexes and registration-time column statistics.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
+    indexes: BTreeMap<String, Vec<TableIndex>>,
+    int_stats: BTreeMap<String, Vec<Option<(i64, i64)>>>,
 }
 
 impl Catalog {
@@ -19,19 +113,78 @@ impl Catalog {
         Self::default()
     }
 
-    /// Register (or replace) a table under a name.
-    pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_string(), table);
+    /// Register (or replace) a table under a name. The table is stored behind
+    /// `Arc`, so scans share it without copying rows. Replacing a table drops
+    /// any indexes built for the previous registration.
+    pub fn register(&mut self, name: &str, table: impl Into<Arc<Table>>) {
+        self.indexes.remove(name);
+        self.int_stats.remove(name);
+        self.tables.insert(name.to_string(), table.into());
     }
 
-    /// Remove a table, returning it if present.
-    pub fn deregister(&mut self, name: &str) -> Option<Table> {
+    /// Register a table and build a persistent index over `key_cols` in the
+    /// same step (preprocessing-time work; query-time `IndexJoin`s probe it).
+    /// Int-column min/max statistics are collected in the same pass so the
+    /// executor can use dense group lookups. Fails if a key column does not
+    /// exist in the table's schema.
+    pub fn register_indexed(
+        &mut self,
+        name: &str,
+        table: impl Into<Arc<Table>>,
+        key_cols: &[&str],
+    ) -> Result<()> {
+        let table = table.into();
+        let cols: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
+        let index = TableIndex::build(&table, &cols)?;
+        self.indexes.remove(name);
+        self.indexes.insert(name.to_string(), vec![index]);
+        self.int_stats.insert(name.to_string(), int_column_stats(&table));
+        self.tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Build an additional index over an already registered table (no-op when
+    /// an index on exactly these key columns already exists).
+    pub fn add_index(&mut self, name: &str, key_cols: &[&str]) -> Result<()> {
+        let table = self.get_shared(name)?;
+        let cols: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
+        if self.index_for(name, &cols).is_some() {
+            return Ok(());
+        }
+        let index = TableIndex::build(&table, &cols)?;
+        self.indexes.entry(name.to_string()).or_default().push(index);
+        Ok(())
+    }
+
+    /// Remove a table (and its indexes), returning the shared handle.
+    pub fn deregister(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.indexes.remove(name);
+        self.int_stats.remove(name);
         self.tables.remove(name)
+    }
+
+    /// The `(min, max)` range of an Int column of an indexed table, when the
+    /// registration pass could determine one.
+    pub fn int_column_range(&self, name: &str, col: usize) -> Option<(i64, i64)> {
+        *self.int_stats.get(name)?.get(col)?
     }
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| RelqError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| RelqError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table by name, returning the shared handle (used by scans).
+    pub fn get_shared(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables.get(name).cloned().ok_or_else(|| RelqError::UnknownTable(name.to_string()))
+    }
+
+    /// The index of `name` over exactly `key_cols`, if one was registered.
+    pub fn index_for(&self, name: &str, key_cols: &[String]) -> Option<&TableIndex> {
+        self.indexes.get(name)?.iter().find(|ix| ix.key_cols == key_cols)
     }
 
     /// Whether a table with this name exists.
@@ -69,7 +222,7 @@ mod tests {
     fn small_table(rows: usize) -> Table {
         let mut t = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
         for i in 0..rows {
-            t.push_row(vec![(i as i64).into()]).unwrap();
+            t.push_row(vec![((i % 3) as i64).into()]).unwrap();
         }
         t
     }
@@ -84,6 +237,7 @@ mod tests {
         assert!(c.contains("a"));
         assert_eq!(c.get("a").unwrap().num_rows(), 3);
         assert!(c.get("zzz").is_err());
+        assert!(c.get_shared("zzz").is_err());
         assert_eq!(c.table_names(), vec!["a", "b"]);
         assert_eq!(c.total_rows(), 5);
     }
@@ -98,5 +252,74 @@ mod tests {
         assert_eq!(removed.num_rows(), 7);
         assert!(!c.contains("a"));
         assert!(c.deregister("a").is_none());
+    }
+
+    #[test]
+    fn scans_share_storage_instead_of_cloning() {
+        let mut c = Catalog::new();
+        c.register("a", small_table(4));
+        let s1 = c.get_shared("a").unwrap();
+        let s2 = c.get_shared("a").unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "shared handles must alias the same allocation");
+    }
+
+    #[test]
+    fn register_indexed_builds_a_probeable_index() {
+        let mut c = Catalog::new();
+        c.register_indexed("a", small_table(7), &["x"]).unwrap();
+        let ix = c.index_for("a", &["x".to_string()]).expect("index exists");
+        assert_eq!(ix.key_cols(), ["x".to_string()]);
+        // x cycles 0,1,2 over 7 rows: key 0 -> rows {0,3,6}.
+        assert_eq!(ix.lookup(&[Value::Int(0)]), Some(&[0u32, 3, 6][..]));
+        assert_eq!(ix.lookup(&[Value::Int(9)]), None);
+        assert_eq!(ix.num_keys(), 3);
+    }
+
+    #[test]
+    fn indexing_unknown_columns_fails_and_nulls_are_skipped() {
+        let mut c = Catalog::new();
+        assert!(c.register_indexed("a", small_table(2), &["nope"]).is_err());
+        let mut t = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        c.register_indexed("b", t, &["x"]).unwrap();
+        let ix = c.index_for("b", &["x".to_string()]).unwrap();
+        assert_eq!(ix.num_keys(), 1);
+        assert!(ix.lookup(&[Value::Null]).is_none());
+    }
+
+    #[test]
+    fn int_column_stats_are_collected_at_registration() {
+        let mut t =
+            Table::empty(Schema::from_pairs(&[("tid", DataType::Int), ("w", DataType::Float)]));
+        t.push_row(vec![3.into(), 0.5.into()]).unwrap();
+        t.push_row(vec![Value::Null, 0.25.into()]).unwrap();
+        t.push_row(vec![7.into(), 0.75.into()]).unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("t", t, &["tid"]).unwrap();
+        assert_eq!(c.int_column_range("t", 0), Some((3, 7)));
+        assert_eq!(c.int_column_range("t", 1), None, "Float columns have no Int stats");
+        assert_eq!(c.int_column_range("t", 9), None);
+        assert_eq!(c.int_column_range("zzz", 0), None);
+        // Plain registration does not collect stats (scans don't need them).
+        c.register("u", small_table(3));
+        assert_eq!(c.int_column_range("u", 0), None);
+    }
+
+    #[test]
+    fn add_index_supports_multiple_key_sets() {
+        let mut t = Table::empty(Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]));
+        t.push_row(vec![1.into(), 10.into()]).unwrap();
+        t.push_row(vec![1.into(), 20.into()]).unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("t", t, &["x"]).unwrap();
+        c.add_index("t", &["x", "y"]).unwrap();
+        c.add_index("t", &["x"]).unwrap(); // no-op duplicate
+        assert!(c.index_for("t", &["x".to_string()]).is_some());
+        let composite = c.index_for("t", &["x".to_string(), "y".to_string()]).unwrap();
+        assert_eq!(composite.lookup(&[Value::Int(1), Value::Int(20)]), Some(&[1u32][..]));
+        // Re-registering drops stale indexes.
+        c.register("t", small_table(1));
+        assert!(c.index_for("t", &["x".to_string()]).is_none());
     }
 }

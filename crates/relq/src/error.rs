@@ -19,6 +19,11 @@ pub enum RelqError {
     InvalidPlan(String),
     /// Division by zero or another arithmetic failure.
     Arithmetic(String),
+    /// A `Plan::Param` / `Expr::Param` was executed without a binding.
+    UnboundParam(String),
+    /// A `Plan::IndexJoin` referenced a table that has no index on the
+    /// requested key columns (register it with `Catalog::register_indexed`).
+    MissingIndex { table: String, keys: Vec<String> },
 }
 
 impl fmt::Display for RelqError {
@@ -35,6 +40,10 @@ impl fmt::Display for RelqError {
             RelqError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             RelqError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             RelqError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            RelqError::UnboundParam(p) => write!(f, "unbound parameter: {p}"),
+            RelqError::MissingIndex { table, keys } => {
+                write!(f, "no index on table {table} for key columns [{}]", keys.join(", "))
+            }
         }
     }
 }

@@ -1,98 +1,291 @@
 //! Plan execution: evaluates a [`Plan`] against a [`Catalog`] and produces a
-//! materialized [`Table`].
+//! materialized table behind a shared handle.
 //!
-//! The execution strategy is intentionally simple but realistic: hash
-//! equi-joins, hash aggregation, and row-at-a-time expression evaluation —
-//! the same operations a relational engine would use for the paper's SQL.
+//! ## Zero-clone scans and two execution modes
+//!
+//! Tables live in the catalog as `Arc<Table>`; `Plan::Scan` (and
+//! `Plan::Param`) produce that shared handle directly, so a query plan never
+//! copies base-relation rows. `Plan::IndexJoin` probes the persistent index
+//! built at registration time ([`Catalog::register_indexed`]), touching only
+//! the rows whose key appears on the (small) probe side.
+//!
+//! [`execute_naive`] preserves the pre-refactor cost model — every scan
+//! deep-clones its table and every `IndexJoin` degenerates to a hash join
+//! that re-builds a hash table over the *full* base relation — and is kept as
+//! the equivalence baseline: both modes emit rows in identical order, so
+//! results (including floating-point aggregate sums) are byte-identical.
+//! Equivalence tests and the engine benchmarks rely on exactly that.
 
-use crate::agg::{Accumulator, AggFunc};
+use crate::agg::{Accumulator, AggFunc, Aggregate};
+use crate::bindings::Bindings;
 use crate::catalog::Catalog;
 use crate::error::{RelqError, Result};
 use crate::plan::{Plan, ProjectItem, SortOrder};
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Row, Value};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Execute a plan against the catalog, returning the result table.
-pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table> {
-    match plan {
-        Plan::Scan { table } => Ok(catalog.get(table)?.clone()),
-        Plan::Values { table } => Ok(table.clone()),
-        Plan::Filter { input, predicate } => {
-            let input = execute(input, catalog)?;
-            let schema = input.schema().clone();
-            let mut rows = Vec::new();
-            for row in input.rows() {
-                if predicate.evaluate(row, &schema)?.as_bool()? {
-                    rows.push(row.clone());
-                }
+/// Execute a plan against the catalog (no parameters), returning a shared
+/// handle to the result. When the plan root is itself a scan, the handle
+/// aliases the catalog's storage — no rows are copied anywhere.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Arc<Table>> {
+    execute_with(plan, catalog, &Bindings::new())
+}
+
+/// Execute a plan with per-query [`Bindings`] for its `Param` leaves.
+pub fn execute_with(plan: &Plan, catalog: &Catalog, bindings: &Bindings) -> Result<Arc<Table>> {
+    let ctx = ExecCtx { catalog, bindings, naive: false };
+    Ok(eval(plan, &ctx)?.into_shared())
+}
+
+/// Execute a plan under the pre-refactor cost model: scans deep-clone their
+/// tables and `IndexJoin` nodes run as per-query hash joins that build over
+/// the full base relation. Row emission order matches [`execute_with`]
+/// exactly, so the two modes produce byte-identical results — this is the
+/// baseline the equivalence tests and the engine benchmark compare against.
+pub fn execute_naive(plan: &Plan, catalog: &Catalog, bindings: &Bindings) -> Result<Arc<Table>> {
+    let ctx = ExecCtx { catalog, bindings, naive: true };
+    Ok(eval(plan, &ctx)?.into_shared())
+}
+
+struct ExecCtx<'a> {
+    catalog: &'a Catalog,
+    bindings: &'a Bindings,
+    naive: bool,
+}
+
+/// An intermediate relation: either a shared base table or an operator's own
+/// materialized output. Operators borrow rows; only the ones that truly need
+/// owned rows (sort, limit, distinct, union) pay a copy, and only when their
+/// input is shared.
+enum Rel {
+    Shared(Arc<Table>),
+    Owned(Table),
+}
+
+impl Rel {
+    fn as_table(&self) -> &Table {
+        match self {
+            Rel::Shared(t) => t,
+            Rel::Owned(t) => t,
+        }
+    }
+
+    fn into_shared(self) -> Arc<Table> {
+        match self {
+            Rel::Shared(t) => t,
+            Rel::Owned(t) => Arc::new(t),
+        }
+    }
+
+    fn into_schema_and_rows(self) -> (Schema, Vec<Row>) {
+        match self {
+            Rel::Shared(t) => (t.schema().clone(), t.rows().to_vec()),
+            Rel::Owned(t) => {
+                let schema = t.schema().clone();
+                (schema, t.into_rows())
             }
-            Ok(Table::from_parts_unchecked(schema, rows))
-        }
-        Plan::Project { input, items } => {
-            let input = execute(input, catalog)?;
-            project(&input, items)
-        }
-        Plan::HashJoin { left, right, left_keys, right_keys, suffix } => {
-            let left = execute(left, catalog)?;
-            let right = execute(right, catalog)?;
-            hash_join(&left, &right, left_keys, right_keys, suffix)
-        }
-        Plan::Aggregate { input, group_by, aggregates } => {
-            let input = execute(input, catalog)?;
-            aggregate(&input, group_by, aggregates)
-        }
-        Plan::Sort { input, keys } => {
-            let input = execute(input, catalog)?;
-            sort(input, keys)
-        }
-        Plan::Limit { input, count } => {
-            let input = execute(input, catalog)?;
-            let schema = input.schema().clone();
-            let rows: Vec<Row> = input.into_rows().into_iter().take(*count).collect();
-            Ok(Table::from_parts_unchecked(schema, rows))
-        }
-        Plan::Distinct { input } => {
-            let input = execute(input, catalog)?;
-            distinct(input)
-        }
-        Plan::UnionAll { left, right } => {
-            let left = execute(left, catalog)?;
-            let right = execute(right, catalog)?;
-            left.schema().check_union_compatible(right.schema())?;
-            let schema = left.schema().clone();
-            let mut rows = left.into_rows();
-            rows.extend(right.into_rows());
-            Ok(Table::from_parts_unchecked(schema, rows))
         }
     }
 }
 
-fn project(input: &Table, items: &[ProjectItem]) -> Result<Table> {
+/// Resolve an expression's scalar parameters against the context bindings
+/// (borrowing when the expression has none, the common case).
+fn resolve<'e>(expr: &'e crate::expr::Expr, ctx: &ExecCtx) -> Result<Cow<'e, crate::expr::Expr>> {
+    if expr.has_params() {
+        Ok(Cow::Owned(expr.bind(ctx.bindings)?))
+    } else {
+        Ok(Cow::Borrowed(expr))
+    }
+}
+
+fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
+    match plan {
+        Plan::Scan { table } => {
+            if ctx.naive {
+                // Pre-refactor semantics: every scan deep-clones the table.
+                Ok(Rel::Owned(ctx.catalog.get(table)?.clone()))
+            } else {
+                Ok(Rel::Shared(ctx.catalog.get_shared(table)?))
+            }
+        }
+        Plan::Values { table } => Ok(Rel::Owned(table.clone())),
+        Plan::Param { name } => {
+            let table = ctx.bindings.table(name)?.clone();
+            if ctx.naive {
+                Ok(Rel::Owned((*table).clone()))
+            } else {
+                Ok(Rel::Shared(table))
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            let input = eval(input, ctx)?;
+            let table = input.as_table();
+            let schema = table.schema();
+            let mut rows = Vec::new();
+            if !table.is_empty() {
+                let predicate = resolve(predicate, ctx)?.compile(schema)?;
+                for row in table.rows() {
+                    if predicate.evaluate(row)?.as_bool()? {
+                        rows.push(row.clone());
+                    }
+                }
+            }
+            Ok(Rel::Owned(Table::from_parts_unchecked(schema.clone(), rows)))
+        }
+        Plan::Project { input, items } => {
+            let input = eval(input, ctx)?;
+            Ok(Rel::Owned(project(input.as_table(), items, ctx)?))
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, suffix } => {
+            let left = eval(left, ctx)?;
+            let right = eval(right, ctx)?;
+            Ok(Rel::Owned(hash_join(
+                left.as_table(),
+                right.as_table(),
+                left_keys,
+                right_keys,
+                suffix,
+                BuildSide::Smaller,
+            )?))
+        }
+        Plan::IndexJoin { base, base_keys, probe, probe_keys, suffix } => {
+            let probe_rel = eval(probe, ctx)?;
+            let probe_table = probe_rel.as_table();
+            if ctx.naive {
+                // Pre-refactor path: re-build a hash table over the FULL base
+                // relation for every execution. Building on the base (left)
+                // side makes the emission order match the index probe below,
+                // keeping the two modes byte-identical.
+                let base_table = ctx.catalog.get(base)?;
+                Ok(Rel::Owned(hash_join(
+                    base_table,
+                    probe_table,
+                    base_keys,
+                    probe_keys,
+                    suffix,
+                    BuildSide::Left,
+                )?))
+            } else {
+                Ok(Rel::Owned(index_join(
+                    ctx.catalog,
+                    base,
+                    base_keys,
+                    probe_table,
+                    probe_keys,
+                    suffix,
+                )?))
+            }
+        }
+        Plan::Aggregate { input, group_by, aggregates } => {
+            // Fused fast path: aggregation directly over an index probe feeds
+            // each virtual joined row straight into the group accumulators,
+            // never materializing join output. Emission order matches the
+            // materialized path, so results stay byte-identical (the naive
+            // mode deliberately keeps the unfused pre-refactor pipeline).
+            if !ctx.naive {
+                if let Plan::IndexJoin { base, base_keys, probe, probe_keys, suffix } =
+                    input.as_ref()
+                {
+                    return Ok(Rel::Owned(index_join_aggregate(
+                        ctx, base, base_keys, probe, probe_keys, suffix, group_by, aggregates,
+                    )?));
+                }
+            }
+            let input = eval(input, ctx)?;
+            Ok(Rel::Owned(aggregate(input.as_table(), group_by, aggregates, ctx)?))
+        }
+        Plan::Sort { input, keys } => {
+            let input = eval(input, ctx)?;
+            Ok(Rel::Owned(sort(input, keys)?))
+        }
+        Plan::Limit { input, count } => {
+            // Clone only the rows that survive the limit; a shared input must
+            // not pay for the rows being dropped.
+            let limited = match eval(input, ctx)? {
+                Rel::Shared(t) => {
+                    let rows: Vec<Row> = t.rows().iter().take(*count).cloned().collect();
+                    Table::from_parts_unchecked(t.schema().clone(), rows)
+                }
+                Rel::Owned(t) => {
+                    let schema = t.schema().clone();
+                    let mut rows = t.into_rows();
+                    rows.truncate(*count);
+                    Table::from_parts_unchecked(schema, rows)
+                }
+            };
+            Ok(Rel::Owned(limited))
+        }
+        Plan::Distinct { input } => {
+            let input = eval(input, ctx)?;
+            Ok(Rel::Owned(distinct(input)))
+        }
+        Plan::UnionAll { left, right } => {
+            let left = eval(left, ctx)?;
+            let right = eval(right, ctx)?;
+            left.as_table().schema().check_union_compatible(right.as_table().schema())?;
+            let (schema, mut rows) = left.into_schema_and_rows();
+            rows.extend(right.into_schema_and_rows().1);
+            Ok(Rel::Owned(Table::from_parts_unchecked(schema, rows)))
+        }
+    }
+}
+
+fn project(input: &Table, items: &[ProjectItem], ctx: &ExecCtx) -> Result<Table> {
     let in_schema = input.schema();
-    // Infer output types from the first row; default to Float when the table
-    // is empty or the first value is NULL (weights and scores dominate).
+    let exprs: Vec<Cow<crate::expr::Expr>> =
+        items.iter().map(|item| resolve(&item.expr, ctx)).collect::<Result<_>>()?;
+    // Output types are derived from the expressions themselves whenever
+    // possible, so empty inputs keep correct column types (they used to be
+    // guessed from the first row only). The first-row probe remains a
+    // fallback for shapes the static derivation cannot see (e.g. a column
+    // holding NULLs typed only by its values); Float is the last resort
+    // because weights and scores dominate this workload.
     let mut fields = Vec::with_capacity(items.len());
-    for item in items {
-        let dtype = input
-            .rows()
-            .first()
-            .and_then(|row| item.expr.evaluate(row, in_schema).ok())
-            .and_then(|v| v.data_type())
+    for (item, expr) in items.iter().zip(&exprs) {
+        let dtype = expr
+            .output_type(in_schema)
+            .or_else(|| {
+                input
+                    .rows()
+                    .first()
+                    .and_then(|row| expr.evaluate(row, in_schema).ok())
+                    .and_then(|v| v.data_type())
+            })
             .unwrap_or(DataType::Float);
         fields.push(Field::new(item.alias.clone(), dtype));
     }
     let out_schema = Schema::new(fields);
+    if input.is_empty() {
+        return Ok(Table::empty(out_schema));
+    }
+    // Compile once so per-row evaluation does no column-name lookups; a
+    // compile failure (unknown column) is the same error evaluating the
+    // first row would have produced.
+    let compiled: Vec<crate::expr::CompiledExpr> =
+        exprs.iter().map(|e| e.compile(in_schema)).collect::<Result<_>>()?;
     let mut rows = Vec::with_capacity(input.num_rows());
     for row in input.rows() {
         let mut out = Vec::with_capacity(items.len());
-        for item in items {
-            out.push(item.expr.evaluate(row, in_schema)?);
+        for expr in &compiled {
+            out.push(expr.evaluate(row)?);
         }
         rows.push(out);
     }
     Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+/// Which side a hash join builds its table on.
+#[derive(Clone, Copy, PartialEq)]
+enum BuildSide {
+    /// Build on the smaller input (the planner default).
+    Smaller,
+    /// Always build on the left input. Used by the naive lowering of
+    /// `IndexJoin` so row emission order matches the index probe.
+    Left,
 }
 
 fn hash_join(
@@ -101,6 +294,7 @@ fn hash_join(
     left_keys: &[String],
     right_keys: &[String],
     suffix: &str,
+    build_side: BuildSide,
 ) -> Result<Table> {
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(RelqError::InvalidPlan(format!(
@@ -109,17 +303,15 @@ fn hash_join(
             right_keys.len()
         )));
     }
-    let left_idx: Vec<usize> = left_keys
-        .iter()
-        .map(|k| left.schema().index_of(k))
-        .collect::<Result<_>>()?;
-    let right_idx: Vec<usize> = right_keys
-        .iter()
-        .map(|k| right.schema().index_of(k))
-        .collect::<Result<_>>()?;
+    let left_idx: Vec<usize> =
+        left_keys.iter().map(|k| left.schema().index_of(k)).collect::<Result<_>>()?;
+    let right_idx: Vec<usize> =
+        right_keys.iter().map(|k| right.schema().index_of(k)).collect::<Result<_>>()?;
 
-    // Build on the smaller input.
-    let build_left = left.num_rows() <= right.num_rows();
+    let build_left = match build_side {
+        BuildSide::Smaller => left.num_rows() <= right.num_rows(),
+        BuildSide::Left => true,
+    };
     let (build, build_idx, probe, probe_idx) = if build_left {
         (left, &left_idx, right, &right_idx)
     } else {
@@ -157,7 +349,361 @@ fn hash_join(
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
-fn aggregate(input: &Table, group_by: &[String], aggregates: &[crate::agg::Aggregate]) -> Result<Table> {
+/// Probe the persistent index of `base` with the probe table's key values.
+/// Per probe row this touches exactly the base rows carrying its key — the
+/// base relation itself is never scanned. Emission is probe-major with base
+/// matches in table order, identical to a hash join built on the base side.
+fn index_join(
+    catalog: &Catalog,
+    base: &str,
+    base_keys: &[String],
+    probe: &Table,
+    probe_keys: &[String],
+    suffix: &str,
+) -> Result<Table> {
+    if base_keys.len() != probe_keys.len() || base_keys.is_empty() {
+        return Err(RelqError::InvalidPlan(format!(
+            "join key lists must be equal length and non-empty: {} vs {}",
+            base_keys.len(),
+            probe_keys.len()
+        )));
+    }
+    let base_table = catalog.get(base)?;
+    let index = catalog.index_for(base, base_keys).ok_or_else(|| RelqError::MissingIndex {
+        table: base.to_string(),
+        keys: base_keys.to_vec(),
+    })?;
+    let probe_idx: Vec<usize> =
+        probe_keys.iter().map(|k| probe.schema().index_of(k)).collect::<Result<_>>()?;
+    let out_schema = base_table.schema().join(probe.schema(), suffix);
+    let base_rows = base_table.rows();
+    let mut rows = Vec::new();
+    let mut key = Vec::with_capacity(probe_idx.len());
+    for probe_row in probe.rows() {
+        key.clear();
+        key.extend(probe_idx.iter().map(|&i| probe_row[i].clone()));
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(ids) = index.lookup(&key) {
+            for &rid in ids {
+                let base_row = &base_rows[rid as usize];
+                let mut out = Vec::with_capacity(out_schema.len());
+                out.extend(base_row.iter().cloned());
+                out.extend(probe_row.iter().cloned());
+                rows.push(out);
+            }
+        }
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+/// Fused execution of `Aggregate(IndexJoin(base, probe))`: probes the base
+/// index and feeds each *virtual* joined row (base slice + probe slice, never
+/// concatenated) straight into the group accumulators through compiled,
+/// index-resolved expressions. Join output is never materialized and no
+/// per-row name lookups happen — this is where the indexed engine's
+/// query-time win over the naive full-join path comes from. Rows are visited
+/// in exactly the order the materialized pipeline would emit them, so group
+/// order and floating-point accumulation are byte-identical to it.
+#[allow(clippy::too_many_arguments)]
+fn index_join_aggregate(
+    ctx: &ExecCtx,
+    base: &str,
+    base_keys: &[String],
+    probe_plan: &Plan,
+    probe_keys: &[String],
+    suffix: &str,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> Result<Table> {
+    let probe_rel = eval(probe_plan, ctx)?;
+    let probe = probe_rel.as_table();
+    if base_keys.len() != probe_keys.len() || base_keys.is_empty() {
+        return Err(RelqError::InvalidPlan(format!(
+            "join key lists must be equal length and non-empty: {} vs {}",
+            base_keys.len(),
+            probe_keys.len()
+        )));
+    }
+    let base_table = ctx.catalog.get(base)?;
+    let index = ctx.catalog.index_for(base, base_keys).ok_or_else(|| RelqError::MissingIndex {
+        table: base.to_string(),
+        keys: base_keys.to_vec(),
+    })?;
+    let probe_idx: Vec<usize> =
+        probe_keys.iter().map(|k| probe.schema().index_of(k)).collect::<Result<_>>()?;
+    let joined_schema = base_table.schema().join(probe.schema(), suffix);
+    let split = base_table.schema().len();
+
+    let group_idx: Vec<usize> =
+        group_by.iter().map(|k| joined_schema.index_of(k)).collect::<Result<_>>()?;
+    let mut fields = Vec::new();
+    for &i in &group_idx {
+        fields.push(joined_schema.field(i).clone());
+    }
+    for agg in aggregates {
+        fields.push(Field::new(agg.alias.clone(), agg.output_type()));
+    }
+    let out_schema = Schema::new(fields);
+
+    // Compile each aggregate once. SUM/MIN/MAX over float-safe expressions
+    // update their accumulators through the unboxed f64 evaluator (bit
+    // identical to the generic path, see `FloatExpr`); everything else goes
+    // through the compiled generic evaluator.
+    use crate::expr::{FloatExpr, FloatExprType};
+    enum FastAgg {
+        CountStar,
+        SumF(FloatExpr),
+        MinF(FloatExpr),
+        MaxF(FloatExpr),
+        Generic(crate::expr::CompiledExpr),
+    }
+    let fast_aggs: Vec<FastAgg> = aggregates
+        .iter()
+        .map(|agg| {
+            Ok(match &agg.func {
+                AggFunc::CountStar => FastAgg::CountStar,
+                AggFunc::Sum(e) => {
+                    let e = resolve(e, ctx)?;
+                    // SUM coerces every input to f64 and always emits Float,
+                    // so any float-safe expression qualifies.
+                    match FloatExpr::from_expr(&e, &joined_schema) {
+                        Some((f, _)) => FastAgg::SumF(f),
+                        None => FastAgg::Generic(e.compile(&joined_schema)?),
+                    }
+                }
+                AggFunc::Min(e) | AggFunc::Max(e) => {
+                    let is_max = matches!(&agg.func, AggFunc::Max(_));
+                    let e = resolve(e, ctx)?;
+                    // MIN/MAX return the input value itself, so the fast path
+                    // additionally requires the result to be Float-typed
+                    // (a bare Int column must keep producing Value::Int).
+                    match FloatExpr::from_expr(&e, &joined_schema) {
+                        Some((f, FloatExprType::Float)) => {
+                            if is_max {
+                                FastAgg::MaxF(f)
+                            } else {
+                                FastAgg::MinF(f)
+                            }
+                        }
+                        _ => FastAgg::Generic(e.compile(&joined_schema)?),
+                    }
+                }
+                AggFunc::Count(e) | AggFunc::CountDistinct(e) | AggFunc::Avg(e) => {
+                    FastAgg::Generic(resolve(e, ctx)?.compile(&joined_schema)?)
+                }
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // Group slots in first-seen order, exactly like `aggregate`. Single-column
+    // keys (the dominant GROUP BY tid shape) skip the per-row key vector, and
+    // when that column is a base-side Int with a compact range (known from
+    // the registration-time statistics) the lookup is a dense array instead
+    // of a hash map — the layout the paper's native inverted-index engines
+    // use. The lookup structure never changes accumulation order, so all
+    // variants stay byte-identical.
+    enum Groups {
+        Dense { offset: i64, slots: Vec<u32>, other: HashMap<Value, usize> },
+        Single(HashMap<Value, usize>),
+        Multi(HashMap<Vec<Value>, usize>),
+    }
+    let base_rows = base_table.rows();
+    let mut probe_key: Vec<Value> = Vec::with_capacity(probe_idx.len());
+    // Pre-size the probe: one cheap index lookup per probe row tells us the
+    // total number of matches this query will touch. The dense slot array is
+    // only worth its allocation + memset when the match volume justifies it —
+    // keyed on the *query's* work, not the corpus size, so a tiny query over
+    // a huge base never pays an O(corpus) setup cost.
+    let mut estimated_matches: usize = 0;
+    for probe_row in probe.rows() {
+        probe_key.clear();
+        probe_key.extend(probe_idx.iter().map(|&i| probe_row[i].clone()));
+        if probe_key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(ids) = index.lookup(&probe_key) {
+            estimated_matches += ids.len();
+        }
+    }
+    let dense_range = if group_idx.len() == 1 && group_idx[0] < split {
+        ctx.catalog.int_column_range(base, group_idx[0]).and_then(|(lo, hi)| {
+            let span = (hi as i128 - lo as i128) as u128 + 1;
+            let budget = (32 * estimated_matches).max(1024) as u128;
+            (span <= budget).then_some((lo, span as usize))
+        })
+    } else {
+        None
+    };
+    let mut groups = match dense_range {
+        Some((offset, span)) => {
+            Groups::Dense { offset, slots: vec![u32::MAX; span], other: HashMap::new() }
+        }
+        None if group_idx.len() == 1 => Groups::Single(HashMap::new()),
+        None => Groups::Multi(HashMap::new()),
+    };
+    let mut order: Vec<Row> = Vec::new();
+    let mut accumulators: Vec<Vec<Accumulator>> = Vec::new();
+    let mut key_buf: Vec<Value> = Vec::with_capacity(group_idx.len());
+
+    for probe_row in probe.rows() {
+        probe_key.clear();
+        probe_key.extend(probe_idx.iter().map(|&i| probe_row[i].clone()));
+        if probe_key.iter().any(Value::is_null) {
+            continue;
+        }
+        let Some(ids) = index.lookup(&probe_key) else { continue };
+        for &rid in ids {
+            let base_row = &base_rows[rid as usize];
+            let col_at = |i: usize| -> &Value {
+                if i < split {
+                    &base_row[i]
+                } else {
+                    &probe_row[i - split]
+                }
+            };
+            let slot = match &mut groups {
+                Groups::Dense { offset, slots, other } => {
+                    let key = col_at(group_idx[0]);
+                    if let Value::Int(v) = key {
+                        let i = (*v - *offset) as usize;
+                        let s = slots[i];
+                        if s != u32::MAX {
+                            s as usize
+                        } else {
+                            let s = order.len();
+                            slots[i] = s as u32;
+                            order.push(vec![key.clone()]);
+                            accumulators.push(
+                                aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect(),
+                            );
+                            s
+                        }
+                    } else {
+                        // NULL group keys (the only non-Int values the stats
+                        // pass admits) go through a side map.
+                        match other.get(key) {
+                            Some(&s) => s,
+                            None => {
+                                let s = order.len();
+                                other.insert(key.clone(), s);
+                                order.push(vec![key.clone()]);
+                                accumulators.push(
+                                    aggregates
+                                        .iter()
+                                        .map(|a| Accumulator::for_func(&a.func))
+                                        .collect(),
+                                );
+                                s
+                            }
+                        }
+                    }
+                }
+                Groups::Single(map) => {
+                    let key = col_at(group_idx[0]);
+                    match map.get(key) {
+                        Some(&s) => s,
+                        None => {
+                            let s = order.len();
+                            map.insert(key.clone(), s);
+                            order.push(vec![key.clone()]);
+                            accumulators.push(
+                                aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect(),
+                            );
+                            s
+                        }
+                    }
+                }
+                Groups::Multi(map) => {
+                    key_buf.clear();
+                    key_buf.extend(group_idx.iter().map(|&i| col_at(i).clone()));
+                    match map.get(key_buf.as_slice()) {
+                        Some(&s) => s,
+                        None => {
+                            let s = order.len();
+                            map.insert(key_buf.clone(), s);
+                            order.push(key_buf.clone());
+                            accumulators.push(
+                                aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect(),
+                            );
+                            s
+                        }
+                    }
+                }
+            };
+            for (acc, fast) in accumulators[slot].iter_mut().zip(&fast_aggs) {
+                match (fast, acc) {
+                    (FastAgg::CountStar, Accumulator::Count(n)) => *n += 1,
+                    (FastAgg::SumF(e), Accumulator::Sum { total, seen }) => {
+                        if let Some(x) = e.evaluate_split(base_row, probe_row, split)? {
+                            *total += x;
+                            *seen = true;
+                        }
+                    }
+                    (FastAgg::MinF(e), Accumulator::Min(current)) => {
+                        if let Some(x) = e.evaluate_split(base_row, probe_row, split)? {
+                            let replace = match current {
+                                None => true,
+                                // Mirrors Value::total_cmp on floats: NaN
+                                // never displaces an existing minimum.
+                                Some(Value::Float(c)) => x < *c,
+                                Some(c) => Value::Float(x).total_cmp(c) == std::cmp::Ordering::Less,
+                            };
+                            if replace {
+                                *current = Some(Value::Float(x));
+                            }
+                        }
+                    }
+                    (FastAgg::MaxF(e), Accumulator::Max(current)) => {
+                        if let Some(x) = e.evaluate_split(base_row, probe_row, split)? {
+                            let replace = match current {
+                                None => true,
+                                Some(Value::Float(c)) => x > *c,
+                                Some(c) => {
+                                    Value::Float(x).total_cmp(c) == std::cmp::Ordering::Greater
+                                }
+                            };
+                            if replace {
+                                *current = Some(Value::Float(x));
+                            }
+                        }
+                    }
+                    (FastAgg::Generic(e), acc) => {
+                        acc.update(Some(e.evaluate_split(base_row, probe_row, split)?))?;
+                    }
+                    // FastAgg variants are constructed from the same AggFunc
+                    // the accumulator was, so the pairs always line up.
+                    _ => unreachable!("fast aggregate paired with mismatched accumulator"),
+                }
+            }
+        }
+    }
+
+    // Global aggregation over an empty stream still produces one row of
+    // "empty" aggregates, matching SQL semantics (and `aggregate`).
+    if order.is_empty() && group_by.is_empty() {
+        order.push(Vec::new());
+        accumulators.push(aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect());
+    }
+
+    let mut rows = Vec::with_capacity(order.len());
+    for (key, accs) in order.into_iter().zip(accumulators) {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        rows.push(row);
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+fn aggregate(
+    input: &Table,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+    ctx: &ExecCtx,
+) -> Result<Table> {
     let in_schema = input.schema();
     let group_idx: Vec<usize> =
         group_by.iter().map(|k| in_schema.index_of(k)).collect::<Result<_>>()?;
@@ -172,6 +718,20 @@ fn aggregate(input: &Table, group_by: &[String], aggregates: &[crate::agg::Aggre
         fields.push(Field::new(agg.alias.clone(), agg.output_type()));
     }
     let out_schema = Schema::new(fields);
+
+    // Resolve aggregate argument expressions once (None = COUNT(*)).
+    let arg_exprs: Vec<Option<Cow<crate::expr::Expr>>> = aggregates
+        .iter()
+        .map(|agg| match &agg.func {
+            AggFunc::CountStar => Ok(None),
+            AggFunc::Count(e)
+            | AggFunc::CountDistinct(e)
+            | AggFunc::Sum(e)
+            | AggFunc::Min(e)
+            | AggFunc::Max(e)
+            | AggFunc::Avg(e) => resolve(e, ctx).map(Some),
+        })
+        .collect::<Result<_>>()?;
 
     // Group rows preserving first-seen order so results are deterministic.
     let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
@@ -191,15 +751,10 @@ fn aggregate(input: &Table, group_by: &[String], aggregates: &[crate::agg::Aggre
                 s
             }
         };
-        for (acc, agg) in accumulators[slot].iter_mut().zip(aggregates) {
-            let value = match &agg.func {
-                AggFunc::CountStar => None,
-                AggFunc::Count(e)
-                | AggFunc::CountDistinct(e)
-                | AggFunc::Sum(e)
-                | AggFunc::Min(e)
-                | AggFunc::Max(e)
-                | AggFunc::Avg(e) => Some(e.evaluate(row, in_schema)?),
+        for (acc, expr) in accumulators[slot].iter_mut().zip(&arg_exprs) {
+            let value = match expr {
+                None => None,
+                Some(e) => Some(e.evaluate(row, in_schema)?),
             };
             acc.update(value)?;
         }
@@ -223,13 +778,12 @@ fn aggregate(input: &Table, group_by: &[String], aggregates: &[crate::agg::Aggre
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
-fn sort(input: Table, keys: &[(String, SortOrder)]) -> Result<Table> {
-    let schema = input.schema().clone();
+fn sort(input: Rel, keys: &[(String, SortOrder)]) -> Result<Table> {
+    let (schema, mut rows) = input.into_schema_and_rows();
     let key_idx: Vec<(usize, SortOrder)> = keys
         .iter()
         .map(|(name, order)| Ok((schema.index_of(name)?, *order)))
         .collect::<Result<_>>()?;
-    let mut rows = input.into_rows();
     rows.sort_by(|a, b| {
         for &(idx, order) in &key_idx {
             let ord = a[idx].total_cmp(&b[idx]);
@@ -246,22 +800,24 @@ fn sort(input: Table, keys: &[(String, SortOrder)]) -> Result<Table> {
     Ok(Table::from_parts_unchecked(schema, rows))
 }
 
-fn distinct(input: Table) -> Result<Table> {
-    let schema = input.schema().clone();
-    let mut seen: std::collections::HashSet<Vec<Value>> = Default::default();
-    let mut rows = Vec::new();
-    for row in input.into_rows() {
-        if seen.insert(row.clone()) {
-            rows.push(row);
+fn distinct(input: Rel) -> Table {
+    // Borrow the input and clone only first-seen rows: duplicates (and a
+    // shared input's row store) are never copied.
+    let table = input.as_table();
+    let mut seen: std::collections::HashSet<&Row> = Default::default();
+    let mut out: Vec<Row> = Vec::new();
+    for row in table.rows() {
+        if seen.insert(row) {
+            out.push(row.clone());
         }
     }
-    Ok(Table::from_parts_unchecked(schema, rows))
+    Table::from_parts_unchecked(table.schema().clone(), out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{col, lit};
+    use crate::expr::{col, lit, param};
     use crate::table::TableBuilder;
 
     fn catalog() -> Catalog {
@@ -283,7 +839,7 @@ mod tests {
             .build()
             .unwrap();
         let mut c = Catalog::new();
-        c.register("base_tokens", base);
+        c.register_indexed("base_tokens", base, &["token"]).unwrap();
         c.register("query_tokens", query);
         c
     }
@@ -305,6 +861,84 @@ mod tests {
     }
 
     #[test]
+    fn index_join_matches_hash_join_and_scan_shares_storage() {
+        let catalog = catalog();
+        let hash = Plan::scan("base_tokens")
+            .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+            .sort_by_many(vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)]);
+        let indexed =
+            Plan::index_join("base_tokens", &["token"], Plan::scan("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+                .sort_by_many(vec![
+                    ("score", SortOrder::Descending),
+                    ("tid", SortOrder::Ascending),
+                ]);
+        let a = execute(&hash, &catalog).unwrap();
+        let b = execute(&indexed, &catalog).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.schema(), b.schema());
+        // A root-level scan returns the catalog's own storage.
+        let scanned = execute(&Plan::scan("base_tokens"), &catalog).unwrap();
+        let shared = catalog.get_shared("base_tokens").unwrap();
+        assert!(Arc::ptr_eq(&scanned, &shared));
+    }
+
+    #[test]
+    fn index_join_requires_an_index() {
+        let plan =
+            Plan::index_join("query_tokens", &["token"], Plan::scan("base_tokens"), &["token"]);
+        assert!(matches!(execute(&plan, &catalog()), Err(RelqError::MissingIndex { .. })));
+    }
+
+    #[test]
+    fn params_bind_tables_and_scalars() {
+        let query = TableBuilder::new()
+            .column("token", DataType::Str)
+            .row(vec!["ab".into()])
+            .build()
+            .unwrap();
+        let plan = Plan::index_join("base_tokens", &["token"], Plan::param("q"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+            .project(vec![(col("tid"), "tid"), (col("cnt").add(param("bias")), "score")]);
+        let bindings = Bindings::new().with_table("q", query).with_scalar("bias", 100i64);
+        let result = execute_with(&plan, &catalog(), &bindings).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.value(0, "score").unwrap(), &Value::Int(101));
+        // Unbound execution fails loudly.
+        assert!(matches!(execute(&plan, &catalog()), Err(RelqError::UnboundParam(_))));
+    }
+
+    #[test]
+    fn naive_mode_is_byte_identical_to_indexed_mode() {
+        let weights = TableBuilder::new()
+            .column("tid", DataType::Int)
+            .column("token", DataType::Str)
+            .column("weight", DataType::Float)
+            .row(vec![1.into(), "ab".into(), 0.1.into()])
+            .row(vec![2.into(), "ab".into(), 0.7.into()])
+            .row(vec![1.into(), "cd".into(), 0.3.into()])
+            .row(vec![3.into(), "cd".into(), 0.9.into()])
+            .build()
+            .unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("w", weights, &["token"]).unwrap();
+        let q = TableBuilder::new()
+            .column("token", DataType::Str)
+            .row(vec!["cd".into()])
+            .row(vec!["ab".into()])
+            .build()
+            .unwrap();
+        let plan = Plan::index_join("w", &["token"], Plan::param("q"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
+        let bindings = Bindings::new().with_table("q", q);
+        let fast = execute_with(&plan, &c, &bindings).unwrap();
+        let slow = execute_naive(&plan, &c, &bindings).unwrap();
+        assert_eq!(fast.schema(), slow.schema());
+        assert_eq!(fast.rows(), slow.rows());
+    }
+
+    #[test]
     fn filter_and_project() {
         let plan = Plan::scan("base_tokens")
             .filter(col("tid").eq(lit(1i64)))
@@ -313,6 +947,38 @@ mod tests {
         assert_eq!(result.num_rows(), 3);
         assert_eq!(result.schema().names(), vec!["t", "tid10"]);
         assert_eq!(result.value(0, "tid10").unwrap(), &Value::Int(10));
+    }
+
+    #[test]
+    fn empty_projection_keeps_expression_types_and_feeds_joins() {
+        // Regression test: output types used to be guessed from the first row
+        // only, so an empty input degraded every column to Float and a
+        // downstream join/union saw the wrong schema.
+        let empty =
+            Table::empty(Schema::from_pairs(&[("tid", DataType::Int), ("token", DataType::Str)]));
+        let projected = Plan::values(empty)
+            .project(vec![(col("token"), "token"), (col("tid").mul(lit(2i64)), "tid2")]);
+        let result = execute(&projected, &catalog()).unwrap();
+        assert_eq!(result.num_rows(), 0);
+        assert_eq!(result.schema().field(0).dtype, DataType::Str);
+        assert_eq!(result.schema().field(1).dtype, DataType::Int);
+        // The empty projection can feed a join...
+        let joined = projected.clone().join_on(Plan::scan("query_tokens"), &["token"], &["token"]);
+        let join_result = execute(&joined, &catalog()).unwrap();
+        assert_eq!(join_result.num_rows(), 0);
+        assert_eq!(join_result.schema().names(), vec!["token", "tid2", "token_r"]);
+        assert_eq!(join_result.schema().field(0).dtype, DataType::Str);
+        assert_eq!(join_result.schema().field(1).dtype, DataType::Int);
+        // ...and stays union-compatible with a non-empty relation of the same
+        // logical type (this errored before the fix: Float vs Str mismatch).
+        let other = TableBuilder::new()
+            .column("token", DataType::Str)
+            .column("tid2", DataType::Int)
+            .row(vec!["ab".into(), 4.into()])
+            .build()
+            .unwrap();
+        let union = projected.union_all(Plan::values(other));
+        assert_eq!(execute(&union, &catalog()).unwrap().num_rows(), 1);
     }
 
     #[test]
@@ -379,9 +1045,7 @@ mod tests {
 
     #[test]
     fn distinct_union_limit() {
-        let plan = Plan::scan("query_tokens")
-            .union_all(Plan::scan("query_tokens"))
-            .distinct();
+        let plan = Plan::scan("query_tokens").union_all(Plan::scan("query_tokens")).distinct();
         let result = execute(&plan, &catalog()).unwrap();
         assert_eq!(result.num_rows(), 2);
         let plan = Plan::scan("base_tokens").limit(4);
@@ -396,10 +1060,8 @@ mod tests {
 
     #[test]
     fn sort_multi_key() {
-        let plan = Plan::scan("base_tokens").sort_by_many(vec![
-            ("tid", SortOrder::Descending),
-            ("token", SortOrder::Ascending),
-        ]);
+        let plan = Plan::scan("base_tokens")
+            .sort_by_many(vec![("tid", SortOrder::Descending), ("token", SortOrder::Ascending)]);
         let result = execute(&plan, &catalog()).unwrap();
         assert_eq!(result.value(0, "tid").unwrap(), &Value::Int(3));
         assert_eq!(result.value(1, "tid").unwrap(), &Value::Int(2));
@@ -420,20 +1082,37 @@ mod tests {
             .row(vec!["a".into()])
             .build()
             .unwrap();
-        let plan = Plan::values(left).join_on(Plan::values(right), &["k"], &["k"]);
+        let plan = Plan::values(left.clone()).join_on(Plan::values(right), &["k"], &["k"]);
         let result = execute(&plan, &Catalog::new()).unwrap();
         assert_eq!(result.num_rows(), 1);
+        // Same through the index path: NULL probe keys and NULL index keys
+        // are both skipped.
+        let mut c = Catalog::new();
+        c.register_indexed("l", left, &["k"]).unwrap();
+        let probe = TableBuilder::new()
+            .column("k", DataType::Str)
+            .row(vec![Value::Null])
+            .row(vec!["a".into()])
+            .build()
+            .unwrap();
+        let plan = Plan::index_join("l", &["k"], Plan::values(probe), &["k"]);
+        assert_eq!(execute(&plan, &c).unwrap().num_rows(), 1);
     }
 
     #[test]
     fn missing_table_is_an_error() {
         let plan = Plan::scan("nope");
-        assert!(matches!(execute(&plan, &Catalog::new()), Err(RelqError::UnknownTable(_))));
+        assert!(matches!(
+            execute(&plan, &Catalog::new()).map(|_| ()),
+            Err(RelqError::UnknownTable(_))
+        ));
     }
 
     #[test]
     fn join_key_arity_mismatch_is_an_error() {
         let plan = Plan::scan("base_tokens").join_on(Plan::scan("query_tokens"), &["token"], &[]);
+        assert!(execute(&plan, &catalog()).is_err());
+        let plan = Plan::index_join("base_tokens", &["token"], Plan::scan("query_tokens"), &[]);
         assert!(execute(&plan, &catalog()).is_err());
     }
 }

@@ -5,14 +5,19 @@
 //! every similarity predicate as SQL over token and weight tables executed by
 //! a relational DBMS; this crate provides the equivalent building blocks:
 //!
-//! * typed in-memory [`Table`]s with a [`Catalog`] of named relations,
+//! * typed in-memory [`Table`]s with a [`Catalog`] of named relations stored
+//!   behind `Arc` (scans share storage, they never copy rows),
+//! * persistent inverted indexes built at registration time
+//!   ([`Catalog::register_indexed`]) and probed by [`Plan::IndexJoin`],
 //! * scalar [`Expr`]essions (arithmetic, `LOG`, `EXP`, `POWER`, comparisons),
 //! * grouped aggregation ([`AggFunc`]: `COUNT`, `SUM`, `MIN`, `MAX`, `AVG`),
-//! * composable logical [`Plan`]s (scan, filter, project, hash join,
-//!   aggregate, sort, distinct, union, limit) executed by [`execute`].
+//! * composable logical [`Plan`]s (scan, filter, project, hash join, index
+//!   join, aggregate, sort, distinct, union, limit) executed by [`execute`],
+//! * [`PreparedPlan`]s with named table/scalar parameters ([`Bindings`]),
+//!   built once at preprocessing time and executed per query.
 //!
 //! ```
-//! use relq::{Catalog, Plan, TableBuilder, DataType, AggFunc, execute, col};
+//! use relq::{Bindings, Catalog, Plan, PreparedPlan, TableBuilder, DataType, AggFunc, col};
 //!
 //! let tokens = TableBuilder::new()
 //!     .column("tid", DataType::Int)
@@ -28,14 +33,18 @@
 //!     .build()
 //!     .unwrap();
 //!
+//! // Preprocessing: register the base relation once, with its token index.
 //! let mut catalog = Catalog::new();
-//! catalog.register("base_tokens", tokens);
+//! catalog.register_indexed("base_tokens", tokens, &["token"]).unwrap();
 //!
-//! // The IntersectSize predicate of the paper (Figure 4.1):
-//! let plan = Plan::scan("base_tokens")
-//!     .join_on(Plan::values(query), &["token"], &["token"])
-//!     .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]);
-//! let scores = execute(&plan, &catalog).unwrap();
+//! // The IntersectSize predicate of the paper (Figure 4.1), prepared once:
+//! let plan = PreparedPlan::new(
+//!     Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
+//!         .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]),
+//! );
+//! // Query time: bind this query's token table and probe the index.
+//! let bindings = Bindings::new().with_table("query_tokens", query);
+//! let scores = plan.execute(&catalog, &bindings).unwrap();
 //! assert_eq!(scores.num_rows(), 2);
 //! # let _ = col("tid");
 //! ```
@@ -43,21 +52,25 @@
 #![forbid(unsafe_code)]
 
 mod agg;
+mod bindings;
 mod catalog;
 mod error;
 mod exec;
 mod expr;
 mod plan;
+mod prepared;
 mod schema;
 mod table;
 mod value;
 
 pub use agg::{AggFunc, Aggregate};
-pub use catalog::Catalog;
+pub use bindings::Bindings;
+pub use catalog::{Catalog, TableIndex};
 pub use error::{RelqError, Result};
-pub use exec::execute;
-pub use expr::{col, lit, BinaryOp, Expr, ScalarFn};
+pub use exec::{execute, execute_naive, execute_with};
+pub use expr::{col, lit, param, BinaryOp, Expr, ScalarFn};
 pub use plan::{Plan, ProjectItem, SortOrder};
+pub use prepared::PreparedPlan;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Row, Value};

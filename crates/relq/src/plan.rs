@@ -32,10 +32,27 @@ impl ProjectItem {
 /// A logical plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
-    /// Scan a named table from the catalog.
+    /// Scan a named table from the catalog (a shared handle — never a copy).
     Scan { table: String },
     /// Use an inline, already-materialized table (e.g. query-time token table).
     Values { table: Table },
+    /// A named table parameter of a prepared plan, bound per execution via
+    /// [`Bindings::with_table`](crate::Bindings::with_table).
+    Param { name: String },
+    /// Probe the persistent index of catalog table `base` (built by
+    /// [`Catalog::register_indexed`](crate::Catalog::register_indexed)) with
+    /// the key values of the `probe` input: for each probe row, only the base
+    /// rows whose `base_keys` equal its `probe_keys` are visited. Output rows
+    /// are `base ++ probe` columns (probe columns colliding with base names
+    /// get `suffix`), exactly like `HashJoin { left: Scan(base), right:
+    /// probe }` — but the base relation is never scanned or re-hashed.
+    IndexJoin {
+        base: String,
+        base_keys: Vec<String>,
+        probe: Box<Plan>,
+        probe_keys: Vec<String>,
+        suffix: String,
+    },
     /// Keep rows where the predicate evaluates to true.
     Filter { input: Box<Plan>, predicate: Expr },
     /// Compute output columns from expressions.
@@ -70,6 +87,23 @@ impl Plan {
     /// Wrap a materialized table as a plan leaf.
     pub fn values(table: Table) -> Plan {
         Plan::Values { table }
+    }
+
+    /// A named table parameter (see [`crate::PreparedPlan`]).
+    pub fn param(name: &str) -> Plan {
+        Plan::Param { name: name.to_string() }
+    }
+
+    /// Probe the index of catalog table `base` on `base_keys` with the
+    /// `probe` plan's `probe_keys` (suffix `_r` for colliding probe columns).
+    pub fn index_join(base: &str, base_keys: &[&str], probe: Plan, probe_keys: &[&str]) -> Plan {
+        Plan::IndexJoin {
+            base: base.to_string(),
+            base_keys: base_keys.iter().map(|s| s.to_string()).collect(),
+            probe: Box::new(probe),
+            probe_keys: probe_keys.iter().map(|s| s.to_string()).collect(),
+            suffix: "_r".to_string(),
+        }
     }
 
     /// Filter rows by a boolean expression.
@@ -118,10 +152,7 @@ impl Plan {
         Plan::Aggregate {
             input: Box::new(self),
             group_by: group_by.iter().map(|s| s.to_string()).collect(),
-            aggregates: aggregates
-                .into_iter()
-                .map(|(f, alias)| Aggregate::new(f, alias))
-                .collect(),
+            aggregates: aggregates.into_iter().map(|(f, alias)| Aggregate::new(f, alias)).collect(),
         }
     }
 
@@ -156,13 +187,14 @@ impl Plan {
     /// Number of nodes in the plan tree (used in tests and plan statistics).
     pub fn node_count(&self) -> usize {
         1 + match self {
-            Plan::Scan { .. } | Plan::Values { .. } => 0,
+            Plan::Scan { .. } | Plan::Values { .. } | Plan::Param { .. } => 0,
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input } => input.node_count(),
+            Plan::IndexJoin { probe, .. } => probe.node_count(),
             Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
                 left.node_count() + right.node_count()
             }
@@ -179,7 +211,11 @@ impl Plan {
     fn collect_tables(&self, out: &mut Vec<String>) {
         match self {
             Plan::Scan { table } => out.push(table.clone()),
-            Plan::Values { .. } => {}
+            Plan::Values { .. } | Plan::Param { .. } => {}
+            Plan::IndexJoin { base, probe, .. } => {
+                out.push(base.clone());
+                probe.collect_tables(out);
+            }
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
@@ -210,6 +246,27 @@ mod tests {
         assert_eq!(plan.node_count(), 6);
         let tables = plan.referenced_tables();
         assert_eq!(tables, vec!["base_tokens".to_string(), "query_tokens".to_string()]);
+    }
+
+    #[test]
+    fn index_join_and_param_nodes() {
+        let plan = Plan::index_join("base_tokens", &["token"], Plan::param("query"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]);
+        // index_join + param + aggregate
+        assert_eq!(plan.node_count(), 3);
+        assert_eq!(plan.referenced_tables(), vec!["base_tokens".to_string()]);
+        match &plan {
+            Plan::Aggregate { input, .. } => match input.as_ref() {
+                Plan::IndexJoin { base, base_keys, probe_keys, suffix, .. } => {
+                    assert_eq!(base, "base_tokens");
+                    assert_eq!(base_keys, &["token".to_string()]);
+                    assert_eq!(probe_keys, &["token".to_string()]);
+                    assert_eq!(suffix, "_r");
+                }
+                other => panic!("expected index join, got {other:?}"),
+            },
+            other => panic!("expected aggregate, got {other:?}"),
+        }
     }
 
     #[test]

@@ -55,15 +55,12 @@ impl Table {
     /// Append a row, checking arity and types (NULL is allowed in any column).
     pub fn push_row(&mut self, row: Row) -> Result<()> {
         if row.len() != self.schema.len() {
-            return Err(RelqError::ArityMismatch {
-                expected: self.schema.len(),
-                found: row.len(),
-            });
+            return Err(RelqError::ArityMismatch { expected: self.schema.len(), found: row.len() });
         }
         for (value, field) in row.iter().zip(self.schema.fields()) {
             if let Some(dt) = value.data_type() {
-                let compatible = dt == field.dtype
-                    || (field.dtype == DataType::Float && dt == DataType::Int);
+                let compatible =
+                    dt == field.dtype || (field.dtype == DataType::Float && dt == DataType::Int);
                 if !compatible {
                     return Err(RelqError::TypeMismatch {
                         expected: match field.dtype {
@@ -116,14 +113,10 @@ impl Table {
 
     /// Render the table as a simple aligned text grid (for examples / debug).
     pub fn to_pretty_string(&self) -> String {
-        let headers: Vec<String> =
-            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let headers: Vec<String> = self.schema.fields().iter().map(|f| f.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -140,7 +133,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &rendered {
             out.push_str(&fmt_row(row, &widths));

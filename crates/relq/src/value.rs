@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn string_ordering_is_lexicographic() {
-        assert_eq!(
-            Value::Str("abc".into()).total_cmp(&Value::Str("abd".into())),
-            Ordering::Less
-        );
+        assert_eq!(Value::Str("abc".into()).total_cmp(&Value::Str("abd".into())), Ordering::Less);
     }
 
     #[test]

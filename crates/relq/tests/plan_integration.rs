@@ -1,23 +1,35 @@
 //! Integration tests exercising relq plans the way dasp-core uses them:
 //! token tables, weight tables, joins and grouped aggregation, plus property
-//! tests comparing the engine against straightforward hand computations.
+//! tests comparing the engine against straightforward hand computations and
+//! the index-join path against the plain hash-join path.
 
 use proptest::prelude::*;
-use relq::{col, execute, AggFunc, Catalog, DataType, Plan, SortOrder, TableBuilder, Value};
+use relq::{
+    col, execute, execute_naive, execute_with, AggFunc, Bindings, Catalog, DataType, Plan,
+    SortOrder, Table, TableBuilder, Value,
+};
 use std::collections::{HashMap, HashSet};
 
-fn build_token_catalog(base: &[(i64, &str)], query: &[&str]) -> Catalog {
+fn token_table(rows: &[(i64, &str)]) -> Table {
     let mut bt = TableBuilder::new().column("tid", DataType::Int).column("token", DataType::Str);
-    for (tid, tok) in base {
+    for (tid, tok) in rows {
         bt = bt.row(vec![(*tid).into(), (*tok).into()]);
     }
+    bt.build().unwrap()
+}
+
+fn query_table(tokens: &[&str]) -> Table {
     let mut qt = TableBuilder::new().column("token", DataType::Str);
-    for tok in query {
+    for tok in tokens {
         qt = qt.row(vec![(*tok).into()]);
     }
+    qt.build().unwrap()
+}
+
+fn build_token_catalog(base: &[(i64, &str)], query: &[&str]) -> Catalog {
     let mut c = Catalog::new();
-    c.register("base_tokens", bt.build().unwrap());
-    c.register("query_tokens", qt.build().unwrap());
+    c.register_indexed("base_tokens", token_table(base), &["token"]).unwrap();
+    c.register("query_tokens", query_table(query));
     c
 }
 
@@ -35,17 +47,12 @@ fn weighted_match_style_plan() {
         .row(vec![2.into(), "labs".into(), 1.5.into()])
         .build()
         .unwrap();
-    let query = TableBuilder::new()
-        .column("token", DataType::Str)
-        .row(vec!["morgan".into()])
-        .row(vec!["stanley".into()])
-        .build()
-        .unwrap();
+    let query = query_table(&["morgan", "stanley"]);
     let mut catalog = Catalog::new();
-    catalog.register("base_weights", weights);
+    catalog.register_indexed("base_weights", weights, &["token"]).unwrap();
 
-    let plan = Plan::scan("base_weights")
-        .join_on(Plan::values(query), &["token"], &["token"])
+    // Same query shape through the index: probe only the matching rows.
+    let plan = Plan::index_join("base_weights", &["token"], Plan::values(query), &["token"])
         .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")])
         .sort_by("score", SortOrder::Descending);
     let result = execute(&plan, &catalog).unwrap();
@@ -75,21 +82,14 @@ fn three_way_join_like_language_model_plan() {
         .row(vec![2.into(), (-2.0).into()])
         .build()
         .unwrap();
-    let query = TableBuilder::new()
-        .column("token", DataType::Str)
-        .row(vec!["a".into()])
-        .row(vec!["b".into()])
-        .build()
-        .unwrap();
+    let query = query_table(&["a", "b"]);
     let mut catalog = Catalog::new();
-    catalog.register("base_pm", pm);
-    catalog.register("base_sums", sums);
+    catalog.register_indexed("base_pm", pm, &["token"]).unwrap();
+    catalog.register_indexed("base_sums", sums, &["tid"]).unwrap();
 
-    let inner = Plan::scan("base_pm")
-        .join_on(Plan::values(query), &["token"], &["token"])
+    let inner = Plan::index_join("base_pm", &["token"], Plan::values(query), &["token"])
         .aggregate(&["tid"], vec![(AggFunc::Sum(col("pm").ln()), "score")]);
-    let plan = inner
-        .join_on(Plan::scan("base_sums"), &["tid"], &["tid"])
+    let plan = Plan::index_join("base_sums", &["tid"], inner, &["tid"])
         .project(vec![(col("tid"), "tid"), (col("score").add(col("sumcompm")).exp(), "final")])
         .sort_by("final", SortOrder::Descending);
     let result = execute(&plan, &catalog).unwrap();
@@ -103,34 +103,43 @@ fn three_way_join_like_language_model_plan() {
     assert!((bottom - t2.min(t1)).abs() < 1e-12);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generate a random base token table, deduplicated like the paper's
+/// distinct-token relations.
+fn gen_base(g: &mut Gen) -> Vec<(i64, String)> {
+    let raw = g.vec(0..120, |g| (g.int_in(0..20), g.string_of("abcd", 1..3)));
+    let set: HashSet<(i64, String)> = raw.into_iter().collect();
+    let mut v: Vec<(i64, String)> = set.into_iter().collect();
+    v.sort();
+    v
+}
 
-    /// The IntersectSize plan (join + COUNT(*) GROUP BY tid) must agree with a
-    /// direct hash-set computation for arbitrary token assignments.
-    #[test]
-    fn prop_intersect_plan_matches_hashmap(
-        base in proptest::collection::vec((0i64..20, "[a-d]{1,2}"), 0..120),
-        query in proptest::collection::vec("[a-d]{1,2}", 0..10),
-    ) {
-        // The paper stores distinct tokens for overlap predicates; emulate that.
-        let base_set: HashSet<(i64, String)> =
-            base.iter().map(|(t, s)| (*t, s.clone())).collect();
-        let query_set: HashSet<String> = query.iter().cloned().collect();
+fn gen_query(g: &mut Gen) -> Vec<String> {
+    let set: HashSet<String> = g.vec(0..10, |g| g.string_of("abcd", 1..3)).into_iter().collect();
+    let mut v: Vec<String> = set.into_iter().collect();
+    v.sort();
+    v
+}
 
-        let base_vec: Vec<(i64, &str)> =
-            base_set.iter().map(|(t, s)| (*t, s.as_str())).collect();
-        let query_vec: Vec<&str> = query_set.iter().map(|s| s.as_str()).collect();
-        let catalog = build_token_catalog(&base_vec, &query_vec);
+/// The IntersectSize plan (join + COUNT(*) GROUP BY tid) must agree with a
+/// direct hash-set computation for arbitrary token assignments.
+#[test]
+fn prop_intersect_plan_matches_hashmap() {
+    check(64, |g| {
+        let base = gen_base(g);
+        let query = gen_query(g);
+        let base_refs: Vec<(i64, &str)> = base.iter().map(|(t, s)| (*t, s.as_str())).collect();
+        let query_refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+        let catalog = build_token_catalog(&base_refs, &query_refs);
 
         let plan = Plan::scan("base_tokens")
             .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
             .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")]);
         let result = execute(&plan, &catalog).unwrap();
 
+        let query_set: HashSet<&str> = query_refs.iter().copied().collect();
         let mut expected: HashMap<i64, i64> = HashMap::new();
-        for (tid, tok) in &base_set {
-            if query_set.contains(tok) {
+        for (tid, tok) in &base {
+            if query_set.contains(tok.as_str()) {
                 *expected.entry(*tid).or_insert(0) += 1;
             }
         }
@@ -138,65 +147,108 @@ proptest! {
         for row in result.rows() {
             actual.insert(row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
         }
-        prop_assert_eq!(actual, expected);
-    }
+        assert_eq!(actual, expected);
+    });
+}
 
-    /// SUM/COUNT aggregation over random groups matches a fold.
-    #[test]
-    fn prop_group_sum_matches_fold(
-        rows in proptest::collection::vec((0i64..8, -100.0f64..100.0), 0..200)
-    ) {
-        let mut builder = TableBuilder::new()
-            .column("g", DataType::Int)
-            .column("v", DataType::Float);
-        for (g, v) in &rows {
-            builder = builder.row(vec![(*g).into(), (*v).into()]);
+/// `Plan::IndexJoin` and the plain `HashJoin` must produce identical result
+/// sets for random token tables, whichever side is larger, and the naive
+/// (clone-per-scan, full-table hash build) execution mode must agree
+/// byte-for-byte with the indexed mode.
+#[test]
+fn prop_index_join_equals_hash_join() {
+    check(96, |g| {
+        let base = gen_base(g);
+        let query = gen_query(g);
+        let base_refs: Vec<(i64, &str)> = base.iter().map(|(t, s)| (*t, s.as_str())).collect();
+        let query_refs: Vec<&str> = query.iter().map(|s| s.as_str()).collect();
+        let catalog = build_token_catalog(&base_refs, &query_refs);
+
+        let sort_keys = vec![
+            ("tid", SortOrder::Ascending),
+            ("token", SortOrder::Ascending),
+            ("token_r", SortOrder::Ascending),
+        ];
+        let indexed =
+            Plan::index_join("base_tokens", &["token"], Plan::scan("query_tokens"), &["token"])
+                .sort_by_many(sort_keys.clone());
+        let hashed = Plan::scan("base_tokens")
+            .join_on(Plan::scan("query_tokens"), &["token"], &["token"])
+            .sort_by_many(sort_keys);
+        let a = execute(&indexed, &catalog).unwrap();
+        let b = execute(&hashed, &catalog).unwrap();
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.rows(), b.rows(), "index join and hash join disagree");
+
+        // The naive mode (pre-refactor baseline) is byte-identical even
+        // before sorting.
+        let probe_plan = Plan::index_join("base_tokens", &["token"], Plan::param("q"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")]);
+        let bindings = Bindings::new().with_table("q", query_table(&query_refs));
+        let fast = execute_with(&probe_plan, &catalog, &bindings).unwrap();
+        let slow = execute_naive(&probe_plan, &catalog, &bindings).unwrap();
+        assert_eq!(fast.rows(), slow.rows());
+    });
+}
+
+/// SUM/COUNT aggregation over random groups matches a fold.
+#[test]
+fn prop_group_sum_matches_fold() {
+    check(64, |g| {
+        let rows = g.vec(0..200, |g| (g.int_in(0..8), g.f64_in(-100.0..100.0)));
+        let mut builder =
+            TableBuilder::new().column("g", DataType::Int).column("v", DataType::Float);
+        for (gk, v) in &rows {
+            builder = builder.row(vec![(*gk).into(), (*v).into()]);
         }
         let table = builder.build().unwrap();
-        let plan = Plan::values(table).aggregate(
-            &["g"],
-            vec![(AggFunc::Sum(col("v")), "s"), (AggFunc::CountStar, "n")],
-        );
+        let plan = Plan::values(table)
+            .aggregate(&["g"], vec![(AggFunc::Sum(col("v")), "s"), (AggFunc::CountStar, "n")]);
         let result = execute(&plan, &Catalog::new()).unwrap();
 
         let mut expected_sum: HashMap<i64, f64> = HashMap::new();
         let mut expected_cnt: HashMap<i64, i64> = HashMap::new();
-        for (g, v) in &rows {
-            *expected_sum.entry(*g).or_insert(0.0) += v;
-            *expected_cnt.entry(*g).or_insert(0) += 1;
+        for (gk, v) in &rows {
+            *expected_sum.entry(*gk).or_insert(0.0) += v;
+            *expected_cnt.entry(*gk).or_insert(0) += 1;
         }
-        prop_assert_eq!(result.num_rows(), expected_sum.len());
+        assert_eq!(result.num_rows(), expected_sum.len());
         for row in result.rows() {
-            let g = row[0].as_i64().unwrap();
+            let gk = row[0].as_i64().unwrap();
             let s = row[1].as_f64().unwrap();
             let n = row[2].as_i64().unwrap();
-            prop_assert!((s - expected_sum[&g]).abs() < 1e-6);
-            prop_assert_eq!(n, expected_cnt[&g]);
+            assert!((s - expected_sum[&gk]).abs() < 1e-6);
+            assert_eq!(n, expected_cnt[&gk]);
         }
-    }
+    });
+}
 
-    /// Joining then counting never produces more rows than |left| * |right|
-    /// and respects key equality.
-    #[test]
-    fn prop_join_is_subset_of_cross_product(
-        left in proptest::collection::vec("[a-c]", 0..30),
-        right in proptest::collection::vec("[a-c]", 0..30),
-    ) {
+/// Joining then counting never produces more rows than |left| * |right|
+/// and respects key equality.
+#[test]
+fn prop_join_is_subset_of_cross_product() {
+    check(64, |g| {
+        let left = g.vec(0..30, |g| g.string_of("abc", 1..2));
+        let right = g.vec(0..30, |g| g.string_of("abc", 1..2));
         let mut lb = TableBuilder::new().column("k", DataType::Str);
-        for k in &left { lb = lb.row(vec![k.as_str().into()]); }
-        let mut rb = TableBuilder::new().column("k", DataType::Str);
-        for k in &right { rb = rb.row(vec![k.as_str().into()]); }
-        let plan = Plan::values(lb.build().unwrap())
-            .join_on(Plan::values(rb.build().unwrap()), &["k"], &["k"]);
-        let result = execute(&plan, &Catalog::new()).unwrap();
-        prop_assert!(result.num_rows() <= left.len() * right.len());
-        let expected: usize = left
-            .iter()
-            .map(|l| right.iter().filter(|r| *r == l).count())
-            .sum();
-        prop_assert_eq!(result.num_rows(), expected);
-        for row in result.rows() {
-            prop_assert_eq!(&row[0], &row[1]);
+        for k in &left {
+            lb = lb.row(vec![k.as_str().into()]);
         }
-    }
+        let mut rb = TableBuilder::new().column("k", DataType::Str);
+        for k in &right {
+            rb = rb.row(vec![k.as_str().into()]);
+        }
+        let plan = Plan::values(lb.build().unwrap()).join_on(
+            Plan::values(rb.build().unwrap()),
+            &["k"],
+            &["k"],
+        );
+        let result = execute(&plan, &Catalog::new()).unwrap();
+        assert!(result.num_rows() <= left.len() * right.len());
+        let expected: usize = left.iter().map(|l| right.iter().filter(|r| *r == l).count()).sum();
+        assert_eq!(result.num_rows(), expected);
+        for row in result.rows() {
+            assert_eq!(&row[0], &row[1]);
+        }
+    });
 }

@@ -1,0 +1,33 @@
+//! Slice sampling helpers (`rand::seq` equivalents).
+
+use crate::RngCore;
+
+/// Random selection from slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniformly choose one element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = crate::uniform_below(rng, self.len() as u64) as usize;
+        Some(&self[idx])
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}

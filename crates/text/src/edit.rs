@@ -52,7 +52,7 @@ pub fn edit_distance_within(a: &str, b: &str, max_d: usize) -> Option<usize> {
     for (i, &ca) in a.iter().enumerate() {
         let lo = (i + 1).saturating_sub(max_d);
         let hi = (i + 1 + max_d).min(b.len());
-        curr[0] = if i + 1 <= max_d { i + 1 } else { inf };
+        curr[0] = if i < max_d { i + 1 } else { inf };
         if lo > 1 {
             curr[lo - 1] = inf;
         }

@@ -37,8 +37,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         a.iter().enumerate().filter(|(i, _)| a_matched[*i]).map(|(_, &c)| c).collect();
     let b_seq: Vec<char> =
         b.iter().enumerate().filter(|(j, _)| b_matched[*j]).map(|(_, &c)| c).collect();
-    let transpositions =
-        a_seq.iter().zip(b_seq.iter()).filter(|(x, y)| x != y).count() / 2;
+    let transpositions = a_seq.iter().zip(b_seq.iter()).filter(|(x, y)| x != y).count() / 2;
 
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
@@ -53,12 +52,7 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler with an explicit prefix scaling factor and max prefix length.
 pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(max_prefix)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(max_prefix).take_while(|(x, y)| x == y).count();
     let score = j + prefix as f64 * prefix_scale * (1.0 - j);
     score.min(1.0)
 }

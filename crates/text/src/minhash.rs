@@ -21,9 +21,8 @@ impl MinHasher {
     pub fn new(num_hashes: usize, seed: u64) -> Self {
         assert!(num_hashes > 0, "at least one hash function is required");
         let mut rng = StdRng::seed_from_u64(seed);
-        let coefficients = (0..num_hashes)
-            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
-            .collect();
+        let coefficients =
+            (0..num_hashes).map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME))).collect();
         MinHasher { coefficients }
     }
 

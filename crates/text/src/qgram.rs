@@ -40,23 +40,17 @@ pub fn padded_chars(s: &str, config: QgramConfig) -> Vec<char> {
     let text = if config.normalize { normalize(s) } else { s.to_string() };
     let pad = config.q.saturating_sub(1);
     let mut chars: Vec<char> = Vec::with_capacity(text.len() + 4 * pad);
-    for _ in 0..pad {
-        chars.push(PAD_CHAR);
-    }
+    chars.extend(std::iter::repeat_n(PAD_CHAR, pad));
     for ch in text.chars() {
         if ch == ' ' {
             // Whitespace is replaced by q-1 padding symbols; for q = 1 the
             // separator disappears entirely.
-            for _ in 0..pad {
-                chars.push(PAD_CHAR);
-            }
+            chars.extend(std::iter::repeat_n(PAD_CHAR, pad));
         } else {
             chars.push(ch);
         }
     }
-    for _ in 0..pad {
-        chars.push(PAD_CHAR);
-    }
+    chars.extend(std::iter::repeat_n(PAD_CHAR, pad));
     chars
 }
 

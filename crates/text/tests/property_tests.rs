@@ -6,68 +6,83 @@ use dasp_text::{
     MinHasher, QgramConfig,
 };
 use proptest::prelude::*;
+use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Printable-ish strings standing in for proptest's `.{0,n}` regex (ASCII
+/// letters, digits, punctuation and whitespace).
+const ANY: &str = "abcXYZ019 .,'&-\t\u{e9}\u{4e16}";
 
-    #[test]
-    fn edit_distance_is_a_metric(
-        a in "[a-c]{0,12}",
-        b in "[a-c]{0,12}",
-        c in "[a-c]{0,12}",
-    ) {
+#[test]
+fn edit_distance_is_a_metric() {
+    check(128, |g| {
+        let a = g.string_of("abc", 0..13);
+        let b = g.string_of("abc", 0..13);
+        let c = g.string_of("abc", 0..13);
         let dab = edit_distance(&a, &b);
         let dba = edit_distance(&b, &a);
-        prop_assert_eq!(dab, dba);                       // symmetry
-        prop_assert_eq!(edit_distance(&a, &a), 0);       // identity
+        assert_eq!(dab, dba); // symmetry
+        assert_eq!(edit_distance(&a, &a), 0); // identity
         let dac = edit_distance(&a, &c);
         let dbc = edit_distance(&b, &c);
-        prop_assert!(dac <= dab + dbc);                  // triangle inequality
-        // Distance is bounded by the longer string's length.
-        prop_assert!(dab <= a.chars().count().max(b.chars().count()));
-    }
+        assert!(dac <= dab + dbc); // triangle inequality
+                                   // Distance is bounded by the longer string's length.
+        assert!(dab <= a.chars().count().max(b.chars().count()));
+    });
+}
 
-    #[test]
-    fn banded_edit_distance_agrees_with_full(
-        a in "[a-d]{0,10}",
-        b in "[a-d]{0,10}",
-        k in 0usize..12,
-    ) {
+#[test]
+fn banded_edit_distance_agrees_with_full() {
+    check(128, |g| {
+        let a = g.string_of("abcd", 0..11);
+        let b = g.string_of("abcd", 0..11);
+        let k = g.usize_in(0..12);
         let full = edit_distance(&a, &b);
         match edit_distance_within(&a, &b, k) {
             Some(d) => {
-                prop_assert_eq!(d, full);
-                prop_assert!(d <= k);
+                assert_eq!(d, full);
+                assert!(d <= k);
             }
-            None => prop_assert!(full > k),
+            None => assert!(full > k),
         }
-    }
+    });
+}
 
-    #[test]
-    fn edit_similarity_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+#[test]
+fn edit_similarity_in_unit_interval() {
+    check(128, |g| {
+        let a = g.string_of(ANY, 0..17);
+        let b = g.string_of(ANY, 0..17);
         let s = edit_similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&s));
+        assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn jaro_winkler_bounds_and_symmetry(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+#[test]
+fn jaro_winkler_bounds_and_symmetry() {
+    check(128, |g| {
+        let a = g.string_of("abcde", 0..11);
+        let b = g.string_of("abcde", 0..11);
         let j = jaro(&a, &b);
         let w = jaro_winkler(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&j));
-        prop_assert!((0.0..=1.0).contains(&w));
-        prop_assert!(w >= j - 1e-12);
-        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
-        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12 || a.is_empty());
-    }
+        assert!((0.0..=1.0).contains(&j));
+        assert!((0.0..=1.0).contains(&w));
+        assert!(w >= j - 1e-12);
+        assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        assert!((jaro(&a, &a) - 1.0).abs() < 1e-12 || a.is_empty());
+    });
+}
 
-    #[test]
-    fn qgram_count_matches_padded_length(s in "[a-z ]{0,30}", q in 1usize..5) {
+#[test]
+fn qgram_count_matches_padded_length() {
+    check(128, |g| {
+        let s = g.string_of("abcdefghij ", 0..31);
+        let q = g.usize_in(1..5);
         let config = QgramConfig { q, normalize: true };
         let grams = qgrams(&s, config);
-        prop_assert!(!grams.is_empty());
-        for g in &grams {
-            prop_assert_eq!(g.chars().count(), q);
+        assert!(!grams.is_empty());
+        for gram in &grams {
+            assert_eq!(gram.chars().count(), q);
         }
         // Word-order invariance: reversing word order preserves the multiset.
         let words = word_tokens(&s);
@@ -77,15 +92,18 @@ proptest! {
             let mut b = qgrams(&reversed, config);
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn minhash_estimate_close_to_exact(
-        a in proptest::collection::hash_set("[a-f]{2}", 0..30),
-        b in proptest::collection::hash_set("[a-f]{2}", 0..30),
-    ) {
+#[test]
+fn minhash_estimate_close_to_exact() {
+    check(64, |g| {
+        let a: HashSet<String> =
+            g.vec(0..30, |g| g.string_of("abcdef", 2..3)).into_iter().collect();
+        let b: HashSet<String> =
+            g.vec(0..30, |g| g.string_of("abcdef", 2..3)).into_iter().collect();
         let hasher = MinHasher::new(256, 1234);
         let av: Vec<String> = a.iter().cloned().collect();
         let bv: Vec<String> = b.iter().cloned().collect();
@@ -94,14 +112,17 @@ proptest! {
         let union = a.union(&b).count() as f64;
         let exact = if union == 0.0 { est } else { inter / union };
         // 256 hashes: standard error ~ sqrt(p(1-p)/256) <= 0.032; allow 5 sigma.
-        prop_assert!((est - exact).abs() < 0.17, "est {est} exact {exact}");
-    }
+        assert!((est - exact).abs() < 0.17, "est {est} exact {exact}");
+    });
+}
 
-    #[test]
-    fn word_tokens_never_contain_whitespace(s in ".{0,40}") {
+#[test]
+fn word_tokens_never_contain_whitespace() {
+    check(128, |g| {
+        let s = g.string_of(ANY, 0..41);
         for w in word_tokens(&s) {
-            prop_assert!(!w.contains(char::is_whitespace));
-            prop_assert!(!w.is_empty());
+            assert!(!w.contains(char::is_whitespace));
+            assert!(!w.is_empty());
         }
-    }
+    });
 }
