@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dasp_core::{
     build_predicate, native::NativeKind, native::NativePredicate, prune_by_idf, Params, Predicate,
-    PredicateKind,
+    PredicateKind, SelectionEngine,
 };
 use dasp_datagen::{cu_dataset_sized, dblp_dataset};
 use dasp_eval::tokenize_dataset;
@@ -28,6 +28,16 @@ fn preprocess_benches(c: &mut Criterion) {
     let params = Params::default();
     let mut group = c.benchmark_group("preprocess");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // The shared phase-1 artifacts on their own; the per-kind entries below
+    // go through `build_predicate` and therefore measure phase-1 + phase-2
+    // (the cost of one ready standalone predicate under the engine API) —
+    // subtract this entry for the pure weight-phase cost.
+    group.bench_function(BenchmarkId::from_parameter("shared_phase1"), |b| {
+        b.iter(|| {
+            let engine = SelectionEngine::build(corpus.clone(), &params);
+            std::hint::black_box(engine.shared_catalog().len())
+        })
+    });
     for kind in [
         PredicateKind::Jaccard,
         PredicateKind::Cosine,

@@ -2,40 +2,43 @@
 //! BM25. Both share the query-time shape of Figure 4.3: a single join of
 //! `BASE_WEIGHTS` with `QUERY_WEIGHTS` followed by `SUM(w_d * w_q)` per tid.
 //!
-//! **Indexed-catalog contract:** `build()` registers `BASE_WEIGHTS` with
-//! `register_indexed(..., &["token"])` and prepares the weight-product plan
-//! once; `rank()` binds the per-query `QUERY_WEIGHTS` table and probes the
-//! token index.
+//! **Shared-artifact contract:** each predicate clones the engine's shared
+//! phase-1 catalog (aliasing its `Arc`'d tables and indexes) and registers
+//! only its own weight table — `cosine_weights` / `bm25_weights`, indexed on
+//! token — on top. The weight-product plan is prepared once in all three
+//! [`Exec`] modes; execution binds the per-query `QUERY_WEIGHTS` table and
+//! probes the token index.
 
-use crate::corpus::TokenizedCorpus;
+use crate::corpus::{QueryTokens, TokenizedCorpus};
 use crate::dict::TokenId;
+use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::Bm25Params;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
-use crate::tables;
-use relq::{col, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
+use crate::tables::{self, RankingPlans};
+use relq::{col, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
-/// Register a `(tid, token, weight)` base table (indexed on token) and
-/// prepare the shared aggregate-weighted plan: join with query weights on
-/// token and sum the weight products per tuple.
-fn weight_product_catalog(weights: relq::Table) -> (Catalog, PreparedPlan) {
-    let mut catalog = Catalog::new();
-    catalog
-        .register_indexed("base_weights", weights, &["token"])
-        .expect("weights have a token column");
-    let plan = PreparedPlan::new(
-        Plan::index_join("base_weights", &["token"], Plan::param("query_weights"), &["token"])
-            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")]),
-    );
-    (catalog, plan)
+/// Clone the shared catalog, register a `(tid, token, weight)` table under
+/// `name` (indexed on token) and prepare the shared aggregate-weighted plan:
+/// join with query weights on token and sum the weight products per tuple.
+fn weight_product_catalog(
+    shared: &SharedArtifacts,
+    name: &str,
+    weights: relq::Table,
+) -> (Catalog, RankingPlans) {
+    let mut catalog = shared.catalog().clone();
+    catalog.register_indexed(name, weights, &["token"]).expect("weights have a token column");
+    let plan = Plan::index_join(name, &["token"], Plan::param("query_weights"), &["token"])
+        .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")]);
+    (catalog, RankingPlans::new(plan))
 }
 
 /// Run the shared plan for one query's weights.
 fn run_weight_product_plan(
     catalog: &Catalog,
-    plan: &PreparedPlan,
+    plans: &RankingPlans,
     query_weights: Vec<(TokenId, f64)>,
+    exec: Exec,
     naive: bool,
 ) -> crate::error::Result<Vec<ScoredTid>> {
     if query_weights.is_empty() {
@@ -43,20 +46,27 @@ fn run_weight_product_plan(
     }
     let bindings =
         Bindings::new().with_table("query_weights", tables::query_weights(&query_weights));
-    tables::run_ranking_plan(plan, catalog, &bindings, naive)
+    plans.execute(catalog, bindings, exec, naive)
 }
 
 /// tf-idf cosine similarity (§3.2.1): normalized `tf * idf` weights on both
 /// sides, summed over common tokens.
 pub struct CosinePredicate {
-    corpus: Arc<TokenizedCorpus>,
+    shared: Arc<SharedArtifacts>,
     catalog: Catalog,
-    plan: PreparedPlan,
+    plans: RankingPlans,
 }
 
 impl CosinePredicate {
-    /// Preprocess: register `BASE_WEIGHTS` with L2-normalized tf-idf weights.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        Self::from_shared(SharedArtifacts::build(corpus, &crate::params::Params::default()))
+    }
+
+    /// Phase-2 preprocessing: register `COSINE_WEIGHTS` with L2-normalized
+    /// tf-idf weights over the shared catalog.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let corpus = shared.corpus();
         // Per-tuple normalization constant sqrt(sum (tf*idf)^2).
         let norms: Vec<f64> = (0..corpus.num_records())
             .map(|idx| {
@@ -71,25 +81,33 @@ impl CosinePredicate {
                     .sqrt()
             })
             .collect();
-        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+        let weights = tables::base_weights(corpus, |idx, token, tf| {
             let norm = norms[idx];
             if norm <= 0.0 {
                 return None;
             }
             Some(tf as f64 * corpus.idf(token) / norm)
         });
-        let (catalog, plan) = weight_product_catalog(weights);
-        CosinePredicate { corpus, catalog, plan }
+        let (catalog, plans) = weight_product_catalog(&shared, "cosine_weights", weights);
+        CosinePredicate { shared, catalog, plans }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(&self.catalog)
     }
 
     /// Normalized tf-idf weights of the query tokens (computed on the fly at
     /// query time, exactly as the paper's `QUERY_WEIGHTS` subquery does).
-    fn query_weights(&self, query: &str) -> Vec<(TokenId, f64)> {
-        let q = self.corpus.tokenize_query(query);
+    fn query_weights(&self, q: &QueryTokens) -> Vec<(TokenId, f64)> {
+        let corpus = self.shared.corpus();
         let raw: Vec<(TokenId, f64)> = q
             .tokens
             .iter()
-            .map(|&(t, tf)| (t, tf as f64 * self.corpus.idf(t)))
+            .map(|&(t, tf)| (t, tf as f64 * corpus.idf(t)))
             .filter(|&(_, w)| w > 0.0)
             .collect();
         let norm: f64 = raw.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
@@ -98,78 +116,100 @@ impl CosinePredicate {
         }
         raw.into_iter().map(|(t, w)| (t, w / norm)).collect()
     }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(
+            &self.catalog,
+            &self.plans,
+            self.query_weights(query.tokens()),
+            exec,
+            naive,
+        )
+    }
 }
 
-impl Predicate for CosinePredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::Cosine
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), true)
-    }
-}
+crate::engine::engine_predicate!(CosinePredicate, crate::predicate::PredicateKind::Cosine);
 
 /// Okapi BM25 (§3.2.2), the weighting scheme the paper introduces to data
 /// cleaning and finds to be among the most accurate and efficient.
 pub struct Bm25Predicate {
-    corpus: Arc<TokenizedCorpus>,
+    shared: Arc<SharedArtifacts>,
     catalog: Catalog,
-    plan: PreparedPlan,
-    params: Bm25Params,
+    plans: RankingPlans,
 }
 
 impl Bm25Predicate {
-    /// Preprocess: register `BASE_WEIGHTS` with
+    /// Standalone construction over a corpus (prefer the engine).
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: Bm25Params) -> Self {
+        let params = crate::params::Params { bm25: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    /// Phase-2 preprocessing: register `BM25_WEIGHTS` with
     /// `w_d(t, D) = w1(t) * (k1 + 1) tf / (K(D) + tf)` where `w1` is the
     /// Robertson–Sparck Jones weight and `K(D) = k1((1-b) + b |D|/avgdl)`.
-    pub fn build(corpus: Arc<TokenizedCorpus>, params: Bm25Params) -> Self {
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let corpus = shared.corpus();
+        let params = shared.params().bm25;
         let avgdl = corpus.avgdl();
-        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+        let weights = tables::base_weights(corpus, |idx, token, tf| {
             let dl = corpus.record_dl(idx) as f64;
             let k_d = params.k1 * ((1.0 - params.b) + params.b * dl / avgdl.max(1e-12));
             let w1 = corpus.rsj_weight(token);
             let tf = tf as f64;
             Some(w1 * (params.k1 + 1.0) * tf / (k_d + tf))
         });
-        let (catalog, plan) = weight_product_catalog(weights);
-        Bm25Predicate { corpus, catalog, plan, params }
+        let (catalog, plans) = weight_product_catalog(&shared, "bm25_weights", weights);
+        Bm25Predicate { shared, catalog, plans }
     }
 
-    fn query_weights(&self, query: &str) -> Vec<(TokenId, f64)> {
-        let q = self.corpus.tokenize_query(query);
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(&self.catalog)
+    }
+
+    fn query_weights(&self, q: &QueryTokens) -> Vec<(TokenId, f64)> {
+        let k3 = self.shared.params().bm25.k3;
         q.tokens
             .iter()
             .map(|&(t, tf)| {
                 let tf = tf as f64;
-                (t, (self.params.k3 + 1.0) * tf / (self.params.k3 + tf))
+                (t, (k3 + 1.0) * tf / (k3 + tf))
             })
             .collect()
     }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        run_weight_product_plan(
+            &self.catalog,
+            &self.plans,
+            self.query_weights(query.tokens()),
+            exec,
+            naive,
+        )
+    }
 }
 
-impl Predicate for Bm25Predicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::Bm25
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        run_weight_product_plan(&self.catalog, &self.plan, self.query_weights(query), true)
-    }
-}
+crate::engine::engine_predicate!(Bm25Predicate, crate::predicate::PredicateKind::Bm25);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
+    use crate::predicate::Predicate;
     use dasp_text::QgramConfig;
 
     fn corpus() -> Arc<TokenizedCorpus> {
@@ -222,8 +262,9 @@ mod tests {
     #[test]
     fn bm25_query_tf_saturates_with_k3() {
         let p = Bm25Predicate::build(corpus(), Bm25Params::default());
-        let w1 = p.query_weights("Morgan");
-        let w2 = p.query_weights("Morgan Morgan Morgan Morgan");
+        let corpus = corpus();
+        let w1 = p.query_weights(&corpus.tokenize_query("Morgan"));
+        let w2 = p.query_weights(&corpus.tokenize_query("Morgan Morgan Morgan Morgan"));
         // Repeating the query words increases the query weight of each token
         // but by less than the repetition factor (saturation).
         let total1: f64 = w1.iter().map(|(_, w)| w).sum();
@@ -261,12 +302,17 @@ mod tests {
     }
 
     #[test]
-    fn naive_path_is_byte_identical() {
+    fn naive_path_and_pushdown_are_byte_identical() {
         let c = corpus();
         let q = "Morgan Stanley Group Inc.";
         let cosine = CosinePredicate::build(c.clone());
         let bm25 = Bm25Predicate::build(c, Bm25Params::default());
         assert_eq!(cosine.rank(q), cosine.rank_naive(q));
         assert_eq!(bm25.rank(q), bm25.rank_naive(q));
+        let ranked = bm25.rank(q);
+        assert_eq!(bm25.top_k(q, 2), ranked[..2.min(ranked.len())].to_vec());
+        let tau = ranked[0].score * 0.8;
+        let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+        assert_eq!(bm25.select(q, tau), expected);
     }
 }

@@ -6,8 +6,8 @@
 //! minimum transformation cost by the total query weight.
 
 use crate::corpus::TokenizedCorpus;
+use crate::engine::{finalize_ranking, Exec, Query, SharedArtifacts};
 use crate::params::GesParams;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use dasp_text::edit_similarity;
 use std::sync::Arc;
@@ -69,9 +69,24 @@ pub fn ges_similarity(query: &[WeightedWord], tuple: &[WeightedWord], cins: f64)
 /// known words get their IDF weight, unknown words the average word IDF
 /// (§4.5).
 pub fn weighted_query_words(corpus: &TokenizedCorpus, query: &str) -> Vec<WeightedWord> {
-    let avg_idf = corpus.avg_word_idf();
-    dasp_text::word_tokens(query)
-        .into_iter()
+    weighted_words_with_avg_idf(
+        corpus,
+        dasp_text::word_tokens(query).into_iter(),
+        corpus.avg_word_idf(),
+    )
+}
+
+/// The one weighting rule behind every query-side word view: known words get
+/// their IDF, unknown words the (caller-supplied, usually precomputed)
+/// average word IDF of §4.5. [`weighted_query_words`] and the engine's
+/// prepared [`Query`](crate::engine::Query) both go through here, so the
+/// rule cannot drift between the two paths.
+pub(crate) fn weighted_words_with_avg_idf(
+    corpus: &TokenizedCorpus,
+    words: impl Iterator<Item = String>,
+    avg_idf: f64,
+) -> Vec<WeightedWord> {
+    words
         .map(|w| {
             let weight = match corpus.word_dict().get(&w) {
                 Some(id) => corpus.word_idf(id),
@@ -100,45 +115,59 @@ pub fn weighted_record_words(corpus: &TokenizedCorpus, record_idx: usize) -> Vec
 /// paper computes it with a UDF because the word-alignment dynamic program
 /// cannot be expressed as joins — so it is also the only predicate that does
 /// not execute through a prepared `IndexJoin` plan: it scores every tuple
-/// natively from its cached word views. Use [`super::GesJaccardPredicate`] /
+/// natively from the shared weighted word views. [`Exec::TopK`] selects with
+/// the bounded heap instead of a full sort; [`Exec::Threshold`] filters
+/// during scoring. Use [`super::GesJaccardPredicate`] /
 /// [`super::GesApxPredicate`] for the index-filtered realizations.
 pub struct GesPredicate {
-    corpus: Arc<TokenizedCorpus>,
-    params: GesParams,
-    /// Cached weighted word views of every record.
-    record_words: Vec<Vec<WeightedWord>>,
+    shared: Arc<SharedArtifacts>,
 }
 
 impl GesPredicate {
-    /// Preprocess: cache the weighted word tokens of every tuple.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
-        let record_words =
-            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
-        GesPredicate { corpus, params, record_words }
-    }
-}
-
-impl Predicate for GesPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::Ges
+        let params = crate::params::Params { ges: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
     }
 
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        let query_words = weighted_query_words(&self.corpus, query);
+    /// Phase-2 preprocessing: nothing beyond the shared word views.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        GesPredicate { shared }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&relq::Catalog> {
+        None
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        _naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let query_words = query.weighted_words();
         if query_words.is_empty() {
             return Ok(Vec::new());
         }
-        let mut out = Vec::with_capacity(self.corpus.num_records());
-        for (idx, record) in self.corpus.corpus().records().iter().enumerate() {
-            let sim = ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
+        let corpus = self.shared.corpus();
+        let record_words = self.shared.record_words();
+        let mut out = Vec::with_capacity(corpus.num_records());
+        for (idx, record) in corpus.corpus().records().iter().enumerate() {
+            let sim =
+                ges_similarity(query_words, &record_words[idx], self.shared.params().ges.cins);
             if sim > 0.0 {
                 out.push(ScoredTid::new(record.tid, sim));
             }
         }
-        crate::record::sort_ranked(&mut out);
-        Ok(out)
+        Ok(finalize_ranking(out, exec))
     }
 }
+
+crate::engine::engine_predicate!(GesPredicate, crate::predicate::PredicateKind::Ges);
 
 #[cfg(test)]
 mod tests {
@@ -198,6 +227,8 @@ mod tests {
         let swap = ges_similarity(&q, &swapped, 0.5);
         assert!(swap < exact);
     }
+
+    use crate::predicate::Predicate;
 
     #[test]
     fn predicate_ranks_edit_variant_above_unrelated() {

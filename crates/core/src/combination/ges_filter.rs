@@ -5,25 +5,30 @@
 //! signature) tables — keep the tuples whose estimate reaches the threshold
 //! θ, and then re-score the candidates with the exact GES of Equation 3.14.
 //!
-//! **Indexed-catalog contract:** `BASE_WORDS` (keyed on wtoken) and
-//! `BASE_QGRAMS` (keyed on qgram) / `BASE_MHSIG` (keyed on the composite
-//! `(fid, value)`) are registered indexed; the whole filter pipeline is one
-//! [`PreparedPlan`] whose query-side tables and the `Σ idf` normalizer bind
-//! per query.
+//! **Shared-artifact contract:** the word table `BASE_WORDS` (indexed on
+//! wtoken), the weighted record word views used for exact re-scoring and the
+//! tid→index map all come from the engine's shared phase-1 artifacts; only
+//! the second-level token table — `BASE_QGRAMS` (indexed on qgram) or
+//! `BASE_MHSIG` (indexed on the composite `(fid, value)`) — is built here,
+//! registered over a clone of the shared catalog. The whole filter pipeline
+//! is one prepared plan whose query-side tables and the `Σ idf` normalizer
+//! bind per query.
+//!
+//! The candidate filter always runs at the build-time θ — the estimate
+//! over-approximates GES only heuristically, so [`Exec`] modes apply to the
+//! exactly re-scored results (heap-based top-k, post-rescoring threshold),
+//! never to the estimates.
 
-use crate::combination::ges::{
-    ges_similarity, weighted_query_words, weighted_record_words, WeightedWord,
-};
+use crate::combination::ges::ges_similarity;
 use crate::corpus::TokenizedCorpus;
 use crate::dict::{TokenDict, TokenId};
+use crate::engine::{finalize_ranking, Exec, Query, SharedArtifacts};
 use crate::params::GesParams;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
 use dasp_text::{word_qgrams, MinHasher, QgramConfig};
 use relq::{
     col, lit, param, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which filtering strategy a [`FilteredGes`] instance uses.
@@ -37,8 +42,7 @@ pub enum GesFilterKind {
 
 /// Shared state of the filtered GES predicates.
 pub struct FilteredGes {
-    corpus: Arc<TokenizedCorpus>,
-    params: GesParams,
+    shared: Arc<SharedArtifacts>,
     filter: GesFilterKind,
     catalog: Catalog,
     /// The whole filter pipeline (Equation 4.7 / 4.8), prepared once.
@@ -49,36 +53,19 @@ pub struct FilteredGes {
     word_qgram_sizes: Vec<usize>,
     /// Min-hasher (only used by the MinHash variant).
     hasher: MinHasher,
-    /// Cached weighted word views of every record for exact re-scoring.
-    record_words: Vec<Vec<WeightedWord>>,
-    /// tid -> record index.
-    tid_to_idx: HashMap<u32, usize>,
 }
 
 impl FilteredGes {
-    /// Preprocess the corpus for the chosen filter.
-    pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams, filter: GesFilterKind) -> Self {
+    /// Phase-2 preprocessing for the chosen filter over shared artifacts.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>, filter: GesFilterKind) -> Self {
+        let corpus = shared.corpus();
+        let params = shared.params().ges;
         let qcfg = QgramConfig::new(params.q);
         let mut qgram_dict = TokenDict::new();
         let hasher = MinHasher::new(params.num_hashes.max(1), params.minhash_seed);
 
-        // BASE_WORDS(tid, wtoken): word tokens of every tuple (distinct per
-        // tuple is enough for the filter).
-        let mut base_words =
-            Table::empty(Schema::from_pairs(&[("tid", DataType::Int), ("wtoken", DataType::Int)]));
-        for (idx, record) in corpus.corpus().records().iter().enumerate() {
-            let mut seen: Vec<TokenId> = Vec::new();
-            for &w in corpus.record_words(idx) {
-                if !seen.contains(&w) {
-                    seen.push(w);
-                    base_words
-                        .push_row(vec![Value::Int(record.tid as i64), Value::Int(w as i64)])
-                        .expect("schema matches");
-                }
-            }
-        }
-
-        // Word-level q-gram sets (interned) and their sizes.
+        // Word-level q-gram sets (interned) and their sizes. The word table
+        // itself (`base_words`) is a shared phase-1 artifact.
         let mut word_qgram_sizes = vec![0usize; corpus.num_word_tokens()];
         let mut base_qgrams = Table::empty(Schema::from_pairs(&[
             ("wtoken", DataType::Int),
@@ -127,10 +114,7 @@ impl FilteredGes {
             }
         }
 
-        let mut catalog = Catalog::new();
-        catalog
-            .register_indexed("base_words", base_words, &["wtoken"])
-            .expect("base_words has a wtoken column");
+        let mut catalog = shared.catalog().clone();
         // Per-query-word similarity sub-plan (probing the second-level index).
         let maxsim_plan = match filter {
             GesFilterKind::Jaccard => {
@@ -189,23 +173,15 @@ impl FilteredGes {
                 .project(vec![(col("tid"), "tid"), (col("total").div(param("sum_idf")), "score")]),
         );
 
-        let record_words =
-            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
-        let tid_to_idx =
-            corpus.corpus().records().iter().enumerate().map(|(idx, r)| (r.tid, idx)).collect();
+        FilteredGes { shared, filter, catalog, plan, qgram_dict, word_qgram_sizes, hasher }
+    }
 
-        FilteredGes {
-            corpus,
-            params,
-            filter,
-            catalog,
-            plan,
-            qgram_dict,
-            word_qgram_sizes,
-            hasher,
-            record_words,
-            tid_to_idx,
-        }
+    pub(crate) fn shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    pub(crate) fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// Number of distinct q-grams of a base word token (the denominator of
@@ -217,13 +193,18 @@ impl FilteredGes {
     /// The over-estimating filter scores per tuple (Equation 4.7 / 4.8),
     /// computed declaratively. Returns `(tid, estimate)` pairs.
     pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
-        self.filter_scores_mode(query, false)
+        let query = Query::build(&self.shared, query);
+        self.filter_scores_mode(&query, false)
             .expect("prepared ges filter plans over registered catalogs are infallible")
     }
 
-    fn filter_scores_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let qcfg = QgramConfig::new(self.params.q);
-        let query_words = weighted_query_words(&self.corpus, query);
+    fn filter_scores_mode(
+        &self,
+        query: &Query,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let qcfg = QgramConfig::new(self.shared.params().ges.q);
+        let query_words = query.weighted_words();
         if query_words.is_empty() {
             return Ok(Vec::new());
         }
@@ -300,23 +281,30 @@ impl FilteredGes {
         crate::tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
     }
 
-    /// Rank: filter by the over-estimate, then re-score candidates exactly.
-    fn rank_impl(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let query_words = weighted_query_words(&self.corpus, query);
+    /// Execute: filter by the over-estimate at the build-time θ, re-score
+    /// candidates exactly, then apply the execution mode to the exact scores.
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let query_words = query.weighted_words();
         if query_words.is_empty() {
             return Ok(Vec::new());
         }
+        let record_words = self.shared.record_words();
         let mut out = Vec::new();
         for candidate in self.filter_scores_mode(query, naive)? {
-            if candidate.score < self.params.filter_threshold {
+            if candidate.score < self.shared.params().ges.filter_threshold {
                 continue;
             }
-            let idx = self.tid_to_idx[&candidate.tid];
-            let exact = ges_similarity(&query_words, &self.record_words[idx], self.params.cins);
+            let idx = self.shared.record_index(candidate.tid);
+            let exact =
+                ges_similarity(query_words, &record_words[idx], self.shared.params().ges.cins);
             out.push(ScoredTid::new(candidate.tid, exact));
         }
-        crate::record::sort_ranked(&mut out);
-        Ok(out)
+        Ok(finalize_ranking(out, exec))
     }
 }
 
@@ -326,28 +314,40 @@ pub struct GesJaccardPredicate {
 }
 
 impl GesJaccardPredicate {
-    /// Preprocess the corpus.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
-        GesJaccardPredicate { inner: FilteredGes::build(corpus, params, GesFilterKind::Jaccard) }
+        let params = crate::params::Params { ges: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        GesJaccardPredicate { inner: FilteredGes::from_shared(shared, GesFilterKind::Jaccard) }
     }
 
     /// Access the filter scores (used by the threshold-sweep experiments).
     pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
         self.inner.filter_scores(query)
     }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        self.inner.shared()
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.inner.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.execute(query, exec, naive)
+    }
 }
 
-impl Predicate for GesJaccardPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::GesJaccard
-    }
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.rank_impl(query, false)
-    }
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.rank_impl(query, true)
-    }
-}
+crate::engine::engine_predicate!(GesJaccardPredicate, crate::predicate::PredicateKind::GesJaccard);
 
 /// `GES_apx`: min-hash filtering + exact GES re-scoring.
 pub struct GesApxPredicate {
@@ -355,33 +355,47 @@ pub struct GesApxPredicate {
 }
 
 impl GesApxPredicate {
-    /// Preprocess the corpus.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: GesParams) -> Self {
-        GesApxPredicate { inner: FilteredGes::build(corpus, params, GesFilterKind::MinHash) }
+        let params = crate::params::Params { ges: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        GesApxPredicate { inner: FilteredGes::from_shared(shared, GesFilterKind::MinHash) }
     }
 
     /// Access the filter scores (used by the threshold-sweep experiments).
     pub fn filter_scores(&self, query: &str) -> Vec<ScoredTid> {
         self.inner.filter_scores(query)
     }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        self.inner.shared()
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.inner.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        self.inner.execute(query, exec, naive)
+    }
 }
 
-impl Predicate for GesApxPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::GesApx
-    }
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.rank_impl(query, false)
-    }
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.rank_impl(query, true)
-    }
-}
+crate::engine::engine_predicate!(GesApxPredicate, crate::predicate::PredicateKind::GesApx);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::combination::ges::weighted_query_words;
     use crate::corpus::Corpus;
+    use crate::predicate::Predicate;
 
     fn corpus() -> Arc<TokenizedCorpus> {
         Arc::new(TokenizedCorpus::build(
@@ -410,10 +424,11 @@ mod tests {
         let p = GesJaccardPredicate::build(corpus(), GesParams::default());
         let q = "Morgan Stanley Group Incorporated";
         let filter = p.filter_scores(q);
-        let query_words = weighted_query_words(&p.inner.corpus, q);
+        let shared = p.inner.shared();
+        let query_words = weighted_query_words(shared.corpus(), q);
         for s in &filter {
-            let idx = p.inner.tid_to_idx[&s.tid];
-            let exact = ges_similarity(&query_words, &p.inner.record_words[idx], 0.5);
+            let idx = shared.record_index(s.tid);
+            let exact = ges_similarity(&query_words, &shared.record_words()[idx], 0.5);
             assert!(
                 s.score >= exact - 0.15,
                 "filter {} should not be far below exact {} for tid {}",
@@ -481,6 +496,20 @@ mod tests {
             let upper = word.chars().count() + 1;
             let size = p.inner.word_qgram_size(wid);
             assert!(size >= 1 && size <= upper, "{word}: {size} vs upper {upper}");
+        }
+    }
+
+    #[test]
+    fn pushdown_modes_match_post_hoc_selection() {
+        let p = GesJaccardPredicate::build(corpus(), GesParams::default());
+        let q = "Morgan Stanley Group Incorporated";
+        let ranked = p.rank(q);
+        for k in [0, 1, 2, ranked.len() + 1] {
+            assert_eq!(p.top_k(q, k), ranked[..ranked.len().min(k)].to_vec(), "k={k}");
+        }
+        for tau in [0.2, 0.6, 0.95] {
+            let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+            assert_eq!(p.select(q, tau), expected, "tau={tau}");
         }
     }
 

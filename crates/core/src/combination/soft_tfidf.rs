@@ -7,29 +7,37 @@
 //! final weighted sum are executed declaratively (Figure 4.7).
 
 use crate::corpus::TokenizedCorpus;
+use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::SoftTfIdfParams;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
-use dasp_text::{jaro_winkler, word_tokens};
-use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
+use crate::tables::RankingPlans;
+use dasp_text::jaro_winkler;
+use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, Schema, Table, Value};
 use std::sync::Arc;
 
 /// SoftTFIDF predicate with Jaro-Winkler word similarity.
 ///
-/// **Indexed-catalog contract:** `BASE_WORD_WEIGHTS` is registered indexed
-/// on wtoken; the MAXTOKEN pipeline of Figure 4.7 is one [`PreparedPlan`]
-/// whose `CLOSE` (UDF-produced) and `QUERY_WEIGHTS` tables bind per query.
+/// **Shared-artifact contract:** the engine's shared catalog is cloned and
+/// `BASE_WORD_WEIGHTS` registered indexed on wtoken; the MAXTOKEN pipeline
+/// of Figure 4.7 is prepared once in all three [`Exec`] modes, and the
+/// `CLOSE` (UDF-produced) and `QUERY_WEIGHTS` tables bind per query.
 pub struct SoftTfIdfPredicate {
-    corpus: Arc<TokenizedCorpus>,
-    params: SoftTfIdfParams,
+    shared: Arc<SharedArtifacts>,
     catalog: Catalog,
-    plan: PreparedPlan,
+    plans: RankingPlans,
 }
 
 impl SoftTfIdfPredicate {
-    /// Preprocess: register `BASE_WORD_WEIGHTS(tid, wtoken, weight)` with
-    /// L2-normalized word-level tf-idf weights.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: SoftTfIdfParams) -> Self {
+        let params = crate::params::Params { soft_tfidf: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    /// Phase-2 preprocessing: register `BASE_WORD_WEIGHTS(tid, wtoken,
+    /// weight)` with L2-normalized word-level tf-idf weights.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let corpus = shared.corpus().clone();
         let schema = Schema::from_pairs(&[
             ("tid", DataType::Int),
             ("wtoken", DataType::Int),
@@ -69,7 +77,7 @@ impl SoftTfIdfPredicate {
                 }
             }
         }
-        let mut catalog = Catalog::new();
+        let mut catalog = shared.catalog().clone();
         catalog
             .register_indexed("base_word_weights", table, &["wtoken"])
             .expect("word weights have a wtoken column");
@@ -90,42 +98,48 @@ impl SoftTfIdfPredicate {
             detail.clone().aggregate(&["tid", "qword"], vec![(AggFunc::Max(col("sim")), "maxsim")]);
         // MAXTOKEN: rows of the detail table attaining the per-(tid, qword)
         // maximum, then the final weighted sum of Figure 4.7.
-        let plan = PreparedPlan::new(
-            detail
-                .join_on_with_suffix(maxsim, &["tid", "qword"], &["tid", "qword"], "_m")
-                .filter(col("sim").eq(col("maxsim")))
-                .project(vec![
-                    (col("tid"), "tid"),
-                    (col("qword"), "qword"),
-                    (col("weight"), "weight"),
-                    (col("maxsim"), "maxsim"),
-                ])
-                .distinct()
-                .join_on(Plan::param("query_weights"), &["qword"], &["qword"])
-                .project(vec![
-                    (col("tid"), "tid"),
-                    (col("qweight").mul(col("weight")).mul(col("maxsim")), "contrib"),
-                ])
-                .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "score")]),
-        );
-        SoftTfIdfPredicate { corpus, params, catalog, plan }
+        let plan = detail
+            .join_on_with_suffix(maxsim, &["tid", "qword"], &["tid", "qword"], "_m")
+            .filter(col("sim").eq(col("maxsim")))
+            .project(vec![
+                (col("tid"), "tid"),
+                (col("qword"), "qword"),
+                (col("weight"), "weight"),
+                (col("maxsim"), "maxsim"),
+            ])
+            .distinct()
+            .join_on(Plan::param("query_weights"), &["qword"], &["qword"])
+            .project(vec![
+                (col("tid"), "tid"),
+                (col("qweight").mul(col("weight")).mul(col("maxsim")), "contrib"),
+            ])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("contrib")), "score")]);
+        SoftTfIdfPredicate { shared, catalog, plans: RankingPlans::new(plan) }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(&self.catalog)
     }
 
     /// Normalized tf-idf weights of the query's word tokens (known words only,
     /// as in the paper's SQL which joins `BASE_IDF`).
-    fn query_word_weights(&self, query: &str) -> Vec<(usize, String, f64)> {
-        let words = word_tokens(query);
+    fn query_word_weights(&self, query: &Query) -> Vec<(usize, String, f64)> {
+        let corpus = self.shared.corpus();
         let mut counts: Vec<(String, u32)> = Vec::new();
-        for w in words {
-            match counts.iter_mut().find(|(x, _)| *x == w) {
+        for w in query.word_tokens() {
+            match counts.iter_mut().find(|(x, _)| x == w) {
                 Some((_, c)) => *c += 1,
-                None => counts.push((w, 1)),
+                None => counts.push((w.clone(), 1)),
             }
         }
         let raw: Vec<(String, f64)> = counts
             .into_iter()
             .filter_map(|(w, tf)| {
-                let idf = self.corpus.word_dict().get(&w).map(|id| self.corpus.word_idf(id))?;
+                let idf = corpus.word_dict().get(&w).map(|id| corpus.word_idf(id))?;
                 (idf > 0.0).then_some((w, tf as f64 * idf))
             })
             .collect();
@@ -135,10 +149,13 @@ impl SoftTfIdfPredicate {
         }
         raw.into_iter().enumerate().map(|(i, (w, x))| (i, w, x / norm)).collect()
     }
-}
 
-impl SoftTfIdfPredicate {
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
         let query_weights = self.query_word_weights(query);
         if query_weights.is_empty() {
             return Ok(Vec::new());
@@ -152,10 +169,10 @@ impl SoftTfIdfPredicate {
             ("qword", DataType::Int),
             ("sim", DataType::Float),
         ]));
-        for (wid, base_word) in self.corpus.word_dict().iter() {
+        for (wid, base_word) in self.shared.corpus().word_dict().iter() {
             for (qidx, qword, _) in &query_weights {
                 let sim = jaro_winkler(base_word, qword);
-                if sim >= self.params.theta {
+                if sim >= self.shared.params().soft_tfidf.theta {
                     close
                         .push_row(vec![
                             Value::Int(wid as i64),
@@ -181,28 +198,17 @@ impl SoftTfIdfPredicate {
         }
 
         let bindings = Bindings::new().with_table("close", close).with_table("query_weights", qw);
-        crate::tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive)
     }
 }
 
-impl Predicate for SoftTfIdfPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::SoftTfIdf
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(SoftTfIdfPredicate, crate::predicate::PredicateKind::SoftTfIdf);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
+    use crate::predicate::Predicate;
     use dasp_text::QgramConfig;
 
     fn corpus() -> Arc<TokenizedCorpus> {

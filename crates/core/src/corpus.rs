@@ -27,8 +27,14 @@ impl Corpus {
         Corpus { records }
     }
 
-    /// Build a corpus from pre-assigned records.
+    /// Build a corpus from pre-assigned records. Tuple ids must be dense from
+    /// 0 in record order (the invariant [`Corpus::get`] relies on for O(1)
+    /// lookup; [`Corpus::from_strings`] guarantees it by construction).
     pub fn from_records(records: Vec<Record>) -> Self {
+        debug_assert!(
+            records.iter().enumerate().all(|(i, r)| r.tid == i as Tid),
+            "corpus tids must be dense from 0 in record order"
+        );
         Corpus { records }
     }
 
@@ -47,9 +53,14 @@ impl Corpus {
         self.records.is_empty()
     }
 
-    /// The record with the given tuple id, if present.
+    /// The record with the given tuple id, if present. Tids are dense from 0
+    /// (asserted at construction in debug builds), so this is a direct O(1)
+    /// index; the id recheck keeps the lookup correct — returning `None`
+    /// rather than a wrong record — if the density invariant is ever broken.
     pub fn get(&self, tid: Tid) -> Option<&Record> {
-        self.records.iter().find(|r| r.tid == tid)
+        let record = self.records.get(tid as usize)?;
+        debug_assert_eq!(record.tid, tid, "corpus tids must be dense from 0");
+        (record.tid == tid).then_some(record)
     }
 
     /// Average string length in characters (reported in Table 5.1).

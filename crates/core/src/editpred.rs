@@ -5,59 +5,67 @@
 //! term-frequency tables with a grouped `SUM(LEAST(tf, tf_q))` (the multiset
 //! intersection size of their q-grams) — and then verified with an exact
 //! (banded) edit-distance computation, playing the role of the paper's UDF.
+//!
+//! **Shared-artifact contract:** the candidate join probes the engine's
+//! shared `BASE_TF` table (indexed on token); nothing predicate-specific is
+//! registered. The normalized record strings the verification UDF compares
+//! are the shared phase-1 copies.
+//!
+//! **Threshold pushdown:** under `Exec::Threshold(τ)` with `τ` above the
+//! build-time filter threshold θ, the q-gram count filter and the banded
+//! verification both tighten to `τ` — strictly fewer candidates survive to
+//! the expensive UDF stage, and the returned set is provably identical to
+//! rank-then-filter because `sim ≥ τ` implies an edit distance within the
+//! tightened band.
 
 use crate::corpus::TokenizedCorpus;
+use crate::engine::{finalize_ranking, Exec, Query, SharedArtifacts};
 use crate::params::EditParams;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
-use crate::tables;
-use dasp_text::{edit_distance_within, normalize};
+use dasp_text::edit_distance_within;
 use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Edit-similarity predicate with q-gram count filtering.
-///
-/// **Indexed-catalog contract:** `BASE_TF` is registered indexed on token;
-/// the candidate-generation join is a prepared `IndexJoin` probed with the
-/// query's term-frequency table, and only the surviving candidates reach the
-/// exact (banded) edit-distance verification.
 pub struct EditPredicate {
-    corpus: Arc<TokenizedCorpus>,
-    catalog: Catalog,
+    shared: Arc<SharedArtifacts>,
+    /// Candidate generation (multiset q-gram intersection per tuple); the
+    /// output is `(tid, common)`, not a ranking, so verification decides the
+    /// final scores and the [`Exec`] mode is applied natively afterwards.
     plan: PreparedPlan,
     params: EditParams,
-    /// Normalized text per record index (the strings the "UDF" compares).
-    normalized: Vec<String>,
-    /// Map from tid to record index for candidate verification.
-    tid_to_idx: HashMap<u32, usize>,
 }
 
 impl EditPredicate {
-    /// Preprocess: register the `BASE_TF` table used by the count filter
-    /// (indexed on token), prepare the filter plan, and cache the normalized
-    /// strings for verification.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: EditParams) -> Self {
-        let mut catalog = Catalog::new();
-        catalog
-            .register_indexed("base_tf", tables::base_tf(&corpus), &["token"])
-            .expect("base_tf has a token column");
-        // Candidate generation: multiset q-gram intersection per tuple.
+        let params = crate::params::Params { edit: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    /// Phase-2 preprocessing: prepare the count-filter plan over the shared
+    /// `BASE_TF` table.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let params = shared.params().edit;
         let plan = PreparedPlan::new(
             Plan::index_join("base_tf", &["token"], Plan::param("query_tf"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::Sum(col("tf").least(col("tf_r"))), "common")]),
         );
-        let normalized =
-            corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect::<Vec<_>>();
-        let tid_to_idx =
-            corpus.corpus().records().iter().enumerate().map(|(idx, r)| (r.tid, idx)).collect();
-        EditPredicate { corpus, catalog, plan, params, normalized, tid_to_idx }
+        EditPredicate { shared, plan, params }
     }
 
-    /// The maximum edit distance admitted for a pair of lengths under the
-    /// configured similarity threshold: `k = ⌊(1 - θ)·max(|Q|, |D|)⌋`.
-    fn max_edits(&self, query_len: usize, record_len: usize) -> usize {
-        ((1.0 - self.params.filter_threshold) * query_len.max(record_len) as f64).floor() as usize
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.shared.catalog())
+    }
+
+    /// The maximum edit distance admitted for a pair of lengths under a
+    /// similarity threshold: `k = ⌊(1 - θ)·max(|Q|, |D|)⌋`.
+    fn max_edits(threshold: f64, query_len: usize, record_len: usize) -> usize {
+        ((1.0 - threshold) * query_len.max(record_len) as f64).floor() as usize
     }
 
     /// Build the query tf table.
@@ -70,25 +78,36 @@ impl EditPredicate {
         }
         t
     }
-}
 
-impl EditPredicate {
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
-        let query_norm = normalize(query);
-        let query_len = query_norm.chars().count();
+        let query_norm = query.norm();
+        let query_len = query.norm_chars();
         let query_grams = q.total_occurrences() as i64;
-
-        let bindings = Bindings::new().with_table("query_tf", Self::query_tf_table(&q));
-        let candidates = if naive {
-            self.plan.execute_unindexed(&self.catalog, &bindings)?
-        } else {
-            self.plan.execute(&self.catalog, &bindings)?
+        // Threshold pushdown: a selection at τ > θ admits strictly fewer
+        // edits, so both the count filter and the banded verification can
+        // run against τ without losing any tuple with `sim >= τ`.
+        let pushdown_tau = match exec {
+            Exec::Threshold(tau) if tau > self.params.filter_threshold => Some(tau),
+            _ => None,
         };
 
+        let bindings = Bindings::new().with_table("query_tf", Self::query_tf_table(q));
+        let candidates = if naive {
+            self.plan.execute_unindexed(self.shared.catalog(), &bindings)?
+        } else {
+            self.plan.execute(self.shared.catalog(), &bindings)?
+        };
+
+        let corpus = self.shared.corpus();
         let mut out = Vec::new();
         for row in candidates.rows() {
             let tid = row[0].as_i64().map_err(|_| {
@@ -97,50 +116,58 @@ impl EditPredicate {
             let common = row[1].as_f64().map_err(|_| {
                 crate::error::DaspError::MalformedResult(format!("non-numeric count {}", row[1]))
             })? as i64;
-            let idx = self.tid_to_idx[&tid];
-            let text = &self.normalized[idx];
+            let idx = self.shared.record_index(tid);
+            let text = self.shared.normalized(idx);
             let record_len = text.chars().count();
             let max_len = record_len.max(query_len);
             if max_len == 0 {
                 continue;
             }
-            let k = self.max_edits(query_len, record_len);
+            let k_theta = Self::max_edits(self.params.filter_threshold, query_len, record_len);
+            let k = match pushdown_tau {
+                // The tightened band must admit every distance whose
+                // similarity passes the final floating-point `sim >= τ`
+                // test (⌊(1-τ)·max_len⌋ alone can undershoot it by one when
+                // sim == τ exactly), and must never admit a distance the
+                // rank-time θ band rejects — both directions are required
+                // for byte-identity with rank-then-filter.
+                Some(tau) => {
+                    let mut k_tau =
+                        (((1.0 - tau) * max_len as f64).floor().max(0.0) as usize).min(k_theta);
+                    while k_tau < k_theta && 1.0 - (k_tau + 1) as f64 / max_len as f64 >= tau {
+                        k_tau += 1;
+                    }
+                    k_tau
+                }
+                None => k_theta,
+            };
             // Count filter: strings within k edits share at least
             // max(|G(Q)|, |G(D)|) - k*q q-grams (each edit destroys <= q grams).
-            let record_grams = self.corpus.record_dl(idx) as i64;
-            let needed = query_grams.max(record_grams) - (k * self.corpus.config().q) as i64;
+            let record_grams = corpus.record_dl(idx) as i64;
+            let needed = query_grams.max(record_grams) - (k * corpus.config().q) as i64;
             if common < needed {
                 continue;
             }
-            if let Some(d) = edit_distance_within(&query_norm, text, k) {
+            if let Some(d) = edit_distance_within(query_norm, text, k) {
                 let sim = 1.0 - d as f64 / max_len as f64;
                 out.push(ScoredTid::new(tid, sim));
             }
         }
-        crate::record::sort_ranked(&mut out);
-        Ok(out)
+        // finalize re-applies `sim >= τ` for Threshold: the banded search
+        // admits distances up to ⌊(1-τ)·max_len⌋, which can undershoot τ by
+        // a rounding margin.
+        Ok(finalize_ranking(out, exec))
     }
 }
 
-impl Predicate for EditPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::EditSimilarity
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(EditPredicate, crate::predicate::PredicateKind::EditSimilarity);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
-    use dasp_text::{edit_distance, QgramConfig};
+    use crate::predicate::Predicate;
+    use dasp_text::{edit_distance, normalize, QgramConfig};
 
     fn corpus() -> Arc<TokenizedCorpus> {
         Arc::new(TokenizedCorpus::build(
@@ -215,6 +242,29 @@ mod tests {
             if sim >= theta {
                 assert!(returned.contains(&(idx as u32)), "tid {idx} with sim {sim} missing");
             }
+        }
+    }
+
+    #[test]
+    fn threshold_pushdown_matches_rank_then_filter() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        let q = "Morgan Stanley Group Inc.";
+        let ranked = p.rank(q);
+        // Taus both below and above the build-time θ (the latter exercises
+        // the tightened filter path).
+        for tau in [0.3, 0.7, 0.9, 0.97, 1.1] {
+            let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+            assert_eq!(p.select(q, tau), expected, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn top_k_pushdown_matches_rank_truncation() {
+        let p = EditPredicate::build(corpus(), EditParams::default());
+        let q = "Morgan Stanley Group Inc.";
+        let ranked = p.rank(q);
+        for k in [0, 1, 2, ranked.len() + 1] {
+            assert_eq!(p.top_k(q, k), ranked[..ranked.len().min(k)].to_vec(), "k={k}");
         }
     }
 

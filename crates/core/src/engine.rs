@@ -1,0 +1,647 @@
+//! The session-based query API: one [`SelectionEngine`] per base relation,
+//! shared phase-1 artifacts, prepared [`Query`] objects and an [`Exec`] mode
+//! that pushes top-k / threshold selection down into the relational engine.
+//!
+//! ## Why an engine
+//!
+//! The paper's preprocessing splits into a phase common to every predicate
+//! (tokenization, DF/IDF statistics, token tables) and a predicate-specific
+//! weight phase (§5.5.1). The original factory API made each predicate
+//! rebuild the common phase privately; `SelectionEngine::build` constructs it
+//! exactly once — a shared relq [`Catalog`] of indexed token/weight tables
+//! plus the word-level views the combination predicates need — and every
+//! predicate handle layers only its own phase-2 tables on top (a cheap
+//! catalog clone sharing `Arc`'d tables and indexes).
+//!
+//! ## Execution modes
+//!
+//! [`Exec`] is the declarative selection spec: `Rank` materializes the full
+//! ranking, `TopK(k)` pushes a heap-based [`relq::Plan::TopK`] operator onto
+//! the prepared plan (cost scales with candidates kept, not corpus size),
+//! and `Threshold(τ)` pushes a score filter below result materialization.
+//! All three return the same bytes their rank-then-post-process equivalents
+//! would — `TopK(k)` ≡ `rank()` truncated to k, `Threshold(τ)` ≡ `rank()`
+//! filtered — which the integration suite asserts for all 13 predicates.
+//!
+//! ## Queries
+//!
+//! A [`Query`] is tokenized once — q-gram tokens against the corpus
+//! dictionary, the normalized string, word tokens and IDF-weighted word
+//! views — and is then reusable across all 13 predicates and any number of
+//! executions, the "prepare once, execute many" contract extended to the
+//! query side.
+
+use crate::combination::ges::{weighted_record_words, WeightedWord};
+use crate::corpus::{QueryTokens, TokenizedCorpus};
+use crate::overlap::overlap_weight;
+use crate::params::Params;
+use crate::predicate::{Predicate, PredicateKind};
+use crate::record::{sort_ranked, top_k_ranked, ScoredTid, Tid};
+use crate::tables;
+use dasp_text::normalize;
+use relq::Catalog;
+use std::sync::{Arc, OnceLock};
+
+/// How a selection executes: the declarative spec the engine pushes down
+/// into its prepared plans instead of ranking everything and post-processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Exec {
+    /// The full ranking, best match first.
+    Rank,
+    /// The `k` best matches — byte-identical to `Rank` truncated to `k`,
+    /// executed with a bounded heap over the candidate stream.
+    TopK(usize),
+    /// Every match with `score >= τ`, best first — byte-identical to `Rank`
+    /// filtered post-hoc, executed as a plan-level filter (and, for the edit
+    /// predicate, a tightened q-gram count filter) before materialization.
+    Threshold(f64),
+}
+
+/// Apply an execution mode to natively scored results: the UDF-stage
+/// predicates (edit distance, the GES family) score candidates in Rust and
+/// then select here, mirroring what the plan operators do relationally.
+pub(crate) fn finalize_ranking(mut results: Vec<ScoredTid>, exec: Exec) -> Vec<ScoredTid> {
+    match exec {
+        Exec::Rank => {
+            sort_ranked(&mut results);
+            results
+        }
+        Exec::TopK(k) => top_k_ranked(results, k),
+        Exec::Threshold(threshold) => {
+            results.retain(|s| s.score >= threshold);
+            sort_ranked(&mut results);
+            results
+        }
+    }
+}
+
+/// The phase-1 preprocessing artifacts every predicate shares: the tokenized
+/// corpus, a relq catalog of indexed token/weight tables, and the cached
+/// word-level views of the combination predicates. Built exactly once per
+/// [`SelectionEngine`]; predicate handles clone the catalog (shared `Arc`'d
+/// tables and indexes, never copied rows) and add phase-2 tables on top.
+pub(crate) struct SharedArtifacts {
+    corpus: Arc<TokenizedCorpus>,
+    params: Params,
+    catalog: Catalog,
+    /// Normalized record text, the strings the edit-distance UDF compares.
+    normalized: Vec<String>,
+    /// IDF-weighted word views of every record (GES family).
+    record_words: Vec<Vec<WeightedWord>>,
+    /// Mean word IDF, the weight of query words unseen in the base (§4.5).
+    avg_word_idf: f64,
+}
+
+impl SharedArtifacts {
+    /// Run phase-1 preprocessing once over an already tokenized corpus.
+    pub(crate) fn build(corpus: Arc<TokenizedCorpus>, params: &Params) -> Arc<Self> {
+        let mut catalog = Catalog::new();
+        catalog
+            .register_indexed("base_tokens", tables::base_tokens_distinct(&corpus), &["token"])
+            .expect("base_tokens has a token column");
+        catalog
+            .register_indexed("base_tf", tables::base_tf(&corpus), &["token"])
+            .expect("base_tf has a token column");
+        catalog
+            .register_indexed(
+                "base_len",
+                tables::per_tuple_scalar(&corpus, "len", |idx| {
+                    corpus.record_tokens(idx).len() as f64
+                }),
+                &["tid"],
+            )
+            .expect("base_len has a tid column");
+        let weighting = params.overlap_weighting;
+        catalog
+            .register_indexed(
+                "overlap_weights",
+                tables::base_weights(&corpus, |_, token, _| {
+                    Some(overlap_weight(&corpus, weighting, token))
+                }),
+                &["token"],
+            )
+            .expect("overlap_weights has a token column");
+        catalog
+            .register_indexed(
+                "overlap_len",
+                tables::per_tuple_scalar(&corpus, "len", |idx| {
+                    corpus
+                        .record_tokens(idx)
+                        .iter()
+                        .map(|&(t, _)| overlap_weight(&corpus, weighting, t))
+                        .sum()
+                }),
+                &["tid"],
+            )
+            .expect("overlap_len has a tid column");
+        catalog
+            .register_indexed("base_words", tables::base_words_distinct(&corpus), &["wtoken"])
+            .expect("base_words has a wtoken column");
+
+        let normalized = corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect();
+        let record_words =
+            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
+        let avg_word_idf = corpus.avg_word_idf();
+
+        Arc::new(SharedArtifacts {
+            corpus,
+            params: *params,
+            catalog,
+            normalized,
+            record_words,
+            avg_word_idf,
+        })
+    }
+
+    pub(crate) fn corpus(&self) -> &Arc<TokenizedCorpus> {
+        &self.corpus
+    }
+
+    pub(crate) fn params(&self) -> &Params {
+        &self.params
+    }
+
+    pub(crate) fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub(crate) fn normalized(&self, idx: usize) -> &str {
+        &self.normalized[idx]
+    }
+
+    pub(crate) fn record_words(&self) -> &[Vec<WeightedWord>] {
+        &self.record_words
+    }
+
+    /// The record index carrying `tid`. Tids are dense from 0 (asserted at
+    /// corpus construction in debug builds), so this is a direct cast — no
+    /// per-candidate hash lookup in the UDF verification loops.
+    pub(crate) fn record_index(&self, tid: Tid) -> usize {
+        let idx = tid as usize;
+        debug_assert_eq!(
+            self.corpus.corpus().records()[idx].tid,
+            tid,
+            "corpus tids must be dense from 0"
+        );
+        idx
+    }
+}
+
+/// A query string tokenized once against an engine's corpus, reusable across
+/// every predicate and execution mode of that engine.
+///
+/// All views (q-gram tokens, normalized text, word tokens, weighted words)
+/// are computed eagerly at build time: for realistic query strings that is
+/// single-digit microseconds against sub-millisecond-and-up executions, and
+/// it keeps `Query` a plain `Clone + Send + Sync` value with no interior
+/// mutability.
+#[derive(Debug, Clone)]
+pub struct Query {
+    corpus: Arc<TokenizedCorpus>,
+    text: String,
+    norm: String,
+    norm_chars: usize,
+    tokens: QueryTokens,
+    word_tokens: Vec<String>,
+    weighted_words: Vec<WeightedWord>,
+}
+
+impl Query {
+    pub(crate) fn build(shared: &SharedArtifacts, text: &str) -> Query {
+        let corpus = &shared.corpus;
+        let tokens = corpus.tokenize_query(text);
+        let norm = normalize(text);
+        let norm_chars = norm.chars().count();
+        let word_tokens = dasp_text::word_tokens(text);
+        // Same rule as `weighted_query_words`, with the corpus-level average
+        // IDF precomputed once per engine instead of per query.
+        let weighted_words = crate::combination::ges::weighted_words_with_avg_idf(
+            corpus,
+            word_tokens.iter().cloned(),
+            shared.avg_word_idf,
+        );
+        Query {
+            corpus: corpus.clone(),
+            text: text.to_string(),
+            norm,
+            norm_chars,
+            tokens,
+            word_tokens,
+            weighted_words,
+        }
+    }
+
+    /// The raw query string.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The normalized query string (what the edit-distance UDF compares).
+    pub fn norm(&self) -> &str {
+        &self.norm
+    }
+
+    /// Length of the normalized string in characters.
+    pub(crate) fn norm_chars(&self) -> usize {
+        self.norm_chars
+    }
+
+    /// Q-gram tokens resolved against the corpus dictionary.
+    pub fn tokens(&self) -> &QueryTokens {
+        &self.tokens
+    }
+
+    /// Word tokens in order (normalized, with duplicates).
+    pub fn word_tokens(&self) -> &[String] {
+        &self.word_tokens
+    }
+
+    /// IDF-weighted word views (unknown words get the mean word IDF).
+    pub fn weighted_words(&self) -> &[WeightedWord] {
+        &self.weighted_words
+    }
+
+    /// True when this query was tokenized against `corpus`'s dictionary —
+    /// executing it against a different engine would resolve token ids wrong.
+    pub(crate) fn tokenized_against(&self, corpus: &Arc<TokenizedCorpus>) -> bool {
+        Arc::ptr_eq(&self.corpus, corpus)
+    }
+}
+
+/// The engine-facing surface every predicate implements: mode-aware
+/// execution over a prepared [`Query`], plus the introspection hooks the
+/// shared-artifact contract is asserted through.
+pub(crate) trait EngineOps: Send + Sync {
+    fn predicate_kind(&self) -> PredicateKind;
+    fn shared_artifacts(&self) -> &SharedArtifacts;
+    /// Execute one query in the given mode; `naive` selects the
+    /// pre-refactor engine cost model (the equivalence/bench baseline).
+    fn execute_mode(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>>;
+    /// The catalog the predicate's plans run against, when it has one.
+    fn plan_catalog(&self) -> Option<&Catalog> {
+        None
+    }
+}
+
+/// Implements [`EngineOps`] and the [`Predicate`] compatibility shim for a
+/// predicate type exposing `shared: Arc<SharedArtifacts>`-style access via
+/// `engine_shared()`, a `catalog()` accessor, and a mode-aware
+/// `execute(&Query, Exec, naive)`.
+macro_rules! engine_predicate {
+    ($ty:ty, $kind:expr) => {
+        impl crate::engine::EngineOps for $ty {
+            fn predicate_kind(&self) -> crate::predicate::PredicateKind {
+                $kind
+            }
+            fn shared_artifacts(&self) -> &crate::engine::SharedArtifacts {
+                self.engine_shared()
+            }
+            fn execute_mode(
+                &self,
+                query: &crate::engine::Query,
+                exec: crate::engine::Exec,
+                naive: bool,
+            ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+                // A query tokenized against another engine's dictionary would
+                // resolve token ids wrong and return plausible-looking but
+                // bogus scores — fail loudly in every build.
+                if !query.tokenized_against(self.engine_shared().corpus()) {
+                    return Err(crate::error::DaspError::EngineMismatch);
+                }
+                self.execute(query, exec, naive)
+            }
+            fn plan_catalog(&self) -> Option<&relq::Catalog> {
+                self.engine_catalog()
+            }
+        }
+
+        impl crate::predicate::Predicate for $ty {
+            fn kind(&self) -> crate::predicate::PredicateKind {
+                $kind
+            }
+            fn try_rank(&self, query: &str) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+                self.try_execute(query, crate::engine::Exec::Rank)
+            }
+            fn try_rank_naive(
+                &self,
+                query: &str,
+            ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+                let query = crate::engine::Query::build(self.engine_shared(), query);
+                self.execute(&query, crate::engine::Exec::Rank, true)
+            }
+            fn try_execute(
+                &self,
+                query: &str,
+                exec: crate::engine::Exec,
+            ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+                let query = crate::engine::Query::build(self.engine_shared(), query);
+                self.execute(&query, exec, false)
+            }
+        }
+    };
+}
+pub(crate) use engine_predicate;
+
+struct EngineInner {
+    shared: Arc<SharedArtifacts>,
+    /// Lazily built predicate cores, one slot per [`PredicateKind`] in
+    /// canonical order. Phase-2 preprocessing for a predicate runs on the
+    /// first `predicate()` call for its kind and is cached for the engine's
+    /// lifetime.
+    predicates: [OnceLock<Arc<dyn EngineOps>>; PredicateKind::COUNT],
+}
+
+/// A session over one base relation: shared phase-1 artifacts plus lazily
+/// built, cached predicate handles. Cloning is cheap (a shared handle) and
+/// the engine is `Send + Sync`, so one instance can serve concurrent query
+/// traffic.
+#[derive(Clone)]
+pub struct SelectionEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl SelectionEngine {
+    /// Construct the shared phase-1 artifacts over an already tokenized
+    /// corpus: the indexed token/weight tables and word-level views every
+    /// predicate reuses. Predicate-specific (phase-2) preprocessing is
+    /// deferred to the first [`predicate`](Self::predicate) call per kind.
+    pub fn build(corpus: Arc<TokenizedCorpus>, params: &Params) -> Self {
+        let shared = SharedArtifacts::build(corpus, params);
+        SelectionEngine {
+            inner: Arc::new(EngineInner {
+                shared,
+                predicates: std::array::from_fn(|_| OnceLock::new()),
+            }),
+        }
+    }
+
+    /// Tokenize a raw corpus (phase 1 of the paper's preprocessing) and
+    /// build the engine over it in one step.
+    pub fn from_corpus(corpus: crate::corpus::Corpus, params: &Params) -> Self {
+        let tokenized = Arc::new(TokenizedCorpus::build(corpus, params.qgram));
+        Self::build(tokenized, params)
+    }
+
+    /// The tokenized corpus the engine serves.
+    pub fn corpus(&self) -> &Arc<TokenizedCorpus> {
+        self.inner.shared.corpus()
+    }
+
+    /// The parameter set every predicate of this engine is built with.
+    pub fn params(&self) -> &Params {
+        self.inner.shared.params()
+    }
+
+    /// The shared phase-1 catalog (token tables, weight tables, indexes).
+    /// Predicate handles alias these tables — `Arc::ptr_eq` against a
+    /// handle's [`catalog`](PredicateHandle::catalog) proves the
+    /// shared-artifact contract.
+    pub fn shared_catalog(&self) -> &Catalog {
+        self.inner.shared.catalog()
+    }
+
+    /// Prepare a query once for use with every predicate of this engine.
+    pub fn query(&self, text: &str) -> Query {
+        Query::build(&self.inner.shared, text)
+    }
+
+    /// The handle for one predicate, running its phase-2 preprocessing on
+    /// first use and cached afterwards. Handles are cheap to clone and keep
+    /// the engine alive.
+    pub fn predicate(&self, kind: PredicateKind) -> PredicateHandle {
+        let slot = PredicateKind::all()
+            .iter()
+            .position(|&k| k == kind)
+            .expect("PredicateKind::all covers every kind");
+        let core = self.inner.predicates[slot]
+            .get_or_init(|| build_predicate_core(kind, &self.inner.shared))
+            .clone();
+        PredicateHandle { core }
+    }
+
+    /// Handles for every predicate the paper evaluates, in canonical order.
+    pub fn predicates(&self) -> Vec<(PredicateKind, PredicateHandle)> {
+        PredicateKind::all().iter().map(|&kind| (kind, self.predicate(kind))).collect()
+    }
+}
+
+/// Phase-2 preprocessing: build one predicate's core over the shared
+/// artifacts. This is the only place predicate constructors are dispatched.
+fn build_predicate_core(kind: PredicateKind, shared: &Arc<SharedArtifacts>) -> Arc<dyn EngineOps> {
+    use crate::aggregate::{Bm25Predicate, CosinePredicate};
+    use crate::combination::{
+        GesApxPredicate, GesJaccardPredicate, GesPredicate, SoftTfIdfPredicate,
+    };
+    use crate::editpred::EditPredicate;
+    use crate::hmm::HmmPredicate;
+    use crate::langmodel::LanguageModelPredicate;
+    use crate::overlap::{IntersectSize, JaccardPredicate, WeightedJaccard, WeightedMatch};
+    match kind {
+        PredicateKind::IntersectSize => Arc::new(IntersectSize::from_shared(shared.clone())),
+        PredicateKind::Jaccard => Arc::new(JaccardPredicate::from_shared(shared.clone())),
+        PredicateKind::WeightedMatch => Arc::new(WeightedMatch::from_shared(shared.clone())),
+        PredicateKind::WeightedJaccard => Arc::new(WeightedJaccard::from_shared(shared.clone())),
+        PredicateKind::Cosine => Arc::new(CosinePredicate::from_shared(shared.clone())),
+        PredicateKind::Bm25 => Arc::new(Bm25Predicate::from_shared(shared.clone())),
+        PredicateKind::LanguageModel => {
+            Arc::new(LanguageModelPredicate::from_shared(shared.clone()))
+        }
+        PredicateKind::Hmm => Arc::new(HmmPredicate::from_shared(shared.clone())),
+        PredicateKind::EditSimilarity => Arc::new(EditPredicate::from_shared(shared.clone())),
+        PredicateKind::Ges => Arc::new(GesPredicate::from_shared(shared.clone())),
+        PredicateKind::GesJaccard => Arc::new(GesJaccardPredicate::from_shared(shared.clone())),
+        PredicateKind::GesApx => Arc::new(GesApxPredicate::from_shared(shared.clone())),
+        PredicateKind::SoftTfIdf => Arc::new(SoftTfIdfPredicate::from_shared(shared.clone())),
+    }
+}
+
+/// A cheap, clonable handle to one predicate of a [`SelectionEngine`].
+///
+/// The primary interface is [`execute`](Self::execute) over a prepared
+/// [`Query`] with an [`Exec`] mode; the [`Predicate`] trait implementation is
+/// the string-based compatibility shim (`rank(q)` =
+/// `execute(&engine.query(q), Exec::Rank)`).
+#[derive(Clone)]
+pub struct PredicateHandle {
+    core: Arc<dyn EngineOps>,
+}
+
+impl PredicateHandle {
+    /// Which predicate this handle executes.
+    pub fn kind(&self) -> PredicateKind {
+        self.core.predicate_kind()
+    }
+
+    /// Prepare a query against this handle's engine (equivalent to
+    /// [`SelectionEngine::query`]).
+    pub fn query(&self, text: &str) -> Query {
+        Query::build(self.core.shared_artifacts(), text)
+    }
+
+    /// Execute a prepared query in the given mode through the indexed
+    /// engine (prepared plans, index probes, pushdown operators).
+    pub fn execute(&self, query: &Query, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
+        self.core.execute_mode(query, exec, false)
+    }
+
+    /// [`execute`](Self::execute) under the pre-refactor cost model
+    /// (clone-per-scan, per-query hash builds, sort-then-truncate top-k) —
+    /// byte-identical output, kept as the equivalence and bench baseline.
+    pub fn execute_naive(&self, query: &Query, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
+        self.core.execute_mode(query, exec, true)
+    }
+
+    /// The catalog this predicate's plans run against (`None` for the pure
+    /// UDF predicate GES). Tables shared with the engine's
+    /// [`shared_catalog`](SelectionEngine::shared_catalog) alias the same
+    /// allocations.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.core.plan_catalog()
+    }
+}
+
+impl Predicate for PredicateHandle {
+    fn kind(&self) -> PredicateKind {
+        self.core.predicate_kind()
+    }
+
+    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.execute(&self.query(query), Exec::Rank)
+    }
+
+    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
+        self.execute_naive(&self.query(query), Exec::Rank)
+    }
+
+    fn try_execute(&self, query: &str, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
+        self.execute(&self.query(query), exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use dasp_text::QgramConfig;
+
+    fn engine() -> SelectionEngine {
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Morgan Stanle Grop Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+                "AT&T Incorporated",
+            ]),
+            QgramConfig::new(2),
+        ));
+        SelectionEngine::build(corpus, &Params::default())
+    }
+
+    #[test]
+    fn one_query_serves_all_13_predicates_in_every_mode() {
+        let engine = engine();
+        let query = engine.query("Morgan Stanley Group Inc.");
+        for (kind, handle) in engine.predicates() {
+            let ranking = handle.execute(&query, Exec::Rank).unwrap();
+            assert!(!ranking.is_empty(), "{kind} returned nothing");
+            assert_eq!(ranking[0].tid, 0, "{kind} did not rank the duplicate first");
+            // TopK pushdown ≡ rank-then-truncate.
+            let top2 = handle.execute(&query, Exec::TopK(2)).unwrap();
+            assert_eq!(top2, ranking[..ranking.len().min(2)].to_vec(), "{kind} TopK diverged");
+            // Threshold pushdown ≡ rank-then-filter.
+            let tau = ranking[0].score * 0.5;
+            let selected = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+            let expected: Vec<_> = ranking.iter().copied().filter(|s| s.score >= tau).collect();
+            assert_eq!(selected, expected, "{kind} Threshold diverged");
+        }
+    }
+
+    #[test]
+    fn handles_share_phase1_tables_with_the_engine_catalog() {
+        let engine = engine();
+        let shared_tokens = engine.shared_catalog().get_shared("base_tokens").unwrap();
+        let xect = engine.predicate(PredicateKind::IntersectSize);
+        let jaccard = engine.predicate(PredicateKind::Jaccard);
+        let bm25 = engine.predicate(PredicateKind::Bm25);
+        for handle in [&xect, &jaccard, &bm25] {
+            let catalog = handle.catalog().expect("plan-based predicates expose a catalog");
+            let tokens = catalog.get_shared("base_tokens").unwrap();
+            assert!(
+                Arc::ptr_eq(&tokens, &shared_tokens),
+                "{:?} does not alias the shared base_tokens table",
+                handle.kind()
+            );
+        }
+        // The pure-UDF predicate has no plan catalog.
+        assert!(engine.predicate(PredicateKind::Ges).catalog().is_none());
+    }
+
+    #[test]
+    fn predicate_handles_are_cached_per_kind() {
+        let engine = engine();
+        let a = engine.predicate(PredicateKind::Bm25);
+        let b = engine.predicate(PredicateKind::Bm25);
+        assert!(Arc::ptr_eq(&a.core, &b.core), "phase-2 preprocessing must run once per kind");
+    }
+
+    #[test]
+    fn queries_expose_their_prepared_views() {
+        let engine = engine();
+        let query = engine.query("Morgan Stanley");
+        assert_eq!(query.text(), "Morgan Stanley");
+        assert_eq!(query.norm(), normalize("Morgan Stanley"));
+        assert!(!query.tokens().tokens.is_empty());
+        assert_eq!(query.word_tokens(), ["MORGAN".to_string(), "STANLEY".to_string()]);
+        assert_eq!(query.weighted_words().len(), 2);
+        assert!(query.weighted_words().iter().all(|w| w.weight > 0.0));
+    }
+
+    #[test]
+    fn string_shim_matches_prepared_query_execution() {
+        let engine = engine();
+        let handle = engine.predicate(PredicateKind::Cosine);
+        let text = "Beijing Hotel";
+        let prepared = engine.query(text);
+        assert_eq!(handle.rank(text), handle.execute(&prepared, Exec::Rank).unwrap());
+        assert_eq!(handle.top_k(text, 2), handle.execute(&prepared, Exec::TopK(2)).unwrap());
+        assert_eq!(
+            handle.select(text, 0.2),
+            handle.execute(&prepared, Exec::Threshold(0.2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn foreign_queries_are_rejected_not_misanswered() {
+        let a = engine();
+        let b = SelectionEngine::build(
+            Arc::new(TokenizedCorpus::build(
+                Corpus::from_strings(vec!["completely", "different", "corpus"]),
+                dasp_text::QgramConfig::new(2),
+            )),
+            &Params::default(),
+        );
+        let foreign = b.query("different");
+        let handle = a.predicate(PredicateKind::Bm25);
+        assert!(matches!(
+            handle.execute(&foreign, Exec::Rank),
+            Err(crate::error::DaspError::EngineMismatch)
+        ));
+        // A query from the same engine is accepted.
+        assert!(handle.execute(&a.query("different"), Exec::Rank).is_ok());
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SelectionEngine>();
+        assert_send_sync::<PredicateHandle>();
+        assert_send_sync::<Query>();
+    }
+}

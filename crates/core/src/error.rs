@@ -20,6 +20,10 @@ pub enum DaspError {
     /// A result table did not have the `(tid, score)` shape the ranking
     /// conversion expects.
     MalformedResult(String),
+    /// A prepared [`Query`](crate::engine::Query) was executed against a
+    /// different engine than the one whose corpus tokenized it — its token
+    /// ids would resolve against the wrong dictionary.
+    EngineMismatch,
 }
 
 impl fmt::Display for DaspError {
@@ -27,6 +31,9 @@ impl fmt::Display for DaspError {
         match self {
             DaspError::Engine(e) => write!(f, "engine error: {e}"),
             DaspError::MalformedResult(m) => write!(f, "malformed result table: {m}"),
+            DaspError::EngineMismatch => {
+                write!(f, "query was prepared against a different engine's corpus")
+            }
         }
     }
 }
@@ -35,7 +42,7 @@ impl std::error::Error for DaspError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DaspError::Engine(e) => Some(e),
-            DaspError::MalformedResult(_) => None,
+            DaspError::MalformedResult(_) | DaspError::EngineMismatch => None,
         }
     }
 }

@@ -1,54 +1,40 @@
-//! Construction of any predicate from a [`PredicateKind`] and a parameter
-//! set — the entry point the benchmark harness and examples use.
+//! Compatibility constructors for boxed predicates — thin wrappers over
+//! [`SelectionEngine`](crate::engine::SelectionEngine).
+//!
+//! New code should hold a `SelectionEngine` and request
+//! [`PredicateHandle`](crate::engine::PredicateHandle)s from it (shared
+//! phase-1 artifacts, prepared `Query` objects, `Exec` pushdown). These
+//! functions keep the original factory signatures working: each returned box
+//! is an engine handle, so [`build_all`] shares one engine — and therefore
+//! one set of phase-1 artifacts — across all 13 predicates.
 
-use crate::aggregate::{Bm25Predicate, CosinePredicate};
-use crate::combination::{GesApxPredicate, GesJaccardPredicate, GesPredicate, SoftTfIdfPredicate};
 use crate::corpus::TokenizedCorpus;
-use crate::editpred::EditPredicate;
-use crate::hmm::HmmPredicate;
-use crate::langmodel::LanguageModelPredicate;
-use crate::overlap::{IntersectSize, JaccardPredicate, WeightedJaccard, WeightedMatch};
+use crate::engine::SelectionEngine;
 use crate::params::Params;
 use crate::predicate::{Predicate, PredicateKind};
 use std::sync::Arc;
 
 /// Build (preprocess) a predicate of the requested kind over a tokenized
 /// corpus. This is the paper's "phase 2" preprocessing: weight tables are
-/// computed and registered here.
+/// computed and registered here, on top of engine-shared phase-1 artifacts.
 pub fn build_predicate(
     kind: PredicateKind,
     corpus: Arc<TokenizedCorpus>,
     params: &Params,
 ) -> Box<dyn Predicate> {
-    match kind {
-        PredicateKind::IntersectSize => Box::new(IntersectSize::build(corpus)),
-        PredicateKind::Jaccard => Box::new(JaccardPredicate::build(corpus)),
-        PredicateKind::WeightedMatch => {
-            Box::new(WeightedMatch::build(corpus, params.overlap_weighting))
-        }
-        PredicateKind::WeightedJaccard => {
-            Box::new(WeightedJaccard::build(corpus, params.overlap_weighting))
-        }
-        PredicateKind::Cosine => Box::new(CosinePredicate::build(corpus)),
-        PredicateKind::Bm25 => Box::new(Bm25Predicate::build(corpus, params.bm25)),
-        PredicateKind::LanguageModel => Box::new(LanguageModelPredicate::build(corpus)),
-        PredicateKind::Hmm => Box::new(HmmPredicate::build(corpus, params.hmm)),
-        PredicateKind::EditSimilarity => Box::new(EditPredicate::build(corpus, params.edit)),
-        PredicateKind::Ges => Box::new(GesPredicate::build(corpus, params.ges)),
-        PredicateKind::GesJaccard => Box::new(GesJaccardPredicate::build(corpus, params.ges)),
-        PredicateKind::GesApx => Box::new(GesApxPredicate::build(corpus, params.ges)),
-        PredicateKind::SoftTfIdf => Box::new(SoftTfIdfPredicate::build(corpus, params.soft_tfidf)),
-    }
+    Box::new(SelectionEngine::build(corpus, params).predicate(kind))
 }
 
-/// Build every predicate the paper evaluates, in its canonical order.
+/// Build every predicate the paper evaluates, in its canonical order, through
+/// one shared engine (the corpus-level phase-1 artifacts are built once).
 pub fn build_all(
     corpus: Arc<TokenizedCorpus>,
     params: &Params,
 ) -> Vec<(PredicateKind, Box<dyn Predicate>)> {
+    let engine = SelectionEngine::build(corpus, params);
     PredicateKind::all()
         .iter()
-        .map(|&kind| (kind, build_predicate(kind, corpus.clone(), params)))
+        .map(|&kind| (kind, Box::new(engine.predicate(kind)) as Box<dyn Predicate>))
         .collect()
 }
 

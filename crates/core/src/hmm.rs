@@ -7,32 +7,42 @@
 //! as fast as the unweighted overlap predicates in the paper's Figure 5.3.
 
 use crate::corpus::TokenizedCorpus;
+use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::HmmParams;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
-use crate::tables;
-use relq::{col, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
+use crate::tables::{self, RankingPlans};
+use relq::{col, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
 /// Hidden Markov model predicate.
 ///
-/// **Indexed-catalog contract:** `BASE_WEIGHTS` is registered indexed on
-/// token; `rank()` binds the multiplicity-preserving query token table into
-/// the [`PreparedPlan`] built here once.
+/// **Shared-artifact contract:** the engine's shared catalog is cloned and
+/// `HMM_WEIGHTS` registered indexed on token; execution binds the
+/// multiplicity-preserving query token table into plans prepared once in all
+/// three [`Exec`] modes.
 pub struct HmmPredicate {
-    corpus: Arc<TokenizedCorpus>,
+    shared: Arc<SharedArtifacts>,
     catalog: Catalog,
-    plan: PreparedPlan,
+    plans: RankingPlans,
 }
 
 impl HmmPredicate {
-    /// Preprocess: `weight(tid, t) = log(1 + a1·pml(t, D) / (a0·P(t|GE)))`
-    /// where `P(t|GE) = cf_t / cs` is the General-English probability.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, params: HmmParams) -> Self {
+        let params = crate::params::Params { hmm: params, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
+    }
+
+    /// Phase-2 preprocessing:
+    /// `weight(tid, t) = log(1 + a1·pml(t, D) / (a0·P(t|GE)))`
+    /// where `P(t|GE) = cf_t / cs` is the General-English probability.
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let corpus = shared.corpus();
+        let params = shared.params().hmm;
         let cs = corpus.cs() as f64;
         let a0 = params.a0;
         let a1 = params.a1();
-        let weights = tables::base_weights(&corpus, |idx, token, tf| {
+        let weights = tables::base_weights(corpus, |idx, token, tf| {
             let dl = corpus.record_dl(idx) as f64;
             let pml = tf as f64 / dl.max(1.0);
             let ptge = corpus.cf(token) as f64 / cs.max(1.0);
@@ -41,49 +51,50 @@ impl HmmPredicate {
             }
             Some((1.0 + a1 * pml / (a0 * ptge)).ln())
         });
-        let mut catalog = Catalog::new();
+        let mut catalog = shared.catalog().clone();
         catalog
-            .register_indexed("base_weights", weights, &["token"])
+            .register_indexed("hmm_weights", weights, &["token"])
             .expect("weights have a token column");
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_weights", &["token"], Plan::param("query_tokens"), &["token"])
+        let plan =
+            Plan::index_join("hmm_weights", &["token"], Plan::param("query_tokens"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
-                .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]),
-        );
-        HmmPredicate { corpus, catalog, plan }
+                .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]);
+        HmmPredicate { shared, catalog, plans: RankingPlans::new(plan) }
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(&self.catalog)
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         // Query tokens keep their multiplicity: a token occurring twice in the
         // query contributes its factor twice (the SQL joins the raw
         // QUERY_TOKENS table, which has one row per occurrence).
-        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, false));
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, false));
+        self.plans.execute(&self.catalog, bindings, exec, naive)
     }
 }
 
-impl Predicate for HmmPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::Hmm
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(HmmPredicate, crate::predicate::PredicateKind::Hmm);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
+    use crate::predicate::Predicate;
     use dasp_text::QgramConfig;
 
     fn corpus() -> Arc<TokenizedCorpus> {

@@ -8,16 +8,18 @@
 //! grouped sum of `log pm − log(1 − pm) − log(cf/cs)` and a final join with
 //! the per-tuple sums.
 //!
-//! **Indexed-catalog contract:** `BASE_PM` is registered indexed on token and
-//! `BASE_SUMCOMPM` indexed on tid, so both query-time joins are index probes
-//! (the second one probes the per-tuple sums with the handful of tids the
-//! inner aggregation produced). The whole pipeline is one [`PreparedPlan`].
+//! **Shared-artifact contract:** the predicate clones the engine's shared
+//! catalog and registers `BASE_PM` indexed on token and `BASE_SUMCOMPM`
+//! indexed on tid, so both query-time joins are index probes (the second one
+//! probes the per-tuple sums with the handful of tids the inner aggregation
+//! produced). The whole pipeline is prepared once in all three [`Exec`]
+//! modes ([`RankingPlans`]).
 
 use crate::corpus::TokenizedCorpus;
-use crate::predicate::{Predicate, PredicateKind};
+use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::record::ScoredTid;
-use crate::tables;
-use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, Table, Value};
+use crate::tables::{self, RankingPlans};
+use relq::{col, AggFunc, Bindings, Catalog, DataType, Plan, Schema, Table, Value};
 use std::sync::Arc;
 
 /// Numerical floor/ceiling keeping `log(pm)` and `log(1 - pm)` finite.
@@ -25,13 +27,18 @@ const PM_EPS: f64 = 1e-9;
 
 /// Language modeling predicate.
 pub struct LanguageModelPredicate {
-    corpus: Arc<TokenizedCorpus>,
+    shared: Arc<SharedArtifacts>,
     catalog: Catalog,
-    plan: PreparedPlan,
+    plans: RankingPlans,
 }
 
 impl LanguageModelPredicate {
-    /// Preprocess the corpus into `BASE_PM` and `BASE_SUMCOMPM`.
+    /// Standalone construction over a corpus (prefer the engine).
+    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+        Self::from_shared(SharedArtifacts::build(corpus, &crate::params::Params::default()))
+    }
+
+    /// Phase-2 preprocessing: materialize `BASE_PM` and `BASE_SUMCOMPM`.
     ///
     /// Intermediate quantities (pml, pavg, f̄, risk) follow Equations 3.7–3.9:
     /// * `pml(t, D) = tf / dl`
@@ -39,7 +46,8 @@ impl LanguageModelPredicate {
     /// * `f̄(t, D) = pavg(t) * dl`
     /// * `R(t, D) = 1/(1+f̄) * (f̄/(1+f̄))^tf`
     /// * `pm = pml^(1-R) * pavg^R` for tokens present in D.
-    pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let corpus = shared.corpus().clone();
         let n_tokens = corpus.num_tokens();
         // pavg per token: average maximum-likelihood estimate over the tuples
         // containing the token.
@@ -100,7 +108,7 @@ impl LanguageModelPredicate {
         }
         let base_sum = tables::per_tuple_scalar(&corpus, "sumcompm", |idx| sumcompm[idx]);
 
-        let mut catalog = Catalog::new();
+        let mut catalog = shared.catalog().clone();
         catalog
             .register_indexed("base_pm", base_pm, &["token"])
             .expect("base_pm has a token column");
@@ -121,50 +129,53 @@ impl LanguageModelPredicate {
                 );
         // Combine with the per-tuple Σ log(1 - pm) term by probing the tid
         // index of BASE_SUMCOMPM with the aggregated tids.
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_sumcompm", &["tid"], inner, &["tid"]).project(vec![
-                (col("tid"), "tid"),
-                (
-                    col("sum_log_pm")
-                        .sub(col("sum_log_compm"))
-                        .sub(col("sum_log_cfcs"))
-                        .add(col("sumcompm"))
-                        .exp(),
-                    "score",
-                ),
-            ]),
-        );
-        LanguageModelPredicate { corpus, catalog, plan }
+        let plan = Plan::index_join("base_sumcompm", &["tid"], inner, &["tid"]).project(vec![
+            (col("tid"), "tid"),
+            (
+                col("sum_log_pm")
+                    .sub(col("sum_log_compm"))
+                    .sub(col("sum_log_cfcs"))
+                    .add(col("sumcompm"))
+                    .exp(),
+                "score",
+            ),
+        ]);
+        LanguageModelPredicate { shared, catalog, plans: RankingPlans::new(plan) }
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(&self.catalog)
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
-        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
+        self.plans.execute(&self.catalog, bindings, exec, naive)
     }
 }
 
-impl Predicate for LanguageModelPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::LanguageModel
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(
+    LanguageModelPredicate,
+    crate::predicate::PredicateKind::LanguageModel
+);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
+    use crate::predicate::Predicate;
     use dasp_text::QgramConfig;
 
     fn corpus() -> Arc<TokenizedCorpus> {

@@ -23,19 +23,26 @@
 //!
 //! ## Quick start
 //!
+//! The query API is session-based: one [`engine::SelectionEngine`] per base
+//! relation builds the shared phase-1 artifacts (token tables, indexes,
+//! weight tables) exactly once; [`engine::Query`] objects are tokenized once
+//! and reusable across all 13 predicates; and [`engine::Exec`] pushes top-k /
+//! threshold selection down into the relational plans.
+//!
 //! ```
-//! use dasp_core::{Corpus, TokenizedCorpus, Params, PredicateKind, build_predicate, Predicate};
-//! use std::sync::Arc;
+//! use dasp_core::{Corpus, Exec, Params, PredicateKind, SelectionEngine};
 //!
 //! let corpus = Corpus::from_strings(vec![
 //!     "Morgan Stanley Group Inc.",
 //!     "Morgan Stanle Grop Inc.",
 //!     "Beijing Hotel",
 //! ]);
-//! let tokenized = Arc::new(TokenizedCorpus::build(corpus, Default::default()));
-//! let bm25 = build_predicate(PredicateKind::Bm25, tokenized, &Params::default());
-//! let ranking = bm25.rank("Morgan Stanley Group Incorporated");
-//! assert_eq!(ranking[0].tid, 0);
+//! let engine = SelectionEngine::from_corpus(corpus, &Params::default());
+//! let bm25 = engine.predicate(PredicateKind::Bm25);
+//! // Tokenize the query once; execute it under any mode, any predicate.
+//! let query = engine.query("Morgan Stanley Group Incorporated");
+//! let top1 = bm25.execute(&query, Exec::TopK(1)).unwrap();
+//! assert_eq!(top1[0].tid, 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,6 +52,7 @@ pub mod combination;
 pub mod corpus;
 pub mod dict;
 pub mod editpred;
+pub mod engine;
 pub mod error;
 pub mod factory;
 pub mod hmm;
@@ -59,6 +67,7 @@ pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
 pub use dict::{TokenDict, TokenId};
+pub use engine::{Exec, PredicateHandle, Query, SelectionEngine};
 pub use error::DaspError;
 pub use factory::{build_all, build_predicate};
 pub use params::{

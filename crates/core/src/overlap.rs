@@ -2,21 +2,24 @@
 //! and WeightedJaccard, realized declaratively as relq plans over token and
 //! weight tables — the direct analogues of Figures 4.1 and 4.2 of the paper.
 //!
-//! **Indexed-catalog contract:** each `build()` registers its base relation
-//! with `register_indexed(..., &["token"])` and constructs one
-//! [`PreparedPlan`] whose leaves are `Param` placeholders; `rank()` only
-//! binds the query token table (plus per-query scalars like `|Q|`) and
-//! probes the token index — the base relation is never scanned per query.
+//! **Shared-artifact contract:** all four predicates execute directly
+//! against the engine's shared phase-1 catalog — `base_tokens`,
+//! `overlap_weights` (indexed on token) and the per-tuple `base_len` /
+//! `overlap_len` tables (indexed on tid) — registering nothing of their own.
+//! Each prepares one `(tid, score)` plan in all three [`Exec`] modes
+//! ([`RankingPlans`]); execution binds only the query token table (plus
+//! per-query scalars like `|Q|`) and probes the token index.
 
 use crate::corpus::TokenizedCorpus;
+use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::OverlapWeighting;
-use crate::predicate::{Predicate, PredicateKind};
 use crate::record::ScoredTid;
-use crate::tables;
-use relq::{col, execute, lit, param, AggFunc, Bindings, Catalog, Plan, PreparedPlan};
+use crate::tables::{self, RankingPlans};
+use relq::{col, lit, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
-fn overlap_weight(
+/// The token weight the weighted overlap predicates use (§5.3.1).
+pub(crate) fn overlap_weight(
     tc: &TokenizedCorpus,
     weighting: OverlapWeighting,
     token: crate::dict::TokenId,
@@ -30,277 +33,235 @@ fn overlap_weight(
 /// IntersectSize: the number of common distinct tokens between query and
 /// tuple (Equation 3.1, Figure 4.1).
 pub struct IntersectSize {
-    corpus: Arc<TokenizedCorpus>,
-    catalog: Catalog,
-    plan: PreparedPlan,
+    shared: Arc<SharedArtifacts>,
+    plans: RankingPlans,
 }
 
 impl IntersectSize {
-    /// Preprocess the corpus: register `BASE_TOKENS` (indexed on token) and
-    /// prepare the query plan once.
+    /// Standalone construction over a corpus (runs shared phase-1
+    /// preprocessing privately; prefer building through
+    /// [`SelectionEngine`](crate::engine::SelectionEngine), which shares it).
     pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
-        let mut catalog = Catalog::new();
-        catalog
-            .register_indexed("base_tokens", tables::base_tokens_distinct(&corpus), &["token"])
-            .expect("base_tokens has a token column");
-        // SELECT tid, COUNT(*) FROM base_tokens JOIN query_tokens USING (token) GROUP BY tid
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
-                .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
-                .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]),
-        );
-        IntersectSize { corpus, catalog, plan }
+        Self::from_shared(SharedArtifacts::build(corpus, &crate::params::Params::default()))
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        // SELECT tid, COUNT(*) FROM base_tokens JOIN query_tokens USING (token) GROUP BY tid
+        let plan =
+            Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+                .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]);
+        IntersectSize { shared, plans: RankingPlans::new(plan) }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.shared.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
-        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
+        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
     }
 }
 
-impl Predicate for IntersectSize {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::IntersectSize
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(IntersectSize, crate::predicate::PredicateKind::IntersectSize);
 
 /// Jaccard coefficient over distinct token sets (Equation 3.2, Figure 4.2).
 pub struct JaccardPredicate {
-    corpus: Arc<TokenizedCorpus>,
-    catalog: Catalog,
-    plan: PreparedPlan,
+    shared: Arc<SharedArtifacts>,
+    plans: RankingPlans,
 }
 
 impl JaccardPredicate {
-    /// Preprocess: register `BASE_DDL(tid, token, len)` — where `len` is the
-    /// number of distinct tokens of the tuple — indexed on token, and prepare
-    /// the query plan with `|Q|` as a scalar parameter.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>) -> Self {
-        // base_ddl: tid, token, len  (len stored redundantly per row,
-        // exactly as the paper's BASE_DDL table does).
-        let tokens = tables::base_tokens_distinct(&corpus);
-        let lens =
-            tables::per_tuple_scalar(&corpus, "len", |idx| corpus.record_tokens(idx).len() as f64);
-        let mut temp = Catalog::new();
-        temp.register("tokens", tokens);
-        temp.register("lens", lens);
-        let build_plan = Plan::scan("tokens")
-            .join_on(Plan::scan("lens"), &["tid"], &["tid"])
-            .project(vec![(col("tid"), "tid"), (col("token"), "token"), (col("len"), "len")]);
-        let ddl = execute(&build_plan, &temp).expect("ddl table build");
-        let mut catalog = Catalog::new();
-        catalog.register_indexed("base_ddl", ddl, &["token"]).expect("ddl has a token column");
-        // `len` is constant per tuple, so instead of widening the GROUP BY key
-        // to (tid, len) it rides along as MAX(len) — keeping the group key a
-        // single Int column, which the executor resolves through a dense
-        // slot array.
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_ddl", &["token"], Plan::param("query_tokens"), &["token"])
-                .aggregate(
-                    &["tid"],
-                    vec![(AggFunc::CountStar, "cnt"), (AggFunc::Max(col("len")), "len")],
-                )
-                .project(vec![
-                    (col("tid"), "tid"),
-                    (
-                        col("cnt").div(
-                            col("len").add(param("query_len")).sub(col("cnt")).greatest(lit(1e-9)),
-                        ),
-                        "score",
-                    ),
-                ]),
-        );
-        JaccardPredicate { corpus, catalog, plan }
+        Self::from_shared(SharedArtifacts::build(corpus, &crate::params::Params::default()))
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        // Count the intersection per tuple over the shared token table, then
+        // probe the tid index of the shared per-tuple length table for |D| —
+        // no predicate-private BASE_DDL materialization.
+        let inner =
+            Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")]);
+        let plan = Plan::index_join("base_len", &["tid"], inner, &["tid"]).project(vec![
+            (col("tid"), "tid"),
+            (
+                col("cnt")
+                    .div(col("len").add(param("query_len")).sub(col("cnt")).greatest(lit(1e-9))),
+                "score",
+            ),
+        ]);
+        JaccardPredicate { shared, plans: RankingPlans::new(plan) }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.shared.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         // |Q| counts distinct query tokens including those absent from the
         // base relation (the SQL's COUNT(*) over QUERY_TOKENS does the same).
         let bindings = Bindings::new()
-            .with_table("query_tokens", tables::query_tokens(&q, true))
+            .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_len", q.distinct_count() as f64);
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
     }
 }
 
-impl Predicate for JaccardPredicate {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::Jaccard
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(JaccardPredicate, crate::predicate::PredicateKind::Jaccard);
 
 /// WeightedMatch: total weight of common tokens (§3.1), using the
 /// Robertson–Sparck Jones weights the paper found superior to IDF (§5.3.1).
 pub struct WeightedMatch {
-    corpus: Arc<TokenizedCorpus>,
-    catalog: Catalog,
-    plan: PreparedPlan,
+    shared: Arc<SharedArtifacts>,
+    plans: RankingPlans,
 }
 
 impl WeightedMatch {
-    /// Preprocess: register `BASE_TOKENS_WEIGHTS(tid, token, weight)` indexed
-    /// on token and prepare the SUM(weight) plan.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
-        let mut catalog = Catalog::new();
-        let weights = tables::base_weights(&corpus, |_, token, _| {
-            Some(overlap_weight(&corpus, weighting, token))
-        });
-        catalog
-            .register_indexed("base_weights", weights, &["token"])
-            .expect("weights have a token column");
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_weights", &["token"], Plan::param("query_tokens"), &["token"])
-                .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]),
-        );
-        WeightedMatch { corpus, catalog, plan }
+        let params = crate::params::Params { overlap_weighting: weighting, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        let plan = Plan::index_join(
+            "overlap_weights",
+            &["token"],
+            Plan::param("query_tokens"),
+            &["token"],
+        )
+        .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
+        WeightedMatch { shared, plans: RankingPlans::new(plan) }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.shared.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
-        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(&q, true));
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
+        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
     }
 }
 
-impl Predicate for WeightedMatch {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::WeightedMatch
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(WeightedMatch, crate::predicate::PredicateKind::WeightedMatch);
 
 /// WeightedJaccard: weight of common tokens over weight of the union (§3.1).
 pub struct WeightedJaccard {
-    corpus: Arc<TokenizedCorpus>,
-    catalog: Catalog,
-    plan: PreparedPlan,
-    weighting: OverlapWeighting,
+    shared: Arc<SharedArtifacts>,
+    plans: RankingPlans,
 }
 
 impl WeightedJaccard {
-    /// Preprocess: register `BASE_TOKENSDDL(tid, token, weight, len)` — where
-    /// `len` is the total token weight of the tuple — indexed on token, and
-    /// prepare the query plan with the query weight sum as a scalar
-    /// parameter.
+    /// Standalone construction over a corpus (prefer the engine).
     pub fn build(corpus: Arc<TokenizedCorpus>, weighting: OverlapWeighting) -> Self {
-        let weights = tables::base_weights(&corpus, |_, token, _| {
-            Some(overlap_weight(&corpus, weighting, token))
-        });
-        let lens = tables::per_tuple_scalar(&corpus, "len", |idx| {
-            corpus
-                .record_tokens(idx)
-                .iter()
-                .map(|&(t, _)| overlap_weight(&corpus, weighting, t))
-                .sum()
-        });
-        let mut temp = Catalog::new();
-        temp.register("weights", weights);
-        temp.register("lens", lens);
-        let build_plan =
-            Plan::scan("weights").join_on(Plan::scan("lens"), &["tid"], &["tid"]).project(vec![
-                (col("tid"), "tid"),
-                (col("token"), "token"),
-                (col("weight"), "weight"),
-                (col("len"), "len"),
-            ]);
-        let ddl = execute(&build_plan, &temp).expect("weighted ddl build");
-        let mut catalog = Catalog::new();
-        catalog
-            .register_indexed("base_tokensddl", ddl, &["token"])
-            .expect("ddl has a token column");
-        // As with Jaccard: `len` is constant per tuple, so carry it as
-        // MAX(len) and keep the group key a single dense Int column.
-        let plan = PreparedPlan::new(
-            Plan::index_join("base_tokensddl", &["token"], Plan::param("query_tokens"), &["token"])
-                .aggregate(
-                    &["tid"],
-                    vec![(AggFunc::Sum(col("weight")), "inter"), (AggFunc::Max(col("len")), "len")],
-                )
-                .project(vec![
-                    (col("tid"), "tid"),
-                    (
-                        col("inter").div(
-                            col("len")
-                                .add(param("query_weight_sum"))
-                                .sub(col("inter"))
-                                .greatest(lit(1e-9)),
-                        ),
-                        "score",
-                    ),
-                ]),
-        );
-        WeightedJaccard { corpus, catalog, plan, weighting }
+        let params = crate::params::Params { overlap_weighting: weighting, ..Default::default() };
+        Self::from_shared(SharedArtifacts::build(corpus, &params))
     }
 
-    fn rank_mode(&self, query: &str, naive: bool) -> crate::error::Result<Vec<ScoredTid>> {
-        let q = self.corpus.tokenize_query(query);
+    pub(crate) fn from_shared(shared: Arc<SharedArtifacts>) -> Self {
+        // Sum the intersection weight per tuple over the shared weight table,
+        // then probe the tid index of the shared per-tuple weight-sum table
+        // for wt(D) — as with Jaccard, no private joined table is built.
+        let inner = Plan::index_join(
+            "overlap_weights",
+            &["token"],
+            Plan::param("query_tokens"),
+            &["token"],
+        )
+        .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "inter")]);
+        let plan = Plan::index_join("overlap_len", &["tid"], inner, &["tid"]).project(vec![
+            (col("tid"), "tid"),
+            (
+                col("inter").div(
+                    col("len").add(param("query_weight_sum")).sub(col("inter")).greatest(lit(1e-9)),
+                ),
+                "score",
+            ),
+        ]);
+        WeightedJaccard { shared, plans: RankingPlans::new(plan) }
+    }
+
+    fn engine_shared(&self) -> &SharedArtifacts {
+        &self.shared
+    }
+
+    fn engine_catalog(&self) -> Option<&Catalog> {
+        Some(self.shared.catalog())
+    }
+
+    fn execute(
+        &self,
+        query: &Query,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         // Sum of weights of (known) distinct query tokens — the SQL computes
         // this from the base weight table, so unknown tokens contribute 0.
+        let weighting = self.shared.params().overlap_weighting;
+        let corpus = self.shared.corpus();
         let query_weight_sum: f64 =
-            q.tokens.iter().map(|&(t, _)| overlap_weight(&self.corpus, self.weighting, t)).sum();
+            q.tokens.iter().map(|&(t, _)| overlap_weight(corpus, weighting, t)).sum();
         let bindings = Bindings::new()
-            .with_table("query_tokens", tables::query_tokens(&q, true))
+            .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_weight_sum", query_weight_sum);
-        tables::run_ranking_plan(&self.plan, &self.catalog, &bindings, naive)
+        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
     }
 }
 
-impl Predicate for WeightedJaccard {
-    fn kind(&self) -> PredicateKind {
-        PredicateKind::WeightedJaccard
-    }
-
-    fn try_rank(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, false)
-    }
-
-    fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
-        self.rank_mode(query, true)
-    }
-}
+crate::engine::engine_predicate!(WeightedJaccard, crate::predicate::PredicateKind::WeightedJaccard);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corpus::Corpus;
-    use crate::predicate::ranked_tids;
+    use crate::predicate::{ranked_tids, Predicate};
     use dasp_text::QgramConfig;
 
     fn corpus() -> Arc<TokenizedCorpus> {
@@ -405,6 +366,29 @@ mod tests {
         let selected = p.select("Morgan Stanley Group Inc.", 0.5);
         assert!(selected.len() <= all.len());
         assert!(selected.iter().all(|s| s.score >= 0.5));
+    }
+
+    #[test]
+    fn top_k_pushdown_matches_rank_truncation() {
+        let c = corpus();
+        let q = "Morgan Stanley Group Inc.";
+        let preds: Vec<Box<dyn Predicate>> = vec![
+            Box::new(IntersectSize::build(c.clone())),
+            Box::new(JaccardPredicate::build(c.clone())),
+            Box::new(WeightedMatch::build(c.clone(), OverlapWeighting::RobertsonSparckJones)),
+            Box::new(WeightedJaccard::build(c, OverlapWeighting::RobertsonSparckJones)),
+        ];
+        for p in &preds {
+            let ranked = p.rank(q);
+            for k in [0, 1, 3, ranked.len() + 2] {
+                assert_eq!(
+                    p.top_k(q, k),
+                    ranked[..ranked.len().min(k)].to_vec(),
+                    "{} top_k({k}) diverged",
+                    p.kind()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The approximate-selection predicate abstraction.
 
+use crate::engine::Exec;
 use crate::record::{ScoredTid, Tid};
 use std::fmt;
 
@@ -56,6 +57,11 @@ pub enum PredicateClass {
 }
 
 impl PredicateKind {
+    /// Number of predicate kinds — the length of [`PredicateKind::all`],
+    /// usable in const positions (the engine sizes its handle-cache array
+    /// with it; a test asserts the two stay in sync).
+    pub const COUNT: usize = 13;
+
     /// Every predicate, in the order the paper's figures list them.
     pub fn all() -> &'static [PredicateKind] {
         use PredicateKind::*;
@@ -124,14 +130,22 @@ impl fmt::Display for PredicateKind {
 /// An approximate-selection predicate: ranks base tuples by similarity to a
 /// query string, or selects those above a threshold.
 ///
-/// ## Execution contract
+/// ## A compatibility shim over engine handles
 ///
-/// Declarative predicates follow the prepared-plan protocol: `build()`
-/// registers base relations (indexed) in a private catalog and constructs
-/// prepared plans once; [`try_rank`](Self::try_rank) binds the query-side
-/// tables/scalars and executes. [`try_rank_naive`](Self::try_rank_naive)
-/// runs the same prepared plans under the engine's pre-refactor cost model
-/// (clone-per-scan, per-query full-table hash builds) and is byte-identical
+/// The primary query API is [`SelectionEngine`](crate::engine::SelectionEngine):
+/// prepared [`Query`](crate::engine::Query) objects executed with an
+/// [`Exec`] mode through [`PredicateHandle`](crate::engine::PredicateHandle).
+/// This trait is the thin string-based shim over those handles —
+/// [`rank`](Self::rank) is `execute(Exec::Rank)`, [`top_k`](Self::top_k) is
+/// `execute(Exec::TopK(k))`, [`select`](Self::select) is
+/// `execute(Exec::Threshold(τ))` — so engine-backed implementations get the
+/// pushdown for free while standalone implementations (the native ablation
+/// baseline, test fixtures) fall back to rank-then-post-process defaults
+/// that return the same bytes.
+///
+/// [`try_rank_naive`](Self::try_rank_naive) runs the same prepared plans
+/// under the engine's pre-refactor cost model (clone-per-scan, per-query
+/// full-table hash builds, sort-then-truncate top-k) and is byte-identical
 /// by construction — it exists as the equivalence baseline for tests and
 /// benchmarks, never as a production path.
 pub trait Predicate {
@@ -147,6 +161,20 @@ pub trait Predicate {
     /// default forwards to `try_rank`; plan-based predicates override it.
     fn try_rank_naive(&self, query: &str) -> crate::error::Result<Vec<ScoredTid>> {
         self.try_rank(query)
+    }
+
+    /// Execute one query under an [`Exec`] mode. The default emulates the
+    /// modes on top of [`try_rank`](Self::try_rank) (truncate / filter after
+    /// ranking everything); engine-backed predicates override it with true
+    /// pushdown that returns identical bytes at lower cost.
+    fn try_execute(&self, query: &str, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
+        let mut ranked = self.try_rank(query)?;
+        match exec {
+            Exec::Rank => {}
+            Exec::TopK(k) => ranked.truncate(k),
+            Exec::Threshold(threshold) => ranked.retain(|s| s.score >= threshold),
+        }
+        Ok(ranked)
     }
 
     /// Infallible ranking. Predicate plans only reference tables the same
@@ -165,21 +193,23 @@ pub trait Predicate {
             .expect("predicate plans over their own registered catalogs are infallible")
     }
 
-    /// Approximate selection: all tuples with `sim(query, t) >= threshold`.
+    /// Approximate selection: all tuples with `sim(query, t) >= threshold`
+    /// (`Exec::Threshold` pushdown on engine-backed predicates).
     fn select(&self, query: &str, threshold: f64) -> Vec<ScoredTid> {
-        self.rank(query).into_iter().filter(|s| s.score >= threshold).collect()
+        self.try_execute(query, Exec::Threshold(threshold))
+            .expect("predicate plans over their own registered catalogs are infallible")
     }
 
-    /// The `k` most similar tuples.
+    /// The `k` most similar tuples (`Exec::TopK` pushdown on engine-backed
+    /// predicates).
     fn top_k(&self, query: &str, k: usize) -> Vec<ScoredTid> {
-        let mut ranked = self.rank(query);
-        ranked.truncate(k);
-        ranked
+        self.try_execute(query, Exec::TopK(k))
+            .expect("predicate plans over their own registered catalogs are infallible")
     }
 
     /// The single most similar tuple, if any tuple scored at all.
     fn best_match(&self, query: &str) -> Option<ScoredTid> {
-        self.rank(query).into_iter().next()
+        self.top_k(query, 1).into_iter().next()
     }
 }
 
@@ -219,6 +249,7 @@ mod tests {
     #[test]
     fn kind_metadata_is_complete() {
         assert_eq!(PredicateKind::all().len(), 13);
+        assert_eq!(PredicateKind::all().len(), PredicateKind::COUNT);
         for kind in PredicateKind::all() {
             assert!(!kind.short_name().is_empty());
             let _ = kind.class();

@@ -45,15 +45,38 @@ impl fmt::Display for ScoredTid {
     }
 }
 
-/// Sort scored results by descending score, breaking ties by ascending tid so
-/// rankings are deterministic across runs and predicates.
+/// The canonical ranking order: descending score under `f64::total_cmp`,
+/// ties broken by ascending tid. Every ranked surface of the crate — the
+/// Rust-side sort, the engine's `Plan::TopK` keys, and the bounded-heap
+/// top-k — uses this one total order, which is what makes pushed-down
+/// `TopK(k)` byte-identical to rank-then-truncate.
+pub fn cmp_ranked(a: &ScoredTid, b: &ScoredTid) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then_with(|| a.tid.cmp(&b.tid))
+}
+
+/// Sort scored results by [`cmp_ranked`] so rankings are deterministic across
+/// runs and predicates.
 pub fn sort_ranked(results: &mut [ScoredTid]) {
-    results.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.tid.cmp(&b.tid))
-    });
+    results.sort_by(cmp_ranked);
+}
+
+/// The `k` best entries of an unsorted result set under [`cmp_ranked`] —
+/// element-for-element identical to [`sort_ranked`] + `truncate(k)`, but
+/// `O(n log k)` via a bounded heap instead of a full sort. This is the
+/// native-path analogue of the engine's `Plan::TopK` operator, used by the
+/// predicates whose final scores come from a UDF stage (edit distance, the
+/// GES family) rather than from a relational plan.
+pub fn top_k_ranked(results: Vec<ScoredTid>, k: usize) -> Vec<ScoredTid> {
+    if k >= results.len() {
+        let mut all = results;
+        sort_ranked(&mut all);
+        return all;
+    }
+    let mut heap = relq::BoundedHeap::new(k, cmp_ranked);
+    for entry in results {
+        heap.offer(entry);
+    }
+    heap.into_sorted()
 }
 
 #[cfg(test)]

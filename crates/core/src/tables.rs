@@ -15,7 +15,10 @@
 
 use crate::corpus::{QueryTokens, TokenizedCorpus};
 use crate::dict::TokenId;
-use relq::{DataType, Schema, Table, Value};
+use crate::engine::Exec;
+use relq::{
+    col, param, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, SortOrder, Table, Value,
+};
 
 /// `BASE_TOKENS(tid, token)` with *distinct* tokens per tuple, as the paper
 /// stores for the unweighted overlap predicates.
@@ -110,6 +113,26 @@ where
     table
 }
 
+/// `BASE_WORDS(tid, wtoken)` with *distinct* word tokens per tuple — the
+/// word-level analogue of [`base_tokens_distinct`], shared by the filtered
+/// GES predicates.
+pub fn base_words_distinct(tc: &TokenizedCorpus) -> Table {
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("wtoken", DataType::Int)]);
+    let mut table = Table::empty(schema);
+    for (idx, record) in tc.corpus().records().iter().enumerate() {
+        let mut seen: Vec<TokenId> = Vec::new();
+        for &w in tc.record_words(idx) {
+            if !seen.contains(&w) {
+                seen.push(w);
+                table
+                    .push_row(vec![Value::Int(record.tid as i64), Value::Int(w as i64)])
+                    .expect("schema matches");
+            }
+        }
+    }
+    table
+}
+
 /// `QUERY_TOKENS(token)` built from tokenized query tokens. When `distinct`
 /// is false, one row is emitted per occurrence (the multiplicity-preserving
 /// variant used by HMM); unknown tokens are omitted because they cannot join.
@@ -190,6 +213,69 @@ pub fn run_ranking_plan(
         plan.execute(catalog, bindings)?
     };
     try_scores_from_table(&result)
+}
+
+/// Scalar parameter carrying `k` into the prepared top-k plan.
+pub(crate) const TOP_K_PARAM: &str = "__top_k";
+/// Scalar parameter carrying `τ` into the prepared threshold plan.
+pub(crate) const THRESHOLD_PARAM: &str = "__threshold";
+
+/// The three prepared execution modes of one `(tid, score)`-producing
+/// ranking plan, built once at preprocessing time:
+///
+/// * `rank` — the plan as given; conversion sorts the full candidate set.
+/// * `top_k` — the plan capped by a heap-based [`Plan::TopK`] on
+///   `(score DESC, tid ASC)` with `k` as a scalar parameter, so only the `k`
+///   best candidate rows are ever materialized or sorted.
+/// * `threshold` — the plan filtered by `score >= τ` (scalar parameter)
+///   before result materialization.
+///
+/// Every mode runs over the same candidate pipeline and the same canonical
+/// `(score DESC, tid ASC)` order as [`crate::record::sort_ranked`], which is
+/// what makes `TopK(k)` byte-identical to rank-then-truncate and
+/// `Threshold(τ)` byte-identical to rank-then-filter.
+pub(crate) struct RankingPlans {
+    rank: PreparedPlan,
+    top_k: PreparedPlan,
+    threshold: PreparedPlan,
+}
+
+impl RankingPlans {
+    /// Prepare all three modes of a `(tid, score)` ranking plan.
+    pub(crate) fn new(plan: Plan) -> Self {
+        let top_k = plan.clone().top_k(
+            param(TOP_K_PARAM),
+            vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
+        );
+        let threshold = plan.clone().filter(col("score").gt_eq(param(THRESHOLD_PARAM)));
+        RankingPlans {
+            rank: PreparedPlan::new(plan),
+            top_k: PreparedPlan::new(top_k),
+            threshold: PreparedPlan::new(threshold),
+        }
+    }
+
+    /// Execute the plan for `exec`, adding the mode's scalar parameter to the
+    /// per-query bindings.
+    pub(crate) fn execute(
+        &self,
+        catalog: &Catalog,
+        bindings: Bindings,
+        exec: Exec,
+        naive: bool,
+    ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+        match exec {
+            Exec::Rank => run_ranking_plan(&self.rank, catalog, &bindings, naive),
+            Exec::TopK(k) => {
+                let bindings = bindings.with_scalar(TOP_K_PARAM, k as i64);
+                run_ranking_plan(&self.top_k, catalog, &bindings, naive)
+            }
+            Exec::Threshold(tau) => {
+                let bindings = bindings.with_scalar(THRESHOLD_PARAM, tau);
+                run_ranking_plan(&self.threshold, catalog, &bindings, naive)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

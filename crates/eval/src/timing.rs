@@ -1,7 +1,7 @@
 //! Wall-clock timing of the two preprocessing phases and of query execution
 //! (§5.5.1 / §5.5.2).
 
-use dasp_core::{Corpus, Params, Predicate, PredicateKind, TokenizedCorpus};
+use dasp_core::{Corpus, Params, Predicate, PredicateKind, SelectionEngine, TokenizedCorpus};
 use dasp_datagen::Dataset;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,8 +50,35 @@ pub fn time_tokenization(dataset: &Dataset, params: &Params) -> (Arc<TokenizedCo
     (Arc::new(tokenized), start.elapsed())
 }
 
-/// Time phase-2 preprocessing (weight computation) of one predicate kind over
-/// an already tokenized corpus.
+/// Time the construction of an engine's shared phase-1 artifacts over an
+/// already tokenized corpus.
+pub fn time_engine_build(
+    corpus: Arc<TokenizedCorpus>,
+    params: &Params,
+) -> (SelectionEngine, Duration) {
+    let start = Instant::now();
+    let engine = SelectionEngine::build(corpus, params);
+    (engine, start.elapsed())
+}
+
+/// Time phase-2 preprocessing (weight computation) of one predicate kind
+/// within an engine: the first `predicate()` call for a kind builds and
+/// caches its weight tables.
+pub fn time_predicate_build(
+    engine: &SelectionEngine,
+    kind: PredicateKind,
+) -> (dasp_core::PredicateHandle, Duration) {
+    let start = Instant::now();
+    let handle = engine.predicate(kind);
+    (handle, start.elapsed())
+}
+
+/// Time the full post-tokenization preprocessing of a single standalone
+/// predicate: engine construction (shared phase-1 tables) **plus** the
+/// predicate's own phase-2 weight tables. For the phase split, use
+/// [`time_engine_build`] + [`time_predicate_build`] instead — this function
+/// exists for call sites that want "cost to get one ready predicate" as a
+/// single number.
 pub fn time_weight_phase(
     kind: PredicateKind,
     corpus: Arc<TokenizedCorpus>,
@@ -108,6 +135,17 @@ mod tests {
         assert_eq!(timing.num_queries, 10);
         assert!(timing.total >= timing.average());
         assert!(timing.average() > Duration::ZERO);
+    }
+
+    #[test]
+    fn engine_and_predicate_builds_are_measured() {
+        let d = cu_dataset_sized(cu_spec("CU8").unwrap(), 150, 15);
+        let (corpus, _) = time_tokenization(&d, &Params::default());
+        let (engine, t_engine) = time_engine_build(corpus, &Params::default());
+        assert!(t_engine > Duration::ZERO);
+        let (handle, t_build) = time_predicate_build(&engine, PredicateKind::Bm25);
+        assert!(t_build > Duration::ZERO);
+        assert!(!handle.rank(&d.records[0].text).is_empty());
     }
 
     #[test]

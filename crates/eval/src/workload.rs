@@ -1,9 +1,17 @@
 //! Query workloads over generated datasets: build the base relation, pick
 //! random query tuples (clean and erroneous alike, as in §5.2), run a
 //! predicate and aggregate MAP / mean max-F1.
+//!
+//! Batch evaluation goes through one [`SelectionEngine`] per dataset: the
+//! corpus-level phase-1 artifacts are built once, each sampled query string
+//! is tokenized into a [`Query`] once, and every evaluated predicate reuses
+//! both — the evaluation-harness analogue of the engine's shared-artifact
+//! contract.
 
 use crate::metrics::{average_precision, max_f1, mean};
-use dasp_core::{Corpus, Params, Predicate, PredicateKind, TokenizedCorpus};
+use dasp_core::{
+    Corpus, Exec, Params, Predicate, PredicateKind, Query, SelectionEngine, TokenizedCorpus,
+};
 use dasp_datagen::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +35,12 @@ pub fn tokenize_dataset(dataset: &Dataset, params: &Params) -> Arc<TokenizedCorp
     Arc::new(TokenizedCorpus::build(corpus, params.qgram))
 }
 
+/// Build a [`SelectionEngine`] over a dataset (tokenization + shared phase-1
+/// preprocessing, both exactly once).
+pub fn build_engine(dataset: &Dataset, params: &Params) -> SelectionEngine {
+    SelectionEngine::build(tokenize_dataset(dataset, params), params)
+}
+
 /// Choose `num_queries` record indices of the dataset as the query workload.
 /// Queries are sampled uniformly, so the workload mixes clean and erroneous
 /// tuples as the paper's does.
@@ -34,6 +48,32 @@ pub fn sample_query_indices(dataset: &Dataset, num_queries: usize, seed: u64) ->
     let mut rng = StdRng::seed_from_u64(seed);
     let n = dataset.len();
     (0..num_queries.min(n)).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// The relevant set of one query record: every record in its cluster.
+fn relevant_set(dataset: &Dataset, query_idx: usize) -> HashSet<u32> {
+    let cluster = dataset.records[query_idx].cluster;
+    dataset
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.cluster == cluster)
+        .map(|(tid, _)| tid as u32)
+        .collect()
+}
+
+/// Aggregate AP / max-F1 over `(ranking, relevant)` pairs.
+fn accuracy_over<'a, I>(rankings: I) -> AccuracyResult
+where
+    I: Iterator<Item = (Vec<u32>, &'a HashSet<u32>)>,
+{
+    let mut aps = Vec::new();
+    let mut f1s = Vec::new();
+    for (ranking, relevant) in rankings {
+        aps.push(average_precision(&ranking, relevant));
+        f1s.push(max_f1(&ranking, relevant));
+    }
+    AccuracyResult { map: mean(&aps), mean_max_f1: mean(&f1s), num_queries: aps.len() }
 }
 
 /// Evaluate a prebuilt predicate over a dataset: for each sampled query tuple
@@ -45,22 +85,46 @@ pub fn evaluate_accuracy(
     seed: u64,
 ) -> AccuracyResult {
     let indices = sample_query_indices(dataset, num_queries, seed);
-    let mut aps = Vec::with_capacity(indices.len());
-    let mut f1s = Vec::with_capacity(indices.len());
-    for idx in indices {
-        let query = &dataset.records[idx];
-        let relevant: HashSet<u32> = dataset
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.cluster == query.cluster)
-            .map(|(tid, _)| tid as u32)
-            .collect();
-        let ranking: Vec<u32> = predicate.rank(&query.text).iter().map(|s| s.tid).collect();
-        aps.push(average_precision(&ranking, &relevant));
-        f1s.push(max_f1(&ranking, &relevant));
-    }
-    AccuracyResult { map: mean(&aps), mean_max_f1: mean(&f1s), num_queries: aps.len() }
+    let relevant: Vec<HashSet<u32>> =
+        indices.iter().map(|&idx| relevant_set(dataset, idx)).collect();
+    accuracy_over(indices.iter().zip(&relevant).map(|(&idx, rel)| {
+        let ranking: Vec<u32> =
+            predicate.rank(&dataset.records[idx].text).iter().map(|s| s.tid).collect();
+        (ranking, rel)
+    }))
+}
+
+/// Evaluate several predicate kinds through one engine, tokenizing each
+/// sampled query exactly once and sharing the prepared [`Query`] objects
+/// across every predicate.
+pub fn evaluate_engine(
+    engine: &SelectionEngine,
+    kinds: &[PredicateKind],
+    dataset: &Dataset,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<(PredicateKind, AccuracyResult)> {
+    let indices = sample_query_indices(dataset, num_queries, seed);
+    let queries: Vec<Query> =
+        indices.iter().map(|&idx| engine.query(&dataset.records[idx].text)).collect();
+    let relevant: Vec<HashSet<u32>> =
+        indices.iter().map(|&idx| relevant_set(dataset, idx)).collect();
+    kinds
+        .iter()
+        .map(|&kind| {
+            let handle = engine.predicate(kind);
+            let result = accuracy_over(queries.iter().zip(&relevant).map(|(query, rel)| {
+                let ranking: Vec<u32> = handle
+                    .execute(query, Exec::Rank)
+                    .expect("engine predicates are infallible over their own catalogs")
+                    .iter()
+                    .map(|s| s.tid)
+                    .collect();
+                (ranking, rel)
+            }));
+            (kind, result)
+        })
+        .collect()
 }
 
 /// Build and evaluate one predicate kind on a dataset.
@@ -71,13 +135,12 @@ pub fn evaluate_kind(
     num_queries: usize,
     seed: u64,
 ) -> AccuracyResult {
-    let corpus = tokenize_dataset(dataset, params);
-    let predicate = dasp_core::build_predicate(kind, corpus, params);
-    evaluate_accuracy(predicate.as_ref(), dataset, num_queries, seed)
+    let engine = build_engine(dataset, params);
+    evaluate_engine(&engine, &[kind], dataset, num_queries, seed)[0].1
 }
 
-/// Build and evaluate several predicate kinds on the same dataset, reusing
-/// the tokenized corpus (phase-1 preprocessing) across predicates.
+/// Build and evaluate several predicate kinds on the same dataset through one
+/// engine (phase-1 preprocessing and query tokenization are shared).
 pub fn evaluate_kinds(
     kinds: &[PredicateKind],
     dataset: &Dataset,
@@ -85,14 +148,8 @@ pub fn evaluate_kinds(
     num_queries: usize,
     seed: u64,
 ) -> Vec<(PredicateKind, AccuracyResult)> {
-    let corpus = tokenize_dataset(dataset, params);
-    kinds
-        .iter()
-        .map(|&kind| {
-            let predicate = dasp_core::build_predicate(kind, corpus.clone(), params);
-            (kind, evaluate_accuracy(predicate.as_ref(), dataset, num_queries, seed))
-        })
-        .collect()
+    let engine = build_engine(dataset, params);
+    evaluate_engine(&engine, kinds, dataset, num_queries, seed)
 }
 
 #[cfg(test)]
@@ -155,5 +212,17 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.map));
             assert!((0.0..=1.0).contains(&r.mean_max_f1));
         }
+    }
+
+    #[test]
+    fn engine_evaluation_matches_boxed_predicate_evaluation() {
+        // The shared-Query batch path and the string-shim path must agree.
+        let d = small_low_error();
+        let params = Params::default();
+        let engine = build_engine(&d, &params);
+        let via_engine = evaluate_engine(&engine, &[PredicateKind::Cosine], &d, 12, 5)[0].1;
+        let handle = engine.predicate(PredicateKind::Cosine);
+        let via_shim = evaluate_accuracy(&handle, &d, 12, 5);
+        assert_eq!(via_engine, via_shim);
     }
 }

@@ -1,0 +1,136 @@
+//! Pushdown-equivalence and shared-artifact tests for the session-based
+//! query API: for all 13 predicates over seeded `dasp-datagen` corpora,
+//! `Exec::TopK(k)` must return byte-identical results to `Exec::Rank`
+//! truncated to `k`, and `Exec::Threshold(τ)` byte-identical results to the
+//! post-hoc filter — through the indexed engine *and* through the naive
+//! baseline — and every handle of one engine must alias (not copy) the
+//! engine's phase-1 tables.
+
+use dasp_core::{Exec, Params, PredicateKind, SelectionEngine};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
+use dasp_eval::{build_engine, sample_query_indices};
+use std::sync::Arc;
+
+fn assert_pushdown_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
+    let engine = build_engine(dataset, &Params::default());
+    let indices = sample_query_indices(dataset, 6, 0x70_9D);
+    for (kind, handle) in engine.predicates() {
+        for &idx in &indices {
+            let query = engine.query(&dataset.records[idx].text);
+            let ranked = handle.execute(&query, Exec::Rank).unwrap();
+
+            // TopK(k) ≡ rank truncated to k, in both engine modes.
+            for k in [0, 1, 5, 10, ranked.len(), ranked.len() + 7] {
+                let expected = &ranked[..ranked.len().min(k)];
+                let pushed = handle.execute(&query, Exec::TopK(k)).unwrap();
+                assert_eq!(
+                    pushed, expected,
+                    "{label}/{kind}: TopK({k}) diverged from rank-then-truncate"
+                );
+                let pushed_naive = handle.execute_naive(&query, Exec::TopK(k)).unwrap();
+                assert_eq!(
+                    pushed_naive, expected,
+                    "{label}/{kind}: naive TopK({k}) diverged from rank-then-truncate"
+                );
+            }
+
+            // Threshold(τ) ≡ rank filtered post hoc, for taus spanning the
+            // score range (including one above the maximum and one below the
+            // minimum so both empty and full selections are exercised).
+            let mut taus = vec![f64::NEG_INFINITY, 0.0];
+            if let (Some(first), Some(last)) = (ranked.first(), ranked.last()) {
+                taus.push(last.score);
+                taus.push((first.score + last.score) / 2.0);
+                taus.push(first.score);
+                taus.push(first.score * 1.5 + 1.0);
+            }
+            for tau in taus {
+                let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                let pushed = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+                assert_eq!(
+                    pushed, expected,
+                    "{label}/{kind}: Threshold({tau}) diverged from rank-then-filter"
+                );
+                let pushed_naive = handle.execute_naive(&query, Exec::Threshold(tau)).unwrap();
+                assert_eq!(
+                    pushed_naive, expected,
+                    "{label}/{kind}: naive Threshold({tau}) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pushdown_is_equivalent_on_company_names() {
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 220, 22);
+    assert_pushdown_equivalent(&dataset, "CU2");
+}
+
+#[test]
+fn pushdown_is_equivalent_on_abbreviation_errors() {
+    let dataset = f_dataset_sized(f_spec("F1").unwrap(), 180, 18);
+    assert_pushdown_equivalent(&dataset, "F1");
+}
+
+#[test]
+fn pushdown_is_equivalent_on_dblp_titles() {
+    let dataset = dblp_dataset(180);
+    assert_pushdown_equivalent(&dataset, "DBLP");
+}
+
+#[test]
+fn all_13_handles_share_phase1_artifacts() {
+    // Building every predicate through one engine must tokenize the corpus
+    // exactly once (the engine holds the one TokenizedCorpus it was given)
+    // and share the phase-1 tables: each handle's catalog aliases the same
+    // Arc'd allocations as the engine's shared catalog.
+    let dataset = cu_dataset_sized(cu_spec("CU8").unwrap(), 120, 12);
+    let params = Params::default();
+    let corpus = dasp_eval::tokenize_dataset(&dataset, &params);
+    let engine = SelectionEngine::build(corpus.clone(), &params);
+    assert!(Arc::ptr_eq(engine.corpus(), &corpus), "the engine must not re-tokenize");
+
+    let shared = engine.shared_catalog();
+    let shared_tables =
+        ["base_tokens", "base_tf", "base_len", "overlap_weights", "overlap_len", "base_words"];
+    let mut handles_with_catalogs = 0;
+    for (kind, handle) in engine.predicates() {
+        let Some(catalog) = handle.catalog() else {
+            assert_eq!(kind, PredicateKind::Ges, "only pure-UDF GES lacks a catalog");
+            continue;
+        };
+        handles_with_catalogs += 1;
+        for table in shared_tables {
+            let from_handle = catalog.get_shared(table).unwrap();
+            let from_engine = shared.get_shared(table).unwrap();
+            assert!(
+                Arc::ptr_eq(&from_handle, &from_engine),
+                "{kind}: table {table} is a copy, not a shared artifact"
+            );
+        }
+    }
+    assert_eq!(handles_with_catalogs, 12);
+
+    // Weight tables are shared across predicates too: WeightedMatch and
+    // WeightedJaccard both run over the one overlap_weights table.
+    let wm = engine.predicate(PredicateKind::WeightedMatch);
+    let wj = engine.predicate(PredicateKind::WeightedJaccard);
+    let wm_weights = wm.catalog().unwrap().get_shared("overlap_weights").unwrap();
+    let wj_weights = wj.catalog().unwrap().get_shared("overlap_weights").unwrap();
+    assert!(Arc::ptr_eq(&wm_weights, &wj_weights));
+}
+
+#[test]
+fn one_prepared_query_serves_every_predicate() {
+    let dataset = cu_dataset_sized(cu_spec("CU6").unwrap(), 150, 15);
+    let engine = build_engine(&dataset, &Params::default());
+    let text = &dataset.records[3].text;
+    let query = engine.query(text);
+    for (kind, handle) in engine.predicates() {
+        // The prepared query and the string shim must return the same bytes.
+        let via_query = handle.execute(&query, Exec::Rank).unwrap();
+        let via_str = dasp_core::Predicate::rank(&handle, text);
+        assert_eq!(via_query, via_str, "{kind}: prepared-query path diverged from string shim");
+    }
+}

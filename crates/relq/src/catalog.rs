@@ -101,10 +101,15 @@ fn int_column_stats(table: &Table) -> Vec<Option<(i64, i64)>> {
 
 /// Catalog of named, materialized tables stored behind `Arc` plus their
 /// persistent indexes and registration-time column statistics.
+///
+/// Tables *and* indexes live behind `Arc`, so `Catalog::clone` is cheap and
+/// shares both: the predicate engine clones one shared base catalog per
+/// predicate and registers only predicate-specific tables on top, without
+/// ever duplicating phase-1 tables or rebuilding their indexes.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
-    indexes: BTreeMap<String, Vec<TableIndex>>,
+    indexes: BTreeMap<String, Vec<Arc<TableIndex>>>,
     int_stats: BTreeMap<String, Vec<Option<(i64, i64)>>>,
 }
 
@@ -137,7 +142,7 @@ impl Catalog {
         let cols: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
         let index = TableIndex::build(&table, &cols)?;
         self.indexes.remove(name);
-        self.indexes.insert(name.to_string(), vec![index]);
+        self.indexes.insert(name.to_string(), vec![Arc::new(index)]);
         self.int_stats.insert(name.to_string(), int_column_stats(&table));
         self.tables.insert(name.to_string(), table);
         Ok(())
@@ -152,7 +157,7 @@ impl Catalog {
             return Ok(());
         }
         let index = TableIndex::build(&table, &cols)?;
-        self.indexes.entry(name.to_string()).or_default().push(index);
+        self.indexes.entry(name.to_string()).or_default().push(Arc::new(index));
         Ok(())
     }
 
@@ -184,7 +189,7 @@ impl Catalog {
 
     /// The index of `name` over exactly `key_cols`, if one was registered.
     pub fn index_for(&self, name: &str, key_cols: &[String]) -> Option<&TableIndex> {
-        self.indexes.get(name)?.iter().find(|ix| ix.key_cols == key_cols)
+        self.indexes.get(name)?.iter().find(|ix| ix.key_cols == key_cols).map(Arc::as_ref)
     }
 
     /// Whether a table with this name exists.
@@ -304,6 +309,24 @@ mod tests {
         // Plain registration does not collect stats (scans don't need them).
         c.register("u", small_table(3));
         assert_eq!(c.int_column_range("u", 0), None);
+    }
+
+    #[test]
+    fn cloning_a_catalog_shares_tables_and_indexes() {
+        let mut base = Catalog::new();
+        base.register_indexed("a", small_table(7), &["x"]).unwrap();
+        let clone = base.clone();
+        let t1 = base.get_shared("a").unwrap();
+        let t2 = clone.get_shared("a").unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2), "cloned catalogs must alias table storage");
+        let i1 = base.index_for("a", &["x".to_string()]).unwrap() as *const TableIndex;
+        let i2 = clone.index_for("a", &["x".to_string()]).unwrap() as *const TableIndex;
+        assert_eq!(i1, i2, "cloned catalogs must alias index storage");
+        // Registrations in the clone never leak back into the original.
+        let mut clone = clone;
+        clone.register("b", small_table(1));
+        assert!(clone.contains("b"));
+        assert!(!base.contains("b"));
     }
 
     #[test]

@@ -219,6 +219,32 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
             };
             Ok(Rel::Owned(limited))
         }
+        Plan::TopK { input, k, keys } => {
+            let k = eval_top_k_count(k, ctx)?;
+            // Fused fast path: top-k directly over a projection evaluates
+            // the projected row into a reusable scratch buffer and allocates
+            // an owned row only when it enters the heap — the full projected
+            // candidate table (one allocation per candidate) is never
+            // materialized. Row-wise evaluation order is unchanged, so
+            // results and errors are identical to the unfused pipeline.
+            if !ctx.naive {
+                if let Plan::Project { input: inner, items } = input.as_ref() {
+                    return Ok(Rel::Owned(top_k_project(ctx, inner, items, k, keys)?));
+                }
+            }
+            let input = eval(input, ctx)?;
+            let key_idx = key_indices(input.as_table().schema(), keys)?;
+            if ctx.naive {
+                // Pre-refactor cost model: full stable sort, then truncate —
+                // the rank-everything-then-cut baseline TopK replaces.
+                let (schema, mut rows) = input.into_schema_and_rows();
+                sort_rows(&mut rows, &key_idx);
+                rows.truncate(k);
+                Ok(Rel::Owned(Table::from_parts_unchecked(schema, rows)))
+            } else {
+                Ok(Rel::Owned(top_k(input.as_table(), k, &key_idx)))
+            }
+        }
         Plan::Distinct { input } => {
             let input = eval(input, ctx)?;
             Ok(Rel::Owned(distinct(input)))
@@ -234,18 +260,20 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
     }
 }
 
-fn project(input: &Table, items: &[ProjectItem], ctx: &ExecCtx) -> Result<Table> {
+/// Output schema of a projection. Types are derived from the expressions
+/// themselves whenever possible, so empty inputs keep correct column types
+/// (they used to be guessed from the first row only). The first-row probe
+/// remains a fallback for shapes the static derivation cannot see (e.g. a
+/// column holding NULLs typed only by its values); Float is the last resort
+/// because weights and scores dominate this workload.
+fn projection_schema(
+    input: &Table,
+    items: &[ProjectItem],
+    exprs: &[Cow<crate::expr::Expr>],
+) -> Schema {
     let in_schema = input.schema();
-    let exprs: Vec<Cow<crate::expr::Expr>> =
-        items.iter().map(|item| resolve(&item.expr, ctx)).collect::<Result<_>>()?;
-    // Output types are derived from the expressions themselves whenever
-    // possible, so empty inputs keep correct column types (they used to be
-    // guessed from the first row only). The first-row probe remains a
-    // fallback for shapes the static derivation cannot see (e.g. a column
-    // holding NULLs typed only by its values); Float is the last resort
-    // because weights and scores dominate this workload.
     let mut fields = Vec::with_capacity(items.len());
-    for (item, expr) in items.iter().zip(&exprs) {
+    for (item, expr) in items.iter().zip(exprs) {
         let dtype = expr
             .output_type(in_schema)
             .or_else(|| {
@@ -258,7 +286,14 @@ fn project(input: &Table, items: &[ProjectItem], ctx: &ExecCtx) -> Result<Table>
             .unwrap_or(DataType::Float);
         fields.push(Field::new(item.alias.clone(), dtype));
     }
-    let out_schema = Schema::new(fields);
+    Schema::new(fields)
+}
+
+fn project(input: &Table, items: &[ProjectItem], ctx: &ExecCtx) -> Result<Table> {
+    let in_schema = input.schema();
+    let exprs: Vec<Cow<crate::expr::Expr>> =
+        items.iter().map(|item| resolve(&item.expr, ctx)).collect::<Result<_>>()?;
+    let out_schema = projection_schema(input, items, &exprs);
     if input.is_empty() {
         return Ok(Table::empty(out_schema));
     }
@@ -780,24 +815,130 @@ fn aggregate(
 
 fn sort(input: Rel, keys: &[(String, SortOrder)]) -> Result<Table> {
     let (schema, mut rows) = input.into_schema_and_rows();
-    let key_idx: Vec<(usize, SortOrder)> = keys
-        .iter()
-        .map(|(name, order)| Ok((schema.index_of(name)?, *order)))
-        .collect::<Result<_>>()?;
-    rows.sort_by(|a, b| {
-        for &(idx, order) in &key_idx {
-            let ord = a[idx].total_cmp(&b[idx]);
-            let ord = match order {
-                SortOrder::Ascending => ord,
-                SortOrder::Descending => ord.reverse(),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    let key_idx = key_indices(&schema, keys)?;
+    sort_rows(&mut rows, &key_idx);
     Ok(Table::from_parts_unchecked(schema, rows))
+}
+
+fn key_indices(schema: &Schema, keys: &[(String, SortOrder)]) -> Result<Vec<(usize, SortOrder)>> {
+    keys.iter().map(|(name, order)| Ok((schema.index_of(name)?, *order))).collect()
+}
+
+/// Value comparison for ORDER BY / TopK keys: floats use the IEEE 754 total
+/// order (`f64::total_cmp`: NaN greatest, -0.0 < 0.0) so plan-level ordering
+/// matches the predicate layer's ranking comparator exactly even on the
+/// degenerate values `Value::total_cmp` ties (it treats NaN as equal to
+/// everything, which would let a plan-level top-k select a different
+/// k-subset than a Rust-side sort). Everything else defers to
+/// [`Value::total_cmp`].
+fn compare_sort_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.total_cmp(y),
+        _ => a.total_cmp(b),
+    }
+}
+
+fn compare_rows(a: &Row, b: &Row, key_idx: &[(usize, SortOrder)]) -> std::cmp::Ordering {
+    for &(idx, order) in key_idx {
+        let ord = compare_sort_values(&a[idx], &b[idx]);
+        let ord = match order {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Stable multi-key sort shared by `Sort` and the naive lowering of `TopK`.
+fn sort_rows(rows: &mut [Row], key_idx: &[(usize, SortOrder)]) {
+    rows.sort_by(|a, b| compare_rows(a, b, key_idx));
+}
+
+/// Resolve the `k` of a `TopK` node: a column-free scalar expression (a
+/// literal or a bound parameter), evaluated once per execution.
+fn eval_top_k_count(k: &crate::expr::Expr, ctx: &ExecCtx) -> Result<usize> {
+    let empty_row: Row = Vec::new();
+    let k = resolve(k, ctx)?.evaluate(&empty_row, &Schema::new(Vec::new()))?.as_i64()?;
+    usize::try_from(k)
+        .map_err(|_| RelqError::InvalidPlan(format!("TopK with negative row count {k}")))
+}
+
+/// Fused `TopK(Project(input))`: evaluates each projected row into a scratch
+/// buffer, consults the heap's current worst entry, and allocates an owned
+/// row only on acceptance. Every input row is still evaluated exactly once in
+/// input order (so errors and results match the unfused `project` + `top_k`
+/// pipeline byte for byte), but the `O(candidates)` projected table — one
+/// small allocation per candidate — is never built; only `O(k log n)`
+/// accepted rows are.
+fn top_k_project(
+    ctx: &ExecCtx,
+    inner: &Plan,
+    items: &[ProjectItem],
+    k: usize,
+    keys: &[(String, SortOrder)],
+) -> Result<Table> {
+    let inner_rel = eval(inner, ctx)?;
+    let input = inner_rel.as_table();
+    let exprs: Vec<Cow<crate::expr::Expr>> =
+        items.iter().map(|item| resolve(&item.expr, ctx)).collect::<Result<_>>()?;
+    let out_schema = projection_schema(input, items, &exprs);
+    let key_idx = key_indices(&out_schema, keys)?;
+    if input.is_empty() {
+        return Ok(Table::empty(out_schema));
+    }
+    let in_schema = input.schema();
+    let compiled: Vec<crate::expr::CompiledExpr> =
+        exprs.iter().map(|e| e.compile(in_schema)).collect::<Result<_>>()?;
+
+    let mut heap = crate::topk::BoundedHeap::new(k, |a: &(Row, u32), b: &(Row, u32)| {
+        compare_rows(&a.0, &b.0, &key_idx).then_with(|| a.1.cmp(&b.1))
+    });
+    let mut scratch: Row = Vec::with_capacity(compiled.len());
+    for (row_no, row) in input.rows().iter().enumerate() {
+        scratch.clear();
+        for expr in &compiled {
+            scratch.push(expr.evaluate(row)?);
+        }
+        let accept = if heap.len() < k {
+            true
+        } else {
+            match heap.worst() {
+                // The heap is full: the candidate enters only if it ranks
+                // strictly before the current worst kept row (later input
+                // position never displaces an equal-keyed earlier row).
+                Some(worst) => {
+                    compare_rows(&scratch, &worst.0, &key_idx)
+                        .then_with(|| (row_no as u32).cmp(&worst.1))
+                        == std::cmp::Ordering::Less
+                }
+                None => false, // k == 0
+            }
+        };
+        if accept {
+            heap.offer((scratch.clone(), row_no as u32));
+        }
+    }
+    let rows: Vec<Row> = heap.into_sorted().into_iter().map(|(row, _)| row).collect();
+    Ok(Table::from_parts_unchecked(out_schema, rows))
+}
+
+/// Bounded-heap top-k: keeps row *ids* only, so no row is cloned until it is
+/// known to be among the k best. Ties beyond the key list are broken by input
+/// row order, making the output element-for-element identical to the stable
+/// `sort_rows` + `truncate` pipeline the naive mode runs.
+fn top_k(input: &Table, k: usize, key_idx: &[(usize, SortOrder)]) -> Table {
+    let rows = input.rows();
+    let mut heap = crate::topk::BoundedHeap::new(k, |a: &u32, b: &u32| {
+        compare_rows(&rows[*a as usize], &rows[*b as usize], key_idx).then_with(|| a.cmp(b))
+    });
+    for row_no in 0..rows.len() as u32 {
+        heap.offer(row_no);
+    }
+    let kept: Vec<Row> = heap.into_sorted().into_iter().map(|i| rows[i as usize].clone()).collect();
+    Table::from_parts_unchecked(input.schema().clone(), kept)
 }
 
 fn distinct(input: Rel) -> Table {
@@ -1041,6 +1182,106 @@ mod tests {
         let result = execute(&plan, &Catalog::new()).unwrap();
         assert_eq!(result.num_rows(), 1);
         assert_eq!(result.value(0, "n").unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn top_k_matches_sort_plus_limit_in_both_modes() {
+        let catalog = catalog();
+        let ordering = vec![("tid", SortOrder::Descending), ("token", SortOrder::Ascending)];
+        let reference = Plan::scan("base_tokens").sort_by_many(ordering.clone()).limit(4);
+        let top = Plan::scan("base_tokens").top_k(lit(4i64), ordering);
+        let expected = execute(&reference, &catalog).unwrap();
+        let fast = execute(&top, &catalog).unwrap();
+        let slow = execute_naive(&top, &catalog, &Bindings::new()).unwrap();
+        assert_eq!(fast.schema(), expected.schema());
+        assert_eq!(fast.rows(), expected.rows());
+        assert_eq!(slow.rows(), expected.rows());
+    }
+
+    #[test]
+    fn top_k_takes_k_as_a_bound_parameter() {
+        let catalog = catalog();
+        let plan = Plan::scan("base_tokens")
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+            .top_k(
+                param("k"),
+                vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
+            );
+        for k in [0usize, 1, 2, 99] {
+            let bindings = Bindings::new().with_scalar("k", k as i64);
+            let result = execute_with(&plan, &catalog, &bindings).unwrap();
+            assert_eq!(result.num_rows(), k.min(3), "k={k}");
+            if k >= 1 {
+                // tid 1 has three tokens: the largest group.
+                assert_eq!(result.value(0, "tid").unwrap(), &Value::Int(1));
+                assert_eq!(result.value(0, "score").unwrap(), &Value::Int(3));
+            }
+        }
+        // Unbound k fails loudly, like any other missing parameter.
+        assert!(matches!(execute(&plan, &catalog), Err(RelqError::UnboundParam(_))));
+    }
+
+    #[test]
+    fn top_k_rejects_negative_and_column_valued_k() {
+        let catalog = catalog();
+        let plan = Plan::scan("base_tokens").top_k(lit(-1i64), vec![("tid", SortOrder::Ascending)]);
+        assert!(matches!(execute(&plan, &catalog), Err(RelqError::InvalidPlan(_))));
+        let plan = Plan::scan("base_tokens").top_k(col("tid"), vec![("tid", SortOrder::Ascending)]);
+        assert!(execute(&plan, &catalog).is_err());
+    }
+
+    #[test]
+    fn fused_top_k_over_projection_matches_unfused_pipeline() {
+        let catalog = catalog();
+        let projected = Plan::scan("base_tokens")
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+            .project(vec![(col("tid"), "tid"), (col("cnt").mul(lit(2i64)), "score")]);
+        let ordering = vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)];
+        for k in [0usize, 1, 2, 10] {
+            let top = projected.clone().top_k(lit(k as i64), ordering.clone());
+            let reference = projected.clone().sort_by_many(ordering.clone()).limit(k);
+            let fused = execute(&top, &catalog).unwrap();
+            let expected = execute(&reference, &catalog).unwrap();
+            assert_eq!(fused.schema(), expected.schema(), "k={k}");
+            assert_eq!(fused.rows(), expected.rows(), "k={k}");
+            // The naive lowering (sort + truncate over the materialized
+            // projection) agrees too.
+            let slow = execute_naive(&top, &catalog, &Bindings::new()).unwrap();
+            assert_eq!(slow.rows(), expected.rows(), "k={k} (naive)");
+        }
+        // Empty input keeps the projection's derived schema.
+        let empty = Plan::values(Table::empty(Schema::from_pairs(&[
+            ("tid", DataType::Int),
+            ("cnt", DataType::Int),
+        ])))
+        .project(vec![(col("tid"), "tid"), (col("cnt").div(lit(2i64)), "score")])
+        .top_k(lit(5i64), ordering);
+        let result = execute(&empty, &catalog).unwrap();
+        assert_eq!(result.num_rows(), 0);
+        assert_eq!(result.schema().field(0).dtype, DataType::Int);
+        assert_eq!(result.schema().field(1).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn top_k_breaks_full_ties_by_input_order() {
+        // Duplicate keys: the kept prefix must equal stable sort + truncate.
+        let t = TableBuilder::new()
+            .column("g", DataType::Int)
+            .column("tag", DataType::Str)
+            .row(vec![1.into(), "a".into()])
+            .row(vec![2.into(), "b".into()])
+            .row(vec![1.into(), "c".into()])
+            .row(vec![2.into(), "d".into()])
+            .row(vec![1.into(), "e".into()])
+            .build()
+            .unwrap();
+        let top = Plan::values(t.clone()).top_k(lit(2i64), vec![("g", SortOrder::Ascending)]);
+        let reference = Plan::values(t).sort_by("g", SortOrder::Ascending).limit(2);
+        let a = execute(&top, &Catalog::new()).unwrap();
+        let b = execute(&reference, &Catalog::new()).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.value(0, "tag").unwrap(), &Value::Str("a".into()));
+        assert_eq!(a.value(1, "tag").unwrap(), &Value::Str("c".into()));
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod plan;
 mod prepared;
 mod schema;
 mod table;
+mod topk;
 mod value;
 
 pub use agg::{AggFunc, Aggregate};
@@ -73,4 +74,5 @@ pub use plan::{Plan, ProjectItem, SortOrder};
 pub use prepared::PreparedPlan;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
+pub use topk::BoundedHeap;
 pub use value::{DataType, Row, Value};

@@ -72,6 +72,17 @@ pub enum Plan {
     Sort { input: Box<Plan>, keys: Vec<(String, SortOrder)> },
     /// LIMIT.
     Limit { input: Box<Plan>, count: usize },
+    /// The `k` best rows under a multi-key ordering, equivalent to
+    /// `Sort { keys } + Limit { k }` (ties beyond the key list keep input
+    /// order) but executed with a bounded heap: `O(n log k)` time and `O(k)`
+    /// kept rows instead of a full sort. `k` is an expression so prepared
+    /// plans can take it as a per-execution scalar parameter; it must not
+    /// reference input columns. This is the pushdown target for the
+    /// predicate layer's `Exec::TopK`: stacked on the fused
+    /// `Aggregate(IndexJoin)` pipeline it selects directly from the
+    /// aggregated candidate stream, so top-k cost scales with the number of
+    /// candidates kept, never with the base-relation size.
+    TopK { input: Box<Plan>, k: Expr, keys: Vec<(String, SortOrder)> },
     /// SELECT DISTINCT over all columns.
     Distinct { input: Box<Plan> },
     /// UNION ALL of two union-compatible inputs.
@@ -174,6 +185,16 @@ impl Plan {
         Plan::Limit { input: Box::new(self), count }
     }
 
+    /// The `k` best rows under the given ordering (heap-based; see
+    /// [`Plan::TopK`]). `k` may be a literal or a scalar parameter.
+    pub fn top_k(self, k: Expr, keys: Vec<(&str, SortOrder)>) -> Plan {
+        Plan::TopK {
+            input: Box::new(self),
+            k,
+            keys: keys.into_iter().map(|(c, o)| (c.to_string(), o)).collect(),
+        }
+    }
+
     /// SELECT DISTINCT.
     pub fn distinct(self) -> Plan {
         Plan::Distinct { input: Box::new(self) }
@@ -193,6 +214,7 @@ impl Plan {
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. }
             | Plan::Distinct { input } => input.node_count(),
             Plan::IndexJoin { probe, .. } => probe.node_count(),
             Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
@@ -221,6 +243,7 @@ impl Plan {
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. }
             | Plan::Distinct { input } => input.collect_tables(out),
             Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
                 left.collect_tables(out);
@@ -266,6 +289,30 @@ mod tests {
                 other => panic!("expected index join, got {other:?}"),
             },
             other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_k_node_carries_keys_and_parameterized_k() {
+        use crate::expr::param;
+        let plan = Plan::scan("scores").top_k(
+            param("k"),
+            vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
+        );
+        assert_eq!(plan.node_count(), 2);
+        assert_eq!(plan.referenced_tables(), vec!["scores".to_string()]);
+        match plan {
+            Plan::TopK { k, keys, .. } => {
+                assert!(k.has_params());
+                assert_eq!(
+                    keys,
+                    vec![
+                        ("score".to_string(), SortOrder::Descending),
+                        ("tid".to_string(), SortOrder::Ascending)
+                    ]
+                );
+            }
+            other => panic!("expected TopK, got {other:?}"),
         }
     }
 

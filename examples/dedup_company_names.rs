@@ -1,13 +1,14 @@
 //! De-duplicating a dirty company-name table — the scenario that motivates
 //! the paper's introduction. Generates a dirty dataset with the UIS-style
 //! generator, then measures how well several predicates pull each cluster's
-//! duplicates to the top of the ranking.
+//! duplicates to the top of the ranking. All predicates run through one
+//! `SelectionEngine`, so the corpus-level preprocessing happens once.
 //!
 //! Run with: `cargo run -p dasp-bench --release --example dedup_company_names`
 
-use dasp_core::{build_predicate, Params, PredicateKind};
+use dasp_core::{Exec, Params, PredicateKind};
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec};
-use dasp_eval::{evaluate_accuracy, tokenize_dataset};
+use dasp_eval::{build_engine, evaluate_engine};
 
 fn main() {
     // A medium-error company dataset: 1,000 tuples from 100 clean names.
@@ -20,30 +21,33 @@ fn main() {
         dataset.erroneous_fraction() * 100.0
     );
 
-    let params = Params::default();
-    let corpus = tokenize_dataset(&dataset, &params);
-
-    println!("\n{:<14} {:>8} {:>10}", "predicate", "MAP", "max-F1");
-    for kind in [
+    let engine = build_engine(&dataset, &Params::default());
+    let kinds = [
         PredicateKind::Jaccard,
         PredicateKind::Cosine,
         PredicateKind::Bm25,
         PredicateKind::Hmm,
         PredicateKind::EditSimilarity,
         PredicateKind::SoftTfIdf,
-    ] {
-        let predicate = build_predicate(kind, corpus.clone(), &params);
-        let result = evaluate_accuracy(predicate.as_ref(), &dataset, 50, 42);
+    ];
+
+    println!("\n{:<14} {:>8} {:>10}", "predicate", "MAP", "max-F1");
+    for (kind, result) in evaluate_engine(&engine, &kinds, &dataset, 50, 42) {
         println!("{:<14} {:>8.3} {:>10.3}", kind.short_name(), result.map, result.mean_max_f1);
     }
 
-    // Show one concrete de-duplication: the duplicates found for a dirty tuple.
-    let query = &dataset.records[3];
-    let bm25 = build_predicate(PredicateKind::Bm25, corpus, &params);
-    println!("\nduplicates retrieved for query {:?} (cluster {}):", query.text, query.cluster);
-    for s in bm25.top_k(&query.text, 8) {
+    // Show one concrete de-duplication: the duplicates found for a dirty
+    // tuple, via a top-k pushdown (no full ranking is materialized).
+    let query_record = &dataset.records[3];
+    let bm25 = engine.predicate(PredicateKind::Bm25);
+    let query = engine.query(&query_record.text);
+    println!(
+        "\nduplicates retrieved for query {:?} (cluster {}):",
+        query_record.text, query_record.cluster
+    );
+    for s in bm25.execute(&query, Exec::TopK(8)).unwrap() {
         let r = &dataset.records[s.tid as usize];
-        let marker = if r.cluster == query.cluster { "*" } else { " " };
+        let marker = if r.cluster == query_record.cluster { "*" } else { " " };
         println!("  {marker} score {:7.3}  {}", s.score, r.text);
     }
     println!("(* = true duplicate, same cluster id)");

@@ -1,28 +1,20 @@
 //! Side-by-side comparison of every predicate class on the error types the
 //! paper analyses in §5.4: abbreviation errors, token swaps and edit errors.
 //! This reproduces, on a small scale, the qualitative arguments behind
-//! Tables 5.5 and 5.6.
+//! Tables 5.5 and 5.6. Each dataset gets one `SelectionEngine`; every
+//! predicate and every sampled query reuses its shared artifacts.
 //!
 //! Run with: `cargo run -p dasp-bench --release --example predicate_comparison`
 
-use dasp_core::{build_predicate, Params, PredicateKind};
+use dasp_core::PredicateKind;
 use dasp_datagen::presets::{f_dataset_sized, f_spec};
-use dasp_eval::{evaluate_accuracy, tokenize_dataset, TextTable};
+use dasp_eval::{build_engine, evaluate_engine, TextTable};
 
 fn main() {
-    let params = Params::default();
+    let params = dasp_core::Params::default();
     let specs = ["F1", "F2", "F3", "F5"];
     let labels = ["abbrev (F1)", "token swap (F2)", "10% edit (F3)", "30% edit (F5)"];
-
-    let datasets: Vec<_> =
-        specs.iter().map(|name| f_dataset_sized(f_spec(name).unwrap(), 800, 80)).collect();
-    let corpora: Vec<_> = datasets.iter().map(|d| tokenize_dataset(d, &params)).collect();
-
-    let mut headers = vec!["predicate"];
-    headers.extend(labels);
-    let mut table = TextTable::new("MAP by error type (small-scale Tables 5.5 / 5.6)", &headers);
-
-    for kind in [
+    let kinds = [
         PredicateKind::IntersectSize,
         PredicateKind::Jaccard,
         PredicateKind::WeightedMatch,
@@ -34,12 +26,25 @@ fn main() {
         PredicateKind::EditSimilarity,
         PredicateKind::Ges,
         PredicateKind::SoftTfIdf,
-    ] {
+    ];
+
+    let datasets: Vec<_> =
+        specs.iter().map(|name| f_dataset_sized(f_spec(name).unwrap(), 800, 80)).collect();
+    // One engine per dataset: tokenization and shared tables built once,
+    // then reused by all eleven predicates below.
+    let results: Vec<_> = datasets
+        .iter()
+        .map(|d| evaluate_engine(&build_engine(d, &params), &kinds, d, 40, 7))
+        .collect();
+
+    let mut headers = vec!["predicate"];
+    headers.extend(labels);
+    let mut table = TextTable::new("MAP by error type (small-scale Tables 5.5 / 5.6)", &headers);
+
+    for (i, kind) in kinds.iter().enumerate() {
         let mut row = vec![kind.short_name().to_string()];
-        for (dataset, corpus) in datasets.iter().zip(&corpora) {
-            let predicate = build_predicate(kind, corpus.clone(), &params);
-            let result = evaluate_accuracy(predicate.as_ref(), dataset, 40, 7);
-            row.push(format!("{:.3}", result.map));
+        for per_dataset in &results {
+            row.push(format!("{:.3}", per_dataset[i].1.map));
         }
         table.add_row(row);
     }

@@ -1,10 +1,10 @@
-//! Quickstart: build a small base relation, preprocess it for BM25 and run an
-//! approximate selection — the 30-second tour of the public API.
+//! Quickstart: build a small base relation, spin up a `SelectionEngine`, and
+//! run approximate selections with prepared queries and pushdown execution
+//! modes — the 30-second tour of the public API.
 //!
 //! Run with: `cargo run -p dasp-bench --example quickstart`
 
-use dasp_core::{build_predicate, Corpus, Params, PredicateKind, TokenizedCorpus};
-use std::sync::Arc;
+use dasp_core::{Corpus, Exec, Params, PredicateKind, SelectionEngine};
 
 fn main() {
     // 1. The base relation: a handful of dirty company names.
@@ -20,8 +20,11 @@ fn main() {
         "AT&T Inc.",
     ]);
 
-    // 2. Phase-1 preprocessing: tokenize into q-grams (q = 2, the paper's choice).
-    let tokenized = Arc::new(TokenizedCorpus::build(corpus, Params::default().qgram));
+    // 2. Build the engine: phase-1 preprocessing (q-gram tokenization with
+    //    q = 2, the paper's choice, plus shared token/weight tables) runs
+    //    exactly once here, shared by every predicate.
+    let engine = SelectionEngine::from_corpus(corpus, &Params::default());
+    let tokenized = engine.corpus();
     println!(
         "base relation: {} tuples, {} distinct q-grams, avgdl {:.1}",
         tokenized.num_records(),
@@ -29,14 +32,20 @@ fn main() {
         tokenized.avgdl()
     );
 
-    // 3. Phase-2 preprocessing: build a predicate (weight tables).
-    let params = Params::default();
-    let bm25 = build_predicate(PredicateKind::Bm25, tokenized.clone(), &params);
+    // 3. Predicate handles: phase-2 preprocessing (weight tables) happens on
+    //    first use per kind and is cached by the engine.
+    let bm25 = engine.predicate(PredicateKind::Bm25);
+    let soft = engine.predicate(PredicateKind::SoftTfIdf);
 
-    // 4. Approximate selection: rank tuples by similarity to a dirty query.
-    let query = "Morgan Stanley Group Incorporated";
-    println!("\nBM25 ranking for query {query:?}:");
-    for s in bm25.top_k(query, 5) {
+    // 4. Prepare the query once — tokenized a single time, reusable across
+    //    all predicates and execution modes.
+    let query = engine.query("Morgan Stanley Group Incorporated");
+
+    // 5. Top-k approximate selection. `Exec::TopK` is pushed down into the
+    //    engine (a bounded heap over the candidate stream), so the full
+    //    ranking is never materialized or sorted.
+    println!("\nBM25 top-5 for query {:?}:", query.text());
+    for s in bm25.execute(&query, Exec::TopK(5)).unwrap() {
         println!(
             "  tid {:>2}  score {:8.4}  {}",
             s.tid,
@@ -45,10 +54,9 @@ fn main() {
         );
     }
 
-    // 5. The same query through a different predicate class for comparison.
-    let soft = build_predicate(PredicateKind::SoftTfIdf, tokenized.clone(), &params);
-    println!("\nSoftTFIDF (Jaro-Winkler) ranking for the same query:");
-    for s in soft.top_k(query, 5) {
+    // 6. The same prepared query through a different predicate class.
+    println!("\nSoftTFIDF (Jaro-Winkler) top-5 for the same query:");
+    for s in soft.execute(&query, Exec::TopK(5)).unwrap() {
         println!(
             "  tid {:>2}  score {:8.4}  {}",
             s.tid,
@@ -57,7 +65,8 @@ fn main() {
         );
     }
 
-    // 6. Threshold-based selection (the approximate selection operator).
-    let selected = bm25.select(query, 5.0);
+    // 7. Threshold selection (the approximate selection operator): the score
+    //    filter is evaluated inside the engine, before materialization.
+    let selected = bm25.execute(&query, Exec::Threshold(5.0)).unwrap();
     println!("\ntuples with BM25 score >= 5.0: {}", selected.len());
 }
