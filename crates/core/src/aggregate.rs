@@ -2,40 +2,61 @@
 //! BM25. Both share the query-time shape of Figure 4.3: a single join of
 //! `BASE_WEIGHTS` with `QUERY_WEIGHTS` followed by `SUM(w_d * w_q)` per tid.
 //!
-//! **Shared-artifact contract:** each predicate clones the engine's shared
-//! phase-1 catalog (aliasing its `Arc`'d tables and indexes) and registers
-//! only its own weight table — `cosine_weights` / `bm25_weights`, indexed on
-//! token — on top. The weight-product plan is prepared once in all three
-//! [`Exec`] modes; execution binds the per-query `QUERY_WEIGHTS` table and
-//! probes the token index.
+//! **Shared-artifact contract:** each predicate registers only its own
+//! weight table — `cosine_weights` / `bm25_weights`, indexed on token, plus
+//! the score-ordered posting variant of the same rows — in a private
+//! catalog; nothing from the shared phase-1 tables is referenced, so neither
+//! predicate forces any of them to build. The weight-product plan is
+//! prepared once in every [`Exec`] mode; execution binds the per-query
+//! `QUERY_WEIGHTS` table and probes the token index.
+//!
+//! **Bounded top-k:** both scores are monotone sums of non-negative
+//! `w_d · w_q` products, so `Exec::TopK` routes through
+//! [`relq::Plan::TopKBounded`]. The per-list upper bound is the largest
+//! stored document weight scaled by the query weight — for BM25 that is
+//! exactly the per-term tf-saturation maximum `w_1(t)·(k_1+1)·tf/(K(D)+tf)`
+//! over the documents containing `t`, for cosine the largest normalized
+//! tf·idf — no analytic bound needs deriving, the posting build measures it.
 
 use crate::corpus::{QueryTokens, TokenizedCorpus};
 use crate::dict::TokenId;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::Bm25Params;
 use crate::record::ScoredTid;
-use crate::tables::{self, RankingPlans};
-use relq::{col, AggFunc, Bindings, Catalog, Plan};
+use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
+use relq::{col, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
-/// Clone the shared catalog, register a `(tid, token, weight)` table under
-/// `name` (indexed on token) and prepare the shared aggregate-weighted plan:
-/// join with query weights on token and sum the weight products per tuple.
+/// Register a `(tid, token, weight)` table under `name` (indexed on token)
+/// in a fresh catalog and prepare the shared aggregate-weighted plan — join
+/// with query weights on token and sum the weight products per tuple — plus
+/// its score-bounded top-k variant. The posting lists behind the bounded
+/// plan are deferred to the first `Exec::TopK` execution.
 fn weight_product_catalog(
-    shared: &SharedArtifacts,
-    name: &str,
+    name: &'static str,
     weights: relq::Table,
-) -> (Catalog, RankingPlans) {
-    let mut catalog = shared.catalog().clone();
+) -> (PostingCatalog, RankingPlans) {
+    let mut catalog = Catalog::new();
     catalog.register_indexed(name, weights, &["token"]).expect("weights have a token column");
+    let catalog = PostingCatalog::new(catalog, move |c| {
+        c.register_posting(name, "token", "tid", Some("weight"))
+            .expect("weights are distinct per (token, tid) and finite")
+    });
     let plan = Plan::index_join(name, &["token"], Plan::param("query_weights"), &["token"])
         .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("weight_r"))), "score")]);
-    (catalog, RankingPlans::new(plan))
+    let bounded = Plan::top_k_bounded(
+        name,
+        Plan::param("query_weights"),
+        "token",
+        Some("weight"),
+        param(TOP_K_PARAM),
+    );
+    (catalog, RankingPlans::with_bounded(plan, bounded))
 }
 
 /// Run the shared plan for one query's weights.
 fn run_weight_product_plan(
-    catalog: &Catalog,
+    catalog: &PostingCatalog,
     plans: &RankingPlans,
     query_weights: Vec<(TokenId, f64)>,
     exec: Exec,
@@ -46,14 +67,14 @@ fn run_weight_product_plan(
     }
     let bindings =
         Bindings::new().with_table("query_weights", tables::query_weights(&query_weights));
-    plans.execute(catalog, bindings, exec, naive)
+    plans.execute(catalog.for_exec(exec), bindings, exec, naive)
 }
 
 /// tf-idf cosine similarity (§3.2.1): normalized `tf * idf` weights on both
 /// sides, summed over common tokens.
 pub struct CosinePredicate {
     shared: Arc<SharedArtifacts>,
-    catalog: Catalog,
+    catalog: PostingCatalog,
     plans: RankingPlans,
 }
 
@@ -88,7 +109,7 @@ impl CosinePredicate {
             }
             Some(tf as f64 * corpus.idf(token) / norm)
         });
-        let (catalog, plans) = weight_product_catalog(&shared, "cosine_weights", weights);
+        let (catalog, plans) = weight_product_catalog("cosine_weights", weights);
         CosinePredicate { shared, catalog, plans }
     }
 
@@ -97,7 +118,7 @@ impl CosinePredicate {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(&self.catalog)
+        Some(self.catalog.current())
     }
 
     /// Normalized tf-idf weights of the query tokens (computed on the fly at
@@ -139,7 +160,7 @@ crate::engine::engine_predicate!(CosinePredicate, crate::predicate::PredicateKin
 /// cleaning and finds to be among the most accurate and efficient.
 pub struct Bm25Predicate {
     shared: Arc<SharedArtifacts>,
-    catalog: Catalog,
+    catalog: PostingCatalog,
     plans: RankingPlans,
 }
 
@@ -164,7 +185,7 @@ impl Bm25Predicate {
             let tf = tf as f64;
             Some(w1 * (params.k1 + 1.0) * tf / (k_d + tf))
         });
-        let (catalog, plans) = weight_product_catalog(&shared, "bm25_weights", weights);
+        let (catalog, plans) = weight_product_catalog("bm25_weights", weights);
         Bm25Predicate { shared, catalog, plans }
     }
 
@@ -173,7 +194,7 @@ impl Bm25Predicate {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(&self.catalog)
+        Some(self.catalog.current())
     }
 
     fn query_weights(&self, q: &QueryTokens) -> Vec<(TokenId, f64)> {

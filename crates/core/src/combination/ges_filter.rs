@@ -114,7 +114,9 @@ impl FilteredGes {
             }
         }
 
-        let mut catalog = shared.catalog().clone();
+        // Minimal catalog: the shared word table plus the filter's own
+        // second-level index, nothing else forced to build.
+        let mut catalog = shared.catalog_with(&["base_words"]);
         // Per-query-word similarity sub-plan (probing the second-level index).
         let maxsim_plan = match filter {
             GesFilterKind::Jaccard => {

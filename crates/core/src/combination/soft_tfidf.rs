@@ -77,7 +77,9 @@ impl SoftTfIdfPredicate {
                 }
             }
         }
-        let mut catalog = shared.catalog().clone();
+        // Private catalog: the plan only ever probes the predicate's own
+        // word-weight table, so no shared phase-1 table is forced to build.
+        let mut catalog = Catalog::new();
         catalog
             .register_indexed("base_word_weights", table, &["wtoken"])
             .expect("word weights have a wtoken column");

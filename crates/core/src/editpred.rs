@@ -29,6 +29,7 @@ use std::sync::Arc;
 /// Edit-similarity predicate with q-gram count filtering.
 pub struct EditPredicate {
     shared: Arc<SharedArtifacts>,
+    catalog: Catalog,
     /// Candidate generation (multiset q-gram intersection per tuple); the
     /// output is `(tid, common)`, not a ranking, so verification decides the
     /// final scores and the [`Exec`] mode is applied natively afterwards.
@@ -51,7 +52,8 @@ impl EditPredicate {
             Plan::index_join("base_tf", &["token"], Plan::param("query_tf"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::Sum(col("tf").least(col("tf_r"))), "common")]),
         );
-        EditPredicate { shared, plan, params }
+        let catalog = shared.catalog_with(&["base_tf"]);
+        EditPredicate { shared, catalog, plan, params }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -59,7 +61,7 @@ impl EditPredicate {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(self.shared.catalog())
+        Some(&self.catalog)
     }
 
     /// The maximum edit distance admitted for a pair of lengths under a
@@ -102,9 +104,9 @@ impl EditPredicate {
 
         let bindings = Bindings::new().with_table("query_tf", Self::query_tf_table(q));
         let candidates = if naive {
-            self.plan.execute_unindexed(self.shared.catalog(), &bindings)?
+            self.plan.execute_unindexed(&self.catalog, &bindings)?
         } else {
-            self.plan.execute(self.shared.catalog(), &bindings)?
+            self.plan.execute(&self.catalog, &bindings)?
         };
 
         let corpus = self.shared.corpus();

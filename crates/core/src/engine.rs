@@ -16,12 +16,17 @@
 //! ## Execution modes
 //!
 //! [`Exec`] is the declarative selection spec: `Rank` materializes the full
-//! ranking, `TopK(k)` pushes a heap-based [`relq::Plan::TopK`] operator onto
-//! the prepared plan (cost scales with candidates kept, not corpus size),
+//! ranking, `TopK(k)` selects the `k` best matches through the fastest
+//! eligible operator — the score-bounded [`relq::Plan::TopKBounded`]
+//! max-score traversal for the monotone-sum predicates (Xect, WM, Cosine,
+//! BM25, HMM), the heap-based [`relq::Plan::TopK`] pushdown otherwise —
+//! `TopKHeap(k)` forces the exhaustive heap pushdown for every predicate,
 //! and `Threshold(τ)` pushes a score filter below result materialization.
-//! All three return the same bytes their rank-then-post-process equivalents
-//! would — `TopK(k)` ≡ `rank()` truncated to k, `Threshold(τ)` ≡ `rank()`
-//! filtered — which the integration suite asserts for all 13 predicates.
+//! `TopKHeap(k)` and `Threshold(τ)` return the same bytes their
+//! rank-then-post-process equivalents would; `TopK(k)` returns the same
+//! bytes too whenever the k-th score is unique, and an equally-scored
+//! member of the boundary tie class otherwise (the set-equal-modulo-ties
+//! contract the bounded test tier asserts).
 //!
 //! ## Queries
 //!
@@ -30,6 +35,17 @@
 //! views — and is then reusable across all 13 predicates and any number of
 //! executions, the "prepare once, execute many" contract extended to the
 //! query side.
+//!
+//! ## Lazy shared artifacts and the result cache
+//!
+//! Every phase-1 artifact — the six shared token/weight tables with their
+//! equality indexes, the two shared posting indexes, the normalized strings
+//! and the weighted word views — is built on first use (`OnceLock` per
+//! artifact) and then shared by reference: a standalone single-predicate
+//! build pays only for the artifacts that predicate probes. Corpora are
+//! immutable, so the engine also keeps a small invalidation-free LRU of
+//! recent results keyed on `(predicate, query text, exec mode)`; see
+//! [`SelectionEngine::result_cache_stats`].
 
 use crate::combination::ges::{weighted_record_words, WeightedWord};
 use crate::corpus::{QueryTokens, TokenizedCorpus};
@@ -39,8 +55,10 @@ use crate::predicate::{Predicate, PredicateKind};
 use crate::record::{sort_ranked, top_k_ranked, ScoredTid, Tid};
 use crate::tables;
 use dasp_text::normalize;
-use relq::Catalog;
-use std::sync::{Arc, OnceLock};
+use relq::{Catalog, PostingIndex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How a selection executes: the declarative spec the engine pushes down
 /// into its prepared plans instead of ranking everything and post-processing.
@@ -48,9 +66,16 @@ use std::sync::{Arc, OnceLock};
 pub enum Exec {
     /// The full ranking, best match first.
     Rank,
-    /// The `k` best matches — byte-identical to `Rank` truncated to `k`,
-    /// executed with a bounded heap over the candidate stream.
+    /// The `k` best matches through the fastest eligible operator: the
+    /// score-bounded max-score traversal for the monotone-sum predicates
+    /// (early termination, sublinear in candidates), the bounded heap for
+    /// the rest. Equal to [`Exec::TopKHeap`] wherever the k-th score is
+    /// unique; exact ties at the boundary may resolve to a different
+    /// equally-scored tuple.
     TopK(usize),
+    /// The `k` best matches through the exhaustive heap pushdown —
+    /// byte-identical to `Rank` truncated to `k` for every predicate.
+    TopKHeap(usize),
     /// Every match with `score >= τ`, best first — byte-identical to `Rank`
     /// filtered post-hoc, executed as a plan-level filter (and, for the edit
     /// predicate, a tightened q-gram count filter) before materialization.
@@ -60,13 +85,15 @@ pub enum Exec {
 /// Apply an execution mode to natively scored results: the UDF-stage
 /// predicates (edit distance, the GES family) score candidates in Rust and
 /// then select here, mirroring what the plan operators do relationally.
+/// (Their scores are not monotone token sums, so `TopK` and `TopKHeap`
+/// coincide: both run the bounded heap.)
 pub(crate) fn finalize_ranking(mut results: Vec<ScoredTid>, exec: Exec) -> Vec<ScoredTid> {
     match exec {
         Exec::Rank => {
             sort_ranked(&mut results);
             results
         }
-        Exec::TopK(k) => top_k_ranked(results, k),
+        Exec::TopK(k) | Exec::TopKHeap(k) => top_k_ranked(results, k),
         Exec::Threshold(threshold) => {
             results.retain(|s| s.score >= threshold);
             sort_ranked(&mut results);
@@ -75,81 +102,59 @@ pub(crate) fn finalize_ranking(mut results: Vec<ScoredTid>, exec: Exec) -> Vec<S
     }
 }
 
+/// The six shared phase-1 tables, in canonical order.
+pub(crate) const SHARED_TABLES: [&str; 6] =
+    ["base_tokens", "base_tf", "base_len", "overlap_weights", "overlap_len", "base_words"];
+
 /// The phase-1 preprocessing artifacts every predicate shares: the tokenized
-/// corpus, a relq catalog of indexed token/weight tables, and the cached
-/// word-level views of the combination predicates. Built exactly once per
-/// [`SelectionEngine`]; predicate handles clone the catalog (shared `Arc`'d
-/// tables and indexes, never copied rows) and add phase-2 tables on top.
+/// corpus, the indexed token/weight tables, the score-ordered posting
+/// variants of `base_tokens`/`overlap_weights`, and the cached word-level
+/// views of the combination predicates.
+///
+/// Every artifact is **lazy** — a `OnceLock` built on the first probe and
+/// shared by `Arc` afterwards — so a standalone single-predicate build pays
+/// only for what that predicate's plans reference (e.g. a lone BM25 engine
+/// never materializes `base_words` or the overlap weight tables). Predicate
+/// cores assemble their minimal catalog with [`Self::catalog_with`]; the
+/// merged tables alias the same allocations as [`Self::catalog`], the full
+/// phase-1 catalog the engine exposes for introspection.
 pub(crate) struct SharedArtifacts {
     corpus: Arc<TokenizedCorpus>,
     params: Params,
-    catalog: Catalog,
+    /// One single-table mini-catalog per shared table, in
+    /// [`SHARED_TABLES`] order. Merging mini-catalogs shares `Arc` handles.
+    table_cells: [OnceLock<Catalog>; SHARED_TABLES.len()],
+    /// The full phase-1 catalog (all six tables), for introspection.
+    full_catalog: OnceLock<Catalog>,
+    /// Weight-descending posting variants of `base_tokens` (unit weights)
+    /// and `overlap_weights`, the lists `Plan::TopKBounded` traverses.
+    posting_base_tokens: OnceLock<Arc<PostingIndex>>,
+    posting_overlap_weights: OnceLock<Arc<PostingIndex>>,
     /// Normalized record text, the strings the edit-distance UDF compares.
-    normalized: Vec<String>,
+    normalized: OnceLock<Vec<String>>,
     /// IDF-weighted word views of every record (GES family).
-    record_words: Vec<Vec<WeightedWord>>,
+    record_words: OnceLock<Vec<Vec<WeightedWord>>>,
     /// Mean word IDF, the weight of query words unseen in the base (§4.5).
-    avg_word_idf: f64,
+    avg_word_idf: OnceLock<f64>,
+    /// Invalidation-free LRU of recent results (corpora are immutable).
+    cache: ResultCache,
 }
 
 impl SharedArtifacts {
-    /// Run phase-1 preprocessing once over an already tokenized corpus.
+    /// Set up the shared-artifact store over an already tokenized corpus.
+    /// Nothing is materialized here: each artifact builds on first probe.
     pub(crate) fn build(corpus: Arc<TokenizedCorpus>, params: &Params) -> Arc<Self> {
-        let mut catalog = Catalog::new();
-        catalog
-            .register_indexed("base_tokens", tables::base_tokens_distinct(&corpus), &["token"])
-            .expect("base_tokens has a token column");
-        catalog
-            .register_indexed("base_tf", tables::base_tf(&corpus), &["token"])
-            .expect("base_tf has a token column");
-        catalog
-            .register_indexed(
-                "base_len",
-                tables::per_tuple_scalar(&corpus, "len", |idx| {
-                    corpus.record_tokens(idx).len() as f64
-                }),
-                &["tid"],
-            )
-            .expect("base_len has a tid column");
-        let weighting = params.overlap_weighting;
-        catalog
-            .register_indexed(
-                "overlap_weights",
-                tables::base_weights(&corpus, |_, token, _| {
-                    Some(overlap_weight(&corpus, weighting, token))
-                }),
-                &["token"],
-            )
-            .expect("overlap_weights has a token column");
-        catalog
-            .register_indexed(
-                "overlap_len",
-                tables::per_tuple_scalar(&corpus, "len", |idx| {
-                    corpus
-                        .record_tokens(idx)
-                        .iter()
-                        .map(|&(t, _)| overlap_weight(&corpus, weighting, t))
-                        .sum()
-                }),
-                &["tid"],
-            )
-            .expect("overlap_len has a tid column");
-        catalog
-            .register_indexed("base_words", tables::base_words_distinct(&corpus), &["wtoken"])
-            .expect("base_words has a wtoken column");
-
-        let normalized = corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect();
-        let record_words =
-            (0..corpus.num_records()).map(|i| weighted_record_words(&corpus, i)).collect();
-        let avg_word_idf = corpus.avg_word_idf();
-
         Arc::new(SharedArtifacts {
             corpus,
             params: *params,
-            catalog,
-            normalized,
-            record_words,
-            avg_word_idf,
+            table_cells: std::array::from_fn(|_| OnceLock::new()),
+            full_catalog: OnceLock::new(),
+            posting_base_tokens: OnceLock::new(),
+            posting_overlap_weights: OnceLock::new(),
+            normalized: OnceLock::new(),
+            record_words: OnceLock::new(),
+            avg_word_idf: OnceLock::new(),
+            cache: ResultCache::new(DEFAULT_RESULT_CACHE_CAPACITY),
         })
     }
 
@@ -161,16 +166,142 @@ impl SharedArtifacts {
         &self.params
     }
 
+    /// Build one shared table (indexed) into a single-table catalog.
+    fn build_table(&self, name: &str) -> Catalog {
+        let corpus = &self.corpus;
+        let weighting = self.params.overlap_weighting;
+        let mut catalog = Catalog::new();
+        match name {
+            "base_tokens" => catalog
+                .register_indexed("base_tokens", tables::base_tokens_distinct(corpus), &["token"])
+                .expect("base_tokens has a token column"),
+            "base_tf" => catalog
+                .register_indexed("base_tf", tables::base_tf(corpus), &["token"])
+                .expect("base_tf has a token column"),
+            "base_len" => catalog
+                .register_indexed(
+                    "base_len",
+                    tables::per_tuple_scalar(corpus, "len", |idx| {
+                        corpus.record_tokens(idx).len() as f64
+                    }),
+                    &["tid"],
+                )
+                .expect("base_len has a tid column"),
+            "overlap_weights" => catalog
+                .register_indexed(
+                    "overlap_weights",
+                    tables::base_weights(corpus, |_, token, _| {
+                        Some(overlap_weight(corpus, weighting, token))
+                    }),
+                    &["token"],
+                )
+                .expect("overlap_weights has a token column"),
+            "overlap_len" => catalog
+                .register_indexed(
+                    "overlap_len",
+                    tables::per_tuple_scalar(corpus, "len", |idx| {
+                        corpus
+                            .record_tokens(idx)
+                            .iter()
+                            .map(|&(t, _)| overlap_weight(corpus, weighting, t))
+                            .sum()
+                    }),
+                    &["tid"],
+                )
+                .expect("overlap_len has a tid column"),
+            "base_words" => catalog
+                .register_indexed("base_words", tables::base_words_distinct(corpus), &["wtoken"])
+                .expect("base_words has a wtoken column"),
+            other => panic!("unknown shared artifact {other}"),
+        }
+        catalog
+    }
+
+    /// The single-table catalog of one shared artifact, built on first use.
+    fn table_catalog(&self, name: &str) -> &Catalog {
+        let slot = SHARED_TABLES
+            .iter()
+            .position(|&t| t == name)
+            .unwrap_or_else(|| panic!("unknown shared artifact {name}"));
+        self.table_cells[slot].get_or_init(|| self.build_table(name))
+    }
+
+    /// Assemble the minimal catalog a predicate's plans probe: the named
+    /// shared tables, aliased (tables, indexes, statistics and postings are
+    /// `Arc`-shared with every other user — nothing is rebuilt or copied).
+    pub(crate) fn catalog_with(&self, names: &[&str]) -> Catalog {
+        let mut catalog = Catalog::new();
+        for name in names {
+            catalog.merge_from(self.table_catalog(name));
+        }
+        catalog
+    }
+
+    /// The full phase-1 catalog (all six shared tables), for introspection
+    /// and the factory-era construction paths. Forces every table.
     pub(crate) fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.full_catalog.get_or_init(|| self.catalog_with(&SHARED_TABLES))
+    }
+
+    /// Whether a shared artifact has been materialized yet (laziness tests).
+    #[cfg(test)]
+    pub(crate) fn artifact_built(&self, name: &str) -> bool {
+        match name {
+            "posting:base_tokens" => self.posting_base_tokens.get().is_some(),
+            "posting:overlap_weights" => self.posting_overlap_weights.get().is_some(),
+            "normalized" => self.normalized.get().is_some(),
+            "record_words" => self.record_words.get().is_some(),
+            _ => {
+                let slot = SHARED_TABLES
+                    .iter()
+                    .position(|&t| t == name)
+                    .unwrap_or_else(|| panic!("unknown shared artifact {name}"));
+                self.table_cells[slot].get().is_some()
+            }
+        }
+    }
+
+    /// The shared posting index over one of the weight-bearing shared tables
+    /// (`base_tokens` with unit contributions, `overlap_weights` with its
+    /// RSJ/IDF weights), built lazily and shared across every predicate
+    /// catalog it is attached to.
+    pub(crate) fn posting(&self, name: &str) -> Arc<PostingIndex> {
+        let (cell, weight_col) = match name {
+            "base_tokens" => (&self.posting_base_tokens, None),
+            "overlap_weights" => (&self.posting_overlap_weights, Some("weight")),
+            other => panic!("no shared posting index for {other}"),
+        };
+        cell.get_or_init(|| {
+            let table = self
+                .table_catalog(name)
+                .get_shared(name)
+                .expect("mini-catalog holds its own table");
+            Arc::new(
+                PostingIndex::build(&table, "token", "tid", weight_col)
+                    .expect("shared tables have distinct finite-weight postings"),
+            )
+        })
+        .clone()
     }
 
     pub(crate) fn normalized(&self, idx: usize) -> &str {
-        &self.normalized[idx]
+        &self.normalized.get_or_init(|| {
+            self.corpus.corpus().records().iter().map(|r| normalize(&r.text)).collect()
+        })[idx]
     }
 
     pub(crate) fn record_words(&self) -> &[Vec<WeightedWord>] {
-        &self.record_words
+        self.record_words.get_or_init(|| {
+            (0..self.corpus.num_records()).map(|i| weighted_record_words(&self.corpus, i)).collect()
+        })
+    }
+
+    pub(crate) fn avg_word_idf(&self) -> f64 {
+        *self.avg_word_idf.get_or_init(|| self.corpus.avg_word_idf())
+    }
+
+    pub(crate) fn cache(&self) -> &ResultCache {
+        &self.cache
     }
 
     /// The record index carrying `tid`. Tids are dense from 0 (asserted at
@@ -184,6 +315,187 @@ impl SharedArtifacts {
             "corpus tids must be dense from 0"
         );
         idx
+    }
+}
+
+/// Default number of cached results per engine. The cap is an *entry*
+/// count, not a byte budget: a cached `Exec::Rank` entry holds a full
+/// corpus-sized ranking (16 bytes per candidate), so on large corpora the
+/// cache can retain up to `capacity · corpus` scored tuples. Size it with
+/// [`SelectionEngine::set_result_cache_capacity`] for memory-sensitive
+/// serving (0 disables caching entirely); `TopK`/`Threshold` entries are
+/// k-/selection-sized and far cheaper.
+const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
+
+/// An [`Exec`] mode as a hashable cache-key component (`f64` thresholds by
+/// their bit pattern; distinct NaN payloads are distinct keys, which only
+/// costs a duplicate entry, never a wrong hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExecKey {
+    Rank,
+    TopK(usize),
+    TopKHeap(usize),
+    Threshold(u64),
+}
+
+impl From<Exec> for ExecKey {
+    fn from(exec: Exec) -> Self {
+        match exec {
+            Exec::Rank => ExecKey::Rank,
+            Exec::TopK(k) => ExecKey::TopK(k),
+            Exec::TopKHeap(k) => ExecKey::TopKHeap(k),
+            Exec::Threshold(tau) => ExecKey::Threshold(tau.to_bits()),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kind: PredicateKind,
+    exec: ExecKey,
+    /// The full query text (its tokenizations are a pure function of it).
+    /// Storing the text rather than a hash makes collisions impossible.
+    text: String,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<CacheKey, (u64, Arc<Vec<ScoredTid>>)>,
+    /// Monotone access clock; the entry with the smallest stamp is the LRU.
+    tick: u64,
+    capacity: usize,
+}
+
+/// Hit/miss counters and occupancy of an engine's result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Executions answered from the cache.
+    pub hits: u64,
+    /// Executions that ran the engine (including the first of each key).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Maximum entries kept (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// A small LRU of recent results. Corpora are immutable and executions
+/// deterministic, so there is no invalidation: a hit returns exactly the
+/// bytes a re-execution would produce. Shared across all handles of one
+/// engine; the indexed path of [`PredicateHandle::execute`] is the only
+/// consumer (`execute_naive` stays uncached — it exists to be measured).
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            state: Mutex::new(CacheState { capacity, ..Default::default() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache currently admits entries. Callers use this to skip
+    /// the result clone a miss-then-insert would need — when disabled (the
+    /// bench sets capacity 0 so measurements stay honest), execution must
+    /// not pay any cache overhead at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.state.lock().expect("result cache poisoned").capacity > 0
+    }
+
+    fn key(kind: PredicateKind, text: &str, exec: Exec) -> CacheKey {
+        CacheKey { kind, exec: exec.into(), text: text.to_string() }
+    }
+
+    pub(crate) fn get(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+    ) -> Option<Arc<Vec<ScoredTid>>> {
+        let mut state = self.state.lock().expect("result cache poisoned");
+        if state.capacity == 0 {
+            return None;
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        let found = match state.map.get_mut(&Self::key(kind, text, exec)) {
+            Some(entry) => {
+                entry.0 = tick;
+                Some(entry.1.clone())
+            }
+            None => None,
+        };
+        drop(state);
+        match found {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        results: Arc<Vec<ScoredTid>>,
+    ) {
+        let mut state = self.state.lock().expect("result cache poisoned");
+        if state.capacity == 0 {
+            return;
+        }
+        while state.map.len() >= state.capacity {
+            // Evict the least recently used entry (smallest stamp). A linear
+            // scan over a few hundred entries is cheaper than the pointer
+            // chasing of a linked LRU at these capacities.
+            let Some(lru) =
+                state.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            state.map.remove(&lru);
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        state.map.insert(Self::key(kind, text, exec), (tick, results));
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("result cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: state.map.len(),
+            capacity: state.capacity,
+        }
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut state = self.state.lock().expect("result cache poisoned");
+        state.capacity = capacity;
+        if capacity == 0 {
+            state.map.clear();
+        } else {
+            while state.map.len() > capacity {
+                let Some(lru) =
+                    state.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                state.map.remove(&lru);
+            }
+        }
     }
 }
 
@@ -214,11 +526,11 @@ impl Query {
         let norm_chars = norm.chars().count();
         let word_tokens = dasp_text::word_tokens(text);
         // Same rule as `weighted_query_words`, with the corpus-level average
-        // IDF precomputed once per engine instead of per query.
+        // IDF computed once per engine (lazily) instead of per query.
         let weighted_words = crate::combination::ges::weighted_words_with_avg_idf(
             corpus,
             word_tokens.iter().cloned(),
-            shared.avg_word_idf,
+            shared.avg_word_idf(),
         );
         Query {
             corpus: corpus.clone(),
@@ -397,12 +709,26 @@ impl SelectionEngine {
         self.inner.shared.params()
     }
 
-    /// The shared phase-1 catalog (token tables, weight tables, indexes).
-    /// Predicate handles alias these tables — `Arc::ptr_eq` against a
-    /// handle's [`catalog`](PredicateHandle::catalog) proves the
-    /// shared-artifact contract.
+    /// The full shared phase-1 catalog (token tables, weight tables,
+    /// indexes). Predicate handles carry the subset of these tables their
+    /// plans reference, aliased — `Arc::ptr_eq` against a handle's
+    /// [`catalog`](PredicateHandle::catalog) proves the shared-artifact
+    /// contract. Calling this forces every shared table, so prefer the
+    /// handles' own catalogs outside of introspection.
     pub fn shared_catalog(&self) -> &Catalog {
         self.inner.shared.catalog()
+    }
+
+    /// Hit/miss counters and occupancy of the engine's result cache (an
+    /// invalidation-free LRU over `(predicate, query text, exec mode)`;
+    /// corpora are immutable, so cached results never go stale).
+    pub fn result_cache_stats(&self) -> CacheStats {
+        self.inner.shared.cache().stats()
+    }
+
+    /// Resize the result cache (0 disables caching and clears it).
+    pub fn set_result_cache_capacity(&self, capacity: usize) {
+        self.inner.shared.cache().set_capacity(capacity)
     }
 
     /// Prepare a query once for use with every predicate of this engine.
@@ -484,9 +810,25 @@ impl PredicateHandle {
     }
 
     /// Execute a prepared query in the given mode through the indexed
-    /// engine (prepared plans, index probes, pushdown operators).
+    /// engine (prepared plans, index probes, pushdown operators), consulting
+    /// the engine's result cache first.
     pub fn execute(&self, query: &Query, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
-        self.core.execute_mode(query, exec, false)
+        let shared = self.core.shared_artifacts();
+        // The cache is keyed by query text, so a query prepared against a
+        // different engine must be rejected before the lookup.
+        if !query.tokenized_against(shared.corpus()) {
+            return Err(crate::error::DaspError::EngineMismatch);
+        }
+        if !shared.cache().enabled() {
+            return self.core.execute_mode(query, exec, false);
+        }
+        let kind = self.core.predicate_kind();
+        if let Some(hit) = shared.cache().get(kind, query.text(), exec) {
+            return Ok(hit.as_ref().clone());
+        }
+        let results = self.core.execute_mode(query, exec, false)?;
+        shared.cache().insert(kind, query.text(), exec, Arc::new(results.clone()));
+        Ok(results)
     }
 
     /// [`execute`](Self::execute) under the pre-refactor cost model
@@ -566,11 +908,12 @@ mod tests {
     #[test]
     fn handles_share_phase1_tables_with_the_engine_catalog() {
         let engine = engine();
-        let shared_tokens = engine.shared_catalog().get_shared("base_tokens").unwrap();
+        // Force the shared tables through two token-table consumers first so
+        // the aliasing assertion is meaningful.
         let xect = engine.predicate(PredicateKind::IntersectSize);
         let jaccard = engine.predicate(PredicateKind::Jaccard);
-        let bm25 = engine.predicate(PredicateKind::Bm25);
-        for handle in [&xect, &jaccard, &bm25] {
+        let shared_tokens = engine.shared_catalog().get_shared("base_tokens").unwrap();
+        for handle in [&xect, &jaccard] {
             let catalog = handle.catalog().expect("plan-based predicates expose a catalog");
             let tokens = catalog.get_shared("base_tokens").unwrap();
             assert!(
@@ -579,8 +922,115 @@ mod tests {
                 handle.kind()
             );
         }
+        // Handles carry only the tables their plans reference: BM25 probes
+        // its private weight table, never the shared token tables.
+        let bm25 = engine.predicate(PredicateKind::Bm25);
+        let bm25_catalog = bm25.catalog().unwrap();
+        assert!(bm25_catalog.contains("bm25_weights"));
+        assert!(!bm25_catalog.contains("base_tokens"));
         // The pure-UDF predicate has no plan catalog.
         assert!(engine.predicate(PredicateKind::Ges).catalog().is_none());
+    }
+
+    #[test]
+    fn shared_artifacts_build_lazily_per_predicate() {
+        let engine = engine();
+        let shared = &engine.inner.shared;
+        for table in crate::engine::SHARED_TABLES {
+            assert!(!shared.artifact_built(table), "{table} built before any predicate");
+        }
+        // A lone BM25 handle needs none of the shared tables (private weight
+        // table only) and executing through it keeps them unbuilt.
+        let bm25 = engine.predicate(PredicateKind::Bm25);
+        let query = engine.query("Morgan Stanley");
+        bm25.execute(&query, Exec::TopK(3)).unwrap();
+        for table in crate::engine::SHARED_TABLES {
+            assert!(!shared.artifact_built(table), "{table} built by a standalone BM25 engine");
+        }
+        assert!(!shared.artifact_built("normalized"));
+        // IntersectSize forces exactly its own tables: base_tokens plus the
+        // posting variant, nothing else.
+        let xect = engine.predicate(PredicateKind::IntersectSize);
+        xect.execute(&query, Exec::TopK(3)).unwrap();
+        assert!(shared.artifact_built("base_tokens"));
+        assert!(shared.artifact_built("posting:base_tokens"));
+        assert!(!shared.artifact_built("overlap_weights"));
+        assert!(!shared.artifact_built("base_words"));
+        assert!(!shared.artifact_built("record_words"));
+        // The edit predicate forces the normalized strings and base_tf only.
+        let edit = engine.predicate(PredicateKind::EditSimilarity);
+        edit.execute(&query, Exec::Rank).unwrap();
+        assert!(shared.artifact_built("base_tf"));
+        assert!(shared.artifact_built("normalized"));
+        assert!(!shared.artifact_built("base_words"));
+    }
+
+    #[test]
+    fn shared_posting_indexes_are_built_once_and_aliased() {
+        let engine = engine();
+        let shared = &engine.inner.shared;
+        let xect = engine.predicate(PredicateKind::IntersectSize);
+        // Handles attach postings on first bounded execution, not at build.
+        assert!(xect.catalog().unwrap().posting_for("base_tokens").is_none());
+        xect.execute(&engine.query("Morgan Stanley"), Exec::TopK(2)).unwrap();
+        let attached = xect.catalog().unwrap().posting_for("base_tokens").unwrap().clone();
+        let a = shared.posting("base_tokens");
+        let b = shared.posting("base_tokens");
+        assert!(Arc::ptr_eq(&a, &b), "posting index must build once");
+        assert!(Arc::ptr_eq(&a, &attached), "handle must alias the shared posting index");
+    }
+
+    #[test]
+    fn result_cache_hits_repeat_queries_and_reports_stats() {
+        let engine = engine();
+        let handle = engine.predicate(PredicateKind::Cosine);
+        let query = engine.query("Morgan Stanley Group Inc.");
+        assert_eq!(engine.result_cache_stats().hits, 0);
+        let first = handle.execute(&query, Exec::TopK(3)).unwrap();
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        // Same (kind, text, exec): a hit with identical bytes.
+        let second = handle.execute(&query, Exec::TopK(3)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.result_cache_stats().hits, 1);
+        // A different exec mode, kind, or text misses.
+        handle.execute(&query, Exec::TopK(2)).unwrap();
+        engine.predicate(PredicateKind::Bm25).execute(&query, Exec::TopK(3)).unwrap();
+        handle.execute(&engine.query("Beijing Hotel"), Exec::TopK(3)).unwrap();
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 4, 4));
+        // The naive baseline path stays uncached (it exists to be measured).
+        handle.execute_naive(&query, Exec::TopK(3)).unwrap();
+        assert_eq!(engine.result_cache_stats().misses, 4);
+        // Rebuilt strings with the same text still hit.
+        let rebuilt = engine.query("Morgan Stanley Group Inc.");
+        assert_eq!(handle.execute(&rebuilt, Exec::TopK(3)).unwrap(), first);
+        assert_eq!(engine.result_cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn result_cache_capacity_bounds_entries_and_can_be_disabled() {
+        let engine = engine();
+        engine.set_result_cache_capacity(2);
+        let handle = engine.predicate(PredicateKind::Bm25);
+        for text in ["Morgan", "Beijing", "Silicon", "AT&T"] {
+            handle.execute(&engine.query(text), Exec::Rank).unwrap();
+        }
+        let stats = engine.result_cache_stats();
+        assert_eq!(stats.entries, 2, "LRU must evict down to capacity");
+        assert_eq!(stats.capacity, 2);
+        // The most recent entries survive.
+        handle.execute(&engine.query("AT&T"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().hits, 1);
+        handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().hits, 1, "evicted entry must miss");
+        // Capacity 0 disables caching entirely.
+        engine.set_result_cache_capacity(0);
+        assert_eq!(engine.result_cache_stats().entries, 0);
+        handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
+        handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.entries), (1, 0));
     }
 
     #[test]

@@ -10,19 +10,27 @@ use crate::corpus::TokenizedCorpus;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::HmmParams;
 use crate::record::ScoredTid;
-use crate::tables::{self, RankingPlans};
-use relq::{col, AggFunc, Bindings, Catalog, Plan};
+use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
+use relq::{col, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
 /// Hidden Markov model predicate.
 ///
-/// **Shared-artifact contract:** the engine's shared catalog is cloned and
-/// `HMM_WEIGHTS` registered indexed on token; execution binds the
-/// multiplicity-preserving query token table into plans prepared once in all
-/// three [`Exec`] modes.
+/// **Shared-artifact contract:** `HMM_WEIGHTS` is registered indexed on
+/// token (with its posting lists) in a private catalog — the predicate
+/// references no shared phase-1 table; execution binds the
+/// multiplicity-preserving query token table into plans prepared once in
+/// every [`Exec`] mode.
+///
+/// **Bounded top-k:** the stored weight `log(1 + a1·pml/(a0·P(t|GE)))` is
+/// strictly positive, and `exp` is monotone, so ranking by the log-space sum
+/// is ranking by the final score: `Exec::TopK` runs the max-score traversal
+/// over the log-weight posting lists — each list's upper bound is the
+/// per-word maximum emission factor — and a projection applies `exp` to the
+/// k surviving sums.
 pub struct HmmPredicate {
     shared: Arc<SharedArtifacts>,
-    catalog: Catalog,
+    catalog: PostingCatalog,
     plans: RankingPlans,
 }
 
@@ -51,15 +59,33 @@ impl HmmPredicate {
             }
             Some((1.0 + a1 * pml / (a0 * ptge)).ln())
         });
-        let mut catalog = shared.catalog().clone();
+        let mut catalog = Catalog::new();
         catalog
             .register_indexed("hmm_weights", weights, &["token"])
             .expect("weights have a token column");
+        // The posting lists behind the bounded plan are deferred to the
+        // first `Exec::TopK` execution.
+        let catalog = PostingCatalog::new(catalog, |c| {
+            c.register_posting("hmm_weights", "token", "tid", Some("weight"))
+                .expect("weights are distinct per (token, tid) and finite")
+        });
         let plan =
             Plan::index_join("hmm_weights", &["token"], Plan::param("query_tokens"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
                 .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]);
-        HmmPredicate { shared, catalog, plans: RankingPlans::new(plan) }
+        // The bounded traversal selects by the log-space sum (same order as
+        // the exp'd score); the projection then exponentiates the k sums.
+        // The probe keeps one row per query-token occurrence, so repeated
+        // tokens probe their list once per occurrence, exactly like the join.
+        let bounded = Plan::top_k_bounded(
+            "hmm_weights",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(TOP_K_PARAM),
+        )
+        .project(vec![(col("tid"), "tid"), (col("score").exp(), "score")]);
+        HmmPredicate { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -67,7 +93,7 @@ impl HmmPredicate {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(&self.catalog)
+        Some(self.catalog.current())
     }
 
     fn execute(
@@ -84,7 +110,7 @@ impl HmmPredicate {
         // query contributes its factor twice (the SQL joins the raw
         // QUERY_TOKENS table, which has one row per occurrence).
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, false));
-        self.plans.execute(&self.catalog, bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
     }
 }
 

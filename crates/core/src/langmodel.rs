@@ -8,12 +8,15 @@
 //! grouped sum of `log pm − log(1 − pm) − log(cf/cs)` and a final join with
 //! the per-tuple sums.
 //!
-//! **Shared-artifact contract:** the predicate clones the engine's shared
-//! catalog and registers `BASE_PM` indexed on token and `BASE_SUMCOMPM`
-//! indexed on tid, so both query-time joins are index probes (the second one
-//! probes the per-tuple sums with the handful of tids the inner aggregation
-//! produced). The whole pipeline is prepared once in all three [`Exec`]
-//! modes ([`RankingPlans`]).
+//! **Shared-artifact contract:** the predicate registers `BASE_PM` indexed
+//! on token and `BASE_SUMCOMPM` indexed on tid in a private catalog — it
+//! references no shared phase-1 table, so a standalone LM engine builds
+//! none of them — and both query-time joins are index probes (the second
+//! one probes the per-tuple sums with the handful of tids the inner
+//! aggregation produced). The whole pipeline is prepared once in every
+//! [`Exec`] mode ([`RankingPlans`]). The LM score mixes positive and
+//! negative log terms plus a per-tuple constant, so it is not a monotone
+//! sum of non-negative contributions and keeps the heap top-k path.
 
 use crate::corpus::TokenizedCorpus;
 use crate::engine::{Exec, Query, SharedArtifacts};
@@ -108,7 +111,7 @@ impl LanguageModelPredicate {
         }
         let base_sum = tables::per_tuple_scalar(&corpus, "sumcompm", |idx| sumcompm[idx]);
 
-        let mut catalog = shared.catalog().clone();
+        let mut catalog = Catalog::new();
         catalog
             .register_indexed("base_pm", base_pm, &["token"])
             .expect("base_pm has a token column");

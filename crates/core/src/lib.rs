@@ -67,7 +67,7 @@ pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
 pub use dict::{TokenDict, TokenId};
-pub use engine::{Exec, PredicateHandle, Query, SelectionEngine};
+pub use engine::{CacheStats, Exec, PredicateHandle, Query, SelectionEngine};
 pub use error::DaspError;
 pub use factory::{build_all, build_predicate};
 pub use params::{

@@ -2,19 +2,29 @@
 //! and WeightedJaccard, realized declaratively as relq plans over token and
 //! weight tables — the direct analogues of Figures 4.1 and 4.2 of the paper.
 //!
-//! **Shared-artifact contract:** all four predicates execute directly
-//! against the engine's shared phase-1 catalog — `base_tokens`,
-//! `overlap_weights` (indexed on token) and the per-tuple `base_len` /
-//! `overlap_len` tables (indexed on tid) — registering nothing of their own.
-//! Each prepares one `(tid, score)` plan in all three [`Exec`] modes
-//! ([`RankingPlans`]); execution binds only the query token table (plus
+//! **Shared-artifact contract:** all four predicates assemble the minimal
+//! catalog their plans probe from the engine's lazy shared artifacts —
+//! `base_tokens`, `overlap_weights` (indexed on token) and the per-tuple
+//! `base_len` / `overlap_len` tables (indexed on tid) — registering nothing
+//! of their own. Each prepares one `(tid, score)` plan in every [`Exec`]
+//! mode ([`RankingPlans`]); execution binds only the query token table (plus
 //! per-query scalars like `|Q|`) and probes the token index.
+//!
+//! **Bounded top-k:** IntersectSize and WeightedMatch score monotone sums of
+//! non-negative contributions (a unit per common token; the RSJ/IDF token
+//! weight), so both attach the shared posting variant of their base table
+//! and route `Exec::TopK` through the max-score traversal of
+//! [`relq::Plan::TopKBounded`]. The per-list upper bound is exact: 1 for
+//! IntersectSize, the token's stored weight for WeightedMatch (weights are
+//! per-token constants, so max = the weight itself). Jaccard and WJ
+//! normalize by a union weight that *shrinks* the score as documents grow —
+//! not a monotone sum — and keep the heap path.
 
 use crate::corpus::TokenizedCorpus;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::OverlapWeighting;
 use crate::record::ScoredTid;
-use crate::tables::{self, RankingPlans};
+use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
 use relq::{col, lit, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
@@ -34,6 +44,7 @@ pub(crate) fn overlap_weight(
 /// tuple (Equation 3.1, Figure 4.1).
 pub struct IntersectSize {
     shared: Arc<SharedArtifacts>,
+    catalog: PostingCatalog,
     plans: RankingPlans,
 }
 
@@ -51,7 +62,23 @@ impl IntersectSize {
             Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
                 .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]);
-        IntersectSize { shared, plans: RankingPlans::new(plan) }
+        // Bounded top-k over unit-weight posting lists: every common token
+        // contributes exactly 1, so each list's upper bound is 1 and the
+        // max-score traversal skips the long lists of frequent q-grams once
+        // the k-th best overlap count exceeds their remaining sum.
+        let bounded = Plan::top_k_bounded(
+            "base_tokens",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(TOP_K_PARAM),
+        );
+        let posting_shared = shared.clone();
+        let catalog = PostingCatalog::new(shared.catalog_with(&["base_tokens"]), move |c| {
+            c.attach_posting("base_tokens", posting_shared.posting("base_tokens"))
+                .expect("base_tokens is registered")
+        });
+        IntersectSize { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -59,7 +86,7 @@ impl IntersectSize {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(self.shared.catalog())
+        Some(self.catalog.current())
     }
 
     fn execute(
@@ -73,7 +100,7 @@ impl IntersectSize {
             return Ok(Vec::new());
         }
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
-        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
     }
 }
 
@@ -82,6 +109,7 @@ crate::engine::engine_predicate!(IntersectSize, crate::predicate::PredicateKind:
 /// Jaccard coefficient over distinct token sets (Equation 3.2, Figure 4.2).
 pub struct JaccardPredicate {
     shared: Arc<SharedArtifacts>,
+    catalog: Catalog,
     plans: RankingPlans,
 }
 
@@ -106,7 +134,8 @@ impl JaccardPredicate {
                 "score",
             ),
         ]);
-        JaccardPredicate { shared, plans: RankingPlans::new(plan) }
+        let catalog = shared.catalog_with(&["base_tokens", "base_len"]);
+        JaccardPredicate { shared, catalog, plans: RankingPlans::new(plan) }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -114,7 +143,7 @@ impl JaccardPredicate {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(self.shared.catalog())
+        Some(&self.catalog)
     }
 
     fn execute(
@@ -132,7 +161,7 @@ impl JaccardPredicate {
         let bindings = Bindings::new()
             .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_len", q.distinct_count() as f64);
-        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive)
     }
 }
 
@@ -142,6 +171,7 @@ crate::engine::engine_predicate!(JaccardPredicate, crate::predicate::PredicateKi
 /// Robertson–Sparck Jones weights the paper found superior to IDF (§5.3.1).
 pub struct WeightedMatch {
     shared: Arc<SharedArtifacts>,
+    catalog: PostingCatalog,
     plans: RankingPlans,
 }
 
@@ -160,7 +190,24 @@ impl WeightedMatch {
             &["token"],
         )
         .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
-        WeightedMatch { shared, plans: RankingPlans::new(plan) }
+        // Bounded top-k over the shared weight posting lists. RSJ/IDF weights
+        // are non-negative per-token constants, so every posting in a list
+        // carries the same contribution and the per-list upper bound is
+        // exact — precisely the shape where frequent (low-weight, long-list)
+        // tokens become non-essential the moment the heap fills.
+        let bounded = Plan::top_k_bounded(
+            "overlap_weights",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(TOP_K_PARAM),
+        );
+        let posting_shared = shared.clone();
+        let catalog = PostingCatalog::new(shared.catalog_with(&["overlap_weights"]), move |c| {
+            c.attach_posting("overlap_weights", posting_shared.posting("overlap_weights"))
+                .expect("overlap_weights is registered")
+        });
+        WeightedMatch { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -168,7 +215,7 @@ impl WeightedMatch {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(self.shared.catalog())
+        Some(self.catalog.current())
     }
 
     fn execute(
@@ -182,7 +229,7 @@ impl WeightedMatch {
             return Ok(Vec::new());
         }
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
-        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
     }
 }
 
@@ -191,6 +238,7 @@ crate::engine::engine_predicate!(WeightedMatch, crate::predicate::PredicateKind:
 /// WeightedJaccard: weight of common tokens over weight of the union (§3.1).
 pub struct WeightedJaccard {
     shared: Arc<SharedArtifacts>,
+    catalog: Catalog,
     plans: RankingPlans,
 }
 
@@ -221,7 +269,8 @@ impl WeightedJaccard {
                 "score",
             ),
         ]);
-        WeightedJaccard { shared, plans: RankingPlans::new(plan) }
+        let catalog = shared.catalog_with(&["overlap_weights", "overlap_len"]);
+        WeightedJaccard { shared, catalog, plans: RankingPlans::new(plan) }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -229,7 +278,7 @@ impl WeightedJaccard {
     }
 
     fn engine_catalog(&self) -> Option<&Catalog> {
-        Some(self.shared.catalog())
+        Some(&self.catalog)
     }
 
     fn execute(
@@ -251,7 +300,7 @@ impl WeightedJaccard {
         let bindings = Bindings::new()
             .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_weight_sum", query_weight_sum);
-        self.plans.execute(self.shared.catalog(), bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive)
     }
 }
 

@@ -171,7 +171,7 @@ pub trait Predicate {
         let mut ranked = self.try_rank(query)?;
         match exec {
             Exec::Rank => {}
-            Exec::TopK(k) => ranked.truncate(k),
+            Exec::TopK(k) | Exec::TopKHeap(k) => ranked.truncate(k),
             Exec::Threshold(threshold) => ranked.retain(|s| s.score >= threshold),
         }
         Ok(ranked)

@@ -19,6 +19,48 @@ use crate::engine::Exec;
 use relq::{
     col, param, Bindings, Catalog, DataType, Plan, PreparedPlan, Schema, SortOrder, Table, Value,
 };
+use std::sync::OnceLock;
+
+/// A predicate's execution catalog with its posting index deferred to the
+/// first bounded execution: `Exec::TopK` sees a clone of the base catalog
+/// with the posting attached (built or fetched once, then cached), while
+/// Rank/Threshold-only workloads never pay the posting build at all — the
+/// per-handle analogue of the engine's lazy shared artifacts.
+pub(crate) struct PostingCatalog {
+    base: Catalog,
+    attach: Box<dyn Fn(&mut Catalog) + Send + Sync>,
+    with_posting: OnceLock<Catalog>,
+}
+
+impl PostingCatalog {
+    /// Wrap `base`; `attach` adds the posting index (building it, or
+    /// attaching an engine-shared one) when a bounded execution first asks.
+    pub(crate) fn new(
+        base: Catalog,
+        attach: impl Fn(&mut Catalog) + Send + Sync + 'static,
+    ) -> Self {
+        PostingCatalog { base, attach: Box::new(attach), with_posting: OnceLock::new() }
+    }
+
+    /// The catalog to execute `exec` against: with postings for the bounded
+    /// top-k operator, the plain base catalog for everything else.
+    pub(crate) fn for_exec(&self, exec: Exec) -> &Catalog {
+        match exec {
+            Exec::TopK(_) => self.with_posting.get_or_init(|| {
+                let mut catalog = self.base.clone();
+                (self.attach)(&mut catalog);
+                catalog
+            }),
+            _ => &self.base,
+        }
+    }
+
+    /// The catalog as currently materialized (postings included once some
+    /// bounded execution forced them) — the introspection surface.
+    pub(crate) fn current(&self) -> &Catalog {
+        self.with_posting.get().unwrap_or(&self.base)
+    }
+}
 
 /// `BASE_TOKENS(tid, token)` with *distinct* tokens per tuple, as the paper
 /// stores for the unweighted overlap predicates.
@@ -220,8 +262,8 @@ pub(crate) const TOP_K_PARAM: &str = "__top_k";
 /// Scalar parameter carrying `τ` into the prepared threshold plan.
 pub(crate) const THRESHOLD_PARAM: &str = "__threshold";
 
-/// The three prepared execution modes of one `(tid, score)`-producing
-/// ranking plan, built once at preprocessing time:
+/// The prepared execution modes of one `(tid, score)`-producing ranking
+/// plan, built once at preprocessing time:
 ///
 /// * `rank` — the plan as given; conversion sorts the full candidate set.
 /// * `top_k` — the plan capped by a heap-based [`Plan::TopK`] on
@@ -229,20 +271,38 @@ pub(crate) const THRESHOLD_PARAM: &str = "__threshold";
 ///   best candidate rows are ever materialized or sorted.
 /// * `threshold` — the plan filtered by `score >= τ` (scalar parameter)
 ///   before result materialization.
+/// * `bounded` (monotone-sum predicates only) — a
+///   [`Plan::TopKBounded`](relq::Plan::TopKBounded) max-score traversal over
+///   the predicate's posting lists, the early-terminating operator
+///   `Exec::TopK` routes to when present.
 ///
 /// Every mode runs over the same candidate pipeline and the same canonical
 /// `(score DESC, tid ASC)` order as [`crate::record::sort_ranked`], which is
-/// what makes `TopK(k)` byte-identical to rank-then-truncate and
-/// `Threshold(τ)` byte-identical to rank-then-filter.
+/// what makes the heap `TopK` byte-identical to rank-then-truncate and
+/// `Threshold(τ)` byte-identical to rank-then-filter. The bounded operator
+/// re-accumulates every emitted score in probe order, so it matches the heap
+/// path bit-for-bit except possibly at exact score ties on the k boundary.
 pub(crate) struct RankingPlans {
     rank: PreparedPlan,
     top_k: PreparedPlan,
     threshold: PreparedPlan,
+    bounded: Option<PreparedPlan>,
 }
 
 impl RankingPlans {
-    /// Prepare all three modes of a `(tid, score)` ranking plan.
+    /// Prepare all modes of a `(tid, score)` ranking plan (no bounded
+    /// operator: `Exec::TopK` and `Exec::TopKHeap` both run the heap).
     pub(crate) fn new(plan: Plan) -> Self {
+        Self::build(plan, None)
+    }
+
+    /// Prepare all modes plus a score-bounded top-k plan (which must take
+    /// its `k` from the [`TOP_K_PARAM`] scalar parameter like the heap plan).
+    pub(crate) fn with_bounded(plan: Plan, bounded: Plan) -> Self {
+        Self::build(plan, Some(bounded))
+    }
+
+    fn build(plan: Plan, bounded: Option<Plan>) -> Self {
         let top_k = plan.clone().top_k(
             param(TOP_K_PARAM),
             vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
@@ -252,6 +312,7 @@ impl RankingPlans {
             rank: PreparedPlan::new(plan),
             top_k: PreparedPlan::new(top_k),
             threshold: PreparedPlan::new(threshold),
+            bounded: bounded.map(PreparedPlan::new),
         }
     }
 
@@ -267,6 +328,14 @@ impl RankingPlans {
         match exec {
             Exec::Rank => run_ranking_plan(&self.rank, catalog, &bindings, naive),
             Exec::TopK(k) => {
+                let bindings = bindings.with_scalar(TOP_K_PARAM, k as i64);
+                // The bounded operator when the predicate qualifies (its
+                // naive lowering is exhaustive scoring — same cost model as
+                // the heap baseline), the heap pushdown otherwise.
+                let plan = self.bounded.as_ref().unwrap_or(&self.top_k);
+                run_ranking_plan(plan, catalog, &bindings, naive)
+            }
+            Exec::TopKHeap(k) => {
                 let bindings = bindings.with_scalar(TOP_K_PARAM, k as i64);
                 run_ranking_plan(&self.top_k, catalog, &bindings, naive)
             }

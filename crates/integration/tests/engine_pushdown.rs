@@ -1,10 +1,13 @@
 //! Pushdown-equivalence and shared-artifact tests for the session-based
 //! query API: for all 13 predicates over seeded `dasp-datagen` corpora,
-//! `Exec::TopK(k)` must return byte-identical results to `Exec::Rank`
-//! truncated to `k`, and `Exec::Threshold(τ)` byte-identical results to the
-//! post-hoc filter — through the indexed engine *and* through the naive
-//! baseline — and every handle of one engine must alias (not copy) the
-//! engine's phase-1 tables.
+//! `Exec::TopKHeap(k)` (the exhaustive heap pushdown) must return
+//! byte-identical results to `Exec::Rank` truncated to `k`, and
+//! `Exec::Threshold(τ)` byte-identical results to the post-hoc filter —
+//! through the indexed engine *and* through the naive baseline — and every
+//! handle of one engine must alias (not copy) the shared phase-1 tables its
+//! plans reference. (`Exec::TopK`, which routes the five monotone predicates
+//! through the score-bounded operator, has its own tie-aware equivalence
+//! tier in `engine_topk_bounded.rs`.)
 
 use dasp_core::{Exec, Params, PredicateKind, SelectionEngine};
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
@@ -19,18 +22,18 @@ fn assert_pushdown_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
             let query = engine.query(&dataset.records[idx].text);
             let ranked = handle.execute(&query, Exec::Rank).unwrap();
 
-            // TopK(k) ≡ rank truncated to k, in both engine modes.
+            // TopKHeap(k) ≡ rank truncated to k, in both engine modes.
             for k in [0, 1, 5, 10, ranked.len(), ranked.len() + 7] {
                 let expected = &ranked[..ranked.len().min(k)];
-                let pushed = handle.execute(&query, Exec::TopK(k)).unwrap();
+                let pushed = handle.execute(&query, Exec::TopKHeap(k)).unwrap();
                 assert_eq!(
                     pushed, expected,
-                    "{label}/{kind}: TopK({k}) diverged from rank-then-truncate"
+                    "{label}/{kind}: TopKHeap({k}) diverged from rank-then-truncate"
                 );
-                let pushed_naive = handle.execute_naive(&query, Exec::TopK(k)).unwrap();
+                let pushed_naive = handle.execute_naive(&query, Exec::TopKHeap(k)).unwrap();
                 assert_eq!(
                     pushed_naive, expected,
-                    "{label}/{kind}: naive TopK({k}) diverged from rank-then-truncate"
+                    "{label}/{kind}: naive TopKHeap({k}) diverged from rank-then-truncate"
                 );
             }
 
@@ -83,7 +86,8 @@ fn pushdown_is_equivalent_on_dblp_titles() {
 fn all_13_handles_share_phase1_artifacts() {
     // Building every predicate through one engine must tokenize the corpus
     // exactly once (the engine holds the one TokenizedCorpus it was given)
-    // and share the phase-1 tables: each handle's catalog aliases the same
+    // and share the phase-1 tables lazily: each handle's catalog carries
+    // exactly the shared tables its plans reference, aliasing the same
     // Arc'd allocations as the engine's shared catalog.
     let dataset = cu_dataset_sized(cu_spec("CU8").unwrap(), 120, 12);
     let params = Params::default();
@@ -91,9 +95,21 @@ fn all_13_handles_share_phase1_artifacts() {
     let engine = SelectionEngine::build(corpus.clone(), &params);
     assert!(Arc::ptr_eq(engine.corpus(), &corpus), "the engine must not re-tokenize");
 
-    let shared = engine.shared_catalog();
-    let shared_tables =
-        ["base_tokens", "base_tf", "base_len", "overlap_weights", "overlap_len", "base_words"];
+    // Which shared phase-1 tables each predicate's plans probe.
+    let expected_shared: &[(PredicateKind, &[&str])] = &[
+        (PredicateKind::IntersectSize, &["base_tokens"]),
+        (PredicateKind::Jaccard, &["base_tokens", "base_len"]),
+        (PredicateKind::WeightedMatch, &["overlap_weights"]),
+        (PredicateKind::WeightedJaccard, &["overlap_weights", "overlap_len"]),
+        (PredicateKind::Cosine, &[]),
+        (PredicateKind::Bm25, &[]),
+        (PredicateKind::LanguageModel, &[]),
+        (PredicateKind::Hmm, &[]),
+        (PredicateKind::EditSimilarity, &["base_tf"]),
+        (PredicateKind::GesJaccard, &["base_words"]),
+        (PredicateKind::GesApx, &["base_words"]),
+        (PredicateKind::SoftTfIdf, &[]),
+    ];
     let mut handles_with_catalogs = 0;
     for (kind, handle) in engine.predicates() {
         let Some(catalog) = handle.catalog() else {
@@ -101,16 +117,35 @@ fn all_13_handles_share_phase1_artifacts() {
             continue;
         };
         handles_with_catalogs += 1;
-        for table in shared_tables {
-            let from_handle = catalog.get_shared(table).unwrap();
-            let from_engine = shared.get_shared(table).unwrap();
-            assert!(
-                Arc::ptr_eq(&from_handle, &from_engine),
-                "{kind}: table {table} is a copy, not a shared artifact"
-            );
+        let tables = expected_shared
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("no expectation for {kind}"));
+        for table in tables {
+            assert!(catalog.contains(table), "{kind}: expected shared table {table}");
         }
     }
     assert_eq!(handles_with_catalogs, 12);
+    // Aliasing: every shared table a handle carries is the engine's own
+    // allocation, never a copy. (shared_catalog() forces all six tables, so
+    // it is consulted only after the handles exist.)
+    let shared = engine.shared_catalog();
+    for (kind, handle) in engine.predicates() {
+        let Some(catalog) = handle.catalog() else { continue };
+        for table in
+            ["base_tokens", "base_tf", "base_len", "overlap_weights", "overlap_len", "base_words"]
+        {
+            if catalog.contains(table) {
+                let from_handle = catalog.get_shared(table).unwrap();
+                let from_engine = shared.get_shared(table).unwrap();
+                assert!(
+                    Arc::ptr_eq(&from_handle, &from_engine),
+                    "{kind}: table {table} is a copy, not a shared artifact"
+                );
+            }
+        }
+    }
 
     // Weight tables are shared across predicates too: WeightedMatch and
     // WeightedJaccard both run over the one overlap_weights table.

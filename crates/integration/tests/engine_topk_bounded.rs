@@ -1,0 +1,184 @@
+//! Equivalence tier for the score-bounded top-k operator: for the five
+//! monotone-sum predicates (Xect, WM, Cosine, BM25, HMM) over seeded
+//! `dasp-datagen` corpora, `Exec::TopK(k)` — the max-score/WAND traversal —
+//! must return results **set-equal modulo exact score ties** to the
+//! exhaustive heap pushdown `Exec::TopKHeap(k)` in both engine modes, and
+//! byte-identical wherever scores are distinct. A property test additionally
+//! drives random corpora through the operator and asserts the pruning bound
+//! is never violated: no tid outside the returned set may outscore the
+//! returned k-th.
+
+use dasp_core::{Exec, Params, PredicateKind, ScoredTid, SelectionEngine};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
+use dasp_eval::{build_engine, sample_query_indices};
+
+/// The predicates whose scores are monotone sums of non-negative per-token
+/// contributions — the ones `Exec::TopK` routes through the bounded operator.
+const BOUNDED_KINDS: [PredicateKind; 5] = [
+    PredicateKind::IntersectSize,
+    PredicateKind::WeightedMatch,
+    PredicateKind::Cosine,
+    PredicateKind::Bm25,
+    PredicateKind::Hmm,
+];
+
+/// Assert the tie-aware equivalence contract: same length, bit-identical
+/// score sequences, and identical tids everywhere except inside a tie run
+/// actually cut by the k boundary, where the two sides may pick different
+/// members of the tie class. `k` decides whether the final run was cut: a
+/// result shorter than `k` contains *every* candidate, so even its last
+/// run must select identical tids.
+fn assert_set_equal_mod_ties(bounded: &[ScoredTid], heap: &[ScoredTid], k: usize, context: &str) {
+    assert_eq!(bounded.len(), heap.len(), "{context}: result sizes differ");
+    for (i, (b, h)) in bounded.iter().zip(heap).enumerate() {
+        assert_eq!(
+            b.score.to_bits(),
+            h.score.to_bits(),
+            "{context}: score at rank {i} differs ({} vs {})",
+            b.score,
+            h.score
+        );
+    }
+    // Within each maximal run of equal scores, the tid sets must agree
+    // unless the run is truncated by the k boundary. Runs are delimited on
+    // the heap side; scores are bit-equal by the check above.
+    let mut start = 0;
+    while start < heap.len() {
+        let mut end = start + 1;
+        while end < heap.len() && heap[end].score.to_bits() == heap[start].score.to_bits() {
+            end += 1;
+        }
+        let truncated = end == heap.len() && heap.len() == k;
+        if !truncated {
+            let mut b_tids: Vec<_> = bounded[start..end].iter().map(|s| s.tid).collect();
+            let mut h_tids: Vec<_> = heap[start..end].iter().map(|s| s.tid).collect();
+            b_tids.sort_unstable();
+            h_tids.sort_unstable();
+            assert_eq!(
+                b_tids, h_tids,
+                "{context}: tie class at ranks {start}..{end} selected different tids"
+            );
+        }
+        start = end;
+    }
+}
+
+/// True when every score in the ranking is distinct (then the contract
+/// strengthens to byte-identity).
+fn all_distinct(scores: &[ScoredTid]) -> bool {
+    scores.windows(2).all(|w| w[0].score.to_bits() != w[1].score.to_bits())
+}
+
+fn assert_bounded_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
+    let engine = build_engine(dataset, &Params::default());
+    let indices = sample_query_indices(dataset, 5, 0x7A_11);
+    for kind in BOUNDED_KINDS {
+        let handle = engine.predicate(kind);
+        for &idx in &indices {
+            let query = engine.query(&dataset.records[idx].text);
+            let ranked = handle.execute(&query, Exec::Rank).unwrap();
+            for k in [0, 1, 5, 10, ranked.len(), ranked.len() + 7] {
+                let heap = handle.execute(&query, Exec::TopKHeap(k)).unwrap();
+                assert_eq!(
+                    heap,
+                    ranked[..ranked.len().min(k)],
+                    "{label}/{kind}: heap path must stay byte-identical to rank-truncate"
+                );
+                let bounded = handle.execute(&query, Exec::TopK(k)).unwrap();
+                let context = format!("{label}/{kind} k={k}");
+                assert_set_equal_mod_ties(&bounded, &heap, k, &context);
+                if all_distinct(&heap) {
+                    assert_eq!(
+                        bounded, heap,
+                        "{context}: distinct scores require byte-identical results"
+                    );
+                }
+                // The naive lowering (exhaustive scoring + sort + truncate)
+                // obeys the same contract.
+                let bounded_naive = handle.execute_naive(&query, Exec::TopK(k)).unwrap();
+                assert_set_equal_mod_ties(&bounded_naive, &heap, k, &format!("{context} (naive)"));
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_top_k_is_equivalent_on_company_names() {
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 220, 22);
+    assert_bounded_equivalent(&dataset, "CU2");
+}
+
+#[test]
+fn bounded_top_k_is_equivalent_on_abbreviation_errors() {
+    let dataset = f_dataset_sized(f_spec("F1").unwrap(), 180, 18);
+    assert_bounded_equivalent(&dataset, "F1");
+}
+
+#[test]
+fn bounded_top_k_is_equivalent_on_dblp_titles() {
+    let dataset = dblp_dataset(180);
+    assert_bounded_equivalent(&dataset, "DBLP");
+}
+
+#[test]
+fn non_monotone_predicates_keep_the_heap_path_under_top_k() {
+    // For the eight predicates without a bounded plan, Exec::TopK must remain
+    // byte-identical to Exec::TopKHeap (both run the heap pushdown).
+    let dataset = cu_dataset_sized(cu_spec("CU6").unwrap(), 150, 15);
+    let engine = build_engine(&dataset, &Params::default());
+    for (kind, handle) in engine.predicates() {
+        if BOUNDED_KINDS.contains(&kind) {
+            continue;
+        }
+        let query = engine.query(&dataset.records[4].text);
+        for k in [1, 5, 20] {
+            assert_eq!(
+                handle.execute(&query, Exec::TopK(k)).unwrap(),
+                handle.execute(&query, Exec::TopKHeap(k)).unwrap(),
+                "{kind}: TopK and TopKHeap must coincide without a bounded plan"
+            );
+        }
+    }
+}
+
+/// Property test over random corpora: the bounded operator may never skip a
+/// tid that outscores the returned k-th result — the pruning-bound contract.
+#[test]
+fn pruning_bound_is_never_violated_on_random_corpora() {
+    use proptest::prelude::*;
+    check(24, |g| {
+        let n = g.usize_in(20..120);
+        let words = ["morgan", "stanley", "group", "beijing", "labs", "silicon", "hotel", "inc"];
+        let strings: Vec<String> = (0..n)
+            .map(|_| {
+                let len = g.usize_in(1..5);
+                (0..len).map(|_| *g.pick(&words)).collect::<Vec<_>>().join(" ")
+                    + &g.string_of("abcdefgh", 0..4)
+            })
+            .collect();
+        let corpus = std::sync::Arc::new(dasp_core::TokenizedCorpus::build(
+            dasp_core::Corpus::from_strings(strings.clone()),
+            dasp_text::QgramConfig::new(2),
+        ));
+        let engine = SelectionEngine::build(corpus, &Params::default());
+        let kind = *g.pick(&BOUNDED_KINDS);
+        let handle = engine.predicate(kind);
+        let query = engine.query(&strings[g.usize_in(0..strings.len())]);
+        let k = g.usize_in(1..12);
+        let ranked = handle.execute(&query, Exec::Rank).unwrap();
+        let bounded = handle.execute(&query, Exec::TopK(k)).unwrap();
+        assert_eq!(bounded.len(), ranked.len().min(k), "{kind}: wrong result size");
+        if let Some(kth) = bounded.last() {
+            let returned: std::collections::HashSet<u32> = bounded.iter().map(|s| s.tid).collect();
+            for s in &ranked {
+                assert!(
+                    returned.contains(&s.tid) || s.score <= kth.score,
+                    "{kind}: skipped tid {} (score {}) outscores the k-th ({})",
+                    s.tid,
+                    s.score,
+                    kth.score
+                );
+            }
+        }
+    });
+}

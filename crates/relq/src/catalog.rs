@@ -14,6 +14,7 @@
 //! re-hashed or re-scanned per query.
 
 use crate::error::{RelqError, Result};
+use crate::posting::PostingIndex;
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap};
@@ -111,6 +112,9 @@ pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
     indexes: BTreeMap<String, Vec<Arc<TableIndex>>>,
     int_stats: BTreeMap<String, Vec<Option<(i64, i64)>>>,
+    /// Score-ordered posting lists (see [`PostingIndex`]), the registration
+    /// artifact behind [`Plan::TopKBounded`](crate::Plan::TopKBounded).
+    postings: BTreeMap<String, Arc<PostingIndex>>,
 }
 
 impl Catalog {
@@ -124,6 +128,7 @@ impl Catalog {
     pub fn register(&mut self, name: &str, table: impl Into<Arc<Table>>) {
         self.indexes.remove(name);
         self.int_stats.remove(name);
+        self.postings.remove(name);
         self.tables.insert(name.to_string(), table.into());
     }
 
@@ -142,10 +147,70 @@ impl Catalog {
         let cols: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
         let index = TableIndex::build(&table, &cols)?;
         self.indexes.remove(name);
+        self.postings.remove(name);
         self.indexes.insert(name.to_string(), vec![Arc::new(index)]);
         self.int_stats.insert(name.to_string(), int_column_stats(&table));
         self.tables.insert(name.to_string(), table);
         Ok(())
+    }
+
+    /// Additionally build score-ordered posting lists over an already
+    /// registered table (`weight_col: None` = unit contributions): the
+    /// registration-time artifact [`Plan::TopKBounded`](crate::Plan::TopKBounded)
+    /// traverses. No-op when the table already carries a posting index.
+    pub fn register_posting(
+        &mut self,
+        name: &str,
+        token_col: &str,
+        tid_col: &str,
+        weight_col: Option<&str>,
+    ) -> Result<()> {
+        if self.postings.contains_key(name) {
+            return Ok(());
+        }
+        let table = self.get_shared(name)?;
+        let posting = PostingIndex::build(&table, token_col, tid_col, weight_col)?;
+        self.postings.insert(name.to_string(), Arc::new(posting));
+        Ok(())
+    }
+
+    /// Attach an already built (shared) posting index to a registered table —
+    /// the lazy-shared-artifact path: one engine builds the index once and
+    /// every predicate catalog aliases it.
+    pub fn attach_posting(&mut self, name: &str, posting: Arc<PostingIndex>) -> Result<()> {
+        if !self.tables.contains_key(name) {
+            return Err(RelqError::UnknownTable(name.to_string()));
+        }
+        self.postings.insert(name.to_string(), posting);
+        Ok(())
+    }
+
+    /// The posting index of a table, if one was registered or attached.
+    pub fn posting_for(&self, name: &str) -> Option<&Arc<PostingIndex>> {
+        self.postings.get(name)
+    }
+
+    /// Copy every registration of `other` into this catalog (shared `Arc`
+    /// handles — tables, indexes, statistics and postings are aliased, never
+    /// rebuilt). Entries in `other` replace same-named entries here. This is
+    /// how the engine layer composes per-artifact mini-catalogs into the
+    /// minimal catalog each predicate actually probes.
+    pub fn merge_from(&mut self, other: &Catalog) {
+        for (name, table) in &other.tables {
+            self.tables.insert(name.clone(), table.clone());
+            self.indexes.remove(name);
+            self.int_stats.remove(name);
+            self.postings.remove(name);
+            if let Some(ixs) = other.indexes.get(name) {
+                self.indexes.insert(name.clone(), ixs.clone());
+            }
+            if let Some(stats) = other.int_stats.get(name) {
+                self.int_stats.insert(name.clone(), stats.clone());
+            }
+            if let Some(p) = other.postings.get(name) {
+                self.postings.insert(name.clone(), p.clone());
+            }
+        }
     }
 
     /// Build an additional index over an already registered table (no-op when
@@ -165,6 +230,7 @@ impl Catalog {
     pub fn deregister(&mut self, name: &str) -> Option<Arc<Table>> {
         self.indexes.remove(name);
         self.int_stats.remove(name);
+        self.postings.remove(name);
         self.tables.remove(name)
     }
 
@@ -327,6 +393,44 @@ mod tests {
         clone.register("b", small_table(1));
         assert!(clone.contains("b"));
         assert!(!base.contains("b"));
+    }
+
+    #[test]
+    fn posting_registration_attachment_and_merge() {
+        let mut t = Table::empty(Schema::from_pairs(&[
+            ("tid", DataType::Int),
+            ("token", DataType::Int),
+            ("weight", DataType::Float),
+        ]));
+        t.push_row(vec![1.into(), 7.into(), 0.5.into()]).unwrap();
+        t.push_row(vec![2.into(), 7.into(), 1.5.into()]).unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("w", t, &["token"]).unwrap();
+        assert!(c.posting_for("w").is_none());
+        c.register_posting("w", "token", "tid", Some("weight")).unwrap();
+        let p = c.posting_for("w").unwrap().clone();
+        assert_eq!(p.num_postings(), 2);
+        // Re-registering is a no-op; the handle stays the same.
+        c.register_posting("w", "token", "tid", Some("weight")).unwrap();
+        assert!(Arc::ptr_eq(&p, c.posting_for("w").unwrap()));
+        // merge_from aliases table, index and posting storage.
+        let mut merged = Catalog::new();
+        merged.merge_from(&c);
+        assert!(Arc::ptr_eq(&merged.get_shared("w").unwrap(), &c.get_shared("w").unwrap()));
+        assert!(Arc::ptr_eq(merged.posting_for("w").unwrap(), &p));
+        assert!(merged.index_for("w", &["token".to_string()]).is_some());
+        assert_eq!(merged.int_column_range("w", 0), c.int_column_range("w", 0));
+        // Attaching to an unknown table fails; to a known one shares.
+        let mut other = Catalog::new();
+        assert!(other.attach_posting("w", p.clone()).is_err());
+        other.register("w", small_table(1));
+        other.attach_posting("w", p.clone()).unwrap();
+        assert!(Arc::ptr_eq(other.posting_for("w").unwrap(), &p));
+        // Replacing the table drops the (now stale) posting index.
+        other.register("w", small_table(2));
+        assert!(other.posting_for("w").is_none());
+        // register_posting on a missing table errors.
+        assert!(Catalog::new().register_posting("zzz", "token", "tid", None).is_err());
     }
 
     #[test]

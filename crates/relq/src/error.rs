@@ -24,6 +24,9 @@ pub enum RelqError {
     /// A `Plan::IndexJoin` referenced a table that has no index on the
     /// requested key columns (register it with `Catalog::register_indexed`).
     MissingIndex { table: String, keys: Vec<String> },
+    /// A `Plan::TopKBounded` referenced a table that has no posting index
+    /// (register it with `Catalog::register_posting` or attach a shared one).
+    MissingPosting(String),
 }
 
 impl fmt::Display for RelqError {
@@ -43,6 +46,9 @@ impl fmt::Display for RelqError {
             RelqError::UnboundParam(p) => write!(f, "unbound parameter: {p}"),
             RelqError::MissingIndex { table, keys } => {
                 write!(f, "no index on table {table} for key columns [{}]", keys.join(", "))
+            }
+            RelqError::MissingPosting(table) => {
+                write!(f, "no posting index on table {table}")
             }
         }
     }

@@ -245,6 +245,18 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
                 Ok(Rel::Owned(top_k(input.as_table(), k, &key_idx)))
             }
         }
+        Plan::TopKBounded { base, probe, token_col, factor_col, k } => {
+            let k = eval_top_k_count(k, ctx)?;
+            let probe_rel = eval(probe, ctx)?;
+            Ok(Rel::Owned(top_k_bounded(
+                ctx,
+                base,
+                probe_rel.as_table(),
+                token_col,
+                factor_col.as_deref(),
+                k,
+            )?))
+        }
         Plan::Distinct { input } => {
             let input = eval(input, ctx)?;
             Ok(Rel::Owned(distinct(input)))
@@ -925,20 +937,156 @@ fn top_k_project(
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
+/// Order-preserving `u64` encoding of one sort-key value: unsigned compare
+/// of the encodings equals [`compare_sort_values`] on the originals.
+/// Floats map through the IEEE 754 total-order trick (negatives bit-flipped,
+/// positives sign-flipped), Ints through a sign-bias; descending keys are
+/// complemented. Returns `None` for values outside the homogeneous
+/// Int-or-Float shape (NULLs, strings, mixed columns) — caller falls back.
+fn encode_sort_key(value: &Value, as_float: bool, order: SortOrder) -> Option<u64> {
+    let encoded = match (value, as_float) {
+        (Value::Float(f), true) => {
+            let bits = f.to_bits();
+            if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            }
+        }
+        (Value::Int(i), false) => (*i as u64) ^ (1 << 63),
+        _ => return None,
+    };
+    Some(match order {
+        SortOrder::Ascending => encoded,
+        SortOrder::Descending => !encoded,
+    })
+}
+
 /// Bounded-heap top-k: keeps row *ids* only, so no row is cloned until it is
 /// known to be among the k best. Ties beyond the key list are broken by input
 /// row order, making the output element-for-element identical to the stable
 /// `sort_rows` + `truncate` pipeline the naive mode runs.
+///
+/// When every key column holds a single primitive type (all-Int or
+/// all-Float — the `(score DESC, tid ASC)` shape of every ranking plan), the
+/// keys are pre-encoded into order-preserving `u64`s once and the heap
+/// compares flat integer slices instead of dispatching on `Value` enums per
+/// comparison — the fix for the heap pushdown occasionally measuring slower
+/// than rank-then-truncate on aggregate-heavy plans.
 fn top_k(input: &Table, k: usize, key_idx: &[(usize, SortOrder)]) -> Table {
     let rows = input.rows();
-    let mut heap = crate::topk::BoundedHeap::new(k, |a: &u32, b: &u32| {
-        compare_rows(&rows[*a as usize], &rows[*b as usize], key_idx).then_with(|| a.cmp(b))
+    let kept_ids: Vec<u32> = (|| {
+        // Typed fast path: per-column representation decided by the first
+        // row; any NULL or off-type value falls back to the generic compare.
+        if rows.is_empty() || key_idx.is_empty() {
+            return None;
+        }
+        let as_float: Vec<bool> = key_idx
+            .iter()
+            .map(|&(idx, _)| match &rows[0][idx] {
+                Value::Float(_) => Some(true),
+                Value::Int(_) => Some(false),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let stride = key_idx.len();
+        let mut encoded: Vec<u64> = Vec::with_capacity(rows.len() * stride);
+        for row in rows {
+            for (&(idx, order), &is_float) in key_idx.iter().zip(&as_float) {
+                encoded.push(encode_sort_key(&row[idx], is_float, order)?);
+            }
+        }
+        let key_of = |row: u32| -> &[u64] {
+            let start = row as usize * stride;
+            &encoded[start..start + stride]
+        };
+        let mut heap = crate::topk::BoundedHeap::new(k, |a: &u32, b: &u32| {
+            key_of(*a).cmp(key_of(*b)).then_with(|| a.cmp(b))
+        });
+        for row_no in 0..rows.len() as u32 {
+            heap.offer(row_no);
+        }
+        Some(heap.into_sorted())
+    })()
+    .unwrap_or_else(|| {
+        let mut heap = crate::topk::BoundedHeap::new(k, |a: &u32, b: &u32| {
+            compare_rows(&rows[*a as usize], &rows[*b as usize], key_idx).then_with(|| a.cmp(b))
+        });
+        for row_no in 0..rows.len() as u32 {
+            heap.offer(row_no);
+        }
+        heap.into_sorted()
     });
-    for row_no in 0..rows.len() as u32 {
-        heap.offer(row_no);
-    }
-    let kept: Vec<Row> = heap.into_sorted().into_iter().map(|i| rows[i as usize].clone()).collect();
+    let kept: Vec<Row> = kept_ids.into_iter().map(|i| rows[i as usize].clone()).collect();
     Table::from_parts_unchecked(input.schema().clone(), kept)
+}
+
+/// Execute [`Plan::TopKBounded`]: resolve the probe's `(token, factor)` rows
+/// against the posting index of `base` and select the k best tids by their
+/// summed scaled contributions.
+///
+/// The indexed mode runs the early-terminating max-score traversal
+/// ([`crate::posting::MaxScoreTraversal`]); the naive mode keeps the
+/// pre-refactor cost model — exhaustively score every posting in probe-major
+/// order, stable-sort, truncate — which is byte-identical to the equivalent
+/// `Aggregate + TopK` heap pipeline and serves as the equivalence baseline.
+fn top_k_bounded(
+    ctx: &ExecCtx,
+    base: &str,
+    probe: &Table,
+    token_col: &str,
+    factor_col: Option<&str>,
+    k: usize,
+) -> Result<Table> {
+    let posting =
+        ctx.catalog.posting_for(base).ok_or_else(|| RelqError::MissingPosting(base.to_string()))?;
+    let token_idx = probe.schema().index_of(token_col)?;
+    let factor_idx = factor_col.map(|c| probe.schema().index_of(c)).transpose()?;
+    // Probe rows in order: NULL tokens/factors never contribute (SQL join /
+    // SUM semantics), unknown tokens have no list to probe.
+    let mut probes: Vec<(&crate::posting::PostingList, f64)> = Vec::new();
+    for row in probe.rows() {
+        let token = &row[token_idx];
+        if token.is_null() {
+            continue;
+        }
+        let factor = match factor_idx {
+            None => 1.0,
+            Some(i) => match &row[i] {
+                Value::Null => continue,
+                v => v.as_f64()?,
+            },
+        };
+        if let Some(list) = posting.list(token) {
+            probes.push((list, factor));
+        }
+    }
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("score", DataType::Float)]);
+    let ranked: Vec<(i64, f64)> = if ctx.naive {
+        // Exhaustive scoring in probe-major order — the accumulation order of
+        // the materializing aggregation pipeline, hence byte-identical to it.
+        let mut slots: HashMap<i64, usize> = HashMap::new();
+        let mut scores: Vec<(i64, f64)> = Vec::new();
+        for (list, factor) in probes {
+            for (i, &tid) in list.tids().iter().enumerate() {
+                match slots.get(&tid) {
+                    Some(&s) => scores[s].1 += factor * list.weights()[i],
+                    None => {
+                        slots.insert(tid, scores.len());
+                        scores.push((tid, factor * list.weights()[i]));
+                    }
+                }
+            }
+        }
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scores.truncate(k);
+        scores
+    } else {
+        crate::posting::MaxScoreTraversal::new(probes, k)?.run()
+    };
+    let rows: Vec<Row> =
+        ranked.into_iter().map(|(tid, score)| vec![Value::Int(tid), Value::Float(score)]).collect();
+    Ok(Table::from_parts_unchecked(schema, rows))
 }
 
 fn distinct(input: Rel) -> Table {
@@ -1260,6 +1408,114 @@ mod tests {
         assert_eq!(result.num_rows(), 0);
         assert_eq!(result.schema().field(0).dtype, DataType::Int);
         assert_eq!(result.schema().field(1).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn typed_top_k_keys_match_generic_ordering() {
+        // Float keys spanning the tricky encodings (negatives, -0.0 vs 0.0,
+        // NaN) must order exactly like the generic comparator; a NULL key
+        // forces the generic fallback and must not change results.
+        let scores = [1.5, -2.25, f64::NAN, 0.0, -0.0, 7.0, -2.25, 3.5];
+        let mut builder =
+            TableBuilder::new().column("score", DataType::Float).column("tid", DataType::Int);
+        for (i, &s) in scores.iter().enumerate() {
+            builder = builder.row(vec![s.into(), (i as i64).into()]);
+        }
+        let t = builder.build().unwrap();
+        let ordering = vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)];
+        for k in [0usize, 1, 3, 8, 20] {
+            let top = Plan::values(t.clone()).top_k(lit(k as i64), ordering.clone());
+            let reference = Plan::values(t.clone()).sort_by_many(ordering.clone()).limit(k);
+            let fast = execute(&top, &Catalog::new()).unwrap();
+            let expected = execute(&reference, &Catalog::new()).unwrap();
+            assert_eq!(fast.rows(), expected.rows(), "k={k}");
+        }
+        // NULL in the key column: falls back to the generic path, still
+        // matching sort + limit.
+        let mut with_null = t.clone();
+        with_null.push_row(vec![Value::Null, 99.into()]).unwrap();
+        let top = Plan::values(with_null.clone()).top_k(lit(4i64), ordering.clone());
+        let reference = Plan::values(with_null).sort_by_many(ordering).limit(4);
+        assert_eq!(
+            execute(&top, &Catalog::new()).unwrap().rows(),
+            execute(&reference, &Catalog::new()).unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn top_k_bounded_matches_aggregate_top_k_pipeline() {
+        // Weighted token table with skewed lists: token 0 is frequent/light,
+        // token 9 rare/heavy — the shape max-score pruning exploits.
+        let mut weights = TableBuilder::new()
+            .column("tid", DataType::Int)
+            .column("token", DataType::Int)
+            .column("weight", DataType::Float);
+        for tid in 0..50i64 {
+            weights = weights.row(vec![tid.into(), 0.into(), 0.01.into()]);
+            if tid % 3 == 0 {
+                weights = weights.row(vec![tid.into(), 1.into(), (0.1 + tid as f64 * 1e-3).into()]);
+            }
+            if tid % 17 == 0 {
+                weights = weights.row(vec![tid.into(), 9.into(), 2.5.into()]);
+            }
+        }
+        let table = weights.build().unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("w", table, &["token"]).unwrap();
+        c.register_posting("w", "token", "tid", Some("weight")).unwrap();
+        let probe = TableBuilder::new()
+            .column("token", DataType::Int)
+            .column("factor", DataType::Float)
+            .row(vec![0.into(), 1.0.into()])
+            .row(vec![1.into(), 0.5.into()])
+            .row(vec![9.into(), 2.0.into()])
+            .row(vec![42.into(), 1.0.into()]) // unknown token: no list
+            .build()
+            .unwrap();
+        let reference = Plan::index_join("w", &["token"], Plan::param("q"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("factor"))), "score")])
+            .top_k(
+                param("k"),
+                vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
+            );
+        let bounded =
+            Plan::top_k_bounded("w", Plan::param("q"), "token", Some("factor"), param("k"));
+        for k in [0usize, 1, 5, 50, 200] {
+            let bindings =
+                Bindings::new().with_table("q", probe.clone()).with_scalar("k", k as i64);
+            let expected = execute_with(&reference, &c, &bindings).unwrap();
+            let fast = execute_with(&bounded, &c, &bindings).unwrap();
+            let slow = execute_naive(&bounded, &c, &bindings).unwrap();
+            assert_eq!(fast.schema().names(), vec!["tid", "score"], "k={k}");
+            assert_eq!(fast.num_rows(), expected.num_rows(), "k={k}");
+            for row in 0..expected.num_rows() {
+                assert_eq!(
+                    fast.value(row, "tid").unwrap(),
+                    expected.value(row, "tid").unwrap(),
+                    "k={k} row={row}"
+                );
+                let fs = fast.value(row, "score").unwrap().as_f64().unwrap();
+                let es = expected.value(row, "score").unwrap().as_f64().unwrap();
+                assert_eq!(fs.to_bits(), es.to_bits(), "k={k} row={row}");
+            }
+            assert_eq!(slow.rows(), fast.rows(), "k={k} (naive)");
+        }
+        // Factors may not be negative, and the posting index is required.
+        let neg_probe = TableBuilder::new()
+            .column("token", DataType::Int)
+            .column("factor", DataType::Float)
+            .row(vec![0.into(), (-1.0).into()])
+            .build()
+            .unwrap();
+        let bindings = Bindings::new().with_table("q", neg_probe).with_scalar("k", 3i64);
+        assert!(matches!(execute_with(&bounded, &c, &bindings), Err(RelqError::InvalidPlan(_))));
+        let mut no_posting = Catalog::new();
+        no_posting.register_indexed("w", c.get("w").unwrap().clone(), &["token"]).unwrap();
+        let bindings = Bindings::new().with_table("q", probe).with_scalar("k", 3i64);
+        assert!(matches!(
+            execute_with(&bounded, &no_posting, &bindings),
+            Err(RelqError::MissingPosting(_))
+        ));
     }
 
     #[test]

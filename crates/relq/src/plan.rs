@@ -83,6 +83,33 @@ pub enum Plan {
     /// aggregated candidate stream, so top-k cost scales with the number of
     /// candidates kept, never with the base-relation size.
     TopK { input: Box<Plan>, k: Expr, keys: Vec<(String, SortOrder)> },
+    /// Score-bounded top-k over the posting lists of catalog table `base`
+    /// (built by [`Catalog::register_posting`](crate::Catalog::register_posting)):
+    /// the early-terminating alternative to `TopK` for scores that are
+    /// monotone sums of non-negative per-token contributions. The `probe`
+    /// input supplies one row per query token — `token_col` joins the posting
+    /// lists, `factor_col` scales their contributions (`None` = 1.0) — and
+    /// the operator emits the `k` best `(tid, score)` rows, score-descending
+    /// with ties by ascending tid, where
+    /// `score(tid) = Σ_probe factor · weight(base, tid, token)`.
+    ///
+    /// Execution is a document-at-a-time max-score/WAND traversal: a k-sized
+    /// heap maintains the running threshold θ, cursors are ordered by their
+    /// list upper bound (`factor · max weight`), and any tid whose remaining
+    /// upper bounds cannot beat θ is skipped without being scored — top-k
+    /// cost becomes sublinear in the candidate count. Every emitted score is
+    /// re-accumulated in probe order, so results are bit-identical to the
+    /// equivalent `Aggregate + TopK` pipeline whenever scores are distinct;
+    /// exact score ties may resolve to a different member of the tie class.
+    /// The naive executor lowers this node to exhaustive scoring plus
+    /// sort-and-truncate (byte-identical to the heap pipeline).
+    TopKBounded {
+        base: String,
+        probe: Box<Plan>,
+        token_col: String,
+        factor_col: Option<String>,
+        k: Expr,
+    },
     /// SELECT DISTINCT over all columns.
     Distinct { input: Box<Plan> },
     /// UNION ALL of two union-compatible inputs.
@@ -195,6 +222,25 @@ impl Plan {
         }
     }
 
+    /// Score-bounded top-k over the posting lists of `base`, probed by the
+    /// `probe` plan's `(token_col, factor_col)` rows (see
+    /// [`Plan::TopKBounded`]). `k` may be a literal or a scalar parameter.
+    pub fn top_k_bounded(
+        base: &str,
+        probe: Plan,
+        token_col: &str,
+        factor_col: Option<&str>,
+        k: Expr,
+    ) -> Plan {
+        Plan::TopKBounded {
+            base: base.to_string(),
+            probe: Box::new(probe),
+            token_col: token_col.to_string(),
+            factor_col: factor_col.map(str::to_string),
+            k,
+        }
+    }
+
     /// SELECT DISTINCT.
     pub fn distinct(self) -> Plan {
         Plan::Distinct { input: Box::new(self) }
@@ -216,7 +262,7 @@ impl Plan {
             | Plan::Limit { input, .. }
             | Plan::TopK { input, .. }
             | Plan::Distinct { input } => input.node_count(),
-            Plan::IndexJoin { probe, .. } => probe.node_count(),
+            Plan::IndexJoin { probe, .. } | Plan::TopKBounded { probe, .. } => probe.node_count(),
             Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
                 left.node_count() + right.node_count()
             }
@@ -234,7 +280,7 @@ impl Plan {
         match self {
             Plan::Scan { table } => out.push(table.clone()),
             Plan::Values { .. } | Plan::Param { .. } => {}
-            Plan::IndexJoin { base, probe, .. } => {
+            Plan::IndexJoin { base, probe, .. } | Plan::TopKBounded { base, probe, .. } => {
                 out.push(base.clone());
                 probe.collect_tables(out);
             }

@@ -1,0 +1,604 @@
+//! Score-ordered posting lists and the bounded top-k traversal they enable.
+//!
+//! A [`PostingIndex`] is the third registration-time artifact a catalog table
+//! can carry (after the shared `Arc<Table>` storage and the equality
+//! [`TableIndex`](crate::TableIndex)): for every distinct key of a token
+//! column it stores the posting list of `(tid, contribution)` pairs in
+//! tid order, together with the list's maximum contribution. That per-list
+//! upper bound is what [`Plan::TopKBounded`](crate::Plan::TopKBounded)
+//! exploits — a document-at-a-time max-score traversal (Turtle & Flood's
+//! refinement of WAND / Fagin's threshold algorithm) that keeps a `k`-sized
+//! heap with a running threshold θ and never fully scores a tid whose sum of
+//! remaining list upper bounds cannot beat θ. For the monotone
+//! sum-of-non-negative-contribution predicates this makes top-k sublinear in
+//! the candidate count: the long, low-weight lists of frequent tokens are
+//! consulted only through bounded random accesses, never traversed.
+//!
+//! ## Exactness contract
+//!
+//! Bound arithmetic uses a small relative slack so floating-point summation
+//! order can never prune a tid whose exact score ties or beats the k-th best
+//! ([`MaxScoreTraversal`] only discards a tid when its upper bound is below
+//! `θ · (1 − 1e-9)`-ish, seven orders of magnitude wider than accumulated
+//! rounding). Every tid that survives pruning is then re-scored in *probe
+//! order* — the exact accumulation order of the materializing aggregation
+//! plans — so emitted scores are bit-identical to the heap path's whenever
+//! they are distinct; only the membership of exact score ties may differ.
+
+use crate::error::{RelqError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One token's posting list: parallel `tids` (ascending) / `weights` arrays
+/// plus the maximum weight, the list-level upper bound on any contribution.
+#[derive(Debug, Clone)]
+pub struct PostingList {
+    tids: Vec<i64>,
+    weights: Vec<f64>,
+    max_weight: f64,
+}
+
+impl PostingList {
+    /// Number of postings in the list.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when the list holds no postings (never the case for lists built
+    /// from table rows, but callers constructing empty cursors rely on it).
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Tuple ids in ascending order.
+    pub fn tids(&self) -> &[i64] {
+        &self.tids
+    }
+
+    /// Contributions aligned with [`tids`](Self::tids).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The largest contribution in the list (the per-list upper bound).
+    pub fn max_weight(&self) -> f64 {
+        self.max_weight
+    }
+
+    /// Random access: the contribution of `tid`, if it appears in the list.
+    pub fn weight_of(&self, tid: i64) -> Option<f64> {
+        self.tids.binary_search(&tid).ok().map(|i| self.weights[i])
+    }
+}
+
+/// Posting lists for every distinct key of a table's token column, built once
+/// at registration time ([`Catalog::register_posting`](crate::Catalog::register_posting))
+/// and traversed by [`Plan::TopKBounded`](crate::Plan::TopKBounded).
+#[derive(Debug, Clone)]
+pub struct PostingIndex {
+    token_col: String,
+    tid_col: String,
+    weight_col: Option<String>,
+    map: HashMap<Value, PostingList>,
+}
+
+impl PostingIndex {
+    /// Build posting lists over `table`: one list per distinct non-NULL value
+    /// of `token_col`, each entry pairing the row's `tid_col` (an integer)
+    /// with its `weight_col` contribution (`None` = unit weight 1.0, the
+    /// unweighted-overlap case). `(token, tid)` pairs must be unique — the
+    /// token tables of the predicate layer are distinct-per-tuple by
+    /// construction — and weights must be finite, or the per-list maxima
+    /// would not be valid upper bounds.
+    pub fn build(
+        table: &Table,
+        token_col: &str,
+        tid_col: &str,
+        weight_col: Option<&str>,
+    ) -> Result<Self> {
+        let token_idx = table.schema().index_of(token_col)?;
+        let tid_idx = table.schema().index_of(tid_col)?;
+        let weight_idx = weight_col.map(|c| table.schema().index_of(c)).transpose()?;
+        let mut map: HashMap<Value, PostingList> = HashMap::new();
+        for row in table.rows() {
+            let token = &row[token_idx];
+            if token.is_null() || row[tid_idx].is_null() {
+                continue; // SQL equality never matches NULL keys.
+            }
+            let tid = row[tid_idx].as_i64()?;
+            let weight = match weight_idx {
+                None => 1.0,
+                Some(i) => match &row[i] {
+                    Value::Null => continue, // NULL contributions vanish under SUM.
+                    v => v.as_f64()?,
+                },
+            };
+            if !weight.is_finite() {
+                return Err(RelqError::InvalidPlan(format!(
+                    "posting weight for token {token} / tid {tid} is not finite"
+                )));
+            }
+            let list = map.entry(token.clone()).or_insert_with(|| PostingList {
+                tids: Vec::new(),
+                weights: Vec::new(),
+                max_weight: f64::NEG_INFINITY,
+            });
+            // Appended unsorted, sorted once per list below: keeps the build
+            // linear even when rows arrive in arbitrary tid order.
+            list.tids.push(tid);
+            list.weights.push(weight);
+            list.max_weight = list.max_weight.max(weight);
+        }
+        for (token, list) in &mut map {
+            if !list.tids.windows(2).all(|w| w[0] < w[1]) {
+                let mut order: Vec<usize> = (0..list.tids.len()).collect();
+                order.sort_by_key(|&i| list.tids[i]);
+                list.tids = order.iter().map(|&i| list.tids[i]).collect();
+                list.weights = order.iter().map(|&i| list.weights[i]).collect();
+            }
+            if let Some(dup) = list.tids.windows(2).find(|w| w[0] == w[1]) {
+                return Err(RelqError::InvalidPlan(format!(
+                    "duplicate posting ({token}, {}): posting lists need distinct \
+                     (token, tid) pairs",
+                    dup[0]
+                )));
+            }
+        }
+        Ok(PostingIndex {
+            token_col: token_col.to_string(),
+            tid_col: tid_col.to_string(),
+            weight_col: weight_col.map(str::to_string),
+            map,
+        })
+    }
+
+    /// The token column the lists are keyed on.
+    pub fn token_col(&self) -> &str {
+        &self.token_col
+    }
+
+    /// The tid column the postings carry.
+    pub fn tid_col(&self) -> &str {
+        &self.tid_col
+    }
+
+    /// The contribution column (`None` = unit weights).
+    pub fn weight_col(&self) -> Option<&str> {
+        self.weight_col.as_deref()
+    }
+
+    /// Number of distinct tokens with a posting list.
+    pub fn num_tokens(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings across all lists.
+    pub fn num_postings(&self) -> usize {
+        self.map.values().map(PostingList::len).sum()
+    }
+
+    /// The posting list of one token key.
+    pub fn list(&self, token: &Value) -> Option<&PostingList> {
+        self.map.get(token)
+    }
+}
+
+/// One query-side probe of a posting list: the list, the non-negative
+/// query-side factor its contributions are scaled by, and the probe row the
+/// factor came from (the canonical re-scoring order).
+struct ProbedList<'a> {
+    list: &'a PostingList,
+    factor: f64,
+    /// Upper bound of this list's scaled contribution (`factor * max_weight`;
+    /// exact — float multiplication by a non-negative factor is monotone).
+    bound: f64,
+    /// Cursor into the list during document-at-a-time traversal.
+    pos: usize,
+    /// Position of this probe in the original probe order (exact re-scoring
+    /// accumulates contributions in this order).
+    canon: usize,
+}
+
+/// Result ordering: descending score (ties by ascending tid), the one
+/// canonical ranking order of the predicate layer.
+fn ranks_before(score: f64, tid: i64, than_score: f64, than_tid: i64) -> bool {
+    match score.total_cmp(&than_score) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => tid < than_tid,
+    }
+}
+
+/// `bound` cannot reach `theta` even granting a generous rounding margin.
+/// The slack is relative (`1e-9`) — seven orders of magnitude above the
+/// worst accumulated ulp error of these short sums — so pruning can never
+/// discard a tid whose exactly-computed score ties or beats θ.
+fn hopeless(bound: f64, theta: f64) -> bool {
+    bound < theta - 1e-9 * (theta.abs() + bound.abs() + 1.0)
+}
+
+/// The document-at-a-time max-score traversal behind
+/// [`Plan::TopKBounded`](crate::Plan::TopKBounded).
+///
+/// Lists are sorted by ascending upper bound (ties: longer lists first, so
+/// the largest traversal volume becomes skippable soonest). A growing prefix
+/// of "non-essential" lists — those whose bounds sum below the current
+/// threshold θ — is excluded from candidate generation: a tid appearing only
+/// there cannot reach the heap, and tids from the essential suffix consult
+/// the non-essential prefix via bounded random accesses that abandon as soon
+/// as the remaining upper bounds cannot lift the partial score past θ.
+pub(crate) struct MaxScoreTraversal<'a> {
+    lists: Vec<ProbedList<'a>>,
+    /// Internal list indices in original probe order (canonical re-scoring).
+    by_canon: Vec<usize>,
+    /// `prefix_bound[i]` = Σ bounds of `lists[0..=i]`.
+    prefix_bound: Vec<f64>,
+    /// `lists[0..first_essential]` are non-essential under the current θ.
+    first_essential: usize,
+    k: usize,
+    /// The `k` best `(score, tid)` seen so far, worst first (max-heap under
+    /// "ranks last"); θ is the score of `heap[0]` once full.
+    heap: Vec<(f64, i64)>,
+}
+
+impl<'a> MaxScoreTraversal<'a> {
+    /// `probes` pairs each probed posting list with its query-side factor,
+    /// in probe order (the canonical accumulation order). Factors must be
+    /// non-negative and finite: a negative factor would invert a list's
+    /// ordering and break the upper-bound argument.
+    pub(crate) fn new(probes: Vec<(&'a PostingList, f64)>, k: usize) -> Result<Self> {
+        let mut lists = Vec::with_capacity(probes.len());
+        for (canon, (list, factor)) in probes.into_iter().enumerate() {
+            if !(factor >= 0.0 && factor.is_finite()) {
+                return Err(RelqError::InvalidPlan(format!(
+                    "TopKBounded requires finite non-negative query factors, got {factor}"
+                )));
+            }
+            lists.push(ProbedList {
+                list,
+                factor,
+                bound: factor * list.max_weight(),
+                pos: 0,
+                canon,
+            });
+        }
+        // Ascending bound; equal bounds put the longer list first so it turns
+        // non-essential (skippable) earlier.
+        lists.sort_by(|a, b| {
+            a.bound.total_cmp(&b.bound).then_with(|| b.list.len().cmp(&a.list.len()))
+        });
+        let mut by_canon: Vec<usize> = (0..lists.len()).collect();
+        by_canon.sort_by_key(|&i| lists[i].canon);
+        let mut prefix_bound = Vec::with_capacity(lists.len());
+        let mut sum = 0.0;
+        for l in &lists {
+            sum += l.bound;
+            prefix_bound.push(sum);
+        }
+        Ok(MaxScoreTraversal {
+            lists,
+            by_canon,
+            prefix_bound,
+            first_essential: 0,
+            k,
+            heap: Vec::new(),
+        })
+    }
+
+    /// θ: the k-th best exact score, or −∞ until the heap is full.
+    fn theta(&self) -> f64 {
+        if self.heap.len() == self.k {
+            self.heap.first().map(|&(s, _)| s).unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Exact score of `tid`, accumulated in probe order — the same order the
+    /// materializing aggregation pipeline sums contributions in, so the
+    /// result is bit-identical to the heap path's score.
+    fn exact_score(&self, tid: i64) -> f64 {
+        let mut score = 0.0;
+        for &i in &self.by_canon {
+            let l = &self.lists[i];
+            if let Some(w) = l.list.weight_of(tid) {
+                score += l.factor * w;
+            }
+        }
+        score
+    }
+
+    /// `a` ranks strictly after `b` — i.e. `a` is the worse entry.
+    fn is_worse(a: &(f64, i64), b: &(f64, i64)) -> bool {
+        ranks_before(b.0, b.1, a.0, a.1)
+    }
+
+    /// Restore the "worst entry at the root" invariant downward from `i`.
+    fn sift_down(heap: &mut [(f64, i64)], mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < heap.len() && Self::is_worse(&heap[l], &heap[worst]) {
+                worst = l;
+            }
+            if r < heap.len() && Self::is_worse(&heap[r], &heap[worst]) {
+                worst = r;
+            }
+            if worst == i {
+                break;
+            }
+            heap.swap(i, worst);
+            i = worst;
+        }
+    }
+
+    fn push_heap(&mut self, score: f64, tid: i64) {
+        if self.heap.len() < self.k {
+            self.heap.push((score, tid));
+            // Sift up under "worst at the root".
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if Self::is_worse(&self.heap[i], &self.heap[parent]) {
+                    self.heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if ranks_before(score, tid, self.heap[0].0, self.heap[0].1) {
+            self.heap[0] = (score, tid);
+            Self::sift_down(&mut self.heap, 0);
+        }
+    }
+
+    /// Run the traversal, returning `(tid, score)` in ranking order.
+    pub(crate) fn run(mut self) -> Vec<(i64, f64)> {
+        if self.k == 0 || self.lists.is_empty() {
+            return Vec::new();
+        }
+        loop {
+            let theta = self.theta();
+            // Grow the non-essential prefix: lists[0..first_essential] alone
+            // can no longer produce a heap entry.
+            while self.first_essential < self.lists.len()
+                && hopeless(self.prefix_bound[self.first_essential], theta)
+            {
+                self.first_essential += 1;
+            }
+            if self.first_essential == self.lists.len() {
+                break; // Even the sum of all remaining bounds is below θ.
+            }
+            // Next candidate: the smallest un-visited tid in any essential list.
+            let mut tid = i64::MAX;
+            for l in &self.lists[self.first_essential..] {
+                if let Some(&t) = l.list.tids().get(l.pos) {
+                    tid = tid.min(t);
+                }
+            }
+            if tid == i64::MAX {
+                break; // All essential cursors exhausted.
+            }
+            // Partial score from the essential lists (advancing their cursors).
+            let mut partial = 0.0;
+            for l in &mut self.lists[self.first_essential..] {
+                if l.list.tids().get(l.pos) == Some(&tid) {
+                    partial += l.factor * l.list.weights()[l.pos];
+                    l.pos += 1;
+                }
+            }
+            // Descend through the non-essential prefix, highest bound first,
+            // abandoning as soon as the remaining bounds cannot reach θ.
+            let mut pruned = false;
+            for i in (0..self.first_essential).rev() {
+                if hopeless(partial + self.prefix_bound[i], theta) {
+                    pruned = true;
+                    break;
+                }
+                if let Some(w) = self.lists[i].list.weight_of(tid) {
+                    partial += self.lists[i].factor * w;
+                }
+            }
+            if pruned || (self.heap.len() == self.k && hopeless(partial, self.theta())) {
+                continue;
+            }
+            // Survivor: re-score exactly in probe order before admission.
+            let exact = self.exact_score(tid);
+            self.push_heap(exact, tid);
+        }
+        // Drain the max-heap worst-first, then reverse into ranking order.
+        let mut out = Vec::with_capacity(self.heap.len());
+        while !self.heap.is_empty() {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            let (score, tid) = self.heap.pop().expect("non-empty");
+            out.push((tid, score));
+            Self::sift_down(&mut self.heap, 0);
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn weights_table(rows: &[(i64, i64, f64)]) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("tid", DataType::Int),
+            ("token", DataType::Int),
+            ("weight", DataType::Float),
+        ]);
+        let mut t = Table::empty(schema);
+        for &(tid, token, w) in rows {
+            t.push_row(vec![Value::Int(tid), Value::Int(token), Value::Float(w)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn build_produces_tid_sorted_lists_with_max() {
+        let t = weights_table(&[(3, 7, 0.5), (1, 7, 0.25), (2, 9, 1.5), (1, 9, 0.75)]);
+        let ix = PostingIndex::build(&t, "token", "tid", Some("weight")).unwrap();
+        assert_eq!(ix.num_tokens(), 2);
+        assert_eq!(ix.num_postings(), 4);
+        let l7 = ix.list(&Value::Int(7)).unwrap();
+        assert_eq!(l7.tids(), &[1, 3]);
+        assert_eq!(l7.weights(), &[0.25, 0.5]);
+        assert_eq!(l7.max_weight(), 0.5);
+        assert_eq!(l7.weight_of(3), Some(0.5));
+        assert_eq!(l7.weight_of(99), None);
+        assert!(ix.list(&Value::Int(42)).is_none());
+    }
+
+    #[test]
+    fn unit_weight_lists_and_null_rows() {
+        let schema = Schema::from_pairs(&[("tid", DataType::Int), ("token", DataType::Int)]);
+        let mut t = Table::empty(schema);
+        t.push_row(vec![Value::Int(1), Value::Int(5)]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Int(5)]).unwrap();
+        let ix = PostingIndex::build(&t, "token", "tid", None).unwrap();
+        assert_eq!(ix.num_postings(), 1);
+        assert_eq!(ix.list(&Value::Int(5)).unwrap().max_weight(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_weights_and_duplicates_are_rejected() {
+        let t = weights_table(&[(1, 7, f64::INFINITY)]);
+        assert!(PostingIndex::build(&t, "token", "tid", Some("weight")).is_err());
+        let t = weights_table(&[(1, 7, 0.5), (1, 7, 0.25)]);
+        assert!(PostingIndex::build(&t, "token", "tid", Some("weight")).is_err());
+        let t = weights_table(&[]);
+        assert!(PostingIndex::build(&t, "nope", "tid", Some("weight")).is_err());
+    }
+
+    /// Exhaustive reference scorer in probe order.
+    fn reference_top_k(ix: &PostingIndex, probes: &[(i64, f64)], k: usize) -> Vec<(i64, f64)> {
+        let mut order: Vec<i64> = Vec::new();
+        let mut scores: HashMap<i64, f64> = HashMap::new();
+        for &(token, factor) in probes {
+            if let Some(list) = ix.list(&Value::Int(token)) {
+                for (i, &tid) in list.tids().iter().enumerate() {
+                    let slot = scores.entry(tid).or_insert_with(|| {
+                        order.push(tid);
+                        0.0
+                    });
+                    *slot += factor * list.weights()[i];
+                }
+            }
+        }
+        let mut out: Vec<(i64, f64)> = order.into_iter().map(|t| (t, scores[&t])).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    fn run_bounded(ix: &PostingIndex, probes: &[(i64, f64)], k: usize) -> Vec<(i64, f64)> {
+        let probed: Vec<(&PostingList, f64)> = probes
+            .iter()
+            .filter_map(|&(token, factor)| ix.list(&Value::Int(token)).map(|l| (l, factor)))
+            .collect();
+        MaxScoreTraversal::new(probed, k).unwrap().run()
+    }
+
+    #[test]
+    fn bounded_matches_exhaustive_reference_on_random_inputs() {
+        use proptest::prelude::*;
+        check(48, |g| {
+            let num_tokens = g.usize_in(1..12);
+            let num_tids = g.usize_in(1..40) as i64;
+            let mut rows = Vec::new();
+            for token in 0..num_tokens as i64 {
+                let mut tids: Vec<i64> = (0..num_tids).collect();
+                let keep = g.usize_in(1..(num_tids as usize + 1));
+                while tids.len() > keep {
+                    let drop = g.usize_in(0..tids.len());
+                    tids.remove(drop);
+                }
+                for tid in tids {
+                    rows.push((tid, token, g.f64_in(0.0..2.0)));
+                }
+            }
+            let table = weights_table(&rows);
+            let ix = PostingIndex::build(&table, "token", "tid", Some("weight")).unwrap();
+            let mut probes: Vec<(i64, f64)> = Vec::new();
+            for t in 0..num_tokens as i64 {
+                if g.bool_with(0.8) {
+                    probes.push((t, g.f64_in(0.0..1.5)));
+                }
+            }
+            for k in [0, 1, 3, 10, 1000] {
+                let bounded = run_bounded(&ix, &probes, k);
+                let exhaustive = reference_top_k(&ix, &probes, k);
+                assert_eq!(
+                    bounded.len(),
+                    exhaustive.len(),
+                    "k={k} probes={probes:?} rows={rows:?}"
+                );
+                // Same score multiset; identical tids wherever scores are
+                // unique (random weights: ties are essentially impossible, so
+                // this is equality in practice).
+                for (b, e) in bounded.iter().zip(&exhaustive) {
+                    assert_eq!(b.1.to_bits(), e.1.to_bits(), "score diverged at k={k}");
+                }
+                let mut bt: Vec<i64> = bounded.iter().map(|x| x.0).collect();
+                let mut et: Vec<i64> = exhaustive.iter().map(|x| x.0).collect();
+                bt.sort_unstable();
+                et.sort_unstable();
+                assert_eq!(bt, et, "tid set diverged at k={k}");
+            }
+        });
+    }
+
+    #[test]
+    fn pruning_never_skips_a_tid_that_outscores_the_kth() {
+        use proptest::prelude::*;
+        check(48, |g| {
+            let num_tokens = g.usize_in(2..10);
+            let mut rows = Vec::new();
+            for token in 0..num_tokens as i64 {
+                let len = g.usize_in(1..25);
+                let mut tid = 0i64;
+                for _ in 0..len {
+                    tid += g.int_in(1..5);
+                    rows.push((tid, token, g.f64_in(0.0..1.0)));
+                }
+            }
+            let table = weights_table(&rows);
+            let ix = PostingIndex::build(&table, "token", "tid", Some("weight")).unwrap();
+            let probes: Vec<(i64, f64)> =
+                (0..num_tokens as i64).map(|t| (t, g.f64_in(0.0..1.0))).collect();
+            let k = g.usize_in(1..8);
+            let bounded = run_bounded(&ix, &probes, k);
+            let all = reference_top_k(&ix, &probes, usize::MAX);
+            if bounded.len() < k {
+                assert_eq!(bounded.len(), all.len(), "short result must mean few candidates");
+            }
+            if let Some(&(_, kth)) = bounded.last() {
+                let returned: std::collections::HashSet<i64> =
+                    bounded.iter().map(|x| x.0).collect();
+                for &(tid, score) in &all {
+                    assert!(
+                        returned.contains(&tid) || score <= kth,
+                        "skipped tid {tid} (score {score}) outscores the k-th ({kth})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn negative_factors_are_rejected() {
+        let t = weights_table(&[(1, 7, 0.5)]);
+        let ix = PostingIndex::build(&t, "token", "tid", Some("weight")).unwrap();
+        let list = ix.list(&Value::Int(7)).unwrap();
+        assert!(MaxScoreTraversal::new(vec![(list, -0.5)], 3).is_err());
+        assert!(MaxScoreTraversal::new(vec![(list, f64::NAN)], 3).is_err());
+        assert!(MaxScoreTraversal::new(vec![(list, 0.0)], 3).is_ok());
+    }
+}
