@@ -451,24 +451,72 @@ impl ResultCache {
         exec: Exec,
         results: Arc<Vec<ScoredTid>>,
     ) {
+        self.insert_many(vec![(kind, text.to_string(), exec, results)]);
+    }
+
+    /// Probe a whole batch of keys under **one** lock acquisition — the
+    /// cache-amortization half of [`SelectionEngine::execute_many`]. Returns
+    /// one entry per key, in order; hit/miss counters advance by one per key
+    /// exactly as a [`Self::get`] loop would. When caching is disabled every
+    /// probe is `None` and no counter moves.
+    pub(crate) fn get_many(
+        &self,
+        keys: &[(PredicateKind, &str, Exec)],
+    ) -> Vec<Option<Arc<Vec<ScoredTid>>>> {
+        let mut state = self.state.lock().expect("result cache poisoned");
+        if state.capacity == 0 {
+            return vec![None; keys.len()];
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for &(kind, text, exec) in keys {
+            state.tick += 1;
+            let tick = state.tick;
+            match state.map.get_mut(&Self::key(kind, text, exec)) {
+                Some(entry) => {
+                    entry.0 = tick;
+                    hits += 1;
+                    out.push(Some(entry.1.clone()));
+                }
+                None => {
+                    misses += 1;
+                    out.push(None);
+                }
+            }
+        }
+        drop(state);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out
+    }
+
+    /// Insert a batch of freshly computed results under one lock, evicting
+    /// LRU entries as each insert lands (identical occupancy to an insert
+    /// loop; later entries of the batch are the more recently used).
+    pub(crate) fn insert_many(
+        &self,
+        entries: Vec<(PredicateKind, String, Exec, Arc<Vec<ScoredTid>>)>,
+    ) {
         let mut state = self.state.lock().expect("result cache poisoned");
         if state.capacity == 0 {
             return;
         }
-        while state.map.len() >= state.capacity {
-            // Evict the least recently used entry (smallest stamp). A linear
-            // scan over a few hundred entries is cheaper than the pointer
-            // chasing of a linked LRU at these capacities.
-            let Some(lru) =
-                state.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
-            else {
-                break;
-            };
-            state.map.remove(&lru);
+        for (kind, text, exec, results) in entries {
+            while state.map.len() >= state.capacity {
+                // Evict the least recently used entry (smallest stamp). A
+                // linear scan over a few hundred entries is cheaper than the
+                // pointer chasing of a linked LRU at these capacities.
+                let Some(lru) =
+                    state.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                state.map.remove(&lru);
+            }
+            state.tick += 1;
+            let tick = state.tick;
+            state.map.insert(CacheKey { kind, exec: exec.into(), text }, (tick, results));
         }
-        state.tick += 1;
-        let tick = state.tick;
-        state.map.insert(Self::key(kind, text, exec), (tick, results));
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -740,11 +788,7 @@ impl SelectionEngine {
     /// first use and cached afterwards. Handles are cheap to clone and keep
     /// the engine alive.
     pub fn predicate(&self, kind: PredicateKind) -> PredicateHandle {
-        let slot = PredicateKind::all()
-            .iter()
-            .position(|&k| k == kind)
-            .expect("PredicateKind::all covers every kind");
-        let core = self.inner.predicates[slot]
+        let core = self.inner.predicates[kind.index()]
             .get_or_init(|| build_predicate_core(kind, &self.inner.shared))
             .clone();
         PredicateHandle { core }
@@ -753,6 +797,95 @@ impl SelectionEngine {
     /// Handles for every predicate the paper evaluates, in canonical order.
     pub fn predicates(&self) -> Vec<(PredicateKind, PredicateHandle)> {
         PredicateKind::all().iter().map(|&kind| (kind, self.predicate(kind))).collect()
+    }
+
+    /// Execute a batch of `(predicate, query, exec)` requests through the
+    /// indexed engine, returning one result per request in submission order —
+    /// byte-identical to a [`PredicateHandle::execute`] loop over the same
+    /// requests, with the per-request bookkeeping amortized across the
+    /// vector:
+    ///
+    /// * the result cache is probed for every distinct request under **one**
+    ///   lock acquisition, and all fresh results are inserted under one more
+    ///   (each distinct key moves the hit/miss counters exactly once);
+    /// * duplicate requests inside the batch — same predicate, query text
+    ///   and mode — execute once and share the computed result (executions
+    ///   are deterministic, so the shared bytes are the loop's bytes).
+    ///
+    /// A query prepared against a different engine fails its own slot with
+    /// [`DaspError::EngineMismatch`](crate::error::DaspError::EngineMismatch)
+    /// without disturbing the rest of the batch.
+    pub fn execute_many(
+        &self,
+        batch: &[(PredicateKind, Query, Exec)],
+    ) -> Vec<crate::error::Result<Vec<ScoredTid>>> {
+        let shared = &self.inner.shared;
+        let cache = shared.cache();
+        let cache_on = cache.enabled();
+        let mut out: Vec<Option<crate::error::Result<Vec<ScoredTid>>>> = vec![None; batch.len()];
+
+        // Requests with a foreign query fail individually; every valid
+        // request maps to the canonical (first) occurrence of its
+        // (kind, text, exec) key, so intra-batch duplicates execute once.
+        let mut canon: Vec<usize> = (0..batch.len()).collect();
+        let mut first: HashMap<(PredicateKind, ExecKey, &str), usize> = HashMap::new();
+        for (i, (kind, query, exec)) in batch.iter().enumerate() {
+            if !query.tokenized_against(shared.corpus()) {
+                out[i] = Some(Err(crate::error::DaspError::EngineMismatch));
+                continue;
+            }
+            canon[i] = *first.entry((*kind, ExecKey::from(*exec), query.text())).or_insert(i);
+        }
+        // The distinct valid requests, in submission order.
+        let distinct: Vec<usize> =
+            (0..batch.len()).filter(|&i| out[i].is_none() && canon[i] == i).collect();
+
+        // One locked pass answers every cached request.
+        if cache_on {
+            let keys: Vec<(PredicateKind, &str, Exec)> =
+                distinct.iter().map(|&i| (batch[i].0, batch[i].1.text(), batch[i].2)).collect();
+            for (&i, hit) in distinct.iter().zip(cache.get_many(&keys)) {
+                if let Some(results) = hit {
+                    out[i] = Some(Ok(results.as_ref().clone()));
+                }
+            }
+        }
+
+        // Execute the misses (each kind's handle and prepared plans come out
+        // of the engine's per-kind cache); insert every fresh result under
+        // one lock.
+        let mut inserts: Vec<(PredicateKind, String, Exec, Arc<Vec<ScoredTid>>)> = Vec::new();
+        for &i in &distinct {
+            if out[i].is_some() {
+                continue;
+            }
+            let (kind, query, exec) = &batch[i];
+            let result = self.predicate(*kind).core.execute_mode(query, *exec, false);
+            if cache_on {
+                if let Ok(results) = &result {
+                    inserts.push((
+                        *kind,
+                        query.text().to_string(),
+                        *exec,
+                        Arc::new(results.clone()),
+                    ));
+                }
+            }
+            out[i] = Some(result);
+        }
+        if !inserts.is_empty() {
+            cache.insert_many(inserts);
+        }
+
+        // Duplicates share their canonical result (errors included — the
+        // error type is `Clone` precisely for paths like this).
+        for i in 0..batch.len() {
+            if out[i].is_none() {
+                let canonical = out[canon[i]].clone().expect("canonical requests are resolved");
+                out[i] = Some(canonical);
+            }
+        }
+        out.into_iter().map(|slot| slot.expect("every request is resolved")).collect()
     }
 }
 
@@ -813,6 +946,17 @@ impl PredicateHandle {
     /// engine (prepared plans, index probes, pushdown operators), consulting
     /// the engine's result cache first.
     pub fn execute(&self, query: &Query, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
+        self.execute_tracked(query, exec).map(|(results, _)| results)
+    }
+
+    /// [`execute`](Self::execute), additionally reporting whether the result
+    /// was answered from the engine's result cache — the flag the serving
+    /// layer surfaces as [`ServeStats::cache_hit`](crate::serve::ServeStats).
+    pub fn execute_tracked(
+        &self,
+        query: &Query,
+        exec: Exec,
+    ) -> crate::error::Result<(Vec<ScoredTid>, bool)> {
         let shared = self.core.shared_artifacts();
         // The cache is keyed by query text, so a query prepared against a
         // different engine must be rejected before the lookup.
@@ -820,15 +964,15 @@ impl PredicateHandle {
             return Err(crate::error::DaspError::EngineMismatch);
         }
         if !shared.cache().enabled() {
-            return self.core.execute_mode(query, exec, false);
+            return self.core.execute_mode(query, exec, false).map(|results| (results, false));
         }
         let kind = self.core.predicate_kind();
         if let Some(hit) = shared.cache().get(kind, query.text(), exec) {
-            return Ok(hit.as_ref().clone());
+            return Ok((hit.as_ref().clone(), true));
         }
         let results = self.core.execute_mode(query, exec, false)?;
         shared.cache().insert(kind, query.text(), exec, Arc::new(results.clone()));
-        Ok(results)
+        Ok((results, false))
     }
 
     /// [`execute`](Self::execute) under the pre-refactor cost model
@@ -1031,6 +1175,143 @@ mod tests {
         handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
         let stats = engine.result_cache_stats();
         assert_eq!((stats.hits, stats.entries), (1, 0));
+    }
+
+    #[test]
+    fn cache_entries_are_isolated_across_exec_modes() {
+        // A cached TopK(5) entry must never answer a TopKHeap(5) or
+        // Threshold probe: the three modes are distinct cache keys even when
+        // their result bytes would coincide.
+        let engine = engine();
+        let handle = engine.predicate(PredicateKind::Cosine);
+        let query = engine.query("Morgan Stanley Group Inc.");
+        let modes = [Exec::TopK(5), Exec::TopKHeap(5), Exec::Threshold(0.1)];
+        for exec in modes {
+            handle.execute(&query, exec).unwrap();
+        }
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+        // Re-probing each mode hits its own entry and only its own entry.
+        for exec in modes {
+            handle.execute(&query, exec).unwrap();
+        }
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (3, 3, 3));
+        // TopK(5) and TopK(6) are distinct too (k is part of the key).
+        handle.execute(&query, Exec::TopK(6)).unwrap();
+        assert_eq!(engine.result_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn cache_evicts_in_lru_order() {
+        // Eviction removes the least recently *used* entry, not the oldest
+        // inserted: touching an entry protects it from the next eviction.
+        let engine = engine();
+        engine.set_result_cache_capacity(3);
+        let handle = engine.predicate(PredicateKind::Bm25);
+        for text in ["Morgan", "Beijing", "Silicon"] {
+            handle.execute(&engine.query(text), Exec::Rank).unwrap();
+        }
+        // Touch "Morgan" so "Beijing" becomes the LRU entry...
+        handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().hits, 1);
+        // ...then a fourth insert must evict "Beijing", not "Morgan".
+        handle.execute(&engine.query("AT&T"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().entries, 3);
+        handle.execute(&engine.query("Morgan"), Exec::Rank).unwrap();
+        handle.execute(&engine.query("Silicon"), Exec::Rank).unwrap();
+        handle.execute(&engine.query("AT&T"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().hits, 4, "survivors must all hit");
+        handle.execute(&engine.query("Beijing"), Exec::Rank).unwrap();
+        assert_eq!(engine.result_cache_stats().hits, 4, "the LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn execute_many_matches_a_per_item_execute_loop() {
+        let reference = engine();
+        let engine = engine();
+        let texts = ["Morgan Stanley Group Inc.", "Beijing Hotel", "AT&T Inc."];
+        let mut batch = Vec::new();
+        for &kind in &[PredicateKind::Cosine, PredicateKind::EditSimilarity, PredicateKind::Ges] {
+            for text in texts {
+                for exec in [Exec::Rank, Exec::TopK(2), Exec::TopKHeap(2), Exec::Threshold(0.05)] {
+                    batch.push((kind, engine.query(text), exec));
+                }
+            }
+        }
+        let batched = engine.execute_many(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for ((kind, query, exec), result) in batch.iter().zip(&batched) {
+            let expected =
+                reference.predicate(*kind).execute(&reference.query(query.text()), *exec).unwrap();
+            assert_eq!(
+                result.as_ref().unwrap(),
+                &expected,
+                "{kind}/{exec:?}: batch result diverged from the per-item loop"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_many_counts_each_distinct_key_once_and_shares_duplicates() {
+        let engine = engine();
+        let query = engine.query("Morgan Stanley Group Inc.");
+        let other = engine.query("Beijing Hotel");
+        // Four distinct keys, two of them duplicated within the batch.
+        let batch = vec![
+            (PredicateKind::Cosine, query.clone(), Exec::TopK(3)),
+            (PredicateKind::Cosine, query.clone(), Exec::TopK(3)), // duplicate
+            (PredicateKind::Bm25, query.clone(), Exec::TopK(3)),
+            (PredicateKind::Cosine, other.clone(), Exec::TopK(3)),
+            (PredicateKind::Cosine, other.clone(), Exec::TopK(3)), // duplicate
+            (PredicateKind::Cosine, query.clone(), Exec::Rank),
+        ];
+        let results = engine.execute_many(&batch);
+        assert_eq!(results[0].as_ref().unwrap(), results[1].as_ref().unwrap());
+        assert_eq!(results[3].as_ref().unwrap(), results[4].as_ref().unwrap());
+        // Each of the 4 distinct keys moved the counters exactly once;
+        // intra-batch duplicates share the computed result without probing.
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 4, 4));
+        // The same batch again answers every distinct key from the cache.
+        let again = engine.execute_many(&batch);
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (4, 4));
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // With caching disabled the batch still executes (and still dedups),
+        // leaving the counters untouched.
+        engine.set_result_cache_capacity(0);
+        let uncached = engine.execute_many(&batch);
+        for (a, b) in results.iter().zip(&uncached) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        let stats = engine.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (4, 4, 0));
+    }
+
+    #[test]
+    fn execute_many_fails_foreign_queries_without_disturbing_the_batch() {
+        let engine = engine();
+        let other = SelectionEngine::build(
+            Arc::new(TokenizedCorpus::build(
+                Corpus::from_strings(vec!["Beijing Hotel", "another corpus"]),
+                dasp_text::QgramConfig::new(2),
+            )),
+            &Params::default(),
+        );
+        // The foreign query shares its text with a valid request: the
+        // duplicate-sharing logic must not let one answer the other.
+        let batch = vec![
+            (PredicateKind::Bm25, engine.query("Beijing Hotel"), Exec::TopK(2)),
+            (PredicateKind::Bm25, other.query("Beijing Hotel"), Exec::TopK(2)),
+            (PredicateKind::Bm25, engine.query("Beijing Hotel"), Exec::TopK(2)),
+        ];
+        let results = engine.execute_many(&batch);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(crate::error::DaspError::EngineMismatch)));
+        assert_eq!(results[0].as_ref().unwrap(), results[2].as_ref().unwrap());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod params;
 pub mod predicate;
 pub mod pruning;
 pub mod record;
+pub mod serve;
 pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
@@ -76,3 +77,4 @@ pub use params::{
 pub use predicate::{Predicate, PredicateClass, PredicateKind};
 pub use pruning::{prune_by_idf, PruneStats};
 pub use record::{Record, ScoredTid, Tid};
+pub use serve::{LatencyStats, ServeRequest, ServeResponse, ServeStats, ServingEngine};

@@ -82,6 +82,16 @@ impl PredicateKind {
         ]
     }
 
+    /// This kind's position in [`PredicateKind::all`] — the canonical slot
+    /// index every per-kind array in the crate (engine handle cache, serving
+    /// metrics) is keyed by.
+    pub fn index(self) -> usize {
+        PredicateKind::all()
+            .iter()
+            .position(|&k| k == self)
+            .expect("PredicateKind::all covers every kind")
+    }
+
     /// The short display name used in the paper's tables.
     pub fn short_name(&self) -> &'static str {
         use PredicateKind::*;

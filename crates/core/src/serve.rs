@@ -1,0 +1,452 @@
+//! Concurrent batch serving: a fixed pool of worker threads fanning a
+//! request stream over one shared [`SelectionEngine`].
+//!
+//! The engine has been built for this since PR 2: it is `Send + Sync`,
+//! cloning it is a cheap `Arc` handle, every shared artifact is a
+//! first-touch-safe `OnceLock`, and the result cache takes its own lock. The
+//! [`ServingEngine`] is the driver that actually exercises that contract —
+//! the "millions of lookups" workload of the paper's §6 evaluation run as a
+//! request stream instead of a hand-written loop.
+//!
+//! ## Execution model
+//!
+//! [`ServingEngine::serve`] spawns `workers` scoped `std::thread` workers
+//! (no external runtime — the workspace builds offline) over a shared atomic
+//! cursor into the request slice. Workers claim requests one at a time, so
+//! load balances even when per-request cost varies by orders of magnitude
+//! across predicates; each worker tokenizes the query string, resolves the
+//! predicate handle and executes through the engine's cached, pushdown
+//! execution path. Results return **in submission order**, each with a
+//! [`ServeStats`] record (queue wait, execution time, cache hit, worker id).
+//!
+//! ## Determinism
+//!
+//! Executions are deterministic and artifacts immutable once built, so a
+//! concurrent run returns byte-identical results to a serial run of the same
+//! requests — including when worker threads race the first-touch
+//! construction of lazy artifacts. The `engine_concurrent` integration tier
+//! asserts exactly that, differentially against a single-threaded run.
+//!
+//! ## Metrics
+//!
+//! The engine records per-predicate execution latency; [`ServingEngine::metrics`]
+//! aggregates count / p50 / p95 / max per predicate kind — the measured
+//! per-predicate costs that cost-aware scheduling over expensive predicates
+//! assumes as its input.
+
+use crate::engine::{Exec, SelectionEngine};
+use crate::predicate::PredicateKind;
+use crate::record::ScoredTid;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of serving work: execute `kind` over `text` in mode `exec`.
+/// Requests carry the raw query string — tokenization happens on the worker
+/// thread, so query preparation parallelizes along with execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Which predicate to execute.
+    pub kind: PredicateKind,
+    /// The raw query string (tokenized on the serving worker).
+    pub text: String,
+    /// The execution mode pushed down into the engine.
+    pub exec: Exec,
+}
+
+impl ServeRequest {
+    /// Build a request.
+    pub fn new(kind: PredicateKind, text: impl Into<String>, exec: Exec) -> Self {
+        ServeRequest { kind, text: text.into(), exec }
+    }
+}
+
+/// Per-request accounting, attached to every [`ServeResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Time between batch submission and a worker claiming the request.
+    pub queue_wait: Duration,
+    /// Time the worker spent on the request: query tokenization, handle
+    /// resolution and execution (cache probe included).
+    pub exec_time: Duration,
+    /// Whether the engine's result cache answered the request.
+    pub cache_hit: bool,
+    /// Index of the worker that served the request (`0..workers`).
+    pub worker: usize,
+}
+
+/// The outcome of one request: the selection result plus its accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// The ranked selection, or the per-request error.
+    pub results: crate::error::Result<Vec<ScoredTid>>,
+    /// Queue/execution accounting for this request.
+    pub stats: ServeStats,
+}
+
+/// Aggregated execution-latency distribution of one predicate kind over
+/// everything a [`ServingEngine`] has served (see [`ServingEngine::metrics`]).
+///
+/// `count`, `cache_hits`, `max` and `mean` are exact over all traffic;
+/// `p50`/`p95` are nearest-rank percentiles over the most recent
+/// [`LATENCY_WINDOW`] execution times per kind, so a long-lived serving
+/// engine holds bounded memory no matter how many requests it has served
+/// (and the percentiles track *current* latency, which is what a serving
+/// dashboard wants anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Requests served for this predicate.
+    pub count: usize,
+    /// How many of them the result cache answered.
+    pub cache_hits: usize,
+    /// Median execution time (over the recent window).
+    pub p50: Duration,
+    /// 95th-percentile execution time (over the recent window).
+    pub p95: Duration,
+    /// Worst observed execution time (all traffic).
+    pub max: Duration,
+    /// Mean execution time (all traffic).
+    pub mean: Duration,
+}
+
+/// Retained latency samples per predicate kind: percentiles are computed
+/// over a sliding window of this many most-recent requests.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample set.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Running latency aggregation of one predicate kind: exact counters plus a
+/// ring buffer of recent samples for the percentiles.
+#[derive(Default, Clone)]
+struct KindMetrics {
+    count: usize,
+    cache_hits: usize,
+    total: Duration,
+    max: Duration,
+    /// The most recent `LATENCY_WINDOW` execution times (insertion order
+    /// does not matter for nearest-rank percentiles).
+    recent: Vec<Duration>,
+    /// Ring cursor: next `recent` slot to overwrite once full.
+    cursor: usize,
+}
+
+impl KindMetrics {
+    fn record(&mut self, exec_time: Duration, cache_hit: bool) {
+        self.count += 1;
+        self.cache_hits += usize::from(cache_hit);
+        self.total += exec_time;
+        self.max = self.max.max(exec_time);
+        if self.recent.len() < LATENCY_WINDOW {
+            self.recent.push(exec_time);
+        } else {
+            self.recent[self.cursor] = exec_time;
+        }
+        self.cursor = (self.cursor + 1) % LATENCY_WINDOW;
+    }
+
+    fn stats(&self) -> LatencyStats {
+        let mut sorted = self.recent.clone();
+        sorted.sort_unstable();
+        LatencyStats {
+            count: self.count,
+            cache_hits: self.cache_hits,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: self.max,
+            mean: self.total / self.count as u32,
+        }
+    }
+}
+
+/// A thread-pooled serving layer over one [`SelectionEngine`].
+///
+/// Construction is free — workers are scoped threads spawned per
+/// [`serve`](Self::serve) call, so an idle `ServingEngine` holds no thread
+/// resources, and the engine handle it wraps can be shared with any other
+/// consumer (all state that matters is inside the engine and protected).
+///
+/// Latency metrics accumulate across `serve` calls until
+/// [`reset_metrics`](Self::reset_metrics).
+pub struct ServingEngine {
+    engine: SelectionEngine,
+    workers: usize,
+    /// One running aggregation per predicate kind, in canonical order.
+    metrics: Mutex<[KindMetrics; PredicateKind::COUNT]>,
+}
+
+impl ServingEngine {
+    /// Wrap an engine with a fixed worker-pool width (at least 1).
+    pub fn new(engine: SelectionEngine, workers: usize) -> Self {
+        ServingEngine {
+            engine,
+            workers: workers.max(1),
+            metrics: Mutex::new(std::array::from_fn(|_| KindMetrics::default())),
+        }
+    }
+
+    /// The engine requests execute against.
+    pub fn engine(&self) -> &SelectionEngine {
+        &self.engine
+    }
+
+    /// The configured worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute a request stream over the worker pool, returning one response
+    /// per request **in submission order**. Workers claim requests from a
+    /// shared cursor (dynamic load balancing); results are byte-identical to
+    /// a serial execution of the same requests in any pool width.
+    pub fn serve(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let submitted = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let pool = self.workers.min(n);
+        let mut out: Vec<Option<ServeResponse>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..pool)
+                .map(|worker| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut served: Vec<(usize, ServeResponse)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let queue_wait = submitted.elapsed();
+                            served.push((i, self.serve_one(&requests[i], queue_wait, worker)));
+                        }
+                        served
+                    })
+                })
+                .collect();
+            // Workers own disjoint response sets; placing them after join
+            // needs no per-slot synchronization.
+            for handle in handles {
+                for (i, response) in handle.join().expect("serving worker panicked") {
+                    out[i] = Some(response);
+                }
+            }
+        });
+        let responses: Vec<ServeResponse> = out
+            .into_iter()
+            .map(|slot| slot.expect("every request is served exactly once"))
+            .collect();
+        // Latency aggregation merges once per batch under one lock: the
+        // per-request path takes no shared serving lock (only the engine's
+        // own cache lock), so metrics never serialize the worker pool —
+        // which matters exactly for the warm-cache microsecond requests a
+        // per-request lock would dominate.
+        let mut inner = self.metrics.lock().expect("serving metrics poisoned");
+        for (request, response) in requests.iter().zip(&responses) {
+            inner[request.kind.index()].record(response.stats.exec_time, response.stats.cache_hit);
+        }
+        drop(inner);
+        responses
+    }
+
+    fn serve_one(
+        &self,
+        request: &ServeRequest,
+        queue_wait: Duration,
+        worker: usize,
+    ) -> ServeResponse {
+        let started = Instant::now();
+        let handle = self.engine.predicate(request.kind);
+        let query = self.engine.query(&request.text);
+        let executed = handle.execute_tracked(&query, request.exec);
+        let exec_time = started.elapsed();
+        let (results, cache_hit) = match executed {
+            Ok((results, hit)) => (Ok(results), hit),
+            Err(e) => (Err(e), false),
+        };
+        ServeResponse { results, stats: ServeStats { queue_wait, exec_time, cache_hit, worker } }
+    }
+
+    /// Per-predicate execution-latency aggregation over everything served so
+    /// far, in canonical predicate order, skipping kinds with no traffic.
+    pub fn metrics(&self) -> Vec<(PredicateKind, LatencyStats)> {
+        let inner = self.metrics.lock().expect("serving metrics poisoned");
+        PredicateKind::all()
+            .iter()
+            .map(|&kind| (kind, &inner[kind.index()]))
+            .filter(|(_, m)| m.count > 0)
+            .map(|(kind, m)| (kind, m.stats()))
+            .collect()
+    }
+
+    /// Drop all accumulated latency samples and counters.
+    pub fn reset_metrics(&self) {
+        let mut inner = self.metrics.lock().expect("serving metrics poisoned");
+        *inner = std::array::from_fn(|_| KindMetrics::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, TokenizedCorpus};
+    use crate::params::Params;
+    use std::sync::Arc;
+
+    fn engine() -> SelectionEngine {
+        let corpus = Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Morgan Stanle Grop Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+                "AT&T Incorporated",
+            ]),
+            dasp_text::QgramConfig::new(2),
+        ));
+        SelectionEngine::build(corpus, &Params::default())
+    }
+
+    fn mixed_requests() -> Vec<ServeRequest> {
+        let mut requests = Vec::new();
+        for text in ["Morgan Stanley Group Inc.", "Beijing Hotel", "AT&T Inc."] {
+            for kind in [
+                PredicateKind::IntersectSize,
+                PredicateKind::Cosine,
+                PredicateKind::EditSimilarity,
+                PredicateKind::SoftTfIdf,
+            ] {
+                requests.push(ServeRequest::new(kind, text, Exec::TopK(3)));
+                requests.push(ServeRequest::new(kind, text, Exec::Rank));
+            }
+        }
+        requests
+    }
+
+    #[test]
+    fn serve_returns_serial_bytes_in_submission_order() {
+        let requests = mixed_requests();
+        // Serial reference over a separate engine.
+        let reference = engine();
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                reference.predicate(r.kind).execute(&reference.query(&r.text), r.exec).unwrap()
+            })
+            .collect();
+        // A fresh engine served with 4 workers: first touches of every lazy
+        // artifact happen under concurrency.
+        let serving = ServingEngine::new(engine(), 4);
+        let responses = serving.serve(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (i, (response, expected)) in responses.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                response.results.as_ref().unwrap(),
+                expected,
+                "request {i} diverged from the serial run"
+            );
+            assert!(response.stats.worker < 4);
+        }
+    }
+
+    #[test]
+    fn metrics_aggregate_per_predicate_latency() {
+        let serving = ServingEngine::new(engine(), 2);
+        let requests = mixed_requests();
+        serving.serve(&requests);
+        let metrics = serving.metrics();
+        assert_eq!(metrics.len(), 4, "one row per predicate kind with traffic");
+        let total: usize = metrics.iter().map(|(_, m)| m.count).sum();
+        assert_eq!(total, requests.len());
+        for (kind, m) in &metrics {
+            assert!(m.count > 0, "{kind}: empty metrics row");
+            assert!(m.p50 <= m.p95, "{kind}: p50 above p95");
+            assert!(m.p95 <= m.max, "{kind}: p95 above max");
+            assert!(m.max > Duration::ZERO, "{kind}: zero max latency");
+        }
+        serving.reset_metrics();
+        assert!(serving.metrics().is_empty());
+    }
+
+    #[test]
+    fn cache_hits_are_reported_per_request() {
+        // One worker makes hit attribution deterministic: the second
+        // occurrence of an identical request must be served by the cache.
+        let serving = ServingEngine::new(engine(), 1);
+        let request = ServeRequest::new(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2));
+        let responses = serving.serve(&[request.clone(), request]);
+        assert!(!responses[0].stats.cache_hit);
+        assert!(responses[1].stats.cache_hit);
+        assert_eq!(responses[0].results.as_ref().unwrap(), responses[1].results.as_ref().unwrap());
+        let metrics = serving.metrics();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].1.cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_and_oversized_pools_are_fine() {
+        let serving = ServingEngine::new(engine(), 0);
+        assert_eq!(serving.workers(), 1, "a zero-width pool clamps to one worker");
+        assert!(serving.serve(&[]).is_empty());
+        // More workers than requests: the pool shrinks to the batch.
+        let serving = ServingEngine::new(engine(), 64);
+        let responses =
+            serving.serve(&[ServeRequest::new(PredicateKind::Jaccard, "Beijing", Exec::Rank)]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].results.is_ok());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), ms(50));
+        assert_eq!(percentile(&sorted, 0.95), ms(95));
+        assert_eq!(percentile(&sorted, 1.0), ms(100));
+        assert_eq!(percentile(&[ms(7)], 0.5), ms(7));
+        let mut metrics = KindMetrics::default();
+        metrics.record(ms(3), false);
+        metrics.record(ms(1), true);
+        metrics.record(ms(2), false);
+        let stats = metrics.stats();
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.p50, ms(2));
+        assert_eq!(stats.max, ms(3));
+        assert_eq!(stats.mean, ms(2));
+    }
+
+    #[test]
+    fn latency_samples_are_bounded_while_counters_stay_exact() {
+        // A long-lived serving engine must hold bounded memory: percentiles
+        // come from a sliding window, count/mean/max from exact counters.
+        let ms = |n: u64| Duration::from_millis(n);
+        let mut metrics = KindMetrics::default();
+        // One early outlier, then steady traffic until it rolls out of the
+        // window.
+        metrics.record(ms(5000), false);
+        for _ in 0..LATENCY_WINDOW + 50 {
+            metrics.record(ms(2), false);
+        }
+        assert_eq!(metrics.recent.len(), LATENCY_WINDOW, "window must stay bounded");
+        let stats = metrics.stats();
+        assert_eq!(stats.count, LATENCY_WINDOW + 51, "count covers all traffic");
+        assert_eq!(stats.max, ms(5000), "max survives rolling out of the window");
+        assert_eq!(stats.p95, ms(2), "percentiles track the current window");
+    }
+
+    #[test]
+    fn serving_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingEngine>();
+        assert_send_sync::<ServeRequest>();
+        assert_send_sync::<ServeResponse>();
+    }
+}

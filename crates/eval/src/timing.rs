@@ -1,7 +1,12 @@
 //! Wall-clock timing of the two preprocessing phases and of query execution
-//! (§5.5.1 / §5.5.2).
+//! (§5.5.1 / §5.5.2), plus the batch-serving harness: build a mixed request
+//! workload over a dataset and drive it through a thread-pooled
+//! [`ServingEngine`], whose per-predicate latency aggregation
+//! (count/p50/p95/max via [`ServingEngine::metrics`]) is the measured
+//! per-predicate cost model that cost-aware scheduling assumes.
 
-use dasp_core::{Corpus, Params, Predicate, PredicateKind, SelectionEngine, TokenizedCorpus};
+use dasp_core::serve::{ServeRequest, ServeResponse, ServingEngine};
+use dasp_core::{Corpus, Exec, Params, Predicate, PredicateKind, SelectionEngine, TokenizedCorpus};
 use dasp_datagen::Dataset;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -100,6 +105,40 @@ pub fn time_preprocess(
     (predicate, PreprocessTiming { tokenize, weights })
 }
 
+/// Build a mixed serving workload over a dataset: `num_queries` sampled
+/// record strings (clean and erroneous alike, as in §5.2) crossed with the
+/// given predicate kinds, one request per (query, kind) pair. The stream
+/// interleaves kinds per query — the shape a live mixed-predicate serving
+/// load has, and the one that makes per-kind latency aggregation meaningful.
+pub fn serve_workload(
+    dataset: &Dataset,
+    kinds: &[PredicateKind],
+    exec: Exec,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    let indices = crate::workload::sample_query_indices(dataset, num_queries, seed);
+    let mut requests = Vec::with_capacity(indices.len() * kinds.len());
+    for &idx in &indices {
+        for &kind in kinds {
+            requests.push(ServeRequest::new(kind, dataset.records[idx].text.clone(), exec));
+        }
+    }
+    requests
+}
+
+/// Drive a serving engine over a request stream, timing the batch wall
+/// clock. Per-request accounting rides on the responses; per-predicate
+/// latency aggregation accumulates into [`ServingEngine::metrics`].
+pub fn time_serving(
+    serving: &ServingEngine,
+    requests: &[ServeRequest],
+) -> (Vec<ServeResponse>, QueryTiming) {
+    let start = Instant::now();
+    let responses = serving.serve(requests);
+    (responses, QueryTiming { total: start.elapsed(), num_queries: requests.len() })
+}
+
 /// Time a query workload against a prebuilt predicate.
 pub fn time_queries(predicate: &dyn Predicate, queries: &[String]) -> QueryTiming {
     let start = Instant::now();
@@ -152,5 +191,35 @@ mod tests {
     fn empty_workload_is_zero() {
         let t = QueryTiming { total: Duration::ZERO, num_queries: 0 };
         assert_eq!(t.average(), Duration::ZERO);
+    }
+
+    #[test]
+    fn serving_workloads_are_timed_with_per_predicate_metrics() {
+        let d = cu_dataset_sized(cu_spec("CU8").unwrap(), 150, 15);
+        let params = Params::default();
+        let kinds = [PredicateKind::Jaccard, PredicateKind::Bm25];
+        let requests = serve_workload(&d, &kinds, Exec::TopK(5), 6, 0xC0);
+        assert_eq!(requests.len(), 12, "6 queries x 2 kinds");
+        let serving = ServingEngine::new(crate::workload::build_engine(&d, &params), 2);
+        let (responses, timing) = time_serving(&serving, &requests);
+        assert_eq!(timing.num_queries, 12);
+        assert!(timing.total >= timing.average());
+        // Responses come back in submission order with the serial bytes.
+        let reference = crate::workload::build_engine(&d, &params);
+        for (request, response) in requests.iter().zip(&responses) {
+            let expected = reference
+                .predicate(request.kind)
+                .execute(&reference.query(&request.text), request.exec)
+                .unwrap();
+            assert_eq!(response.results.as_ref().unwrap(), &expected);
+        }
+        // The aggregation covers exactly the kinds with traffic.
+        let metrics = serving.metrics();
+        assert_eq!(metrics.len(), 2);
+        for (kind, m) in metrics {
+            assert!(kinds.contains(&kind));
+            assert_eq!(m.count, 6, "{kind}: each kind saw every sampled query once");
+            assert!(m.p50 <= m.p95 && m.p95 <= m.max);
+        }
     }
 }

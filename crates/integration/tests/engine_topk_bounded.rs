@@ -141,6 +141,74 @@ fn non_monotone_predicates_keep_the_heap_path_under_top_k() {
     }
 }
 
+#[test]
+fn tie_classes_straddling_the_k_boundary_honor_the_contract() {
+    // A *constructed* tie regression, instead of relying on seeded corpora
+    // to happen to produce exact ties: four byte-identical records form one
+    // exact tie class (identical token multisets score bit-identically under
+    // every predicate), and k is chosen to cut through that class. The
+    // documented contract: bit-identical score sequences, and the truncated
+    // boundary run may resolve to any members of the tie class — but only to
+    // members of the tie class.
+    let tie_class = ["morgan co", "morgan co", "morgan co", "morgan co"];
+    let mut strings = vec![
+        "morgan stanley group inc".to_string(), // the unique best match
+        "stanley brothers ltd".to_string(),     // a distinct mid score
+        "beijing hotel organisation".to_string(), // low but non-zero overlap
+    ];
+    strings.extend(tie_class.iter().map(|s| s.to_string()));
+    let corpus = std::sync::Arc::new(dasp_core::TokenizedCorpus::build(
+        dasp_core::Corpus::from_strings(strings),
+        dasp_text::QgramConfig::new(2),
+    ));
+    let engine = SelectionEngine::build(corpus, &Params::default());
+    let query = engine.query("morgan stanley group inc");
+    let tie_tids: std::collections::HashSet<u32> = (3..7).collect();
+
+    for kind in BOUNDED_KINDS {
+        let handle = engine.predicate(kind);
+        let ranked = handle.execute(&query, Exec::Rank).unwrap();
+        // Locate the duplicates' run in this predicate's ranking and pick a
+        // k that cuts through it (the regression's whole point).
+        let start = ranked
+            .iter()
+            .position(|s| tie_tids.contains(&s.tid))
+            .unwrap_or_else(|| panic!("{kind}: the tie-class records did not score"));
+        let end = start
+            + ranked[start..]
+                .iter()
+                .take_while(|s| s.score.to_bits() == ranked[start].score.to_bits())
+                .count();
+        assert!(end - start >= tie_class.len(), "{kind}: duplicates must tie exactly");
+        let k = start + 2;
+        assert!(k < end, "{kind}: k={k} must fall strictly inside the tie run {start}..{end}");
+        assert_eq!(
+            ranked[k - 1].score.to_bits(),
+            ranked[k].score.to_bits(),
+            "{kind}: the k-th and (k+1)-th scores must tie for this regression to bite"
+        );
+
+        let heap = handle.execute(&query, Exec::TopKHeap(k)).unwrap();
+        assert_eq!(heap, ranked[..k], "{kind}: heap path must stay byte-identical");
+        for (label, bounded) in [
+            ("indexed", handle.execute(&query, Exec::TopK(k)).unwrap()),
+            ("naive", handle.execute_naive(&query, Exec::TopK(k)).unwrap()),
+        ] {
+            let context = format!("tie-regression/{kind}/{label} k={k}");
+            assert_set_equal_mod_ties(&bounded, &heap, k, &context);
+            // The truncated boundary run may pick *different* members than
+            // the heap path — but never a tid outside the tie class.
+            for s in &bounded[start..k] {
+                assert!(
+                    tie_tids.contains(&s.tid),
+                    "{context}: boundary rank returned tid {} from outside the tie class",
+                    s.tid
+                );
+            }
+        }
+    }
+}
+
 /// Property test over random corpora: the bounded operator may never skip a
 /// tid that outscores the returned k-th result — the pruning-bound contract.
 #[test]
