@@ -10,9 +10,10 @@
 //! prepared once in every [`Exec`] mode; execution binds the per-query
 //! `QUERY_WEIGHTS` table and probes the token index.
 //!
-//! **Bounded top-k:** both scores are monotone sums of non-negative
+//! **Bounded selection:** both scores are monotone sums of non-negative
 //! `w_d · w_q` products, so `Exec::TopK` routes through
-//! [`relq::Plan::TopKBounded`]. The per-list upper bound is the largest
+//! [`relq::Plan::TopKBounded`] and `Exec::Threshold` through the fixed-bar
+//! [`relq::Plan::ThresholdBounded`]. The per-list upper bound is the largest
 //! stored document weight scaled by the query weight — for BM25 that is
 //! exactly the per-term tf-saturation maximum `w_1(t)·(k_1+1)·tf/(K(D)+tf)`
 //! over the documents containing `t`, for cosine the largest normalized
@@ -23,15 +24,15 @@ use crate::dict::TokenId;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::Bm25Params;
 use crate::record::ScoredTid;
-use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
+use crate::tables::{self, PostingCatalog, RankingPlans, THRESHOLD_PARAM, TOP_K_PARAM};
 use relq::{col, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
 /// Register a `(tid, token, weight)` table under `name` (indexed on token)
 /// in a fresh catalog and prepare the shared aggregate-weighted plan — join
 /// with query weights on token and sum the weight products per tuple — plus
-/// its score-bounded top-k variant. The posting lists behind the bounded
-/// plan are deferred to the first `Exec::TopK` execution.
+/// its score-bounded top-k and threshold variants. The posting lists behind
+/// the bounded plans are deferred to the first bounded execution.
 fn weight_product_catalog(
     name: &'static str,
     weights: relq::Table,
@@ -51,7 +52,14 @@ fn weight_product_catalog(
         Some("weight"),
         param(TOP_K_PARAM),
     );
-    (catalog, RankingPlans::with_bounded(plan, bounded))
+    let threshold_bounded = Plan::threshold_bounded(
+        name,
+        Plan::param("query_weights"),
+        "token",
+        Some("weight"),
+        param(THRESHOLD_PARAM),
+    );
+    (catalog, RankingPlans::with_bounded(plan, bounded, threshold_bounded))
 }
 
 /// Run the shared plan for one query's weights.

@@ -16,17 +16,20 @@
 //! ## Execution modes
 //!
 //! [`Exec`] is the declarative selection spec: `Rank` materializes the full
-//! ranking, `TopK(k)` selects the `k` best matches through the fastest
-//! eligible operator — the score-bounded [`relq::Plan::TopKBounded`]
-//! max-score traversal for the monotone-sum predicates (Xect, WM, Cosine,
-//! BM25, HMM), the heap-based [`relq::Plan::TopK`] pushdown otherwise —
-//! `TopKHeap(k)` forces the exhaustive heap pushdown for every predicate,
-//! and `Threshold(τ)` pushes a score filter below result materialization.
-//! `TopKHeap(k)` and `Threshold(τ)` return the same bytes their
-//! rank-then-post-process equivalents would; `TopK(k)` returns the same
-//! bytes too whenever the k-th score is unique, and an equally-scored
-//! member of the boundary tie class otherwise (the set-equal-modulo-ties
-//! contract the bounded test tier asserts).
+//! ranking; `TopK(k)` and `Threshold(τ)` select through the fastest eligible
+//! operator — the score-bounded max-score traversals
+//! ([`relq::Plan::TopKBounded`] with a running θ, and
+//! [`relq::Plan::ThresholdBounded`] with the bar fixed at τ) for the
+//! monotone-sum predicates (Xect, WM, Cosine, BM25, HMM), the heap pushdown
+//! / plan-level score filter otherwise. `TopKHeap(k)` and `ThresholdScan(τ)`
+//! force the exhaustive paths for every predicate and exist as the
+//! differential baselines. `TopKHeap`, `Threshold`, and `ThresholdScan`
+//! return the same bytes their rank-then-post-process equivalents would —
+//! threshold selection at a fixed τ has no tie class, so even the bounded
+//! traversal is bit-identical; `TopK(k)` returns the same bytes whenever the
+//! k-th score is unique, and an equally-scored member of the boundary tie
+//! class otherwise (the set-equal-modulo-ties contract the bounded test
+//! tier asserts).
 //!
 //! ## Queries
 //!
@@ -62,6 +65,29 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// How a selection executes: the declarative spec the engine pushes down
 /// into its prepared plans instead of ranking everything and post-processing.
+///
+/// # Examples
+///
+/// ```
+/// use dasp_core::{Corpus, Exec, Params, PredicateKind, SelectionEngine};
+///
+/// let engine = SelectionEngine::from_corpus(
+///     Corpus::from_strings(vec!["Morgan Stanley Group Inc.", "Beijing Hotel"]),
+///     &Params::default(),
+/// );
+/// let bm25 = engine.predicate(PredicateKind::Bm25);
+/// let query = engine.query("Morgan Stanley Group Incorporated");
+///
+/// let ranking = bm25.execute(&query, Exec::Rank).unwrap();
+/// // Threshold(τ) routes through the score-bounded traversal for BM25 and
+/// // stays bit-identical to the exhaustive scan and to rank-then-filter.
+/// let tau = ranking[0].score * 0.5;
+/// let bounded = bm25.execute(&query, Exec::Threshold(tau)).unwrap();
+/// let scanned = bm25.execute(&query, Exec::ThresholdScan(tau)).unwrap();
+/// assert_eq!(bounded, scanned);
+/// let expected: Vec<_> = ranking.iter().copied().filter(|s| s.score >= tau).collect();
+/// assert_eq!(bounded, expected);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Exec {
     /// The full ranking, best match first.
@@ -76,10 +102,21 @@ pub enum Exec {
     /// The `k` best matches through the exhaustive heap pushdown —
     /// byte-identical to `Rank` truncated to `k` for every predicate.
     TopKHeap(usize),
-    /// Every match with `score >= τ`, best first — byte-identical to `Rank`
-    /// filtered post-hoc, executed as a plan-level filter (and, for the edit
-    /// predicate, a tightened q-gram count filter) before materialization.
+    /// Every match with `score >= τ`, best first, through the fastest
+    /// eligible operator: the score-bounded traversal with the bar fixed at
+    /// τ ([`relq::Plan::ThresholdBounded`]) for the monotone-sum predicates
+    /// (Xect, WM, Cosine, BM25, HMM — skipping every candidate whose list
+    /// upper bounds cannot reach τ), the plan-level score filter otherwise;
+    /// the edit predicate additionally tightens its q-gram count filter and
+    /// banded verification to τ. **Bit-identical** to [`Exec::ThresholdScan`]
+    /// and to `Rank` filtered post-hoc for every predicate and every τ — a
+    /// fixed bar has no tie class, unlike the top-k boundary.
     Threshold(f64),
+    /// Every match with `score >= τ` through the exhaustive path: score all
+    /// candidates, filter at τ before materialization, never consult posting
+    /// lists. The differential-testing baseline [`Exec::Threshold`] is
+    /// asserted bit-identical against; same bytes, more work.
+    ThresholdScan(f64),
 }
 
 /// Apply an execution mode to natively scored results: the UDF-stage
@@ -94,7 +131,7 @@ pub(crate) fn finalize_ranking(mut results: Vec<ScoredTid>, exec: Exec) -> Vec<S
             results
         }
         Exec::TopK(k) | Exec::TopKHeap(k) => top_k_ranked(results, k),
-        Exec::Threshold(threshold) => {
+        Exec::Threshold(threshold) | Exec::ThresholdScan(threshold) => {
             results.retain(|s| s.score >= threshold);
             sort_ranked(&mut results);
             results
@@ -336,6 +373,7 @@ enum ExecKey {
     TopK(usize),
     TopKHeap(usize),
     Threshold(u64),
+    ThresholdScan(u64),
 }
 
 impl From<Exec> for ExecKey {
@@ -345,6 +383,7 @@ impl From<Exec> for ExecKey {
             Exec::TopK(k) => ExecKey::TopK(k),
             Exec::TopKHeap(k) => ExecKey::TopKHeap(k),
             Exec::Threshold(tau) => ExecKey::Threshold(tau.to_bits()),
+            Exec::ThresholdScan(tau) => ExecKey::ThresholdScan(tau.to_bits()),
         }
     }
 }
@@ -555,6 +594,26 @@ impl ResultCache {
 /// single-digit microseconds against sub-millisecond-and-up executions, and
 /// it keeps `Query` a plain `Clone + Send + Sync` value with no interior
 /// mutability.
+///
+/// # Examples
+///
+/// ```
+/// use dasp_core::{Corpus, Exec, Params, PredicateKind, SelectionEngine};
+///
+/// let engine = SelectionEngine::from_corpus(
+///     Corpus::from_strings(vec!["Morgan Stanley", "Beijing Hotel"]),
+///     &Params::default(),
+/// );
+/// // Tokenized once...
+/// let query = engine.query("Morgan Stanley");
+/// assert_eq!(query.text(), "Morgan Stanley");
+/// assert!(!query.tokens().tokens.is_empty());
+/// // ...and reused across predicates and execution modes.
+/// for kind in [PredicateKind::Jaccard, PredicateKind::Cosine] {
+///     let ranked = engine.predicate(kind).execute(&query, Exec::Rank).unwrap();
+///     assert_eq!(ranked[0].tid, 0);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Query {
     corpus: Arc<TokenizedCorpus>,
@@ -720,6 +779,27 @@ struct EngineInner {
 /// built, cached predicate handles. Cloning is cheap (a shared handle) and
 /// the engine is `Send + Sync`, so one instance can serve concurrent query
 /// traffic.
+///
+/// # Examples
+///
+/// ```
+/// use dasp_core::{Corpus, Exec, Params, PredicateKind, SelectionEngine};
+///
+/// let engine = SelectionEngine::from_corpus(
+///     Corpus::from_strings(vec![
+///         "Morgan Stanley Group Inc.",
+///         "Morgan Stanle Grop Inc.",
+///         "Beijing Hotel",
+///     ]),
+///     &Params::default(),
+/// );
+/// // Phase-2 preprocessing runs on the first `predicate()` call per kind.
+/// let bm25 = engine.predicate(PredicateKind::Bm25);
+/// // A Query is tokenized once and reusable across all 13 predicates.
+/// let query = engine.query("Morgan Stanley Group Incorporated");
+/// let top1 = bm25.execute(&query, Exec::TopK(1)).unwrap();
+/// assert_eq!(top1[0].tid, 0);
+/// ```
 #[derive(Clone)]
 pub struct SelectionEngine {
     inner: Arc<EngineInner>,
@@ -1041,11 +1121,14 @@ mod tests {
             // TopK pushdown ≡ rank-then-truncate.
             let top2 = handle.execute(&query, Exec::TopK(2)).unwrap();
             assert_eq!(top2, ranking[..ranking.len().min(2)].to_vec(), "{kind} TopK diverged");
-            // Threshold pushdown ≡ rank-then-filter.
+            // Threshold pushdown ≡ rank-then-filter, through both the
+            // bounded route and the exhaustive scan.
             let tau = ranking[0].score * 0.5;
             let selected = handle.execute(&query, Exec::Threshold(tau)).unwrap();
             let expected: Vec<_> = ranking.iter().copied().filter(|s| s.score >= tau).collect();
             assert_eq!(selected, expected, "{kind} Threshold diverged");
+            let scanned = handle.execute(&query, Exec::ThresholdScan(tau)).unwrap();
+            assert_eq!(scanned, expected, "{kind} ThresholdScan diverged");
         }
     }
 
@@ -1114,14 +1197,31 @@ mod tests {
         let engine = engine();
         let shared = &engine.inner.shared;
         let xect = engine.predicate(PredicateKind::IntersectSize);
-        // Handles attach postings on first bounded execution, not at build.
+        // Handles attach postings on first bounded execution, not at build —
+        // and the exhaustive modes never force them.
         assert!(xect.catalog().unwrap().posting_for("base_tokens").is_none());
+        xect.execute(&engine.query("Morgan Stanley"), Exec::Rank).unwrap();
+        xect.execute(&engine.query("Morgan Stanley"), Exec::ThresholdScan(1.0)).unwrap();
+        assert!(
+            xect.catalog().unwrap().posting_for("base_tokens").is_none(),
+            "Rank/ThresholdScan must not build posting lists"
+        );
         xect.execute(&engine.query("Morgan Stanley"), Exec::TopK(2)).unwrap();
         let attached = xect.catalog().unwrap().posting_for("base_tokens").unwrap().clone();
         let a = shared.posting("base_tokens");
         let b = shared.posting("base_tokens");
         assert!(Arc::ptr_eq(&a, &b), "posting index must build once");
         assert!(Arc::ptr_eq(&a, &attached), "handle must alias the shared posting index");
+        // A bounded threshold execution on a fresh engine forces the posting
+        // attach the same way TopK does.
+        let engine = super::tests::engine();
+        let wm = engine.predicate(PredicateKind::WeightedMatch);
+        assert!(wm.catalog().unwrap().posting_for("overlap_weights").is_none());
+        wm.execute(&engine.query("Morgan Stanley"), Exec::Threshold(0.5)).unwrap();
+        assert!(
+            wm.catalog().unwrap().posting_for("overlap_weights").is_some(),
+            "Threshold must route through the posting-backed catalog"
+        );
     }
 
     #[test]
@@ -1185,21 +1285,22 @@ mod tests {
         let engine = engine();
         let handle = engine.predicate(PredicateKind::Cosine);
         let query = engine.query("Morgan Stanley Group Inc.");
-        let modes = [Exec::TopK(5), Exec::TopKHeap(5), Exec::Threshold(0.1)];
+        let modes =
+            [Exec::TopK(5), Exec::TopKHeap(5), Exec::Threshold(0.1), Exec::ThresholdScan(0.1)];
         for exec in modes {
             handle.execute(&query, exec).unwrap();
         }
         let stats = engine.result_cache_stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 4, 4));
         // Re-probing each mode hits its own entry and only its own entry.
         for exec in modes {
             handle.execute(&query, exec).unwrap();
         }
         let stats = engine.result_cache_stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (3, 3, 3));
+        assert_eq!((stats.hits, stats.misses, stats.entries), (4, 4, 4));
         // TopK(5) and TopK(6) are distinct too (k is part of the key).
         handle.execute(&query, Exec::TopK(6)).unwrap();
-        assert_eq!(engine.result_cache_stats().misses, 4);
+        assert_eq!(engine.result_cache_stats().misses, 5);
     }
 
     #[test]

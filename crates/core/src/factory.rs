@@ -1,5 +1,5 @@
 //! Compatibility constructors for boxed predicates — thin wrappers over
-//! [`SelectionEngine`](crate::engine::SelectionEngine).
+//! [`crate::engine::SelectionEngine`].
 //!
 //! New code should hold a `SelectionEngine` and request
 //! [`PredicateHandle`](crate::engine::PredicateHandle)s from it (shared

@@ -10,8 +10,8 @@ use crate::corpus::TokenizedCorpus;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::HmmParams;
 use crate::record::ScoredTid;
-use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
-use relq::{col, param, AggFunc, Bindings, Catalog, Plan};
+use crate::tables::{self, PostingCatalog, RankingPlans, THRESHOLD_PARAM, TOP_K_PARAM};
+use relq::{col, lit, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
 /// Hidden Markov model predicate.
@@ -22,12 +22,18 @@ use std::sync::Arc;
 /// multiplicity-preserving query token table into plans prepared once in
 /// every [`Exec`] mode.
 ///
-/// **Bounded top-k:** the stored weight `log(1 + a1·pml/(a0·P(t|GE)))` is
-/// strictly positive, and `exp` is monotone, so ranking by the log-space sum
-/// is ranking by the final score: `Exec::TopK` runs the max-score traversal
-/// over the log-weight posting lists — each list's upper bound is the
-/// per-word maximum emission factor — and a projection applies `exp` to the
-/// k surviving sums.
+/// **Bounded selection:** the stored weight `log(1 + a1·pml/(a0·P(t|GE)))`
+/// is strictly positive, and `exp` is monotone, so ranking by the log-space
+/// sum is ranking by the final score: `Exec::TopK` runs the max-score
+/// traversal over the log-weight posting lists — each list's upper bound is
+/// the per-word maximum emission factor — and a projection applies `exp` to
+/// the k surviving sums. `Exec::Threshold(τ)` runs the fixed-bar traversal
+/// the same way, thresholding on log-sums: the traversal's bar is
+/// `ln(max(τ, ε)) − 1e-9` (clamped so a non-positive τ stays defined, and
+/// relaxed by an absolute log-space slack that dwarfs the `ln`/`exp`
+/// round-trip error), and an exact plan-level `score ≥ τ` filter over the
+/// exponentiated sums decides final membership — which is what keeps the
+/// bounded result bit-identical to the exhaustive scan at every τ.
 pub struct HmmPredicate {
     shared: Arc<SharedArtifacts>,
     catalog: PostingCatalog,
@@ -63,8 +69,8 @@ impl HmmPredicate {
         catalog
             .register_indexed("hmm_weights", weights, &["token"])
             .expect("weights have a token column");
-        // The posting lists behind the bounded plan are deferred to the
-        // first `Exec::TopK` execution.
+        // The posting lists behind the bounded plans are deferred to the
+        // first bounded execution (`Exec::TopK` or `Exec::Threshold`).
         let catalog = PostingCatalog::new(catalog, |c| {
             c.register_posting("hmm_weights", "token", "tid", Some("weight"))
                 .expect("weights are distinct per (token, tid) and finite")
@@ -73,10 +79,11 @@ impl HmmPredicate {
             Plan::index_join("hmm_weights", &["token"], Plan::param("query_tokens"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "logscore")])
                 .project(vec![(col("tid"), "tid"), (col("logscore").exp(), "score")]);
-        // The bounded traversal selects by the log-space sum (same order as
-        // the exp'd score); the projection then exponentiates the k sums.
-        // The probe keeps one row per query-token occurrence, so repeated
-        // tokens probe their list once per occurrence, exactly like the join.
+        // The bounded traversals select by the log-space sum (same order as
+        // the exp'd score); the projection then exponentiates the surviving
+        // sums. The probe keeps one row per query-token occurrence, so
+        // repeated tokens probe their list once per occurrence, exactly like
+        // the join.
         let bounded = Plan::top_k_bounded(
             "hmm_weights",
             Plan::param("query_tokens"),
@@ -85,7 +92,28 @@ impl HmmPredicate {
             param(TOP_K_PARAM),
         )
         .project(vec![(col("tid"), "tid"), (col("score").exp(), "score")]);
-        HmmPredicate { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
+        // Fixed-bar traversal in log space: the inner bar clamps τ away from
+        // zero (`ln` is undefined at τ ≤ 0, and `GREATEST` maps a NaN τ to
+        // the clamp) and subtracts an absolute log-space slack of 1e-9 —
+        // seven orders of magnitude above the `ln`/`exp` round-trip error —
+        // so no tid whose exponentiated sum reaches τ is ever cut by the
+        // traversal. The outer filter then applies the exact `score >= τ`
+        // test on the exponentiated sums, trimming the slack margin back to
+        // precisely the exhaustive plan's selection.
+        let threshold_bounded = Plan::threshold_bounded(
+            "hmm_weights",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(THRESHOLD_PARAM).greatest(lit(f64::MIN_POSITIVE)).ln().sub(lit(1e-9)),
+        )
+        .project(vec![(col("tid"), "tid"), (col("score").exp(), "score")])
+        .filter(col("score").gt_eq(param(THRESHOLD_PARAM)));
+        HmmPredicate {
+            shared,
+            catalog,
+            plans: RankingPlans::with_bounded(plan, bounded, threshold_bounded),
+        }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {

@@ -14,7 +14,7 @@
 //! none of them — and both query-time joins are index probes (the second
 //! one probes the per-tuple sums with the handful of tids the inner
 //! aggregation produced). The whole pipeline is prepared once in every
-//! [`Exec`] mode ([`RankingPlans`]). The LM score mixes positive and
+//! [`Exec`] mode (`RankingPlans`). The LM score mixes positive and
 //! negative log terms plus a per-tuple constant, so it is not a monotone
 //! sum of non-negative contributions and keeps the heap top-k path.
 

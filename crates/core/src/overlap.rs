@@ -7,24 +7,25 @@
 //! `base_tokens`, `overlap_weights` (indexed on token) and the per-tuple
 //! `base_len` / `overlap_len` tables (indexed on tid) — registering nothing
 //! of their own. Each prepares one `(tid, score)` plan in every [`Exec`]
-//! mode ([`RankingPlans`]); execution binds only the query token table (plus
+//! mode (`RankingPlans`); execution binds only the query token table (plus
 //! per-query scalars like `|Q|`) and probes the token index.
 //!
-//! **Bounded top-k:** IntersectSize and WeightedMatch score monotone sums of
-//! non-negative contributions (a unit per common token; the RSJ/IDF token
-//! weight), so both attach the shared posting variant of their base table
-//! and route `Exec::TopK` through the max-score traversal of
-//! [`relq::Plan::TopKBounded`]. The per-list upper bound is exact: 1 for
-//! IntersectSize, the token's stored weight for WeightedMatch (weights are
-//! per-token constants, so max = the weight itself). Jaccard and WJ
+//! **Bounded selection:** IntersectSize and WeightedMatch score monotone
+//! sums of non-negative contributions (a unit per common token; the RSJ/IDF
+//! token weight), so both attach the shared posting variant of their base
+//! table and route `Exec::TopK` through the max-score traversal of
+//! [`relq::Plan::TopKBounded`] and `Exec::Threshold` through the fixed-bar
+//! [`relq::Plan::ThresholdBounded`]. The per-list upper bound is exact: 1
+//! for IntersectSize, the token's stored weight for WeightedMatch (weights
+//! are per-token constants, so max = the weight itself). Jaccard and WJ
 //! normalize by a union weight that *shrinks* the score as documents grow —
-//! not a monotone sum — and keep the heap path.
+//! not a monotone sum — and keep the heap / plan-filter paths.
 
 use crate::corpus::TokenizedCorpus;
 use crate::engine::{Exec, Query, SharedArtifacts};
 use crate::params::OverlapWeighting;
 use crate::record::ScoredTid;
-use crate::tables::{self, PostingCatalog, RankingPlans, TOP_K_PARAM};
+use crate::tables::{self, PostingCatalog, RankingPlans, THRESHOLD_PARAM, TOP_K_PARAM};
 use relq::{col, lit, param, AggFunc, Bindings, Catalog, Plan};
 use std::sync::Arc;
 
@@ -62,10 +63,11 @@ impl IntersectSize {
             Plan::index_join("base_tokens", &["token"], Plan::param("query_tokens"), &["token"])
                 .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
                 .project(vec![(col("tid"), "tid"), (col("cnt"), "score")]);
-        // Bounded top-k over unit-weight posting lists: every common token
-        // contributes exactly 1, so each list's upper bound is 1 and the
-        // max-score traversal skips the long lists of frequent q-grams once
-        // the k-th best overlap count exceeds their remaining sum.
+        // Bounded selection over unit-weight posting lists: every common
+        // token contributes exactly 1, so each list's upper bound is 1 and
+        // the max-score traversals skip the long lists of frequent q-grams
+        // once the bar (the k-th best count, or the fixed τ) exceeds their
+        // remaining sum.
         let bounded = Plan::top_k_bounded(
             "base_tokens",
             Plan::param("query_tokens"),
@@ -73,12 +75,23 @@ impl IntersectSize {
             None,
             param(TOP_K_PARAM),
         );
+        let threshold_bounded = Plan::threshold_bounded(
+            "base_tokens",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(THRESHOLD_PARAM),
+        );
         let posting_shared = shared.clone();
         let catalog = PostingCatalog::new(shared.catalog_with(&["base_tokens"]), move |c| {
             c.attach_posting("base_tokens", posting_shared.posting("base_tokens"))
                 .expect("base_tokens is registered")
         });
-        IntersectSize { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
+        IntersectSize {
+            shared,
+            catalog,
+            plans: RankingPlans::with_bounded(plan, bounded, threshold_bounded),
+        }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {
@@ -190,11 +203,11 @@ impl WeightedMatch {
             &["token"],
         )
         .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight")), "score")]);
-        // Bounded top-k over the shared weight posting lists. RSJ/IDF weights
-        // are non-negative per-token constants, so every posting in a list
-        // carries the same contribution and the per-list upper bound is
-        // exact — precisely the shape where frequent (low-weight, long-list)
-        // tokens become non-essential the moment the heap fills.
+        // Bounded selection over the shared weight posting lists. RSJ/IDF
+        // weights are non-negative per-token constants, so every posting in
+        // a list carries the same contribution and the per-list upper bound
+        // is exact — precisely the shape where frequent (low-weight,
+        // long-list) tokens become non-essential the moment the bar is set.
         let bounded = Plan::top_k_bounded(
             "overlap_weights",
             Plan::param("query_tokens"),
@@ -202,12 +215,23 @@ impl WeightedMatch {
             None,
             param(TOP_K_PARAM),
         );
+        let threshold_bounded = Plan::threshold_bounded(
+            "overlap_weights",
+            Plan::param("query_tokens"),
+            "token",
+            None,
+            param(THRESHOLD_PARAM),
+        );
         let posting_shared = shared.clone();
         let catalog = PostingCatalog::new(shared.catalog_with(&["overlap_weights"]), move |c| {
             c.attach_posting("overlap_weights", posting_shared.posting("overlap_weights"))
                 .expect("overlap_weights is registered")
         });
-        WeightedMatch { shared, catalog, plans: RankingPlans::with_bounded(plan, bounded) }
+        WeightedMatch {
+            shared,
+            catalog,
+            plans: RankingPlans::with_bounded(plan, bounded, threshold_bounded),
+        }
     }
 
     fn engine_shared(&self) -> &SharedArtifacts {

@@ -182,7 +182,9 @@ pub trait Predicate {
         match exec {
             Exec::Rank => {}
             Exec::TopK(k) | Exec::TopKHeap(k) => ranked.truncate(k),
-            Exec::Threshold(threshold) => ranked.retain(|s| s.score >= threshold),
+            Exec::Threshold(threshold) | Exec::ThresholdScan(threshold) => {
+                ranked.retain(|s| s.score >= threshold)
+            }
         }
         Ok(ranked)
     }

@@ -171,6 +171,29 @@ impl KindMetrics {
 ///
 /// Latency metrics accumulate across `serve` calls until
 /// [`reset_metrics`](Self::reset_metrics).
+///
+/// # Examples
+///
+/// ```
+/// use dasp_core::{
+///     Corpus, Exec, Params, PredicateKind, SelectionEngine, ServeRequest, ServingEngine,
+/// };
+///
+/// let engine = SelectionEngine::from_corpus(
+///     Corpus::from_strings(vec!["Morgan Stanley", "Beijing Hotel"]),
+///     &Params::default(),
+/// );
+/// let serving = ServingEngine::new(engine, 2);
+/// let responses = serving.serve(&[
+///     ServeRequest::new(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(1)),
+///     ServeRequest::new(PredicateKind::Jaccard, "Beijing Hotel", Exec::Threshold(0.5)),
+/// ]);
+/// // Responses come back in submission order, each with its accounting.
+/// assert_eq!(responses[0].results.as_ref().unwrap()[0].tid, 0);
+/// assert!(responses[1].stats.worker < 2);
+/// // Per-predicate latency aggregation over everything served so far.
+/// assert_eq!(serving.metrics().len(), 2);
+/// ```
 pub struct ServingEngine {
     engine: SelectionEngine,
     workers: usize,

@@ -22,10 +22,10 @@ use relq::{
 use std::sync::OnceLock;
 
 /// A predicate's execution catalog with its posting index deferred to the
-/// first bounded execution: `Exec::TopK` sees a clone of the base catalog
-/// with the posting attached (built or fetched once, then cached), while
-/// Rank/Threshold-only workloads never pay the posting build at all — the
-/// per-handle analogue of the engine's lazy shared artifacts.
+/// first bounded execution: `Exec::TopK` and `Exec::Threshold` see a clone
+/// of the base catalog with the posting attached (built or fetched once,
+/// then cached), while Rank/scan-only workloads never pay the posting build
+/// at all — the per-handle analogue of the engine's lazy shared artifacts.
 pub(crate) struct PostingCatalog {
     base: Catalog,
     attach: Box<dyn Fn(&mut Catalog) + Send + Sync>,
@@ -42,11 +42,13 @@ impl PostingCatalog {
         PostingCatalog { base, attach: Box::new(attach), with_posting: OnceLock::new() }
     }
 
-    /// The catalog to execute `exec` against: with postings for the bounded
-    /// top-k operator, the plain base catalog for everything else.
+    /// The catalog to execute `exec` against: with postings for the two
+    /// bounded operators, the plain base catalog for everything else
+    /// (including `ThresholdScan`, whose whole point is to never consult
+    /// posting lists).
     pub(crate) fn for_exec(&self, exec: Exec) -> &Catalog {
         match exec {
-            Exec::TopK(_) => self.with_posting.get_or_init(|| {
+            Exec::TopK(_) | Exec::Threshold(_) => self.with_posting.get_or_init(|| {
                 let mut catalog = self.base.clone();
                 (self.attach)(&mut catalog);
                 catalog
@@ -270,49 +272,69 @@ pub(crate) const THRESHOLD_PARAM: &str = "__threshold";
 ///   `(score DESC, tid ASC)` with `k` as a scalar parameter, so only the `k`
 ///   best candidate rows are ever materialized or sorted.
 /// * `threshold` — the plan filtered by `score >= τ` (scalar parameter)
-///   before result materialization.
+///   before result materialization; always the plan behind
+///   [`Exec::ThresholdScan`], and behind [`Exec::Threshold`] for the
+///   predicates without a bounded variant.
 /// * `bounded` (monotone-sum predicates only) — a
 ///   [`Plan::TopKBounded`](relq::Plan::TopKBounded) max-score traversal over
 ///   the predicate's posting lists, the early-terminating operator
 ///   `Exec::TopK` routes to when present.
+/// * `threshold_bounded` (monotone-sum predicates only) — the fixed-bar
+///   [`Plan::ThresholdBounded`](relq::Plan::ThresholdBounded) traversal over
+///   the same posting lists, taking τ from [`THRESHOLD_PARAM`]; the operator
+///   [`Exec::Threshold`] routes to when present.
 ///
 /// Every mode runs over the same candidate pipeline and the same canonical
 /// `(score DESC, tid ASC)` order as [`crate::record::sort_ranked`], which is
 /// what makes the heap `TopK` byte-identical to rank-then-truncate and
-/// `Threshold(τ)` byte-identical to rank-then-filter. The bounded operator
-/// re-accumulates every emitted score in probe order, so it matches the heap
-/// path bit-for-bit except possibly at exact score ties on the k boundary.
+/// `Threshold(τ)` byte-identical to rank-then-filter. The bounded top-k
+/// operator re-accumulates every emitted score in probe order, so it matches
+/// the heap path bit-for-bit except possibly at exact score ties on the k
+/// boundary; the bounded threshold operator admits by the exact `score ≥ τ`
+/// test after the same probe-order re-scoring, so it is bit-identical to
+/// the exhaustive `threshold` plan for **every** τ — no tie class exists at
+/// a fixed bar.
 pub(crate) struct RankingPlans {
     rank: PreparedPlan,
     top_k: PreparedPlan,
     threshold: PreparedPlan,
     bounded: Option<PreparedPlan>,
+    threshold_bounded: Option<PreparedPlan>,
 }
 
 impl RankingPlans {
     /// Prepare all modes of a `(tid, score)` ranking plan (no bounded
-    /// operator: `Exec::TopK` and `Exec::TopKHeap` both run the heap).
+    /// operators: `TopK`/`TopKHeap` both run the heap, and
+    /// `Threshold`/`ThresholdScan` both run the exhaustive score filter).
     pub(crate) fn new(plan: Plan) -> Self {
         Self::build(plan, None)
     }
 
-    /// Prepare all modes plus a score-bounded top-k plan (which must take
-    /// its `k` from the [`TOP_K_PARAM`] scalar parameter like the heap plan).
-    pub(crate) fn with_bounded(plan: Plan, bounded: Plan) -> Self {
-        Self::build(plan, Some(bounded))
+    /// Prepare all modes plus the two score-bounded plans: a top-k traversal
+    /// taking `k` from [`TOP_K_PARAM`] and a fixed-bar threshold traversal
+    /// taking τ from [`THRESHOLD_PARAM`] (transformed inside the plan when
+    /// the predicate selects in a different score space, e.g. HMM's
+    /// log-sums).
+    pub(crate) fn with_bounded(plan: Plan, bounded: Plan, threshold_bounded: Plan) -> Self {
+        Self::build(plan, Some((bounded, threshold_bounded)))
     }
 
-    fn build(plan: Plan, bounded: Option<Plan>) -> Self {
+    fn build(plan: Plan, bounded: Option<(Plan, Plan)>) -> Self {
         let top_k = plan.clone().top_k(
             param(TOP_K_PARAM),
             vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)],
         );
         let threshold = plan.clone().filter(col("score").gt_eq(param(THRESHOLD_PARAM)));
+        let (bounded, threshold_bounded) = match bounded {
+            Some((b, t)) => (Some(b), Some(t)),
+            None => (None, None),
+        };
         RankingPlans {
             rank: PreparedPlan::new(plan),
             top_k: PreparedPlan::new(top_k),
             threshold: PreparedPlan::new(threshold),
             bounded: bounded.map(PreparedPlan::new),
+            threshold_bounded: threshold_bounded.map(PreparedPlan::new),
         }
     }
 
@@ -340,6 +362,14 @@ impl RankingPlans {
                 run_ranking_plan(&self.top_k, catalog, &bindings, naive)
             }
             Exec::Threshold(tau) => {
+                let bindings = bindings.with_scalar(THRESHOLD_PARAM, tau);
+                // The fixed-bar traversal when the predicate qualifies (its
+                // naive lowering is exhaustive scoring + the same exact
+                // filter), the plan-level score filter otherwise.
+                let plan = self.threshold_bounded.as_ref().unwrap_or(&self.threshold);
+                run_ranking_plan(plan, catalog, &bindings, naive)
+            }
+            Exec::ThresholdScan(tau) => {
                 let bindings = bindings.with_scalar(THRESHOLD_PARAM, tau);
                 run_ranking_plan(&self.threshold, catalog, &bindings, naive)
             }

@@ -139,6 +139,25 @@ pub fn time_serving(
     (responses, QueryTiming { total: start.elapsed(), num_queries: requests.len() })
 }
 
+/// Time a prepared-query workload through one predicate handle under an
+/// arbitrary [`Exec`] mode — the harness primitive behind execution-path
+/// comparisons (e.g. `Exec::Threshold` vs `Exec::ThresholdScan` at the same
+/// τ, or `Exec::TopK` vs `Exec::TopKHeap` at the same k).
+pub fn time_exec_queries(
+    handle: &dasp_core::PredicateHandle,
+    queries: &[dasp_core::Query],
+    exec: Exec,
+) -> QueryTiming {
+    let start = Instant::now();
+    for query in queries {
+        let results = handle
+            .execute(query, exec)
+            .expect("engine predicates are infallible over their own catalogs");
+        std::hint::black_box(results.len());
+    }
+    QueryTiming { total: start.elapsed(), num_queries: queries.len() }
+}
+
 /// Time a query workload against a prebuilt predicate.
 pub fn time_queries(predicate: &dyn Predicate, queries: &[String]) -> QueryTiming {
     let start = Instant::now();
@@ -191,6 +210,25 @@ mod tests {
     fn empty_workload_is_zero() {
         let t = QueryTiming { total: Duration::ZERO, num_queries: 0 };
         assert_eq!(t.average(), Duration::ZERO);
+    }
+
+    #[test]
+    fn exec_mode_workloads_are_timed_per_mode() {
+        let d = cu_dataset_sized(cu_spec("CU8").unwrap(), 150, 15);
+        let engine = crate::workload::build_engine(&d, &Params::default());
+        let handle = engine.predicate(PredicateKind::Bm25);
+        let queries: Vec<dasp_core::Query> =
+            d.strings().into_iter().take(5).map(|s| engine.query(&s)).collect();
+        // Identical executions would be answered by the result cache and
+        // time nothing; comparisons disable it.
+        engine.set_result_cache_capacity(0);
+        let ranked = handle.execute(&queries[0], Exec::Rank).unwrap();
+        let tau = ranked[ranked.len() / 2].score;
+        for exec in [Exec::Threshold(tau), Exec::ThresholdScan(tau), Exec::TopK(3)] {
+            let timing = time_exec_queries(&handle, &queries, exec);
+            assert_eq!(timing.num_queries, 5);
+            assert!(timing.total > Duration::ZERO);
+        }
     }
 
     #[test]

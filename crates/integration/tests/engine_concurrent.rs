@@ -35,7 +35,7 @@ const THREADS: usize = 8;
 /// One request of the differential stream.
 type Request = (PredicateKind, String, Exec);
 
-/// Build the request mix over a dataset — all 13 predicates × all four
+/// Build the request mix over a dataset — all 13 predicates × all five
 /// `Exec` modes × sampled query strings, each request twice (so the shared
 /// result cache serves concurrent hits too) — plus the serial expectation
 /// for every request, computed on a dedicated single-threaded engine.
@@ -56,7 +56,13 @@ fn requests_and_serial_results(
             // A threshold in the middle of this (kind, query)'s score range,
             // so the Threshold mode selects a non-trivial subset.
             let tau = ranked.get(ranked.len() / 2).map(|s| s.score).unwrap_or(0.0);
-            for exec in [Exec::Rank, Exec::TopK(7), Exec::TopKHeap(7), Exec::Threshold(tau)] {
+            for exec in [
+                Exec::Rank,
+                Exec::TopK(7),
+                Exec::TopKHeap(7),
+                Exec::Threshold(tau),
+                Exec::ThresholdScan(tau),
+            ] {
                 requests.push((kind, text.clone(), exec));
                 requests.push((kind, text.clone(), exec));
             }

@@ -1,13 +1,15 @@
 //! Pushdown-equivalence and shared-artifact tests for the session-based
 //! query API: for all 13 predicates over seeded `dasp-datagen` corpora,
 //! `Exec::TopKHeap(k)` (the exhaustive heap pushdown) must return
-//! byte-identical results to `Exec::Rank` truncated to `k`, and
-//! `Exec::Threshold(τ)` byte-identical results to the post-hoc filter —
-//! through the indexed engine *and* through the naive baseline — and every
-//! handle of one engine must alias (not copy) the shared phase-1 tables its
-//! plans reference. (`Exec::TopK`, which routes the five monotone predicates
-//! through the score-bounded operator, has its own tie-aware equivalence
-//! tier in `engine_topk_bounded.rs`.)
+//! byte-identical results to `Exec::Rank` truncated to `k`, and both
+//! threshold modes — `Exec::Threshold(τ)` (bounded for the five monotone
+//! predicates) and `Exec::ThresholdScan(τ)` (always exhaustive) —
+//! byte-identical results to the post-hoc filter, through the indexed
+//! engine *and* through the naive baseline; and every handle of one engine
+//! must alias (not copy) the shared phase-1 tables its plans reference.
+//! (`Exec::TopK` has its own tie-aware equivalence tier in
+//! `engine_topk_bounded.rs`, and the bounded threshold route its own
+//! bit-identity tier in `engine_threshold_bounded.rs`.)
 
 use dasp_core::{Exec, Params, PredicateKind, SelectionEngine};
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
@@ -58,6 +60,16 @@ fn assert_pushdown_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
                 assert_eq!(
                     pushed_naive, expected,
                     "{label}/{kind}: naive Threshold({tau}) diverged"
+                );
+                let scanned = handle.execute(&query, Exec::ThresholdScan(tau)).unwrap();
+                assert_eq!(
+                    scanned, expected,
+                    "{label}/{kind}: ThresholdScan({tau}) diverged from rank-then-filter"
+                );
+                let scanned_naive = handle.execute_naive(&query, Exec::ThresholdScan(tau)).unwrap();
+                assert_eq!(
+                    scanned_naive, expected,
+                    "{label}/{kind}: naive ThresholdScan({tau}) diverged"
                 );
             }
         }

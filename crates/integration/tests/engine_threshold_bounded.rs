@@ -1,0 +1,234 @@
+//! Equivalence tier for the score-bounded threshold operator: for the five
+//! monotone-sum predicates (Xect, WM, Cosine, BM25, HMM) over seeded
+//! `dasp-datagen` corpora, `Exec::Threshold(τ)` — the fixed-bar max-score
+//! traversal of `relq::Plan::ThresholdBounded` — must return results
+//! **bit-identical** (tids and score bits, no modulo-ties escape hatch: a
+//! fixed τ has no tie class) to the exhaustive `Exec::ThresholdScan(τ)` and
+//! to `Exec::Rank` filtered post hoc, in both engine modes, across a τ sweep
+//! that includes exact-score boundaries, below-minimum and above-maximum
+//! bars. The same differential runs through `SelectionEngine::execute_many`
+//! and the thread-pooled `ServingEngine`, and a property test over random
+//! corpora asserts the pruning contract directly: the selected set is
+//! exactly `{tid : score(tid) ≥ τ}` — no qualifying tid is ever pruned.
+
+use dasp_core::{
+    Corpus, Exec, Params, PredicateKind, ScoredTid, SelectionEngine, ServeRequest, ServingEngine,
+    TokenizedCorpus,
+};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
+use dasp_eval::{build_engine, sample_query_indices};
+
+/// The predicates whose scores are monotone sums of non-negative per-token
+/// contributions — the ones `Exec::Threshold` routes through the fixed-bar
+/// bounded operator.
+const BOUNDED_KINDS: [PredicateKind; 5] = [
+    PredicateKind::IntersectSize,
+    PredicateKind::WeightedMatch,
+    PredicateKind::Cosine,
+    PredicateKind::Bm25,
+    PredicateKind::Hmm,
+];
+
+/// Bit-level equality: same length, same tids, same score bits at every
+/// rank. This is the threshold contract — strictly stronger than the
+/// tie-aware contract of the top-k tier.
+fn assert_bit_identical(bounded: &[ScoredTid], expected: &[ScoredTid], context: &str) {
+    assert_eq!(bounded.len(), expected.len(), "{context}: result sizes differ");
+    for (i, (b, e)) in bounded.iter().zip(expected).enumerate() {
+        assert_eq!(b.tid, e.tid, "{context}: tid at rank {i} differs");
+        assert_eq!(
+            b.score.to_bits(),
+            e.score.to_bits(),
+            "{context}: score bits at rank {i} differ ({} vs {})",
+            b.score,
+            e.score
+        );
+    }
+}
+
+/// A τ sweep spanning the score range of one ranking: bars below every
+/// score, bars equal to exact scores (the `>=` boundary must admit them),
+/// the next float above an exact score (must exclude it), between-score
+/// bars, and bars above the maximum (empty selection).
+fn tau_sweep(ranked: &[ScoredTid]) -> Vec<f64> {
+    let mut taus = vec![f64::NEG_INFINITY, 0.0];
+    if let (Some(first), Some(last)) = (ranked.first(), ranked.last()) {
+        taus.push(last.score / 2.0);
+        taus.push(last.score);
+        taus.push((first.score + last.score) / 2.0);
+        if let Some(mid) = ranked.get(ranked.len() / 2) {
+            taus.push(mid.score);
+            taus.push(f64::from_bits(mid.score.to_bits() + 1));
+        }
+        taus.push(first.score);
+        taus.push(first.score * 1.5 + 1.0);
+    }
+    taus
+}
+
+fn assert_threshold_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
+    let engine = build_engine(dataset, &Params::default());
+    let indices = sample_query_indices(dataset, 4, 0x7B_22);
+    for kind in BOUNDED_KINDS {
+        let handle = engine.predicate(kind);
+        for &idx in &indices {
+            let query = engine.query(&dataset.records[idx].text);
+            let ranked = handle.execute(&query, Exec::Rank).unwrap();
+            for tau in tau_sweep(&ranked) {
+                let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                let context = format!("{label}/{kind} tau={tau}");
+                // The exhaustive scan is the rank-then-filter bytes...
+                let scan = handle.execute(&query, Exec::ThresholdScan(tau)).unwrap();
+                assert_bit_identical(&scan, &expected, &format!("{context} (scan)"));
+                // ...and the bounded route must match it bit for bit, in
+                // both engine modes.
+                let bounded = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+                assert_bit_identical(&bounded, &expected, &context);
+                let bounded_naive = handle.execute_naive(&query, Exec::Threshold(tau)).unwrap();
+                assert_bit_identical(&bounded_naive, &expected, &format!("{context} (naive)"));
+                let scan_naive = handle.execute_naive(&query, Exec::ThresholdScan(tau)).unwrap();
+                assert_bit_identical(&scan_naive, &expected, &format!("{context} (naive scan)"));
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_threshold_is_bit_identical_on_company_names() {
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 220, 22);
+    assert_threshold_equivalent(&dataset, "CU2");
+}
+
+#[test]
+fn bounded_threshold_is_bit_identical_on_abbreviation_errors() {
+    let dataset = f_dataset_sized(f_spec("F1").unwrap(), 180, 18);
+    assert_threshold_equivalent(&dataset, "F1");
+}
+
+#[test]
+fn bounded_threshold_is_bit_identical_on_dblp_titles() {
+    let dataset = dblp_dataset(180);
+    assert_threshold_equivalent(&dataset, "DBLP");
+}
+
+#[test]
+fn non_monotone_predicates_route_threshold_through_the_scan() {
+    // For the eight predicates without a bounded plan, Threshold and
+    // ThresholdScan must coincide byte for byte (both run the plan-level
+    // score filter / the native post-filter).
+    let dataset = cu_dataset_sized(cu_spec("CU6").unwrap(), 150, 15);
+    let engine = build_engine(&dataset, &Params::default());
+    for (kind, handle) in engine.predicates() {
+        if BOUNDED_KINDS.contains(&kind) {
+            continue;
+        }
+        let query = engine.query(&dataset.records[4].text);
+        let ranked = handle.execute(&query, Exec::Rank).unwrap();
+        for tau in tau_sweep(&ranked) {
+            let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+            assert_bit_identical(
+                &handle.execute(&query, Exec::Threshold(tau)).unwrap(),
+                &expected,
+                &format!("{kind} tau={tau}"),
+            );
+            assert_bit_identical(
+                &handle.execute(&query, Exec::ThresholdScan(tau)).unwrap(),
+                &expected,
+                &format!("{kind} tau={tau} (scan)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_differential_holds_through_execute_many_and_serving() {
+    // The batch and serving surfaces must return the same bounded-threshold
+    // bytes as per-item execution — including when worker threads race the
+    // first-touch posting attach of a fresh engine.
+    let dataset = dblp_dataset(160);
+    let engine = build_engine(&dataset, &Params::default());
+    let indices = sample_query_indices(&dataset, 3, 0xD1_07);
+
+    // Expected bytes from a per-item loop over a reference engine.
+    let reference = build_engine(&dataset, &Params::default());
+    let mut requests: Vec<ServeRequest> = Vec::new();
+    let mut expected: Vec<Vec<ScoredTid>> = Vec::new();
+    for kind in BOUNDED_KINDS {
+        let handle = reference.predicate(kind);
+        for &idx in &indices {
+            let text = &dataset.records[idx].text;
+            let query = reference.query(text);
+            let ranked = handle.execute(&query, Exec::Rank).unwrap();
+            // One selective and one permissive bar per query.
+            let taus =
+                [ranked.get(9).map(|s| s.score).unwrap_or(0.5), ranked.last().unwrap().score];
+            for tau in taus {
+                for exec in [Exec::Threshold(tau), Exec::ThresholdScan(tau)] {
+                    requests.push(ServeRequest::new(kind, text.clone(), exec));
+                    expected.push(
+                        ranked.iter().copied().filter(|s| s.score >= tau).collect::<Vec<_>>(),
+                    );
+                }
+            }
+        }
+    }
+
+    // execute_many over prepared queries, batched against one engine.
+    let batch: Vec<(PredicateKind, dasp_core::Query, Exec)> =
+        requests.iter().map(|r| (r.kind, engine.query(&r.text), r.exec)).collect();
+    for (i, (result, exp)) in engine.execute_many(&batch).iter().zip(&expected).enumerate() {
+        assert_bit_identical(
+            result.as_ref().unwrap(),
+            exp,
+            &format!("execute_many request {i} ({:?})", requests[i].exec),
+        );
+    }
+
+    // ServingEngine over a FRESH engine: worker threads spawn before any
+    // lazy artifact (shared tables, posting lists) exists.
+    let serving = ServingEngine::new(build_engine(&dataset, &Params::default()), 4);
+    for (i, (response, exp)) in serving.serve(&requests).iter().zip(&expected).enumerate() {
+        assert_bit_identical(
+            response.results.as_ref().unwrap(),
+            exp,
+            &format!("serving request {i} ({:?})", requests[i].exec),
+        );
+    }
+}
+
+/// Property test over random corpora: the bounded threshold selection is
+/// exactly `{tid : score(tid) >= τ}` — pruning never drops a qualifying tid
+/// and the slack never admits an unqualified one.
+#[test]
+fn pruned_tids_never_reach_tau_on_random_corpora() {
+    use proptest::prelude::*;
+    check(24, |g| {
+        let n = g.usize_in(20..120);
+        let words = ["morgan", "stanley", "group", "beijing", "labs", "silicon", "hotel", "inc"];
+        let strings: Vec<String> = (0..n)
+            .map(|_| {
+                let len = g.usize_in(1..5);
+                (0..len).map(|_| *g.pick(&words)).collect::<Vec<_>>().join(" ")
+                    + &g.string_of("abcdefgh", 0..4)
+            })
+            .collect();
+        let corpus = std::sync::Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(strings.clone()),
+            dasp_text::QgramConfig::new(2),
+        ));
+        let engine = SelectionEngine::build(corpus, &Params::default());
+        let kind = *g.pick(&BOUNDED_KINDS);
+        let handle = engine.predicate(kind);
+        let query = engine.query(&strings[g.usize_in(0..strings.len())]);
+        let ranked = handle.execute(&query, Exec::Rank).unwrap();
+        // A random bar: sometimes an exact score, sometimes arbitrary.
+        let tau = if !ranked.is_empty() && g.bool_with(0.5) {
+            ranked[g.usize_in(0..ranked.len())].score
+        } else {
+            g.f64_in(0.0..3.0)
+        };
+        let bounded = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+        let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+        assert_bit_identical(&bounded, &expected, &format!("{kind} tau={tau}"));
+    });
+}

@@ -122,6 +122,31 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
             }
         }
         Plan::Filter { input, predicate } => {
+            // Fused fast paths: a filter directly above a projection or an
+            // aggregation — the shape of every prepared threshold plan's
+            // `score >= τ` selection — tests each output row as it is
+            // assembled and materializes only the survivors, instead of
+            // building the full scored table and then dropping most of it.
+            // Row evaluation order is unchanged, so results are
+            // byte-identical to the unfused pipeline (the naive mode
+            // deliberately keeps the materialize-then-filter cost model).
+            if !ctx.naive {
+                match input.as_ref() {
+                    Plan::Project { input: inner, items } => {
+                        return Ok(Rel::Owned(filter_project(ctx, inner, items, predicate)?));
+                    }
+                    Plan::Aggregate { input: inner, group_by, aggregates } => {
+                        return Ok(Rel::Owned(eval_aggregate(
+                            ctx,
+                            inner,
+                            group_by,
+                            aggregates,
+                            Some(predicate),
+                        )?));
+                    }
+                    _ => {}
+                }
+            }
             let input = eval(input, ctx)?;
             let table = input.as_table();
             let schema = table.schema();
@@ -181,22 +206,7 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
             }
         }
         Plan::Aggregate { input, group_by, aggregates } => {
-            // Fused fast path: aggregation directly over an index probe feeds
-            // each virtual joined row straight into the group accumulators,
-            // never materializing join output. Emission order matches the
-            // materialized path, so results stay byte-identical (the naive
-            // mode deliberately keeps the unfused pre-refactor pipeline).
-            if !ctx.naive {
-                if let Plan::IndexJoin { base, base_keys, probe, probe_keys, suffix } =
-                    input.as_ref()
-                {
-                    return Ok(Rel::Owned(index_join_aggregate(
-                        ctx, base, base_keys, probe, probe_keys, suffix, group_by, aggregates,
-                    )?));
-                }
-            }
-            let input = eval(input, ctx)?;
-            Ok(Rel::Owned(aggregate(input.as_table(), group_by, aggregates, ctx)?))
+            Ok(Rel::Owned(eval_aggregate(ctx, input, group_by, aggregates, None)?))
         }
         Plan::Sort { input, keys } => {
             let input = eval(input, ctx)?;
@@ -255,6 +265,18 @@ fn eval(plan: &Plan, ctx: &ExecCtx) -> Result<Rel> {
                 token_col,
                 factor_col.as_deref(),
                 k,
+            )?))
+        }
+        Plan::ThresholdBounded { base, probe, token_col, factor_col, tau } => {
+            let tau = eval_scalar_f64(tau, ctx)?;
+            let probe_rel = eval(probe, ctx)?;
+            Ok(Rel::Owned(threshold_bounded(
+                ctx,
+                base,
+                probe_rel.as_table(),
+                token_col,
+                factor_col.as_deref(),
+                tau,
             )?))
         }
         Plan::Distinct { input } => {
@@ -445,6 +467,74 @@ fn index_join(
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
+/// Evaluate an aggregation node, dispatching to the fused
+/// `Aggregate(IndexJoin)` pipeline in indexed mode, with an optional output
+/// filter applied while the result rows are assembled (the fused lowering of
+/// `Filter(Aggregate(..))` — see the `Plan::Filter` arm of [`eval`]).
+fn eval_aggregate(
+    ctx: &ExecCtx,
+    input: &Plan,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+    output_filter: Option<&crate::expr::Expr>,
+) -> Result<Table> {
+    // Fused fast path: aggregation directly over an index probe feeds each
+    // virtual joined row straight into the group accumulators, never
+    // materializing join output. Emission order matches the materialized
+    // path, so results stay byte-identical (the naive mode deliberately
+    // keeps the unfused pre-refactor pipeline).
+    if !ctx.naive {
+        if let Plan::IndexJoin { base, base_keys, probe, probe_keys, suffix } = input {
+            return index_join_aggregate(
+                ctx,
+                base,
+                base_keys,
+                probe,
+                probe_keys,
+                suffix,
+                group_by,
+                aggregates,
+                output_filter,
+            );
+        }
+    }
+    let input = eval(input, ctx)?;
+    aggregate(input.as_table(), group_by, aggregates, ctx, output_filter)
+}
+
+/// Compile an aggregate-output filter against the output schema, assemble
+/// each `group key ++ finished accumulators` row, and keep the rows the
+/// filter admits — shared tail of [`index_join_aggregate`] and
+/// [`aggregate`]. The filter is compiled only when there is at least one row
+/// to assemble, matching the unfused `Filter` operator (which never compiles
+/// its predicate over an empty input).
+fn assemble_aggregate_rows(
+    ctx: &ExecCtx,
+    out_schema: &Schema,
+    order: Vec<Row>,
+    accumulators: Vec<Vec<Accumulator>>,
+    output_filter: Option<&crate::expr::Expr>,
+) -> Result<Vec<Row>> {
+    let filter = match output_filter {
+        Some(expr) if !order.is_empty() => Some(resolve(expr, ctx)?.compile(out_schema)?),
+        _ => None,
+    };
+    let mut rows = Vec::with_capacity(order.len());
+    for (key, accs) in order.into_iter().zip(accumulators) {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        if let Some(f) = &filter {
+            if !f.evaluate(&row)?.as_bool()? {
+                continue;
+            }
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
 /// Fused execution of `Aggregate(IndexJoin(base, probe))`: probes the base
 /// index and feeds each *virtual* joined row (base slice + probe slice, never
 /// concatenated) straight into the group accumulators through compiled,
@@ -463,6 +553,7 @@ fn index_join_aggregate(
     suffix: &str,
     group_by: &[String],
     aggregates: &[Aggregate],
+    output_filter: Option<&crate::expr::Expr>,
 ) -> Result<Table> {
     let probe_rel = eval(probe_plan, ctx)?;
     let probe = probe_rel.as_table();
@@ -734,14 +825,7 @@ fn index_join_aggregate(
         accumulators.push(aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect());
     }
 
-    let mut rows = Vec::with_capacity(order.len());
-    for (key, accs) in order.into_iter().zip(accumulators) {
-        let mut row = key;
-        for acc in accs {
-            row.push(acc.finish());
-        }
-        rows.push(row);
-    }
+    let rows = assemble_aggregate_rows(ctx, &out_schema, order, accumulators, output_filter)?;
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
@@ -750,6 +834,7 @@ fn aggregate(
     group_by: &[String],
     aggregates: &[Aggregate],
     ctx: &ExecCtx,
+    output_filter: Option<&crate::expr::Expr>,
 ) -> Result<Table> {
     let in_schema = input.schema();
     let group_idx: Vec<usize> =
@@ -814,14 +899,7 @@ fn aggregate(
         accumulators.push(aggregates.iter().map(|a| Accumulator::for_func(&a.func)).collect());
     }
 
-    let mut rows = Vec::with_capacity(order.len());
-    for (key, accs) in order.into_iter().zip(accumulators) {
-        let mut row = key;
-        for acc in accs {
-            row.push(acc.finish());
-        }
-        rows.push(row);
-    }
+    let rows = assemble_aggregate_rows(ctx, &out_schema, order, accumulators, output_filter)?;
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
@@ -876,6 +954,53 @@ fn eval_top_k_count(k: &crate::expr::Expr, ctx: &ExecCtx) -> Result<usize> {
     let k = resolve(k, ctx)?.evaluate(&empty_row, &Schema::new(Vec::new()))?.as_i64()?;
     usize::try_from(k)
         .map_err(|_| RelqError::InvalidPlan(format!("TopK with negative row count {k}")))
+}
+
+/// Resolve the `τ` of a `ThresholdBounded` node: a column-free scalar
+/// expression (a literal or a bound parameter, possibly transformed — e.g.
+/// `param(τ).ln()` for log-space selections), evaluated once per execution.
+fn eval_scalar_f64(expr: &crate::expr::Expr, ctx: &ExecCtx) -> Result<f64> {
+    let empty_row: Row = Vec::new();
+    resolve(expr, ctx)?.evaluate(&empty_row, &Schema::new(Vec::new()))?.as_f64()
+}
+
+/// Fused `Filter(Project(input))`: evaluates each projected row into a
+/// scratch buffer, tests the filter predicate immediately, and materializes
+/// only passing rows — the full projected table (one allocation per input
+/// row) is never built just to be filtered down. Rows are evaluated in input
+/// order exactly as the unfused pipeline does, so output rows and bytes are
+/// identical; only the interleaving of projection-vs-filter *errors* can
+/// differ (the unfused pipeline fully projects before filtering).
+fn filter_project(
+    ctx: &ExecCtx,
+    inner: &Plan,
+    items: &[ProjectItem],
+    predicate: &crate::expr::Expr,
+) -> Result<Table> {
+    let inner_rel = eval(inner, ctx)?;
+    let input = inner_rel.as_table();
+    let exprs: Vec<Cow<crate::expr::Expr>> =
+        items.iter().map(|item| resolve(&item.expr, ctx)).collect::<Result<_>>()?;
+    let out_schema = projection_schema(input, items, &exprs);
+    if input.is_empty() {
+        return Ok(Table::empty(out_schema));
+    }
+    let in_schema = input.schema();
+    let compiled: Vec<crate::expr::CompiledExpr> =
+        exprs.iter().map(|e| e.compile(in_schema)).collect::<Result<_>>()?;
+    let predicate = resolve(predicate, ctx)?.compile(&out_schema)?;
+    let mut rows = Vec::new();
+    let mut scratch: Row = Vec::with_capacity(compiled.len());
+    for row in input.rows() {
+        scratch.clear();
+        for expr in &compiled {
+            scratch.push(expr.evaluate(row)?);
+        }
+        if predicate.evaluate(&scratch)?.as_bool()? {
+            rows.push(scratch.clone());
+        }
+    }
+    Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
 /// Fused `TopK(Project(input))`: evaluates each projected row into a scratch
@@ -1038,12 +1163,62 @@ fn top_k_bounded(
     factor_col: Option<&str>,
     k: usize,
 ) -> Result<Table> {
+    let probes = gather_probes(ctx.catalog, base, probe, token_col, factor_col)?;
+    let ranked: Vec<(i64, f64)> = if ctx.naive {
+        let mut scores = score_exhaustive(probes);
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scores.truncate(k);
+        scores
+    } else {
+        crate::posting::MaxScoreTraversal::new(probes, k)?.run()
+    };
+    Ok(scored_tid_table(ranked))
+}
+
+/// Execute [`Plan::ThresholdBounded`]: resolve the probe's `(token, factor)`
+/// rows against the posting index of `base` and select every tid whose
+/// summed scaled contribution reaches `tau`.
+///
+/// The indexed mode runs the fixed-bar max-score traversal
+/// ([`crate::posting::ThresholdTraversal`]); the naive mode keeps the
+/// pre-refactor cost model — exhaustively score every posting in probe-major
+/// order, filter by the exact `score >= τ`, sort. The two modes and the
+/// equivalent `Filter(score >= τ, Aggregate(IndexJoin))` pipeline are all
+/// bit-identical: a fixed τ has no tie class (see the posting-layer docs).
+fn threshold_bounded(
+    ctx: &ExecCtx,
+    base: &str,
+    probe: &Table,
+    token_col: &str,
+    factor_col: Option<&str>,
+    tau: f64,
+) -> Result<Table> {
+    let probes = gather_probes(ctx.catalog, base, probe, token_col, factor_col)?;
+    let selected: Vec<(i64, f64)> = if ctx.naive {
+        let mut scores = score_exhaustive(probes);
+        scores.retain(|&(_, score)| crate::posting::admits(score, tau));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scores
+    } else {
+        crate::posting::ThresholdTraversal::new(probes, tau)?.run()
+    };
+    Ok(scored_tid_table(selected))
+}
+
+/// Resolve a probe table's `(token, factor)` rows against the posting index
+/// of `base`, in probe order: NULL tokens/factors never contribute (SQL join
+/// / SUM semantics), unknown tokens have no list to probe.
+fn gather_probes<'c>(
+    catalog: &'c Catalog,
+    base: &str,
+    probe: &Table,
+    token_col: &str,
+    factor_col: Option<&str>,
+) -> Result<Vec<(&'c crate::posting::PostingList, f64)>> {
     let posting =
-        ctx.catalog.posting_for(base).ok_or_else(|| RelqError::MissingPosting(base.to_string()))?;
+        catalog.posting_for(base).ok_or_else(|| RelqError::MissingPosting(base.to_string()))?;
     let token_idx = probe.schema().index_of(token_col)?;
     let factor_idx = factor_col.map(|c| probe.schema().index_of(c)).transpose()?;
-    // Probe rows in order: NULL tokens/factors never contribute (SQL join /
-    // SUM semantics), unknown tokens have no list to probe.
     let mut probes: Vec<(&crate::posting::PostingList, f64)> = Vec::new();
     for row in probe.rows() {
         let token = &row[token_idx];
@@ -1061,32 +1236,36 @@ fn top_k_bounded(
             probes.push((list, factor));
         }
     }
-    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("score", DataType::Float)]);
-    let ranked: Vec<(i64, f64)> = if ctx.naive {
-        // Exhaustive scoring in probe-major order — the accumulation order of
-        // the materializing aggregation pipeline, hence byte-identical to it.
-        let mut slots: HashMap<i64, usize> = HashMap::new();
-        let mut scores: Vec<(i64, f64)> = Vec::new();
-        for (list, factor) in probes {
-            for (i, &tid) in list.tids().iter().enumerate() {
-                match slots.get(&tid) {
-                    Some(&s) => scores[s].1 += factor * list.weights()[i],
-                    None => {
-                        slots.insert(tid, scores.len());
-                        scores.push((tid, factor * list.weights()[i]));
-                    }
+    Ok(probes)
+}
+
+/// Exhaustive scoring of every posting in probe-major order — the
+/// accumulation order of the materializing aggregation pipeline, hence
+/// byte-identical to it. The naive lowering of both bounded operators.
+fn score_exhaustive(probes: Vec<(&crate::posting::PostingList, f64)>) -> Vec<(i64, f64)> {
+    let mut slots: HashMap<i64, usize> = HashMap::new();
+    let mut scores: Vec<(i64, f64)> = Vec::new();
+    for (list, factor) in probes {
+        for (i, &tid) in list.tids().iter().enumerate() {
+            match slots.get(&tid) {
+                Some(&s) => scores[s].1 += factor * list.weights()[i],
+                None => {
+                    slots.insert(tid, scores.len());
+                    scores.push((tid, factor * list.weights()[i]));
                 }
             }
         }
-        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        scores.truncate(k);
-        scores
-    } else {
-        crate::posting::MaxScoreTraversal::new(probes, k)?.run()
-    };
+    }
+    scores
+}
+
+/// Materialize `(tid, score)` pairs as the canonical result table of the
+/// bounded operators.
+fn scored_tid_table(scored: Vec<(i64, f64)>) -> Table {
+    let schema = Schema::from_pairs(&[("tid", DataType::Int), ("score", DataType::Float)]);
     let rows: Vec<Row> =
-        ranked.into_iter().map(|(tid, score)| vec![Value::Int(tid), Value::Float(score)]).collect();
-    Ok(Table::from_parts_unchecked(schema, rows))
+        scored.into_iter().map(|(tid, score)| vec![Value::Int(tid), Value::Float(score)]).collect();
+    Table::from_parts_unchecked(schema, rows)
 }
 
 fn distinct(input: Rel) -> Table {
@@ -1516,6 +1695,162 @@ mod tests {
             execute_with(&bounded, &no_posting, &bindings),
             Err(RelqError::MissingPosting(_))
         ));
+    }
+
+    #[test]
+    fn threshold_bounded_matches_filtered_aggregate_pipeline() {
+        // Same skewed-weight corpus as the top-k test: token 0 frequent and
+        // light, token 9 rare and heavy.
+        let mut weights = TableBuilder::new()
+            .column("tid", DataType::Int)
+            .column("token", DataType::Int)
+            .column("weight", DataType::Float);
+        for tid in 0..50i64 {
+            weights = weights.row(vec![tid.into(), 0.into(), 0.01.into()]);
+            if tid % 3 == 0 {
+                weights = weights.row(vec![tid.into(), 1.into(), (0.1 + tid as f64 * 1e-3).into()]);
+            }
+            if tid % 17 == 0 {
+                weights = weights.row(vec![tid.into(), 9.into(), 2.5.into()]);
+            }
+        }
+        let table = weights.build().unwrap();
+        let mut c = Catalog::new();
+        c.register_indexed("w", table, &["token"]).unwrap();
+        c.register_posting("w", "token", "tid", Some("weight")).unwrap();
+        let probe = TableBuilder::new()
+            .column("token", DataType::Int)
+            .column("factor", DataType::Float)
+            .row(vec![0.into(), 1.0.into()])
+            .row(vec![1.into(), 0.5.into()])
+            .row(vec![9.into(), 2.0.into()])
+            .row(vec![42.into(), 1.0.into()]) // unknown token: no list
+            .build()
+            .unwrap();
+        // The exhaustive reference: filter the aggregated scores at τ, then
+        // bring them into the bounded operator's canonical ranking order.
+        let reference = Plan::index_join("w", &["token"], Plan::param("q"), &["token"])
+            .aggregate(&["tid"], vec![(AggFunc::Sum(col("weight").mul(col("factor"))), "score")])
+            .filter(col("score").gt_eq(param("tau")))
+            .sort_by_many(vec![("score", SortOrder::Descending), ("tid", SortOrder::Ascending)]);
+        let bounded =
+            Plan::threshold_bounded("w", Plan::param("q"), "token", Some("factor"), param("tau"));
+        for tau in [f64::NEG_INFINITY, -1.0, 0.0, 0.01, 0.05, 0.1, 1.0, 5.0, 5.01, 100.0, f64::NAN]
+        {
+            let bindings = Bindings::new().with_table("q", probe.clone()).with_scalar("tau", tau);
+            let expected = execute_with(&reference, &c, &bindings).unwrap();
+            let fast = execute_with(&bounded, &c, &bindings).unwrap();
+            let slow = execute_naive(&bounded, &c, &bindings).unwrap();
+            assert_eq!(fast.schema().names(), vec!["tid", "score"], "tau={tau}");
+            assert_eq!(fast.num_rows(), expected.num_rows(), "tau={tau}");
+            for row in 0..expected.num_rows() {
+                assert_eq!(
+                    fast.value(row, "tid").unwrap(),
+                    expected.value(row, "tid").unwrap(),
+                    "tau={tau} row={row}"
+                );
+                let fs = fast.value(row, "score").unwrap().as_f64().unwrap();
+                let es = expected.value(row, "score").unwrap().as_f64().unwrap();
+                assert_eq!(fs.to_bits(), es.to_bits(), "tau={tau} row={row}");
+            }
+            assert_eq!(slow.rows(), fast.rows(), "tau={tau} (naive)");
+        }
+        // Exact-boundary τ: pick one aggregated score and select at it — the
+        // `>=` must admit exactly that tid.
+        let all = execute_with(
+            &bounded,
+            &c,
+            &Bindings::new().with_table("q", probe.clone()).with_scalar("tau", f64::NEG_INFINITY),
+        )
+        .unwrap();
+        let boundary = all.value(all.num_rows() / 2, "score").unwrap().as_f64().unwrap();
+        let bindings = Bindings::new().with_table("q", probe.clone()).with_scalar("tau", boundary);
+        let at = execute_with(&bounded, &c, &bindings).unwrap();
+        assert!(at.rows().iter().any(|r| r[1].as_f64().unwrap().to_bits() == boundary.to_bits()));
+        assert_eq!(at.rows(), execute_naive(&bounded, &c, &bindings).unwrap().rows());
+        // Negative factors are rejected by the traversal; the posting index
+        // is required.
+        let neg_probe = TableBuilder::new()
+            .column("token", DataType::Int)
+            .column("factor", DataType::Float)
+            .row(vec![0.into(), (-1.0).into()])
+            .build()
+            .unwrap();
+        let bindings = Bindings::new().with_table("q", neg_probe).with_scalar("tau", 0.5);
+        assert!(matches!(execute_with(&bounded, &c, &bindings), Err(RelqError::InvalidPlan(_))));
+        let mut no_posting = Catalog::new();
+        no_posting.register_indexed("w", c.get("w").unwrap().clone(), &["token"]).unwrap();
+        let bindings = Bindings::new().with_table("q", probe).with_scalar("tau", 0.5);
+        assert!(matches!(
+            execute_with(&bounded, &no_posting, &bindings),
+            Err(RelqError::MissingPosting(_))
+        ));
+    }
+
+    #[test]
+    fn fused_filter_over_projection_matches_unfused_pipeline() {
+        // Regression: the indexed mode must apply a filter above a projection
+        // (the threshold-plan shape) row-by-row, byte-identical to the naive
+        // materialize-then-filter pipeline.
+        let catalog = catalog();
+        let plan = Plan::scan("base_tokens")
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "cnt")])
+            .project(vec![(col("tid"), "tid"), (col("cnt").mul(lit(2i64)), "score")])
+            .filter(col("score").gt_eq(param("tau")));
+        for tau in [i64::MIN, 0, 2, 4, 5, 100] {
+            let bindings = Bindings::new().with_scalar("tau", tau);
+            let fused = execute_with(&plan, &catalog, &bindings).unwrap();
+            let unfused = execute_naive(&plan, &catalog, &bindings).unwrap();
+            assert_eq!(fused.schema(), unfused.schema(), "tau={tau}");
+            assert_eq!(fused.rows(), unfused.rows(), "tau={tau}");
+        }
+        // Empty input keeps the projection's derived schema in both modes.
+        let empty = Plan::values(Table::empty(Schema::from_pairs(&[
+            ("tid", DataType::Int),
+            ("cnt", DataType::Int),
+        ])))
+        .project(vec![(col("tid"), "tid"), (col("cnt").div(lit(2i64)), "score")])
+        .filter(col("score").gt_eq(lit(0.0)));
+        let result = execute(&empty, &catalog).unwrap();
+        assert_eq!(result.num_rows(), 0);
+        assert_eq!(result.schema().field(0).dtype, DataType::Int);
+        assert_eq!(result.schema().field(1).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn fused_filter_over_aggregation_matches_unfused_pipeline() {
+        // Regression: a filter directly above an aggregation (the WM/Cosine
+        // threshold-plan shape) is applied as output rows are assembled —
+        // through the fused Aggregate(IndexJoin) pipeline and the generic
+        // one — byte-identical to the naive materialize-then-filter path.
+        let catalog = catalog();
+        let indexed =
+            Plan::index_join("base_tokens", &["token"], Plan::scan("query_tokens"), &["token"])
+                .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+                .filter(col("score").gt_eq(param("tau")));
+        let generic = Plan::scan("base_tokens")
+            .aggregate(&["tid"], vec![(AggFunc::CountStar, "score")])
+            .filter(col("score").gt_eq(param("tau")));
+        for plan in [&indexed, &generic] {
+            for tau in [i64::MIN, 1, 2, 3, 9] {
+                let bindings = Bindings::new().with_scalar("tau", tau);
+                let fused = execute_with(plan, &catalog, &bindings).unwrap();
+                let unfused = execute_naive(plan, &catalog, &bindings).unwrap();
+                assert_eq!(fused.rows(), unfused.rows(), "tau={tau}");
+            }
+        }
+        // A filtered *global* aggregate over an empty stream still assembles
+        // (and then filters) its single empty-aggregate row.
+        let empty = Table::empty(Schema::from_pairs(&[("x", DataType::Int)]));
+        let plan = Plan::values(empty)
+            .aggregate(&[], vec![(AggFunc::CountStar, "n")])
+            .filter(col("n").gt_eq(lit(1i64)));
+        assert_eq!(execute(&plan, &Catalog::new()).unwrap().num_rows(), 0);
+        let plan = match plan {
+            Plan::Filter { input, .. } => input.filter(col("n").gt_eq(lit(0i64))),
+            _ => unreachable!(),
+        };
+        assert_eq!(execute(&plan, &Catalog::new()).unwrap().num_rows(), 1);
     }
 
     #[test]

@@ -110,6 +110,35 @@ pub enum Plan {
         factor_col: Option<String>,
         k: Expr,
     },
+    /// Score-bounded *threshold* selection over the posting lists of catalog
+    /// table `base`: every `(tid, score)` with `score ≥ τ`, score-descending
+    /// with ties by ascending tid, where `score(tid) = Σ_probe factor ·
+    /// weight(base, tid, token)` exactly as in [`Plan::TopKBounded`]. The
+    /// early-terminating alternative to `Filter(score ≥ τ)` over the
+    /// exhaustive aggregation pipeline for the same monotone-sum scores.
+    ///
+    /// Execution is the same document-at-a-time max-score traversal with the
+    /// threshold **fixed** at τ from the start: no heap, the non-essential
+    /// list prefix (lists whose summed upper bounds cannot reach τ) is
+    /// computed once, and candidates appearing only there are never visited.
+    /// Pruning carries the shared relative slack, survivors are re-scored in
+    /// probe order, and admission is the exact `score ≥ τ` test — so,
+    /// unlike top-k (where the running θ creates a tie class at the k
+    /// boundary), results are **bit-identical** to the exhaustive
+    /// score-then-filter pipeline for every τ, including non-finite ones.
+    /// The naive executor lowers this node to exhaustive probe-major scoring
+    /// plus the same exact filter, byte-identical to the traversal.
+    ///
+    /// `tau` is a column-free scalar expression (a literal or a bound
+    /// parameter, possibly transformed — e.g. `param(τ).ln()` for scores
+    /// selected in log space), evaluated once per execution.
+    ThresholdBounded {
+        base: String,
+        probe: Box<Plan>,
+        token_col: String,
+        factor_col: Option<String>,
+        tau: Expr,
+    },
     /// SELECT DISTINCT over all columns.
     Distinct { input: Box<Plan> },
     /// UNION ALL of two union-compatible inputs.
@@ -241,6 +270,26 @@ impl Plan {
         }
     }
 
+    /// Score-bounded threshold selection over the posting lists of `base`,
+    /// probed by the `probe` plan's `(token_col, factor_col)` rows (see
+    /// [`Plan::ThresholdBounded`]). `tau` may be a literal or a scalar
+    /// parameter expression.
+    pub fn threshold_bounded(
+        base: &str,
+        probe: Plan,
+        token_col: &str,
+        factor_col: Option<&str>,
+        tau: Expr,
+    ) -> Plan {
+        Plan::ThresholdBounded {
+            base: base.to_string(),
+            probe: Box::new(probe),
+            token_col: token_col.to_string(),
+            factor_col: factor_col.map(str::to_string),
+            tau,
+        }
+    }
+
     /// SELECT DISTINCT.
     pub fn distinct(self) -> Plan {
         Plan::Distinct { input: Box::new(self) }
@@ -262,7 +311,9 @@ impl Plan {
             | Plan::Limit { input, .. }
             | Plan::TopK { input, .. }
             | Plan::Distinct { input } => input.node_count(),
-            Plan::IndexJoin { probe, .. } | Plan::TopKBounded { probe, .. } => probe.node_count(),
+            Plan::IndexJoin { probe, .. }
+            | Plan::TopKBounded { probe, .. }
+            | Plan::ThresholdBounded { probe, .. } => probe.node_count(),
             Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
                 left.node_count() + right.node_count()
             }
@@ -280,7 +331,9 @@ impl Plan {
         match self {
             Plan::Scan { table } => out.push(table.clone()),
             Plan::Values { .. } | Plan::Param { .. } => {}
-            Plan::IndexJoin { base, probe, .. } | Plan::TopKBounded { base, probe, .. } => {
+            Plan::IndexJoin { base, probe, .. }
+            | Plan::TopKBounded { base, probe, .. }
+            | Plan::ThresholdBounded { base, probe, .. } => {
                 out.push(base.clone());
                 probe.collect_tables(out);
             }
@@ -359,6 +412,25 @@ mod tests {
                 );
             }
             other => panic!("expected TopK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_nodes_carry_their_scalar_parameters() {
+        use crate::expr::param;
+        let top = Plan::top_k_bounded("w", Plan::param("q"), "token", Some("factor"), param("k"));
+        let thr = Plan::threshold_bounded("w", Plan::param("q"), "token", None, param("tau"));
+        for plan in [&top, &thr] {
+            assert_eq!(plan.node_count(), 2);
+            assert_eq!(plan.referenced_tables(), vec!["w".to_string()]);
+        }
+        match thr {
+            Plan::ThresholdBounded { token_col, factor_col, tau, .. } => {
+                assert_eq!(token_col, "token");
+                assert_eq!(factor_col, None);
+                assert!(tau.has_params());
+            }
+            other => panic!("expected ThresholdBounded, got {other:?}"),
         }
     }
 

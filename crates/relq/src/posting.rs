@@ -1,29 +1,43 @@
-//! Score-ordered posting lists and the bounded top-k traversal they enable.
+//! Score-ordered posting lists and the two bounded traversals they enable.
 //!
 //! A [`PostingIndex`] is the third registration-time artifact a catalog table
 //! can carry (after the shared `Arc<Table>` storage and the equality
 //! [`TableIndex`](crate::TableIndex)): for every distinct key of a token
 //! column it stores the posting list of `(tid, contribution)` pairs in
 //! tid order, together with the list's maximum contribution. That per-list
-//! upper bound is what [`Plan::TopKBounded`](crate::Plan::TopKBounded)
-//! exploits — a document-at-a-time max-score traversal (Turtle & Flood's
-//! refinement of WAND / Fagin's threshold algorithm) that keeps a `k`-sized
-//! heap with a running threshold θ and never fully scores a tid whose sum of
-//! remaining list upper bounds cannot beat θ. For the monotone
-//! sum-of-non-negative-contribution predicates this makes top-k sublinear in
-//! the candidate count: the long, low-weight lists of frequent tokens are
-//! consulted only through bounded random accesses, never traversed.
+//! upper bound powers two early-terminating operators:
+//!
+//! * [`Plan::TopKBounded`](crate::Plan::TopKBounded) — a document-at-a-time
+//!   max-score traversal (Turtle & Flood's refinement of WAND / Fagin's
+//!   threshold algorithm) that keeps a `k`-sized heap with a *running*
+//!   threshold θ and never fully scores a tid whose sum of remaining list
+//!   upper bounds cannot beat θ ([`MaxScoreTraversal`]).
+//! * [`Plan::ThresholdBounded`](crate::Plan::ThresholdBounded) — the same
+//!   traversal with the threshold *fixed* at a caller-supplied τ from the
+//!   start ([`ThresholdTraversal`]): no heap, the non-essential prefix is
+//!   computed once, and the operator returns every tid whose exact score
+//!   reaches τ. Strictly simpler than top-k — and, because θ never moves,
+//!   free of the tie-class ambiguity at the k boundary.
+//!
+//! For the monotone sum-of-non-negative-contribution predicates this makes
+//! both selections sublinear in the candidate count: the long, low-weight
+//! lists of frequent tokens are consulted only through bounded random
+//! accesses, never traversed.
 //!
 //! ## Exactness contract
 //!
 //! Bound arithmetic uses a small relative slack so floating-point summation
-//! order can never prune a tid whose exact score ties or beats the k-th best
-//! ([`MaxScoreTraversal`] only discards a tid when its upper bound is below
+//! order can never prune a tid whose exact score ties or beats the bar
+//! (pruning only discards a tid when its upper bound is below
 //! `θ · (1 − 1e-9)`-ish, seven orders of magnitude wider than accumulated
 //! rounding). Every tid that survives pruning is then re-scored in *probe
 //! order* — the exact accumulation order of the materializing aggregation
-//! plans — so emitted scores are bit-identical to the heap path's whenever
-//! they are distinct; only the membership of exact score ties may differ.
+//! plans. For top-k that makes emitted scores bit-identical to the heap
+//! path's whenever they are distinct (only the membership of exact score
+//! ties may differ); for the fixed-τ traversal the final admission test is
+//! the exact `score ≥ τ` on the re-scored sum, so the result is
+//! **bit-identical** to the exhaustive score-then-filter pipeline — there is
+//! no tie class at a fixed τ.
 
 use crate::error::{RelqError, Result};
 use crate::table::Table;
@@ -218,41 +232,44 @@ fn hopeless(bound: f64, theta: f64) -> bool {
     bound < theta - 1e-9 * (theta.abs() + bound.abs() + 1.0)
 }
 
-/// The document-at-a-time max-score traversal behind
-/// [`Plan::TopKBounded`](crate::Plan::TopKBounded).
-///
-/// Lists are sorted by ascending upper bound (ties: longer lists first, so
-/// the largest traversal volume becomes skippable soonest). A growing prefix
-/// of "non-essential" lists — those whose bounds sum below the current
-/// threshold θ — is excluded from candidate generation: a tid appearing only
-/// there cannot reach the heap, and tids from the essential suffix consult
-/// the non-essential prefix via bounded random accesses that abandon as soon
-/// as the remaining upper bounds cannot lift the partial score past θ.
-pub(crate) struct MaxScoreTraversal<'a> {
+/// The exact `score ≥ τ` admission test of the fixed-τ traversal, with the
+/// same NaN semantics as the relational filter it replaces: `Filter`
+/// comparisons go through [`Value::total_cmp`], under which NaN compares
+/// equal to everything — so a NaN τ admits every candidate (and pruning,
+/// whose arithmetic propagates NaN into `false` comparisons, never fires).
+/// Scores themselves are finite sums of finite non-negative products and
+/// cannot be NaN.
+pub(crate) fn admits(score: f64, tau: f64) -> bool {
+    !matches!(score.partial_cmp(&tau), Some(std::cmp::Ordering::Less))
+}
+
+/// The machinery both bounded traversals share: the probed lists sorted by
+/// ascending upper bound (ties: longer lists first, so the largest traversal
+/// volume becomes skippable soonest), the canonical probe-order permutation
+/// for exact re-scoring, prefix bound sums, and the document-at-a-time
+/// candidate enumeration with its bounded prefix descent. Keeping this in
+/// one place is what keeps the two operators' bound arithmetic — and
+/// therefore their exactness contracts — provably identical.
+struct ProbedLists<'a> {
     lists: Vec<ProbedList<'a>>,
     /// Internal list indices in original probe order (canonical re-scoring).
     by_canon: Vec<usize>,
     /// `prefix_bound[i]` = Σ bounds of `lists[0..=i]`.
     prefix_bound: Vec<f64>,
-    /// `lists[0..first_essential]` are non-essential under the current θ.
-    first_essential: usize,
-    k: usize,
-    /// The `k` best `(score, tid)` seen so far, worst first (max-heap under
-    /// "ranks last"); θ is the score of `heap[0]` once full.
-    heap: Vec<(f64, i64)>,
 }
 
-impl<'a> MaxScoreTraversal<'a> {
+impl<'a> ProbedLists<'a> {
     /// `probes` pairs each probed posting list with its query-side factor,
     /// in probe order (the canonical accumulation order). Factors must be
     /// non-negative and finite: a negative factor would invert a list's
-    /// ordering and break the upper-bound argument.
-    pub(crate) fn new(probes: Vec<(&'a PostingList, f64)>, k: usize) -> Result<Self> {
+    /// ordering and break the upper-bound argument. `op` names the plan
+    /// operator in the rejection message.
+    fn new(probes: Vec<(&'a PostingList, f64)>, op: &str) -> Result<Self> {
         let mut lists = Vec::with_capacity(probes.len());
         for (canon, (list, factor)) in probes.into_iter().enumerate() {
             if !(factor >= 0.0 && factor.is_finite()) {
                 return Err(RelqError::InvalidPlan(format!(
-                    "TopKBounded requires finite non-negative query factors, got {factor}"
+                    "{op} requires finite non-negative query factors, got {factor}"
                 )));
             }
             lists.push(ProbedList {
@@ -276,10 +293,99 @@ impl<'a> MaxScoreTraversal<'a> {
             sum += l.bound;
             prefix_bound.push(sum);
         }
+        Ok(ProbedLists { lists, by_canon, prefix_bound })
+    }
+
+    fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Exact score of `tid`, accumulated in probe order — the same order the
+    /// materializing aggregation pipeline sums contributions in, so emitted
+    /// scores are bit-identical to the exhaustive paths'.
+    fn exact_score(&self, tid: i64) -> f64 {
+        let mut score = 0.0;
+        for &i in &self.by_canon {
+            let l = &self.lists[i];
+            if let Some(w) = l.list.weight_of(tid) {
+                score += l.factor * w;
+            }
+        }
+        score
+    }
+
+    /// Next candidate from the essential suffix: the smallest un-visited tid
+    /// across `lists[first_essential..]` together with its partial score from
+    /// those lists (their cursors advanced past it), or `None` when every
+    /// essential cursor is exhausted.
+    fn next_candidate(&mut self, first_essential: usize) -> Option<(i64, f64)> {
+        let mut tid = i64::MAX;
+        for l in &self.lists[first_essential..] {
+            if let Some(&t) = l.list.tids().get(l.pos) {
+                tid = tid.min(t);
+            }
+        }
+        if tid == i64::MAX {
+            return None;
+        }
+        let mut partial = 0.0;
+        for l in &mut self.lists[first_essential..] {
+            if l.list.tids().get(l.pos) == Some(&tid) {
+                partial += l.factor * l.list.weights()[l.pos];
+                l.pos += 1;
+            }
+        }
+        Some((tid, partial))
+    }
+
+    /// Descend through the non-essential prefix for `tid`, highest bound
+    /// first, adding its contributions to `partial` — abandoning with `None`
+    /// as soon as the remaining upper bounds cannot lift the partial score
+    /// past `bar` (with the [`hopeless`] slack, so no qualifying tid is ever
+    /// abandoned).
+    fn descend_prefix(
+        &self,
+        tid: i64,
+        mut partial: f64,
+        first_essential: usize,
+        bar: f64,
+    ) -> Option<f64> {
+        for i in (0..first_essential).rev() {
+            if hopeless(partial + self.prefix_bound[i], bar) {
+                return None;
+            }
+            if let Some(w) = self.lists[i].list.weight_of(tid) {
+                partial += self.lists[i].factor * w;
+            }
+        }
+        Some(partial)
+    }
+}
+
+/// The document-at-a-time max-score traversal behind
+/// [`Plan::TopKBounded`](crate::Plan::TopKBounded).
+///
+/// A growing prefix of "non-essential" lists — those whose bounds sum below
+/// the current threshold θ (the k-th best exact score so far) — is excluded
+/// from candidate generation: a tid appearing only there cannot reach the
+/// heap, and tids from the essential suffix consult the non-essential prefix
+/// via bounded random accesses that abandon as soon as the remaining upper
+/// bounds cannot lift the partial score past θ (see [`ProbedLists`]).
+pub(crate) struct MaxScoreTraversal<'a> {
+    probed: ProbedLists<'a>,
+    /// `lists[0..first_essential]` are non-essential under the current θ.
+    first_essential: usize,
+    k: usize,
+    /// The `k` best `(score, tid)` seen so far, worst first (max-heap under
+    /// "ranks last"); θ is the score of `heap[0]` once full.
+    heap: Vec<(f64, i64)>,
+}
+
+impl<'a> MaxScoreTraversal<'a> {
+    /// Wrap the probes (see [`ProbedLists::new`]) for a top-`k` selection.
+    pub(crate) fn new(probes: Vec<(&'a PostingList, f64)>, k: usize) -> Result<Self> {
         Ok(MaxScoreTraversal {
-            lists,
-            by_canon,
-            prefix_bound,
+            probed: ProbedLists::new(probes, "TopKBounded")?,
             first_essential: 0,
             k,
             heap: Vec::new(),
@@ -293,20 +399,6 @@ impl<'a> MaxScoreTraversal<'a> {
         } else {
             f64::NEG_INFINITY
         }
-    }
-
-    /// Exact score of `tid`, accumulated in probe order — the same order the
-    /// materializing aggregation pipeline sums contributions in, so the
-    /// result is bit-identical to the heap path's score.
-    fn exact_score(&self, tid: i64) -> f64 {
-        let mut score = 0.0;
-        for &i in &self.by_canon {
-            let l = &self.lists[i];
-            if let Some(w) = l.list.weight_of(tid) {
-                score += l.factor * w;
-            }
-        }
-        score
     }
 
     /// `a` ranks strictly after `b` — i.e. `a` is the worse entry.
@@ -355,56 +447,34 @@ impl<'a> MaxScoreTraversal<'a> {
 
     /// Run the traversal, returning `(tid, score)` in ranking order.
     pub(crate) fn run(mut self) -> Vec<(i64, f64)> {
-        if self.k == 0 || self.lists.is_empty() {
+        if self.k == 0 || self.probed.len() == 0 {
             return Vec::new();
         }
         loop {
             let theta = self.theta();
             // Grow the non-essential prefix: lists[0..first_essential] alone
             // can no longer produce a heap entry.
-            while self.first_essential < self.lists.len()
-                && hopeless(self.prefix_bound[self.first_essential], theta)
+            while self.first_essential < self.probed.len()
+                && hopeless(self.probed.prefix_bound[self.first_essential], theta)
             {
                 self.first_essential += 1;
             }
-            if self.first_essential == self.lists.len() {
+            if self.first_essential == self.probed.len() {
                 break; // Even the sum of all remaining bounds is below θ.
             }
-            // Next candidate: the smallest un-visited tid in any essential list.
-            let mut tid = i64::MAX;
-            for l in &self.lists[self.first_essential..] {
-                if let Some(&t) = l.list.tids().get(l.pos) {
-                    tid = tid.min(t);
-                }
-            }
-            if tid == i64::MAX {
+            let Some((tid, partial)) = self.probed.next_candidate(self.first_essential) else {
                 break; // All essential cursors exhausted.
-            }
-            // Partial score from the essential lists (advancing their cursors).
-            let mut partial = 0.0;
-            for l in &mut self.lists[self.first_essential..] {
-                if l.list.tids().get(l.pos) == Some(&tid) {
-                    partial += l.factor * l.list.weights()[l.pos];
-                    l.pos += 1;
-                }
-            }
-            // Descend through the non-essential prefix, highest bound first,
-            // abandoning as soon as the remaining bounds cannot reach θ.
-            let mut pruned = false;
-            for i in (0..self.first_essential).rev() {
-                if hopeless(partial + self.prefix_bound[i], theta) {
-                    pruned = true;
-                    break;
-                }
-                if let Some(w) = self.lists[i].list.weight_of(tid) {
-                    partial += self.lists[i].factor * w;
-                }
-            }
-            if pruned || (self.heap.len() == self.k && hopeless(partial, self.theta())) {
+            };
+            let Some(partial) =
+                self.probed.descend_prefix(tid, partial, self.first_essential, theta)
+            else {
+                continue; // Abandoned mid-descent: cannot reach θ.
+            };
+            if self.heap.len() == self.k && hopeless(partial, theta) {
                 continue;
             }
             // Survivor: re-score exactly in probe order before admission.
-            let exact = self.exact_score(tid);
+            let exact = self.probed.exact_score(tid);
             self.push_heap(exact, tid);
         }
         // Drain the max-heap worst-first, then reverse into ranking order.
@@ -417,6 +487,94 @@ impl<'a> MaxScoreTraversal<'a> {
             Self::sift_down(&mut self.heap, 0);
         }
         out.reverse();
+        out
+    }
+}
+
+/// The document-at-a-time max-score traversal behind
+/// [`Plan::ThresholdBounded`](crate::Plan::ThresholdBounded): the threshold
+/// selection "return every tid with `score ≥ τ`" over the same posting
+/// lists [`MaxScoreTraversal`] uses for top-k.
+///
+/// The bar is **fixed** at τ from the start, which simplifies everything the
+/// top-k traversal has to maintain dynamically: there is no heap, and the
+/// non-essential prefix — the lists whose summed upper bounds cannot reach
+/// τ — is computed once before the descent instead of growing as θ rises. A
+/// tid appearing only in non-essential lists can never reach τ and is never
+/// visited; tids from the essential suffix consult the prefix through the
+/// same highest-bound-first random accesses with early abandon.
+///
+/// ## Exactness
+///
+/// Pruning carries the shared relative slack (see [`hopeless`]), so no tid
+/// whose exact score ties or beats τ is ever discarded; every survivor is
+/// re-scored in probe order and admitted by the **exact** `score ≥ τ` test
+/// ([`admits`], no slack). The emitted `(tid, score)` set is therefore
+/// bit-identical — tids and score bits — to exhaustively scoring every
+/// candidate in probe-major order and filtering, which is exactly what the
+/// naive lowering does. Results are in ranking order (score descending,
+/// ties by ascending tid).
+///
+/// A non-finite τ behaves like the exhaustive filter too: `τ = −∞` disables
+/// pruning and admits every candidate, `τ = +∞` short-circuits to empty (no
+/// finite score reaches it), and `τ = NaN` admits every candidate — the
+/// relational comparator treats NaN as equal to everything (see [`admits`]).
+pub(crate) struct ThresholdTraversal<'a> {
+    probed: ProbedLists<'a>,
+    /// The fixed selection bar τ.
+    tau: f64,
+}
+
+impl<'a> ThresholdTraversal<'a> {
+    /// Wrap the probes (see [`ProbedLists::new`]) for a selection at `tau`.
+    pub(crate) fn new(probes: Vec<(&'a PostingList, f64)>, tau: f64) -> Result<Self> {
+        Ok(ThresholdTraversal { probed: ProbedLists::new(probes, "ThresholdBounded")?, tau })
+    }
+
+    /// Run the traversal, returning every `(tid, score)` with `score ≥ τ` in
+    /// ranking order.
+    pub(crate) fn run(mut self) -> Vec<(i64, f64)> {
+        let tau = self.tau;
+        // τ = +∞: no finite score qualifies, and the prefix/pruning
+        // arithmetic degenerates (∞ − ∞ = NaN compares false, disabling
+        // pruning) — short-circuit instead of scoring every candidate only
+        // to reject it.
+        if self.probed.len() == 0 || tau == f64::INFINITY {
+            return Vec::new();
+        }
+        // The non-essential prefix under the fixed bar: computed once — τ
+        // never moves, so unlike top-k it can never grow mid-traversal.
+        let mut first_essential = 0;
+        while first_essential < self.probed.len()
+            && hopeless(self.probed.prefix_bound[first_essential], tau)
+        {
+            first_essential += 1;
+        }
+        let mut out: Vec<(i64, f64)> = Vec::new();
+        if first_essential == self.probed.len() {
+            return out; // Even the sum of all bounds is below τ.
+        }
+        // Candidates arrive in ascending tid order from the essential
+        // cursors; each consults the non-essential prefix with early
+        // abandon, exactly like the top-k traversal at a frozen θ.
+        while let Some((tid, partial)) = self.probed.next_candidate(first_essential) {
+            let Some(partial) = self.probed.descend_prefix(tid, partial, first_essential, tau)
+            else {
+                continue; // Abandoned mid-descent: cannot reach τ.
+            };
+            if hopeless(partial, tau) {
+                continue;
+            }
+            // Survivor: the exact probe-order score decides admission — no
+            // slack here, so the emitted set matches the exhaustive filter
+            // bit for bit.
+            let exact = self.probed.exact_score(tid);
+            if admits(exact, tau) {
+                out.push((tid, exact));
+            }
+        }
+        // Emit in ranking order.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 }
@@ -600,5 +758,99 @@ mod tests {
         assert!(MaxScoreTraversal::new(vec![(list, -0.5)], 3).is_err());
         assert!(MaxScoreTraversal::new(vec![(list, f64::NAN)], 3).is_err());
         assert!(MaxScoreTraversal::new(vec![(list, 0.0)], 3).is_ok());
+        assert!(ThresholdTraversal::new(vec![(list, -0.5)], 0.1).is_err());
+        assert!(ThresholdTraversal::new(vec![(list, f64::INFINITY)], 0.1).is_err());
+        assert!(ThresholdTraversal::new(vec![(list, 0.0)], 0.1).is_ok());
+    }
+
+    /// Exhaustive reference selection in probe-major accumulation order,
+    /// under the relational filter's comparison semantics ([`admits`]).
+    fn reference_threshold(ix: &PostingIndex, probes: &[(i64, f64)], tau: f64) -> Vec<(i64, f64)> {
+        let mut all = reference_top_k(ix, probes, usize::MAX);
+        all.retain(|&(_, score)| admits(score, tau));
+        all
+    }
+
+    fn run_threshold(ix: &PostingIndex, probes: &[(i64, f64)], tau: f64) -> Vec<(i64, f64)> {
+        let probed: Vec<(&PostingList, f64)> = probes
+            .iter()
+            .filter_map(|&(token, factor)| ix.list(&Value::Int(token)).map(|l| (l, factor)))
+            .collect();
+        ThresholdTraversal::new(probed, tau).unwrap().run()
+    }
+
+    #[test]
+    fn threshold_traversal_is_bit_identical_to_exhaustive_filter() {
+        use proptest::prelude::*;
+        check(48, |g| {
+            let num_tokens = g.usize_in(1..12);
+            let num_tids = g.usize_in(1..40) as i64;
+            let mut rows = Vec::new();
+            for token in 0..num_tokens as i64 {
+                let mut tids: Vec<i64> = (0..num_tids).collect();
+                let keep = g.usize_in(1..(num_tids as usize + 1));
+                while tids.len() > keep {
+                    let drop = g.usize_in(0..tids.len());
+                    tids.remove(drop);
+                }
+                for tid in tids {
+                    rows.push((tid, token, g.f64_in(0.0..2.0)));
+                }
+            }
+            let table = weights_table(&rows);
+            let ix = PostingIndex::build(&table, "token", "tid", Some("weight")).unwrap();
+            let mut probes: Vec<(i64, f64)> = Vec::new();
+            for t in 0..num_tokens as i64 {
+                if g.bool_with(0.8) {
+                    probes.push((t, g.f64_in(0.0..1.5)));
+                }
+            }
+            let all = reference_top_k(&ix, &probes, usize::MAX);
+            // τ sweep: non-finite bars, a bar below every score, bars equal
+            // to exact scores (the `>=` boundary), between-score bars and a
+            // bar above the maximum.
+            let mut taus = vec![f64::NEG_INFINITY, 0.0, f64::INFINITY, f64::NAN, 1e300, -1e300];
+            if let (Some(&(_, hi)), Some(&(_, lo))) = (all.first(), all.last()) {
+                taus.extend([lo, hi, (lo + hi) / 2.0, hi * 1.5 + 1.0, lo / 2.0]);
+                if let Some(&(_, mid)) = all.get(all.len() / 2) {
+                    taus.push(mid);
+                    taus.push(f64::from_bits(mid.to_bits() + 1)); // next float up
+                }
+            }
+            for tau in taus {
+                let bounded = run_threshold(&ix, &probes, tau);
+                let exhaustive = reference_threshold(&ix, &probes, tau);
+                assert_eq!(bounded.len(), exhaustive.len(), "tau={tau} probes={probes:?}");
+                for (b, e) in bounded.iter().zip(&exhaustive) {
+                    assert_eq!(b.0, e.0, "tid diverged at tau={tau}");
+                    assert_eq!(b.1.to_bits(), e.1.to_bits(), "score bits diverged at tau={tau}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn threshold_traversal_never_prunes_a_qualifying_tid() {
+        // Adversarial shape for the prefix computation: many light lists that
+        // are individually hopeless but sum across the bar.
+        // 0.125 is exactly representable, so ten of them sum to exactly 1.25.
+        let mut rows = Vec::new();
+        for token in 0..10i64 {
+            for tid in 0..20i64 {
+                rows.push((tid, token, 0.125));
+            }
+        }
+        rows.push((3, 10, 1.0)); // one heavy list lifts tid 3
+        let table = weights_table(&rows);
+        let ix = PostingIndex::build(&table, "token", "tid", Some("weight")).unwrap();
+        let probes: Vec<(i64, f64)> = (0..11).map(|t| (t, 1.0)).collect();
+        // Every tid scores exactly 1.25 except tid 3 at 2.25.
+        let selected = run_threshold(&ix, &probes, 1.25);
+        assert_eq!(selected.len(), 20, "every tid reaches τ=1.25 exactly");
+        assert_eq!(selected[0], (3, 2.25));
+        let selected = run_threshold(&ix, &probes, 1.5);
+        assert_eq!(selected, vec![(3, 2.25)]);
+        let selected = run_threshold(&ix, &probes, 2.5);
+        assert!(selected.is_empty());
     }
 }

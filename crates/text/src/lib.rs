@@ -6,9 +6,9 @@
 //! * [`qgram`] — q-gram extraction with the `$`-padding scheme of §5.3.3,
 //! * [`word`] — word tokenization (Appendix A.2),
 //! * [`edit`] — Levenshtein edit distance and edit similarity (§3.4),
-//! * [`jaro`] — Jaro / Jaro-Winkler similarity (used by SoftTFIDF),
+//! * [`mod@jaro`] — Jaro / Jaro-Winkler similarity (used by SoftTFIDF),
 //! * [`minhash`] — min-wise independent permutations (used by GESapx),
-//! * [`normalize`] — case folding and whitespace normalization.
+//! * [`mod@normalize`] — case folding and whitespace normalization.
 
 #![forbid(unsafe_code)]
 

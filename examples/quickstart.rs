@@ -65,8 +65,12 @@ fn main() {
         );
     }
 
-    // 7. Threshold selection (the approximate selection operator): the score
-    //    filter is evaluated inside the engine, before materialization.
+    // 7. Threshold selection (the approximate selection operator): for BM25
+    //    this runs the score-bounded traversal with the bar fixed at τ —
+    //    candidates whose posting-list upper bounds cannot reach τ are never
+    //    scored — and returns bit-identical results to the exhaustive scan.
     let selected = bm25.execute(&query, Exec::Threshold(5.0)).unwrap();
+    let scanned = bm25.execute(&query, Exec::ThresholdScan(5.0)).unwrap();
+    assert_eq!(selected, scanned, "bounded threshold must match the exhaustive scan");
     println!("\ntuples with BM25 score >= 5.0: {}", selected.len());
 }
