@@ -36,11 +36,12 @@ use std::sync::Arc;
 fn weight_product_catalog(
     name: &'static str,
     weights: relq::Table,
+    posting_block: usize,
 ) -> (PostingCatalog, RankingPlans) {
     let mut catalog = Catalog::new();
     catalog.register_indexed(name, weights, &["token"]).expect("weights have a token column");
     let catalog = PostingCatalog::new(catalog, move |c| {
-        c.register_posting(name, "token", "tid", Some("weight"))
+        c.register_posting_with_block(name, "token", "tid", Some("weight"), posting_block)
             .expect("weights are distinct per (token, tid) and finite")
     });
     let plan = Plan::index_join(name, &["token"], Plan::param("query_weights"), &["token"])
@@ -117,7 +118,8 @@ impl CosinePredicate {
             }
             Some(tf as f64 * corpus.idf(token) / norm)
         });
-        let (catalog, plans) = weight_product_catalog("cosine_weights", weights);
+        let (catalog, plans) =
+            weight_product_catalog("cosine_weights", weights, shared.params().posting_block);
         CosinePredicate { shared, catalog, plans }
     }
 
@@ -193,7 +195,8 @@ impl Bm25Predicate {
             let tf = tf as f64;
             Some(w1 * (params.k1 + 1.0) * tf / (k_d + tf))
         });
-        let (catalog, plans) = weight_product_catalog("bm25_weights", weights);
+        let (catalog, plans) =
+            weight_product_catalog("bm25_weights", weights, shared.params().posting_block);
         Bm25Predicate { shared, catalog, plans }
     }
 

@@ -143,6 +143,14 @@ pub(crate) fn finalize_ranking(mut results: Vec<ScoredTid>, exec: Exec) -> Vec<S
 pub(crate) const SHARED_TABLES: [&str; 6] =
     ["base_tokens", "base_tf", "base_len", "overlap_weights", "overlap_len", "base_words"];
 
+/// Parse a `DASP_POSTING_BLOCK` environment override: a positive integer
+/// selects that block-max granularity for the shared posting indexes;
+/// anything else (unset, empty, unparsable, zero) leaves
+/// [`Params::posting_block`] in charge. Separated from `std::env` for tests.
+fn posting_block_env(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+}
+
 /// The phase-1 preprocessing artifacts every predicate shares: the tokenized
 /// corpus, the indexed token/weight tables, the score-ordered posting
 /// variants of `base_tokens`/`overlap_weights`, and the cached word-level
@@ -180,10 +188,23 @@ pub(crate) struct SharedArtifacts {
 impl SharedArtifacts {
     /// Set up the shared-artifact store over an already tokenized corpus.
     /// Nothing is materialized here: each artifact builds on first probe.
+    /// The posting-block knob resolves once, here: a valid
+    /// `DASP_POSTING_BLOCK` environment variable overrides
+    /// [`Params::posting_block`] (the CI hook for exercising non-default
+    /// block boundaries), and a zero from either source falls back to the
+    /// library default rather than poisoning every later build.
     pub(crate) fn build(corpus: Arc<TokenizedCorpus>, params: &Params) -> Arc<Self> {
+        let mut params = *params;
+        if let Some(block) = posting_block_env(std::env::var("DASP_POSTING_BLOCK").ok().as_deref())
+        {
+            params.posting_block = block;
+        }
+        if params.posting_block == 0 {
+            params.posting_block = relq::DEFAULT_POSTING_BLOCK;
+        }
         Arc::new(SharedArtifacts {
             corpus,
-            params: *params,
+            params,
             table_cells: std::array::from_fn(|_| OnceLock::new()),
             full_catalog: OnceLock::new(),
             posting_base_tokens: OnceLock::new(),
@@ -314,8 +335,14 @@ impl SharedArtifacts {
                 .get_shared(name)
                 .expect("mini-catalog holds its own table");
             Arc::new(
-                PostingIndex::build(&table, "token", "tid", weight_col)
-                    .expect("shared tables have distinct finite-weight postings"),
+                PostingIndex::build_with_block_size(
+                    &table,
+                    "token",
+                    "tid",
+                    weight_col,
+                    self.params.posting_block,
+                )
+                .expect("shared tables have distinct finite-weight postings"),
             )
         })
         .clone()
@@ -1222,6 +1249,70 @@ mod tests {
             wm.catalog().unwrap().posting_for("overlap_weights").is_some(),
             "Threshold must route through the posting-backed catalog"
         );
+    }
+
+    #[test]
+    fn posting_block_env_parses_only_positive_integers() {
+        assert_eq!(posting_block_env(None), None);
+        assert_eq!(posting_block_env(Some("")), None);
+        assert_eq!(posting_block_env(Some("not a number")), None);
+        assert_eq!(posting_block_env(Some("0")), None);
+        assert_eq!(posting_block_env(Some("-3")), None);
+        assert_eq!(posting_block_env(Some("3")), Some(3));
+        assert_eq!(posting_block_env(Some(" 128 ")), Some(128));
+    }
+
+    #[test]
+    fn posting_block_param_reaches_the_shared_indexes_and_preserves_results() {
+        let build_at = |block: usize| {
+            let corpus = Arc::new(TokenizedCorpus::build(
+                Corpus::from_strings(vec![
+                    "Morgan Stanley Group Inc.",
+                    "Morgan Stanle Grop Inc.",
+                    "Silicon Valley Group, Inc.",
+                    "Beijing Hotel",
+                    "Beijing Labs Limited",
+                    "AT&T Incorporated",
+                ]),
+                QgramConfig::new(2),
+            ));
+            let params = Params { posting_block: block, ..Params::default() };
+            SelectionEngine::build(corpus, &params)
+        };
+        let default_engine = engine();
+        assert_eq!(
+            default_engine.inner.shared.posting("base_tokens").block_size(),
+            relq::DEFAULT_POSTING_BLOCK
+        );
+        // Zero falls back to the default instead of poisoning index builds.
+        assert_eq!(build_at(0).params().posting_block, relq::DEFAULT_POSTING_BLOCK);
+        for block in [1usize, 3, 1 << 20] {
+            let tuned = build_at(block);
+            assert_eq!(tuned.params().posting_block, block);
+            assert_eq!(tuned.inner.shared.posting("base_tokens").block_size(), block);
+            assert_eq!(tuned.inner.shared.posting("overlap_weights").block_size(), block);
+            // The block size is a pure performance knob: bounded executions
+            // return the same bytes at every granularity.
+            for kind in [PredicateKind::IntersectSize, PredicateKind::WeightedMatch] {
+                let query_text = "Morgan Stanley Group";
+                let expect = default_engine
+                    .predicate(kind)
+                    .execute(&default_engine.query(query_text), Exec::TopK(3))
+                    .unwrap();
+                let got =
+                    tuned.predicate(kind).execute(&tuned.query(query_text), Exec::TopK(3)).unwrap();
+                assert_eq!(expect, got, "kind={kind:?} block={block}");
+                let expect = default_engine
+                    .predicate(kind)
+                    .execute(&default_engine.query(query_text), Exec::Threshold(1.0))
+                    .unwrap();
+                let got = tuned
+                    .predicate(kind)
+                    .execute(&tuned.query(query_text), Exec::Threshold(1.0))
+                    .unwrap();
+                assert_eq!(expect, got, "kind={kind:?} block={block}");
+            }
+        }
     }
 
     #[test]

@@ -71,9 +71,16 @@ impl HmmPredicate {
             .expect("weights have a token column");
         // The posting lists behind the bounded plans are deferred to the
         // first bounded execution (`Exec::TopK` or `Exec::Threshold`).
-        let catalog = PostingCatalog::new(catalog, |c| {
-            c.register_posting("hmm_weights", "token", "tid", Some("weight"))
-                .expect("weights are distinct per (token, tid) and finite")
+        let posting_block = shared.params().posting_block;
+        let catalog = PostingCatalog::new(catalog, move |c| {
+            c.register_posting_with_block(
+                "hmm_weights",
+                "token",
+                "tid",
+                Some("weight"),
+                posting_block,
+            )
+            .expect("weights are distinct per (token, tid) and finite")
         });
         let plan =
             Plan::index_join("hmm_weights", &["token"], Plan::param("query_tokens"), &["token"])

@@ -107,7 +107,7 @@ pub enum OverlapWeighting {
 }
 
 /// The complete parameter set handed to the predicate factory.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Q-gram configuration used for corpus and query tokenization.
     pub qgram: QgramConfig,
@@ -123,6 +123,28 @@ pub struct Params {
     pub soft_tfidf: SoftTfIdfParams,
     /// Weighting scheme for the weighted overlap predicates.
     pub overlap_weighting: OverlapWeighting,
+    /// Block-max granularity of the shared posting indexes (postings per
+    /// block; see [`relq::PostingIndex::build_with_block_size`]). Exactness
+    /// holds at every value — this only moves the skip/overhead trade-off of
+    /// the bounded operators. A `DASP_POSTING_BLOCK` environment variable
+    /// overrides it at engine construction (CI exercises non-default block
+    /// boundaries that way).
+    pub posting_block: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            qgram: QgramConfig::default(),
+            bm25: Bm25Params::default(),
+            hmm: HmmParams::default(),
+            edit: EditParams::default(),
+            ges: GesParams::default(),
+            soft_tfidf: SoftTfIdfParams::default(),
+            overlap_weighting: OverlapWeighting::default(),
+            posting_block: relq::DEFAULT_POSTING_BLOCK,
+        }
+    }
 }
 
 impl Params {
@@ -156,6 +178,7 @@ mod tests {
         assert_eq!(p.ges.num_hashes, 5);
         assert_eq!(p.soft_tfidf.theta, 0.8);
         assert_eq!(p.overlap_weighting, OverlapWeighting::RobertsonSparckJones);
+        assert_eq!(p.posting_block, relq::DEFAULT_POSTING_BLOCK);
     }
 
     #[test]

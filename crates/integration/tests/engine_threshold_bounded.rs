@@ -141,6 +141,83 @@ fn non_monotone_predicates_route_threshold_through_the_scan() {
 }
 
 #[test]
+fn block_size_sweep_stays_bit_identical() {
+    // The posting block-max granularity is a pure performance knob: the
+    // fixed-τ operator stays bit-identical to rank-then-filter at every
+    // setting, including per-posting maxima (1), an odd size misaligning
+    // block boundaries with list lengths (3), and beyond-every-list
+    // (1 << 20 ≙ global-max / plain WAND).
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 160, 16);
+    let indices = sample_query_indices(&dataset, 3, 0xB10C);
+    for block in [1usize, 3, 64, 1 << 20] {
+        let engine = build_engine(&dataset, &Params { posting_block: block, ..Params::default() });
+        for kind in BOUNDED_KINDS {
+            let handle = engine.predicate(kind);
+            for &idx in &indices {
+                let query = engine.query(&dataset.records[idx].text);
+                let ranked = handle.execute(&query, Exec::Rank).unwrap();
+                for tau in tau_sweep(&ranked) {
+                    let expected: Vec<_> =
+                        ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                    let bounded = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+                    assert_bit_identical(
+                        &bounded,
+                        &expected,
+                        &format!("block={block}/{kind} tau={tau}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_hot_document_corpus_stays_bit_identical_under_block_skipping() {
+    // Adversarial corpus for global-max pruning: one record repeats a rare
+    // word many times, giving the tf-sensitive predicates (BM25, HMM) one
+    // enormous posting in otherwise featherweight lists. Block skipping must
+    // stay bit-identical at every granularity, including τ bars that only
+    // the hot document clears.
+    let hot_word = "zephyr ".repeat(12);
+    let mut strings: Vec<String> =
+        (0..120).map(|i| format!("zephyr common record number {i}")).collect();
+    strings.push(format!("{hot_word} outlier"));
+    strings.push("zephyr common record".to_string());
+    let dataset = dasp_datagen::Dataset {
+        name: "one-hot".to_string(),
+        records: strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| dasp_datagen::DirtyRecord {
+                text: s.clone(),
+                cluster: i as u32,
+                is_erroneous: false,
+            })
+            .collect(),
+    };
+    for block in [1usize, 64, 1 << 20] {
+        let engine = build_engine(&dataset, &Params { posting_block: block, ..Params::default() });
+        for kind in BOUNDED_KINDS {
+            let handle = engine.predicate(kind);
+            for query_text in ["zephyr common record", hot_word.as_str()] {
+                let query = engine.query(query_text);
+                let ranked = handle.execute(&query, Exec::Rank).unwrap();
+                for tau in tau_sweep(&ranked) {
+                    let expected: Vec<_> =
+                        ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                    let bounded = handle.execute(&query, Exec::Threshold(tau)).unwrap();
+                    assert_bit_identical(
+                        &bounded,
+                        &expected,
+                        &format!("one-hot block={block}/{kind} tau={tau}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn threshold_differential_holds_through_execute_many_and_serving() {
     // The batch and serving surfaces must return the same bounded-threshold
     // bytes as per-item execution — including when worker threads race the

@@ -209,6 +209,82 @@ fn tie_classes_straddling_the_k_boundary_honor_the_contract() {
     }
 }
 
+#[test]
+fn block_size_sweep_preserves_the_contract() {
+    // The posting block-max granularity is a pure performance knob: the
+    // bounded operator obeys the same tie-class contract at every setting,
+    // including the degenerate per-posting (1) and beyond-every-list
+    // (1 << 20 ≙ global-max / plain WAND) configurations, and odd sizes that
+    // misalign block boundaries with list lengths.
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 160, 16);
+    let indices = sample_query_indices(&dataset, 3, 0xB10C);
+    for block in [1usize, 3, 64, 1 << 20] {
+        let engine = build_engine(&dataset, &Params { posting_block: block, ..Params::default() });
+        for kind in BOUNDED_KINDS {
+            let handle = engine.predicate(kind);
+            for &idx in &indices {
+                let query = engine.query(&dataset.records[idx].text);
+                let ranked = handle.execute(&query, Exec::Rank).unwrap();
+                for k in [1, 7, ranked.len()] {
+                    let heap = handle.execute(&query, Exec::TopKHeap(k)).unwrap();
+                    let bounded = handle.execute(&query, Exec::TopK(k)).unwrap();
+                    assert_set_equal_mod_ties(
+                        &bounded,
+                        &heap,
+                        k,
+                        &format!("block={block}/{kind} k={k}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_hot_document_corpus_stays_exact_under_block_skipping() {
+    // Adversarial corpus for global-max pruning: one record repeats a rare
+    // word many times, giving the tf-sensitive predicates (BM25, HMM) one
+    // enormous posting in otherwise featherweight lists — the shape where a
+    // per-list bound is useless and block-max skipping has to carry the
+    // load. The contract must hold at every granularity.
+    let hot_word = "zephyr ".repeat(12);
+    let mut strings: Vec<String> =
+        (0..120).map(|i| format!("zephyr common record number {i}")).collect();
+    strings.push(format!("{hot_word} outlier"));
+    strings.push("zephyr common record".to_string());
+    let dataset = dasp_datagen::Dataset {
+        name: "one-hot".to_string(),
+        records: strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| dasp_datagen::DirtyRecord {
+                text: s.clone(),
+                cluster: i as u32,
+                is_erroneous: false,
+            })
+            .collect(),
+    };
+    for block in [1usize, 64, 1 << 20] {
+        let engine = build_engine(&dataset, &Params { posting_block: block, ..Params::default() });
+        for kind in BOUNDED_KINDS {
+            let handle = engine.predicate(kind);
+            for query_text in ["zephyr common record", hot_word.as_str()] {
+                let query = engine.query(query_text);
+                for k in [1, 5, 20] {
+                    let heap = handle.execute(&query, Exec::TopKHeap(k)).unwrap();
+                    let bounded = handle.execute(&query, Exec::TopK(k)).unwrap();
+                    assert_set_equal_mod_ties(
+                        &bounded,
+                        &heap,
+                        k,
+                        &format!("one-hot block={block}/{kind} k={k}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Property test over random corpora: the bounded operator may never skip a
 /// tid that outscores the returned k-th result — the pruning-bound contract.
 #[test]

@@ -158,6 +158,9 @@ impl Catalog {
     /// registered table (`weight_col: None` = unit contributions): the
     /// registration-time artifact [`Plan::TopKBounded`](crate::Plan::TopKBounded)
     /// traverses. No-op when the table already carries a posting index.
+    /// Uses the default block-max granularity
+    /// ([`DEFAULT_POSTING_BLOCK`](crate::DEFAULT_POSTING_BLOCK)); see
+    /// [`register_posting_with_block`](Self::register_posting_with_block).
     pub fn register_posting(
         &mut self,
         name: &str,
@@ -165,11 +168,37 @@ impl Catalog {
         tid_col: &str,
         weight_col: Option<&str>,
     ) -> Result<()> {
-        if self.postings.contains_key(name) {
-            return Ok(());
+        self.register_posting_with_block(
+            name,
+            token_col,
+            tid_col,
+            weight_col,
+            crate::posting::DEFAULT_POSTING_BLOCK,
+        )
+    }
+
+    /// [`register_posting`](Self::register_posting) with an explicit
+    /// block-max granularity (see
+    /// [`PostingIndex::build_with_block_size`]). No-op when the table
+    /// already carries a posting index built at `block_size`; an existing
+    /// index at a *different* block size is rebuilt.
+    pub fn register_posting_with_block(
+        &mut self,
+        name: &str,
+        token_col: &str,
+        tid_col: &str,
+        weight_col: Option<&str>,
+        block_size: usize,
+    ) -> Result<()> {
+        if let Some(existing) = self.postings.get(name) {
+            if existing.block_size() == block_size {
+                return Ok(());
+            }
         }
         let table = self.get_shared(name)?;
-        let posting = PostingIndex::build(&table, token_col, tid_col, weight_col)?;
+        let posting = PostingIndex::build_with_block_size(
+            &table, token_col, tid_col, weight_col, block_size,
+        )?;
         self.postings.insert(name.to_string(), Arc::new(posting));
         Ok(())
     }

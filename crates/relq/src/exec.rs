@@ -1214,12 +1214,12 @@ fn gather_probes<'c>(
     probe: &Table,
     token_col: &str,
     factor_col: Option<&str>,
-) -> Result<Vec<(&'c crate::posting::PostingList, f64)>> {
+) -> Result<Vec<(crate::posting::PostingList<'c>, f64)>> {
     let posting =
         catalog.posting_for(base).ok_or_else(|| RelqError::MissingPosting(base.to_string()))?;
     let token_idx = probe.schema().index_of(token_col)?;
     let factor_idx = factor_col.map(|c| probe.schema().index_of(c)).transpose()?;
-    let mut probes: Vec<(&crate::posting::PostingList, f64)> = Vec::new();
+    let mut probes: Vec<(crate::posting::PostingList<'c>, f64)> = Vec::new();
     for row in probe.rows() {
         let token = &row[token_idx];
         if token.is_null() {
@@ -1242,7 +1242,7 @@ fn gather_probes<'c>(
 /// Exhaustive scoring of every posting in probe-major order — the
 /// accumulation order of the materializing aggregation pipeline, hence
 /// byte-identical to it. The naive lowering of both bounded operators.
-fn score_exhaustive(probes: Vec<(&crate::posting::PostingList, f64)>) -> Vec<(i64, f64)> {
+fn score_exhaustive(probes: Vec<(crate::posting::PostingList<'_>, f64)>) -> Vec<(i64, f64)> {
     let mut slots: HashMap<i64, usize> = HashMap::new();
     let mut scores: Vec<(i64, f64)> = Vec::new();
     for (list, factor) in probes {

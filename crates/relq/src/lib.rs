@@ -72,7 +72,7 @@ pub use error::{RelqError, Result};
 pub use exec::{execute, execute_naive, execute_with};
 pub use expr::{col, lit, param, BinaryOp, Expr, ScalarFn};
 pub use plan::{Plan, ProjectItem, SortOrder};
-pub use posting::{PostingIndex, PostingList};
+pub use posting::{PostingIndex, PostingList, DEFAULT_POSTING_BLOCK};
 pub use prepared::PreparedPlan;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
