@@ -8,6 +8,7 @@
 use crate::dict::{TokenDict, TokenId};
 use crate::record::{Record, Tid};
 use dasp_text::{qgrams, word_tokens, QgramConfig};
+use std::sync::Arc;
 
 /// The base relation `R`: a collection of string tuples.
 #[derive(Debug, Clone, Default)]
@@ -106,31 +107,60 @@ impl QueryTokens {
     }
 }
 
-/// The tokenized base relation plus all corpus-level statistics every
-/// predicate's weight formulas need (tf, df, cf, dl, avgdl, word tokens).
-#[derive(Debug, Clone)]
-pub struct TokenizedCorpus {
-    corpus: Corpus,
-    config: QgramConfig,
-    dict: TokenDict,
-    /// Per record: (token id, term frequency) pairs, sorted by token id.
-    rec_tokens: Vec<Vec<(TokenId, u32)>>,
-    /// Per record: total number of q-gram token occurrences (`dl`).
-    rec_dl: Vec<u32>,
+/// The frozen corpus-level statistics every predicate's weight formulas
+/// consume: `N`, per-token `df`/`cf`, collection size `cs`, `avgdl` and the
+/// word-level document frequencies. Bundled behind one `Arc` so a *projected*
+/// corpus (see [`TokenizedCorpus::project`]) shares its parent's statistics
+/// verbatim instead of deriving divergent ones from its own record slice —
+/// the property that makes per-segment scoring in `dasp_core::live`
+/// bit-identical to a monolithic engine with the same statistics.
+#[derive(Debug)]
+struct CorpusStats {
+    /// The statistical number of tuples `N` used by IDF/RSJ weights. Equal to
+    /// the record count at [`TokenizedCorpus::build`] time; a projection over
+    /// a different record subset keeps this value frozen.
+    n: usize,
     /// Per token id: number of records containing the token (`df` / `n_t`).
     df: Vec<u32>,
     /// Per token id: total number of occurrences in the collection (`cf`).
     cf: Vec<u64>,
     /// Collection size `cs`: total token occurrences.
     cs: u64,
-    /// Word-token dictionary (combination predicates).
-    word_dict: TokenDict,
-    /// Per record: word tokens in order (with duplicates).
-    rec_words: Vec<Vec<TokenId>>,
+    /// Average record length in q-gram tokens (`cs / N` at build time).
+    avgdl: f64,
+    /// Per token id: sum over records of the maximum-likelihood estimate
+    /// `tf / dl` — the numerator of the language model's `pavg(t)`
+    /// (Equation 3.8), which is a corpus-wide aggregate and therefore
+    /// frozen along with `df`/`cf`.
+    pml_sum: Vec<f64>,
     /// Per word id: number of records containing it.
     word_df: Vec<u32>,
+}
+
+/// The tokenized base relation plus all corpus-level statistics every
+/// predicate's weight formulas need (tf, df, cf, dl, avgdl, word tokens).
+///
+/// The dictionaries and statistics live behind `Arc`s: cloning a tokenized
+/// corpus, or projecting a record subset through it
+/// ([`project`](Self::project)), shares them by reference — O(records), never
+/// O(vocabulary).
+#[derive(Debug, Clone)]
+pub struct TokenizedCorpus {
+    corpus: Corpus,
+    config: QgramConfig,
+    dict: Arc<TokenDict>,
+    /// Per record: (token id, term frequency) pairs, sorted by token id.
+    rec_tokens: Vec<Vec<(TokenId, u32)>>,
+    /// Per record: total number of q-gram token occurrences (`dl`).
+    rec_dl: Vec<u32>,
+    /// Frozen collection statistics (shared with projections).
+    stats: Arc<CorpusStats>,
+    /// Word-token dictionary (combination predicates).
+    word_dict: Arc<TokenDict>,
+    /// Per record: word tokens in order (with duplicates).
+    rec_words: Vec<Vec<TokenId>>,
     /// Per word id: distinct q-gram set of the word (second-level tokens).
-    word_qgram_sets: Vec<Vec<String>>,
+    word_qgram_sets: Arc<Vec<Vec<String>>>,
 }
 
 impl TokenizedCorpus {
@@ -145,6 +175,7 @@ impl TokenizedCorpus {
         let mut rec_words = Vec::with_capacity(n);
         let mut df: Vec<u32> = Vec::new();
         let mut cf: Vec<u64> = Vec::new();
+        let mut pml_sum: Vec<f64> = Vec::new();
         let mut word_df: Vec<u32> = Vec::new();
         let mut cs: u64 = 0;
 
@@ -157,6 +188,7 @@ impl TokenizedCorpus {
                 if id as usize >= cf.len() {
                     cf.push(0);
                     df.push(0);
+                    pml_sum.push(0.0);
                 }
                 cf[id as usize] += 1;
                 match counts.binary_search_by_key(&id, |(t, _)| *t) {
@@ -164,8 +196,10 @@ impl TokenizedCorpus {
                     Err(pos) => counts.insert(pos, (id, 1)),
                 }
             }
-            for (id, _) in &counts {
+            let dl = (grams.len() as f64).max(1.0);
+            for (id, tf) in &counts {
                 df[*id as usize] += 1;
+                pml_sum[*id as usize] += *tf as f64 / dl;
             }
             cs += grams.len() as u64;
             rec_dl.push(grams.len() as u32);
@@ -201,20 +235,80 @@ impl TokenizedCorpus {
             })
             .collect();
 
+        let avgdl = if n == 0 { 0.0 } else { cs as f64 / n as f64 };
         TokenizedCorpus {
             corpus,
             config,
-            dict,
+            dict: Arc::new(dict),
             rec_tokens,
             rec_dl,
-            df,
-            cf,
-            cs,
-            word_dict,
+            stats: Arc::new(CorpusStats { n, df, cf, cs, avgdl, pml_sum, word_df }),
+            word_dict: Arc::new(word_dict),
             rec_words,
-            word_df,
-            word_qgram_sets,
+            word_qgram_sets: Arc::new(word_qgram_sets),
         }
+    }
+
+    /// Tokenize a record subset against this corpus's **frozen** dictionary
+    /// and statistics: a closed-vocabulary projection. Per-record token
+    /// lists, `dl` and word lists are recomputed over `records`, but the
+    /// dictionaries, `df`/`cf`/`cs`, `N` and `avgdl` are shared by `Arc` from
+    /// `self` — q-grams and words absent from the frozen vocabulary are
+    /// dropped (the same closed-world rule as
+    /// [`retain_tokens`](Self::retain_tokens) and query tokenization).
+    ///
+    /// This is the statistics contract of the `dasp_core::live` segment
+    /// subsystem: every segment projects its records through one frozen
+    /// provider, so a record's score against a query is identical no matter
+    /// which segment — or which monolithic rebuild over the same provider —
+    /// computes it. Statistics (and new vocabulary) refresh only at a full
+    /// compaction, the same refresh discipline LSM-style search engines use.
+    ///
+    /// `records` must carry dense tids from 0 in order (the
+    /// [`Corpus::from_records`] invariant); the cost is O(records' text), never
+    /// O(frozen vocabulary).
+    pub fn project(&self, records: Vec<Record>) -> TokenizedCorpus {
+        let corpus = Corpus::from_records(records);
+        let n = corpus.len();
+        let mut rec_tokens = Vec::with_capacity(n);
+        let mut rec_dl = Vec::with_capacity(n);
+        let mut rec_words = Vec::with_capacity(n);
+        for record in corpus.records() {
+            let grams = qgrams(&record.text, self.config);
+            let mut counts: Vec<(TokenId, u32)> = Vec::new();
+            let mut dl = 0u32;
+            for gram in &grams {
+                let Some(id) = self.dict.get(gram) else { continue };
+                dl += 1;
+                match counts.binary_search_by_key(&id, |(t, _)| *t) {
+                    Ok(pos) => counts[pos].1 += 1,
+                    Err(pos) => counts.insert(pos, (id, 1)),
+                }
+            }
+            rec_tokens.push(counts);
+            rec_dl.push(dl);
+            let words = word_tokens(&record.text);
+            rec_words.push(words.iter().filter_map(|w| self.word_dict.get(w)).collect());
+        }
+        TokenizedCorpus {
+            corpus,
+            config: self.config,
+            dict: self.dict.clone(),
+            rec_tokens,
+            rec_dl,
+            stats: self.stats.clone(),
+            word_dict: self.word_dict.clone(),
+            rec_words,
+            word_qgram_sets: self.word_qgram_sets.clone(),
+        }
+    }
+
+    /// True when `other` shares this corpus's frozen dictionaries and
+    /// statistics (i.e. one is a [`project`](Self::project)ion of the other
+    /// or of a common provider) — the precondition for scores being
+    /// comparable, and bit-identical, across the two.
+    pub fn shares_stats(&self, other: &TokenizedCorpus) -> bool {
+        Arc::ptr_eq(&self.stats, &other.stats) && Arc::ptr_eq(&self.dict, &other.dict)
     }
 
     /// The underlying base relation.
@@ -267,32 +361,50 @@ impl TokenizedCorpus {
         &self.rec_words[idx]
     }
 
-    /// Document frequency of a q-gram token.
+    /// The statistical number of tuples `N` the IDF/RSJ formulas divide by.
+    /// Equal to [`num_records`](Self::num_records) for a corpus built with
+    /// [`build`](Self::build); a [`project`](Self::project)ion keeps its
+    /// provider's frozen value regardless of how many records it holds.
+    pub fn stat_n(&self) -> usize {
+        self.stats.n
+    }
+
+    /// Document frequency of a q-gram token (frozen statistic).
     pub fn df(&self, token: TokenId) -> u32 {
-        self.df[token as usize]
+        self.stats.df[token as usize]
     }
 
-    /// Collection frequency of a q-gram token.
+    /// Collection frequency of a q-gram token (frozen statistic).
     pub fn cf(&self, token: TokenId) -> u64 {
-        self.cf[token as usize]
+        self.stats.cf[token as usize]
     }
 
-    /// Collection size `cs` (total q-gram occurrences).
+    /// Collection size `cs` (total q-gram occurrences; frozen statistic).
     pub fn cs(&self) -> u64 {
-        self.cs
+        self.stats.cs
     }
 
-    /// Average record length in q-gram tokens (`avgdl`).
-    pub fn avgdl(&self) -> f64 {
-        if self.rec_dl.is_empty() {
-            return 0.0;
+    /// The language model's `pavg(t)` (Equation 3.8): the mean
+    /// maximum-likelihood estimate `tf/dl` over the records containing `t`.
+    /// A corpus-wide aggregate, frozen with the other statistics so
+    /// projected segments score identically to their provider.
+    pub fn pavg(&self, token: TokenId) -> f64 {
+        let df = self.stats.df[token as usize] as f64;
+        if df > 0.0 {
+            self.stats.pml_sum[token as usize] / df
+        } else {
+            0.0
         }
-        self.cs as f64 / self.rec_dl.len() as f64
     }
 
-    /// Document frequency of a word token.
+    /// Average record length in q-gram tokens (`avgdl`; frozen statistic).
+    pub fn avgdl(&self) -> f64 {
+        self.stats.avgdl
+    }
+
+    /// Document frequency of a word token (frozen statistic).
     pub fn word_df(&self, word: TokenId) -> u32 {
-        self.word_df[word as usize]
+        self.stats.word_df[word as usize]
     }
 
     /// Distinct q-gram set of a word token (second-level tokenization).
@@ -300,37 +412,40 @@ impl TokenizedCorpus {
         &self.word_qgram_sets[word as usize]
     }
 
-    /// IDF of a q-gram token: `log(N) - log(df)` (zero for unseen tokens).
+    /// IDF of a q-gram token: `log(N) - log(df)` (zero for unseen tokens),
+    /// over the frozen statistical `N` ([`stat_n`](Self::stat_n)).
     pub fn idf(&self, token: TokenId) -> f64 {
         let df = self.df(token);
         if df == 0 {
             return 0.0;
         }
-        (self.num_records() as f64).ln() - (df as f64).ln()
+        (self.stats.n as f64).ln() - (df as f64).ln()
     }
 
-    /// IDF of a word token.
+    /// IDF of a word token (frozen statistics).
     pub fn word_idf(&self, word: TokenId) -> f64 {
         let df = self.word_df(word);
         if df == 0 {
             return 0.0;
         }
-        (self.num_records() as f64).ln() - (df as f64).ln()
+        (self.stats.n as f64).ln() - (df as f64).ln()
     }
 
     /// Average IDF over all word tokens: the weight the paper assigns to
     /// query words never seen in the base relation (§4.5).
     pub fn avg_word_idf(&self) -> f64 {
-        if self.word_df.is_empty() {
+        if self.stats.word_df.is_empty() {
             return 0.0;
         }
-        let total: f64 = (0..self.word_df.len()).map(|i| self.word_idf(i as TokenId)).sum();
-        total / self.word_df.len() as f64
+        let len = self.stats.word_df.len();
+        let total: f64 = (0..len).map(|i| self.word_idf(i as TokenId)).sum();
+        total / len as f64
     }
 
-    /// Robertson–Sparck Jones weight of a token (Equation 3.5), clamped at 0.
+    /// Robertson–Sparck Jones weight of a token (Equation 3.5), clamped at 0,
+    /// over the frozen `N` and `df`.
     pub fn rsj_weight(&self, token: TokenId) -> f64 {
-        let n = self.num_records() as f64;
+        let n = self.stats.n as f64;
         let nt = self.df(token) as f64;
         ((n - nt + 0.5) / (nt + 0.5)).ln().max(0.0)
     }
@@ -430,8 +545,9 @@ impl TokenizedCorpus {
     /// untouched. This is the mechanism behind the IDF-based pruning of §5.6.
     pub fn retain_tokens<F: Fn(TokenId) -> bool>(&self, keep: F) -> TokenizedCorpus {
         let mut out = self.clone();
-        let mut df = vec![0u32; self.df.len()];
-        let mut cf = vec![0u64; self.cf.len()];
+        let mut df = vec![0u32; self.stats.df.len()];
+        let mut cf = vec![0u64; self.stats.cf.len()];
+        let mut pml_sum = vec![0.0f64; self.stats.pml_sum.len()];
         let mut cs = 0u64;
         for (idx, tokens) in self.rec_tokens.iter().enumerate() {
             let kept: Vec<(TokenId, u32)> =
@@ -440,14 +556,23 @@ impl TokenizedCorpus {
             for &(t, tf) in &kept {
                 df[t as usize] += 1;
                 cf[t as usize] += tf as u64;
+                pml_sum[t as usize] += tf as f64 / (dl as f64).max(1.0);
             }
             cs += dl as u64;
             out.rec_tokens[idx] = kept;
             out.rec_dl[idx] = dl;
         }
-        out.df = df;
-        out.cf = cf;
-        out.cs = cs;
+        let n = self.stats.n;
+        let avgdl = if n == 0 { 0.0 } else { cs as f64 / n as f64 };
+        out.stats = Arc::new(CorpusStats {
+            n,
+            df,
+            cf,
+            cs,
+            avgdl,
+            pml_sum,
+            word_df: self.stats.word_df.clone(),
+        });
         out
     }
 

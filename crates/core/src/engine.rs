@@ -391,11 +391,16 @@ impl SharedArtifacts {
 /// k-/selection-sized and far cheaper.
 const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
 
+/// The cache epoch of a static (immutable-corpus) [`SelectionEngine`]. Only
+/// [`crate::live::LiveEngine`] advances epochs; a static engine's results are
+/// valid forever, so they all live under one epoch.
+pub(crate) const STATIC_EPOCH: u64 = 0;
+
 /// An [`Exec`] mode as a hashable cache-key component (`f64` thresholds by
 /// their bit pattern; distinct NaN payloads are distinct keys, which only
 /// costs a duplicate entry, never a wrong hit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum ExecKey {
+pub(crate) enum ExecKey {
     Rank,
     TopK(usize),
     TopKHeap(usize),
@@ -417,6 +422,11 @@ impl From<Exec> for ExecKey {
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
+    /// Corpus epoch the entry was computed at. A static [`SelectionEngine`]
+    /// is always epoch 0; [`crate::live::LiveEngine`] advances its epoch on
+    /// every append/delete/compaction, so a result cached before a mutation
+    /// can never answer a query issued after it.
+    epoch: u64,
     kind: PredicateKind,
     exec: ExecKey,
     /// The full query text (its tokenizations are a pure function of it).
@@ -458,7 +468,7 @@ pub(crate) struct ResultCache {
 }
 
 impl ResultCache {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         ResultCache {
             state: Mutex::new(CacheState { capacity, ..Default::default() }),
             hits: AtomicU64::new(0),
@@ -474,12 +484,13 @@ impl ResultCache {
         self.state.lock().expect("result cache poisoned").capacity > 0
     }
 
-    fn key(kind: PredicateKind, text: &str, exec: Exec) -> CacheKey {
-        CacheKey { kind, exec: exec.into(), text: text.to_string() }
+    fn key(epoch: u64, kind: PredicateKind, text: &str, exec: Exec) -> CacheKey {
+        CacheKey { epoch, kind, exec: exec.into(), text: text.to_string() }
     }
 
     pub(crate) fn get(
         &self,
+        epoch: u64,
         kind: PredicateKind,
         text: &str,
         exec: Exec,
@@ -490,7 +501,7 @@ impl ResultCache {
         }
         state.tick += 1;
         let tick = state.tick;
-        let found = match state.map.get_mut(&Self::key(kind, text, exec)) {
+        let found = match state.map.get_mut(&Self::key(epoch, kind, text, exec)) {
             Some(entry) => {
                 entry.0 = tick;
                 Some(entry.1.clone())
@@ -512,12 +523,13 @@ impl ResultCache {
 
     pub(crate) fn insert(
         &self,
+        epoch: u64,
         kind: PredicateKind,
         text: &str,
         exec: Exec,
         results: Arc<Vec<ScoredTid>>,
     ) {
-        self.insert_many(vec![(kind, text.to_string(), exec, results)]);
+        self.insert_many(epoch, vec![(kind, text.to_string(), exec, results)]);
     }
 
     /// Probe a whole batch of keys under **one** lock acquisition — the
@@ -527,6 +539,7 @@ impl ResultCache {
     /// probe is `None` and no counter moves.
     pub(crate) fn get_many(
         &self,
+        epoch: u64,
         keys: &[(PredicateKind, &str, Exec)],
     ) -> Vec<Option<Arc<Vec<ScoredTid>>>> {
         let mut state = self.state.lock().expect("result cache poisoned");
@@ -538,7 +551,7 @@ impl ResultCache {
         for &(kind, text, exec) in keys {
             state.tick += 1;
             let tick = state.tick;
-            match state.map.get_mut(&Self::key(kind, text, exec)) {
+            match state.map.get_mut(&Self::key(epoch, kind, text, exec)) {
                 Some(entry) => {
                     entry.0 = tick;
                     hits += 1;
@@ -561,6 +574,7 @@ impl ResultCache {
     /// loop; later entries of the batch are the more recently used).
     pub(crate) fn insert_many(
         &self,
+        epoch: u64,
         entries: Vec<(PredicateKind, String, Exec, Arc<Vec<ScoredTid>>)>,
     ) {
         let mut state = self.state.lock().expect("result cache poisoned");
@@ -581,7 +595,7 @@ impl ResultCache {
             }
             state.tick += 1;
             let tick = state.tick;
-            state.map.insert(CacheKey { kind, exec: exec.into(), text }, (tick, results));
+            state.map.insert(CacheKey { epoch, kind, exec: exec.into(), text }, (tick, results));
         }
     }
 
@@ -951,7 +965,7 @@ impl SelectionEngine {
         if cache_on {
             let keys: Vec<(PredicateKind, &str, Exec)> =
                 distinct.iter().map(|&i| (batch[i].0, batch[i].1.text(), batch[i].2)).collect();
-            for (&i, hit) in distinct.iter().zip(cache.get_many(&keys)) {
+            for (&i, hit) in distinct.iter().zip(cache.get_many(STATIC_EPOCH, &keys)) {
                 if let Some(results) = hit {
                     out[i] = Some(Ok(results.as_ref().clone()));
                 }
@@ -981,7 +995,7 @@ impl SelectionEngine {
             out[i] = Some(result);
         }
         if !inserts.is_empty() {
-            cache.insert_many(inserts);
+            cache.insert_many(STATIC_EPOCH, inserts);
         }
 
         // Duplicates share their canonical result (errors included — the
@@ -1074,11 +1088,11 @@ impl PredicateHandle {
             return self.core.execute_mode(query, exec, false).map(|results| (results, false));
         }
         let kind = self.core.predicate_kind();
-        if let Some(hit) = shared.cache().get(kind, query.text(), exec) {
+        if let Some(hit) = shared.cache().get(STATIC_EPOCH, kind, query.text(), exec) {
             return Ok((hit.as_ref().clone(), true));
         }
         let results = self.core.execute_mode(query, exec, false)?;
-        shared.cache().insert(kind, query.text(), exec, Arc::new(results.clone()));
+        shared.cache().insert(STATIC_EPOCH, kind, query.text(), exec, Arc::new(results.clone()));
         Ok((results, false))
     }
 

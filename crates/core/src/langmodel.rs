@@ -53,24 +53,10 @@ impl LanguageModelPredicate {
         let corpus = shared.corpus().clone();
         let n_tokens = corpus.num_tokens();
         // pavg per token: average maximum-likelihood estimate over the tuples
-        // containing the token.
-        let mut pml_sum = vec![0.0f64; n_tokens];
-        for idx in 0..corpus.num_records() {
-            let dl = corpus.record_dl(idx) as f64;
-            for &(token, tf) in corpus.record_tokens(idx) {
-                pml_sum[token as usize] += tf as f64 / dl.max(1.0);
-            }
-        }
-        let pavg: Vec<f64> = (0..n_tokens)
-            .map(|t| {
-                let df = corpus.df(t as u32) as f64;
-                if df > 0.0 {
-                    pml_sum[t] / df
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        // containing the token — a corpus-wide aggregate, so it comes from
+        // the frozen statistics (a projected segment must not derive its own
+        // from its record slice).
+        let pavg: Vec<f64> = (0..n_tokens).map(|t| corpus.pavg(t as crate::TokenId)).collect();
 
         let cs = corpus.cs() as f64;
         // BASE_PM rows: (tid, token, log_pm, log_compm, log_cfcs). The paper

@@ -58,6 +58,7 @@ pub mod error;
 pub mod factory;
 pub mod hmm;
 pub mod langmodel;
+pub mod live;
 pub mod native;
 pub mod overlap;
 pub mod params;
@@ -72,6 +73,7 @@ pub use dict::{TokenDict, TokenId};
 pub use engine::{CacheStats, Exec, PredicateHandle, Query, SelectionEngine};
 pub use error::DaspError;
 pub use factory::{build_all, build_predicate};
+pub use live::{LiveEngine, LiveMetrics, LiveQueryStats};
 pub use params::{
     Bm25Params, EditParams, GesParams, HmmParams, OverlapWeighting, Params, SoftTfIdfParams,
 };

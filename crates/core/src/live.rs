@@ -1,0 +1,922 @@
+//! Live corpus: segmented incremental updates with epoch snapshots,
+//! tombstone deletes, and compaction.
+//!
+//! Every other artifact in the crate is build-once: appending a single
+//! record to a [`SelectionEngine`] means rebuilding the world. The
+//! [`LiveEngine`] replaces that with an LSM-flavored segment design:
+//!
+//! * **Sealed segments** — immutable, each a full [`SelectionEngine`] (six
+//!   shared tables, posting arenas, result cache) over a contiguous slice of
+//!   the appended stream. Once sealed, a segment is never touched again
+//!   until compaction folds it away, so its lazily built artifacts and warm
+//!   caches survive across epochs.
+//! * **One tail segment** — the only segment that changes. [`append`]
+//!   rebuilds it from its (small) record list, so an append costs `O(tail)`,
+//!   never `O(corpus)`; when the tail reaches the seal threshold
+//!   ([`Params::segment_seal`], `DASP_SEGMENT_SEAL` env override) it is
+//!   frozen in place and the next append starts a fresh tail.
+//! * **Tombstones** — [`delete`] marks a tuple id dead in a shared set that
+//!   is checked when per-segment results are mapped to global ids; the
+//!   record's postings stay in its segment until [`compact`].
+//! * **Epoch snapshots** — every mutation installs a new immutable
+//!   [`Arc`]'d snapshot (segment list + tombstone set) under a brief write
+//!   lock and bumps the epoch. A query clones the current snapshot `Arc`
+//!   and runs entirely against it, so concurrent readers (e.g. the
+//!   [`crate::serve::ServingEngine`] pool) never block on, or observe a
+//!   torn state from, a concurrent append/delete/seal/compaction.
+//!
+//! ## Frozen statistics and the differential contract
+//!
+//! Corpus-level statistics (`N`, `df`, `cf`, the token dictionaries, …)
+//! are **frozen** at construction and refreshed only by [`compact`]: a
+//! segment tokenizes its records against the frozen dictionary via
+//! [`TokenizedCorpus::project`], dropping tokens outside the frozen
+//! vocabulary. That is what makes the segmented engine *bit-identical* to a
+//! monolithic engine over the same live records **sharing the same frozen
+//! statistics** ([`rebuild_monolith`] builds exactly that reference), while
+//! keeping appends `O(tail)` — per-record statistics (lengths, term
+//! frequencies) are always exact, and scores of tokens the frozen epoch
+//! knows about are exactly what the monolith computes. Text appended after
+//! the last compaction contributes nothing to the frozen statistics and its
+//! novel vocabulary is unsearchable until the next [`compact`] — the same
+//! staleness window Lucene-style engines accept between segment merges.
+//!
+//! ## Shared-bar merging
+//!
+//! A query runs the existing bounded traversals per segment and merges
+//! deterministically under one shared θ/τ bar:
+//!
+//! * [`Exec::Rank`] / [`Exec::Threshold`] / [`Exec::ThresholdScan`] run the
+//!   same mode per segment (the bar τ passes through unchanged) and the
+//!   mapped live results are concatenated and ranked — bit-identical to the
+//!   monolith, because per-candidate scores are independent of which
+//!   segment holds the candidate.
+//! * [`Exec::TopKHeap`]`(k)` asks each segment for its `k + dead(segment)`
+//!   best (tombstoned rows may occupy up to `dead` of the local top slots),
+//!   then ranks the merged survivors — exact.
+//! * [`Exec::TopK`]`(k)` (the bounded operator) carries its running
+//!   threshold θ across segments: segments are probed in order with
+//!   `TopK(k + dead)` until `k` live candidates exist, after which every
+//!   remaining segment is probed with `Threshold(θ)` where θ is the current
+//!   `k`-th best live score. θ over a prefix is never above the final `k`-th
+//!   best, and the threshold path is bit-identical at every bar, so no
+//!   global top-`k` member is missed; the merged result preserves the
+//!   operator's tie-class contract at the `k` boundary.
+//!
+//! [`append`]: LiveEngine::append
+//! [`delete`]: LiveEngine::delete
+//! [`compact`]: LiveEngine::compact
+//! [`rebuild_monolith`]: LiveEngine::rebuild_monolith
+
+use crate::corpus::{Corpus, TokenizedCorpus};
+use crate::engine::{CacheStats, Exec, ExecKey, ResultCache, SelectionEngine};
+use crate::params::Params;
+use crate::predicate::PredicateKind;
+use crate::record::{sort_ranked, top_k_ranked, Record, ScoredTid, Tid};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default tail-seal threshold: appends per tail segment before it freezes.
+/// Small enough that tail rebuilds stay cheap, large enough that a steady
+/// append stream does not shred the corpus into hundreds of segments before
+/// compaction.
+pub const DEFAULT_SEGMENT_SEAL: usize = 256;
+
+/// Parse a `DASP_SEGMENT_SEAL` environment override: a positive integer
+/// selects that seal threshold; anything else (unset, empty, unparsable,
+/// zero) leaves [`Params::segment_seal`] in charge. Separated from
+/// `std::env` for tests.
+fn segment_seal_env(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+}
+
+/// One immutable segment: a slice of the appended stream plus a full
+/// [`SelectionEngine`] over it. `records[i]` is the record the segment
+/// engine knows as local tid `i` (the corpus dense-tid invariant), carrying
+/// its **global** tid — the local→global map is the records list itself.
+struct Segment {
+    /// Segment records in ascending global-tid order.
+    records: Vec<Record>,
+    /// The engine over this slice, tokenized against the frozen statistics.
+    engine: SelectionEngine,
+    /// Sealed segments are never rebuilt; the (single, last) unsealed
+    /// segment is the tail that [`LiveEngine::append`] replaces.
+    sealed: bool,
+}
+
+/// An immutable view of the live corpus at one epoch. Queries pin one
+/// snapshot for their whole execution; writers install a fresh snapshot per
+/// mutation and never mutate an installed one.
+struct LiveSnapshot {
+    /// Monotone mutation counter; also the result-cache key component.
+    epoch: u64,
+    /// The frozen-statistics donor every segment projects against (the
+    /// tokenized corpus of the last compaction or construction).
+    stats: Arc<TokenizedCorpus>,
+    /// Sealed segments in append order, then the tail (if non-empty) last.
+    segments: Vec<Arc<Segment>>,
+    /// Per-segment count of tombstoned records, aligned with `segments`.
+    dead: Vec<usize>,
+    /// Global tids deleted since the last compaction.
+    tombstones: Arc<BTreeSet<Tid>>,
+    /// The next global tid [`LiveEngine::append`] will assign.
+    next_tid: Tid,
+}
+
+impl LiveSnapshot {
+    /// The mutable tail, if the last segment is unsealed.
+    fn tail(&self) -> Option<&Arc<Segment>> {
+        self.segments.last().filter(|s| !s.sealed)
+    }
+
+    /// All live (non-tombstoned) records, ascending global tid.
+    fn live_records(&self) -> Vec<Record> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .filter(|r| !self.tombstones.contains(&r.tid))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Per-request accounting of one [`LiveEngine`] execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveQueryStats {
+    /// The epoch the query executed at (the snapshot it pinned).
+    pub epoch: u64,
+    /// Segments the query actually ran traversals over (0 on a cache hit).
+    pub segments_probed: usize,
+    /// Result rows that came from sealed segments.
+    pub sealed_hits: usize,
+    /// Result rows that came from the mutable tail segment.
+    pub tail_hits: usize,
+    /// Whether the epoch-keyed result cache answered the query.
+    pub cache_hit: bool,
+}
+
+/// A point-in-time summary of a [`LiveEngine`]: segment layout, lifetime
+/// mutation counters, and result-cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveMetrics {
+    /// Current epoch (total successful mutations since construction).
+    pub epoch: u64,
+    /// Sealed segments currently serving.
+    pub sealed_segments: usize,
+    /// Records in the mutable tail (0 right after a seal or compaction).
+    pub tail_len: usize,
+    /// Live (non-tombstoned) records.
+    pub live_records: usize,
+    /// Records held in segments, tombstoned ones included.
+    pub total_records: usize,
+    /// Tombstoned records awaiting compaction.
+    pub tombstones: usize,
+    /// Lifetime appends.
+    pub appends: u64,
+    /// Lifetime successful deletes.
+    pub deletes: u64,
+    /// Lifetime tail seals (threshold-triggered and explicit).
+    pub seals: u64,
+    /// Lifetime compactions.
+    pub compactions: u64,
+    /// Epoch-keyed result-cache counters.
+    pub cache: CacheStats,
+}
+
+/// An incrementally updatable selection engine: immutable sealed segments
+/// plus one small mutable tail, queried under epoch/Arc snapshots.
+///
+/// See the [module docs](self) for the segment lifecycle and the exactness
+/// contract. All methods take `&self`; the engine is `Send + Sync` and is
+/// meant to be shared behind an [`Arc`] between one (or more, serialized)
+/// writers and any number of concurrent readers.
+///
+/// # Examples
+///
+/// ```
+/// use dasp_core::{Corpus, Exec, LiveEngine, Params, PredicateKind};
+///
+/// let live = LiveEngine::from_corpus(
+///     Corpus::from_strings(vec!["Morgan Stanley Group Inc.", "Beijing Hotel"]),
+///     &Params::default(),
+/// );
+/// let morgan = live.append("Morgan Stanley Dean Witter");
+/// live.delete(1);
+/// let top = live.execute(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)).unwrap();
+/// assert_eq!(top.len(), 2);
+/// assert!(top.iter().any(|s| s.tid == morgan));
+/// assert!(top.iter().all(|s| s.tid != 1));
+/// ```
+pub struct LiveEngine {
+    params: Params,
+    /// Tail records before an automatic seal (≥ 1).
+    seal_limit: usize,
+    /// The current snapshot; readers clone the `Arc` under the read lock,
+    /// writers replace it. Held only for the pointer swap, never during
+    /// segment builds or query execution.
+    snapshot: RwLock<Arc<LiveSnapshot>>,
+    /// Serializes mutations (append/delete/seal/compact) so each builds its
+    /// snapshot from the latest state without holding the read path.
+    writer: Mutex<()>,
+    /// Merged-result cache, keyed on (epoch, kind, query, exec): entries
+    /// from before a mutation are unreachable afterwards by key, so a stale
+    /// hit is impossible by construction.
+    cache: ResultCache,
+    appends: AtomicU64,
+    deletes: AtomicU64,
+    seals: AtomicU64,
+    compactions: AtomicU64,
+}
+
+/// Default capacity of the live engine's merged-result cache (same sizing
+/// rationale as the per-engine cache).
+const LIVE_RESULT_CACHE_CAPACITY: usize = 256;
+
+impl LiveEngine {
+    /// An empty live engine. The frozen statistics start empty, so nothing
+    /// is searchable until the first [`compact`](Self::compact) folds the
+    /// appended records into a fresh statistical epoch — prefer
+    /// [`from_corpus`](Self::from_corpus) when seed data exists.
+    pub fn new(params: &Params) -> Self {
+        let stats =
+            Arc::new(TokenizedCorpus::build(Corpus::from_records(Vec::new()), params.qgram));
+        Self::with_state(params, stats, Vec::new(), 0)
+    }
+
+    /// A live engine seeded with `corpus`: the frozen statistics are built
+    /// from it and its records become the first sealed segment, with their
+    /// corpus tids as global tids.
+    pub fn from_corpus(corpus: Corpus, params: &Params) -> Self {
+        let records = corpus.records().to_vec();
+        let next_tid = records.len() as Tid;
+        let stats = Arc::new(TokenizedCorpus::build(corpus, params.qgram));
+        let segments = if records.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(Segment {
+                records,
+                engine: SelectionEngine::build(stats.clone(), params),
+                sealed: true,
+            })]
+        };
+        Self::with_state(params, stats, segments, next_tid)
+    }
+
+    fn with_state(
+        params: &Params,
+        stats: Arc<TokenizedCorpus>,
+        segments: Vec<Arc<Segment>>,
+        next_tid: Tid,
+    ) -> Self {
+        let seal_limit = segment_seal_env(std::env::var("DASP_SEGMENT_SEAL").ok().as_deref())
+            .unwrap_or(params.segment_seal)
+            .max(1);
+        let dead = vec![0; segments.len()];
+        LiveEngine {
+            params: *params,
+            seal_limit,
+            snapshot: RwLock::new(Arc::new(LiveSnapshot {
+                epoch: 0,
+                stats,
+                segments,
+                dead,
+                tombstones: Arc::new(BTreeSet::new()),
+                next_tid,
+            })),
+            writer: Mutex::new(()),
+            cache: ResultCache::new(LIVE_RESULT_CACHE_CAPACITY),
+            appends: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            seals: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<LiveSnapshot> {
+        self.snapshot.read().expect("live snapshot poisoned").clone()
+    }
+
+    fn install(&self, snapshot: LiveSnapshot) {
+        *self.snapshot.write().expect("live snapshot poisoned") = Arc::new(snapshot);
+    }
+
+    /// Build a segment over `records` (global tids) by projecting them
+    /// against the frozen statistics — `O(records)`, independent of corpus
+    /// size, which is what keeps [`append`](Self::append) `O(tail)`.
+    fn build_segment(
+        stats: &Arc<TokenizedCorpus>,
+        records: Vec<Record>,
+        params: &Params,
+        sealed: bool,
+    ) -> Segment {
+        let dense: Vec<Record> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::new(i as Tid, r.text.clone()))
+            .collect();
+        let corpus = Arc::new(stats.project(dense));
+        Segment { records, engine: SelectionEngine::build(corpus, params), sealed }
+    }
+
+    /// Append one record, returning its (stable, never reused) global tid.
+    /// Costs one tail-segment rebuild — `O(tail)` — and seals the tail in
+    /// place once it reaches the seal threshold. Bumps the epoch.
+    pub fn append(&self, text: impl Into<String>) -> Tid {
+        let text = text.into();
+        let _w = self.writer.lock().expect("live writer poisoned");
+        let snap = self.snapshot();
+        let tid = snap.next_tid;
+        let mut tail_records = match snap.tail() {
+            Some(tail) => tail.records.clone(),
+            None => Vec::new(),
+        };
+        tail_records.push(Record::new(tid, text));
+        let sealed = tail_records.len() >= self.seal_limit;
+        let tail_dead = tail_records.iter().filter(|r| snap.tombstones.contains(&r.tid)).count();
+        let tail = Arc::new(Self::build_segment(&snap.stats, tail_records, &self.params, sealed));
+        let keep = snap.segments.len() - usize::from(snap.tail().is_some());
+        let mut segments: Vec<Arc<Segment>> = snap.segments[..keep].to_vec();
+        let mut dead = snap.dead[..keep].to_vec();
+        segments.push(tail);
+        dead.push(tail_dead);
+        self.install(LiveSnapshot {
+            epoch: snap.epoch + 1,
+            stats: snap.stats.clone(),
+            segments,
+            dead,
+            tombstones: snap.tombstones.clone(),
+            next_tid: tid + 1,
+        });
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if sealed {
+            self.seals.fetch_add(1, Ordering::Relaxed);
+        }
+        tid
+    }
+
+    /// Tombstone the record with global tid `tid`. Returns whether a live
+    /// record existed (and bumps the epoch); deleting an unknown or
+    /// already-deleted tid is a no-op returning `false`. The record's
+    /// postings stay in place — every query filters the tombstone set when
+    /// mapping segment results — until [`compact`](Self::compact).
+    pub fn delete(&self, tid: Tid) -> bool {
+        let _w = self.writer.lock().expect("live writer poisoned");
+        let snap = self.snapshot();
+        if snap.tombstones.contains(&tid) {
+            return false;
+        }
+        let Some(seg) = snap
+            .segments
+            .iter()
+            .position(|s| s.records.binary_search_by_key(&tid, |r| r.tid).is_ok())
+        else {
+            return false;
+        };
+        let mut tombstones = (*snap.tombstones).clone();
+        tombstones.insert(tid);
+        let mut dead = snap.dead.clone();
+        dead[seg] += 1;
+        self.install(LiveSnapshot {
+            epoch: snap.epoch + 1,
+            stats: snap.stats.clone(),
+            segments: snap.segments.clone(),
+            dead,
+            tombstones: Arc::new(tombstones),
+            next_tid: snap.next_tid,
+        });
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Seal the current tail segment explicitly (normally the seal threshold
+    /// does this). Returns whether there was a non-empty tail to seal; if
+    /// so, bumps the epoch and the next append starts a fresh tail.
+    pub fn seal(&self) -> bool {
+        let _w = self.writer.lock().expect("live writer poisoned");
+        let snap = self.snapshot();
+        let Some(tail) = snap.tail() else {
+            return false;
+        };
+        let sealed = Arc::new(Segment {
+            records: tail.records.clone(),
+            engine: tail.engine.clone(),
+            sealed: true,
+        });
+        let mut segments = snap.segments.clone();
+        *segments.last_mut().expect("tail exists") = sealed;
+        self.install(LiveSnapshot {
+            epoch: snap.epoch + 1,
+            stats: snap.stats.clone(),
+            segments,
+            dead: snap.dead.clone(),
+            tombstones: snap.tombstones.clone(),
+            next_tid: snap.next_tid,
+        });
+        self.seals.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Fold every segment into one sealed segment over the live records,
+    /// dropping tombstoned rows for good and **refreshing the frozen
+    /// statistics** from exactly the surviving records — vocabulary appended
+    /// since the last compaction becomes searchable here. Global tids are
+    /// preserved (and deleted tids never reused). Bumps the epoch.
+    pub fn compact(&self) {
+        let _w = self.writer.lock().expect("live writer poisoned");
+        let snap = self.snapshot();
+        let live = snap.live_records();
+        let dense: Vec<Record> =
+            live.iter().enumerate().map(|(i, r)| Record::new(i as Tid, r.text.clone())).collect();
+        let stats =
+            Arc::new(TokenizedCorpus::build(Corpus::from_records(dense), self.params.qgram));
+        let (segments, dead) = if live.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let segment = Arc::new(Segment {
+                records: live,
+                engine: SelectionEngine::build(stats.clone(), &self.params),
+                sealed: true,
+            });
+            (vec![segment], vec![0])
+        };
+        self.install(LiveSnapshot {
+            epoch: snap.epoch + 1,
+            stats,
+            segments,
+            dead,
+            tombstones: Arc::new(BTreeSet::new()),
+            next_tid: snap.next_tid,
+        });
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Run one segment's engine in `exec` mode. The query text is tokenized
+    /// against the segment's corpus; token ids agree across segments because
+    /// every segment shares the frozen dictionaries.
+    fn run_segment(
+        segment: &Segment,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let handle = segment.engine.predicate(kind);
+        let query = segment.engine.query(text);
+        handle.execute(&query, exec)
+    }
+
+    /// Map a segment-local result to global tids, dropping tombstoned rows.
+    fn map_live(
+        segment: &Segment,
+        tombstones: &BTreeSet<Tid>,
+        local: Vec<ScoredTid>,
+    ) -> Vec<ScoredTid> {
+        local
+            .into_iter()
+            .filter_map(|s| {
+                let global = segment.records[s.tid as usize].tid;
+                (!tombstones.contains(&global)).then_some(ScoredTid::new(global, s.score))
+            })
+            .collect()
+    }
+
+    /// The shared-bar merge over one pinned snapshot (see module docs).
+    fn execute_on_snapshot(
+        snap: &LiveSnapshot,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        match exec {
+            Exec::Rank | Exec::Threshold(_) | Exec::ThresholdScan(_) => {
+                let mut merged = Vec::new();
+                for segment in &snap.segments {
+                    let local = Self::run_segment(segment, kind, text, exec)?;
+                    merged.extend(Self::map_live(segment, &snap.tombstones, local));
+                }
+                sort_ranked(&mut merged);
+                Ok(merged)
+            }
+            Exec::TopKHeap(k) => {
+                if k == 0 {
+                    return Ok(Vec::new());
+                }
+                let mut merged = Vec::new();
+                for (segment, &dead) in snap.segments.iter().zip(&snap.dead) {
+                    let local = Self::run_segment(segment, kind, text, Exec::TopKHeap(k + dead))?;
+                    merged.extend(Self::map_live(segment, &snap.tombstones, local));
+                }
+                Ok(top_k_ranked(merged, k))
+            }
+            Exec::TopK(k) => {
+                if k == 0 {
+                    return Ok(Vec::new());
+                }
+                // θ-carry: once k live candidates exist, later segments run
+                // the (bit-exact) threshold operator at the running k-th
+                // best score instead of a fresh top-k.
+                let mut collected: Vec<ScoredTid> = Vec::new();
+                for (segment, &dead) in snap.segments.iter().zip(&snap.dead) {
+                    let mode = if collected.len() >= k {
+                        Exec::Threshold(collected[k - 1].score)
+                    } else {
+                        Exec::TopK(k + dead)
+                    };
+                    let local = Self::run_segment(segment, kind, text, mode)?;
+                    collected.extend(Self::map_live(segment, &snap.tombstones, local));
+                    collected = top_k_ranked(collected, k);
+                }
+                Ok(collected)
+            }
+        }
+    }
+
+    /// Attribute final result rows to the tail vs sealed segments. Tail
+    /// tids are the largest in the snapshot (appends are tid-monotone), so
+    /// membership is one comparison per row.
+    fn attribute_hits(snap: &LiveSnapshot, results: &[ScoredTid], stats: &mut LiveQueryStats) {
+        let tail_start = snap.tail().and_then(|t| t.records.first()).map(|r| r.tid);
+        for s in results {
+            match tail_start {
+                Some(t0) if s.tid >= t0 => stats.tail_hits += 1,
+                _ => stats.sealed_hits += 1,
+            }
+        }
+    }
+
+    /// Execute `kind` over the query `text` in mode `exec` against the
+    /// current snapshot, returning globally ranked results with **global**
+    /// tids. Takes the query as text (not a [`crate::Query`]) because each
+    /// segment tokenizes it against its own corpus view.
+    pub fn execute(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        self.execute_tracked(kind, text, exec).map(|(results, _)| results)
+    }
+
+    /// [`execute`](Self::execute), also reporting per-request accounting
+    /// (epoch, segments probed, tail-vs-sealed hit counts, cache hit).
+    pub fn execute_tracked(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+    ) -> crate::error::Result<(Vec<ScoredTid>, LiveQueryStats)> {
+        let snap = self.snapshot();
+        let mut stats = LiveQueryStats {
+            epoch: snap.epoch,
+            segments_probed: 0,
+            sealed_hits: 0,
+            tail_hits: 0,
+            cache_hit: false,
+        };
+        let cached = self.cache.enabled();
+        if cached {
+            if let Some(hit) = self.cache.get(snap.epoch, kind, text, exec) {
+                stats.cache_hit = true;
+                Self::attribute_hits(&snap, &hit, &mut stats);
+                return Ok((hit.as_ref().clone(), stats));
+            }
+        }
+        let results = Self::execute_on_snapshot(&snap, kind, text, exec)?;
+        stats.segments_probed = snap.segments.len();
+        Self::attribute_hits(&snap, &results, &mut stats);
+        if cached {
+            self.cache.insert(snap.epoch, kind, text, exec, Arc::new(results.clone()));
+        }
+        Ok((results, stats))
+    }
+
+    /// Execute a whole batch against **one** pinned snapshot (every request
+    /// sees the same epoch), with intra-batch deduplication and single-lock
+    /// cache probing — the live analogue of
+    /// [`SelectionEngine::execute_many`]. Responses come back in submission
+    /// order.
+    pub fn execute_many(
+        &self,
+        batch: &[(PredicateKind, &str, Exec)],
+    ) -> Vec<crate::error::Result<Vec<ScoredTid>>> {
+        let snap = self.snapshot();
+        let n = batch.len();
+        let mut out: Vec<Option<crate::error::Result<Vec<ScoredTid>>>> = vec![None; n];
+        let mut canon: Vec<usize> = (0..n).collect();
+        let mut first: HashMap<(PredicateKind, ExecKey, &str), usize> = HashMap::new();
+        for (i, &(kind, text, exec)) in batch.iter().enumerate() {
+            canon[i] = *first.entry((kind, ExecKey::from(exec), text)).or_insert(i);
+        }
+        let distinct: Vec<usize> = (0..n).filter(|&i| canon[i] == i).collect();
+        let cached = self.cache.enabled();
+        if cached {
+            let keys: Vec<(PredicateKind, &str, Exec)> =
+                distinct.iter().map(|&i| batch[i]).collect();
+            for (&i, hit) in distinct.iter().zip(self.cache.get_many(snap.epoch, &keys)) {
+                if let Some(results) = hit {
+                    out[i] = Some(Ok(results.as_ref().clone()));
+                }
+            }
+        }
+        let mut inserts: Vec<(PredicateKind, String, Exec, Arc<Vec<ScoredTid>>)> = Vec::new();
+        for &i in &distinct {
+            if out[i].is_some() {
+                continue;
+            }
+            let (kind, text, exec) = batch[i];
+            let result = Self::execute_on_snapshot(&snap, kind, text, exec);
+            if cached {
+                if let Ok(results) = &result {
+                    inserts.push((kind, text.to_string(), exec, Arc::new(results.clone())));
+                }
+            }
+            out[i] = Some(result);
+        }
+        if !inserts.is_empty() {
+            self.cache.insert_many(snap.epoch, inserts);
+        }
+        for i in 0..n {
+            if out[i].is_none() {
+                let canonical = out[canon[i]].clone().expect("canonical requests are resolved");
+                out[i] = Some(canonical);
+            }
+        }
+        out.into_iter().map(|slot| slot.expect("every request is resolved")).collect()
+    }
+
+    /// Rebuild the differential reference for the current snapshot: one
+    /// monolithic [`SelectionEngine`] over exactly the live records,
+    /// tokenized against the **same frozen statistics**, plus the
+    /// dense-local-tid → global-tid map its results need. Every execution
+    /// mode on the live engine is bit-identical (threshold/rank) or
+    /// tie-class-equal (top-k) to this engine at the same epoch — and
+    /// rebuilding it per append is exactly the `O(corpus)` cost the segment
+    /// design amortizes away, which is what the bench baseline measures.
+    pub fn rebuild_monolith(&self) -> (SelectionEngine, Vec<Tid>) {
+        let snap = self.snapshot();
+        let live = snap.live_records();
+        let map: Vec<Tid> = live.iter().map(|r| r.tid).collect();
+        let dense: Vec<Record> =
+            live.iter().enumerate().map(|(i, r)| Record::new(i as Tid, r.text.clone())).collect();
+        let corpus = Arc::new(snap.stats.project(dense));
+        (SelectionEngine::build(corpus, &self.params), map)
+    }
+
+    /// The current epoch: total successful mutations since construction.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Live (non-tombstoned) record count.
+    pub fn len(&self) -> usize {
+        let snap = self.snapshot();
+        snap.segments.iter().map(|s| s.records.len()).sum::<usize>()
+            - snap.dead.iter().sum::<usize>()
+    }
+
+    /// Whether no live records exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live records (global tids, ascending) at the current epoch.
+    pub fn live_records(&self) -> Vec<Record> {
+        self.snapshot().live_records()
+    }
+
+    /// The parameter set every segment engine is built with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The resolved tail-seal threshold (env override applied).
+    pub fn seal_limit(&self) -> usize {
+        self.seal_limit
+    }
+
+    /// Point-in-time segment layout, mutation counters, and cache stats.
+    pub fn metrics(&self) -> LiveMetrics {
+        let snap = self.snapshot();
+        let total_records: usize = snap.segments.iter().map(|s| s.records.len()).sum();
+        let dead: usize = snap.dead.iter().sum();
+        LiveMetrics {
+            epoch: snap.epoch,
+            sealed_segments: snap.segments.iter().filter(|s| s.sealed).count(),
+            tail_len: snap.tail().map_or(0, |t| t.records.len()),
+            live_records: total_records - dead,
+            total_records,
+            tombstones: snap.tombstones.len(),
+            appends: self.appends.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            seals: self.seals.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Counters and occupancy of the epoch-keyed result cache.
+    pub fn result_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resize the result cache (0 disables caching, as in the bench).
+    pub fn set_result_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::cmp_ranked;
+
+    fn seed_texts() -> Vec<&'static str> {
+        vec![
+            "Morgan Stanley Group Inc.",
+            "Morgan Stanle Grop Inc.",
+            "Silicon Valley Group, Inc.",
+            "Beijing Hotel",
+            "Beijing Labs Limited",
+            "AT&T Incorporated",
+        ]
+    }
+
+    fn live_engine(seal: usize) -> LiveEngine {
+        let params = Params { segment_seal: seal, ..Params::default() };
+        LiveEngine::from_corpus(Corpus::from_strings(seed_texts()), &params)
+    }
+
+    /// The live engine's results must match the frozen-stats monolith:
+    /// bit-for-bit in the exact modes, tie-class at the `k` boundary for the
+    /// bounded top-k operator (both sides may legally pick either member of
+    /// a score tie straddling the boundary).
+    fn assert_matches_monolith(live: &LiveEngine, kind: PredicateKind, text: &str, exec: Exec) {
+        let got = live.execute(kind, text, exec).unwrap();
+        let (reference, map) = live.rebuild_monolith();
+        let globalize = |v: Vec<ScoredTid>| -> Vec<ScoredTid> {
+            v.into_iter().map(|s| ScoredTid::new(map[s.tid as usize], s.score)).collect()
+        };
+        let expected =
+            globalize(reference.predicate(kind).execute(&reference.query(text), exec).unwrap());
+        let as_bits =
+            |v: &[ScoredTid]| v.iter().map(|s| (s.tid, s.score.to_bits())).collect::<Vec<_>>();
+        if let Exec::TopK(_) = exec {
+            // Same score multiset…
+            let scores = |v: &[ScoredTid]| v.iter().map(|s| s.score.to_bits()).collect::<Vec<_>>();
+            assert_eq!(scores(&got), scores(&expected), "{kind:?} {exec:?} on {text:?}");
+            // …identical membership strictly above the boundary…
+            if let Some(boundary) = expected.last().map(|s| s.score) {
+                let above = |v: &[ScoredTid]| {
+                    v.iter().filter(|s| s.score > boundary).map(|s| s.tid).collect::<Vec<_>>()
+                };
+                assert_eq!(above(&got), above(&expected), "{kind:?} {exec:?} on {text:?}");
+            }
+            // …and every returned score is that tid's true score.
+            let truth: std::collections::HashMap<Tid, u64> = globalize(
+                reference.predicate(kind).execute(&reference.query(text), Exec::Rank).unwrap(),
+            )
+            .into_iter()
+            .map(|s| (s.tid, s.score.to_bits()))
+            .collect();
+            for s in &got {
+                assert_eq!(truth.get(&s.tid), Some(&s.score.to_bits()), "{kind:?} on {text:?}");
+            }
+        } else {
+            assert_eq!(as_bits(&got), as_bits(&expected), "{kind:?} {exec:?} on {text:?}");
+        }
+    }
+
+    #[test]
+    fn append_delete_query_matches_monolith() {
+        let live = live_engine(2);
+        live.append("Morgan Stanley Dean Witter");
+        live.append("Beijing Grand Hotel");
+        live.append("Silicon Valley Bank");
+        assert!(live.delete(1));
+        assert!(!live.delete(1));
+        assert!(!live.delete(999));
+        for exec in [Exec::Rank, Exec::TopKHeap(3), Exec::Threshold(0.1), Exec::TopK(3)] {
+            assert_matches_monolith(&live, PredicateKind::Bm25, "Morgan Stanley Group", exec);
+            assert_matches_monolith(&live, PredicateKind::Jaccard, "Beijing Hotel", exec);
+        }
+    }
+
+    #[test]
+    fn seal_threshold_and_explicit_seal() {
+        let live = live_engine(3);
+        assert_eq!(live.metrics().sealed_segments, 1);
+        live.append("one");
+        live.append("two");
+        assert_eq!(live.metrics().tail_len, 2);
+        live.append("three");
+        let m = live.metrics();
+        assert_eq!((m.sealed_segments, m.tail_len, m.seals), (2, 0, 1));
+        live.append("four");
+        assert!(live.seal());
+        assert!(!live.seal());
+        let m = live.metrics();
+        assert_eq!((m.sealed_segments, m.tail_len, m.seals), (3, 0, 2));
+    }
+
+    #[test]
+    fn compact_folds_everything_and_refreshes_stats() {
+        let live = live_engine(2);
+        let added = live.append("Morgan Stanley Dean Witter");
+        live.delete(0);
+        live.compact();
+        let m = live.metrics();
+        assert_eq!((m.sealed_segments, m.tail_len, m.tombstones), (1, 0, 0));
+        assert_eq!(live.len(), seed_texts().len());
+        // Global tids survive compaction; the deleted one is gone for good.
+        let ranked = live.execute(PredicateKind::Cosine, "Morgan Stanley", Exec::Rank).unwrap();
+        assert!(ranked.iter().any(|s| s.tid == added));
+        assert!(ranked.iter().all(|s| s.tid != 0));
+        // Post-compaction the frozen stats ARE the live corpus: projection
+        // equals a from-scratch build.
+        assert_matches_monolith(&live, PredicateKind::Bm25, "Morgan Stanley", Exec::Rank);
+    }
+
+    #[test]
+    fn delete_everything_yields_empty_results() {
+        let live = live_engine(4);
+        for tid in 0..seed_texts().len() as Tid {
+            assert!(live.delete(tid));
+        }
+        assert!(live.is_empty());
+        for exec in [Exec::Rank, Exec::TopK(3), Exec::Threshold(0.0)] {
+            assert!(live.execute(PredicateKind::Bm25, "Morgan", exec).unwrap().is_empty());
+        }
+        live.compact();
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn results_are_globally_ranked() {
+        let live = live_engine(1); // every append is its own segment
+        live.append("Morgan Stanley Group");
+        live.append("Morgan Stanley");
+        let ranked = live.execute(PredicateKind::Cosine, "Morgan Stanley", Exec::Rank).unwrap();
+        assert!(ranked.windows(2).all(|w| cmp_ranked(&w[0], &w[1]).is_le()));
+        assert!(ranked.len() >= 2);
+    }
+
+    #[test]
+    fn cache_cannot_serve_stale_epochs() {
+        let live = live_engine(64);
+        let (_, s1) =
+            live.execute_tracked(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)).unwrap();
+        assert!(!s1.cache_hit);
+        let (_, s2) =
+            live.execute_tracked(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)).unwrap();
+        assert!(s2.cache_hit && s2.epoch == s1.epoch);
+        // A mutation advances the epoch: the same request misses and the
+        // result reflects the new record.
+        let added = live.append("Morgan Stanley Dean Witter");
+        let (results, s3) =
+            live.execute_tracked(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)).unwrap();
+        assert!(!s3.cache_hit && s3.epoch == s1.epoch + 1);
+        assert!(results.iter().any(|s| s.tid == added));
+        assert!(s3.tail_hits >= 1);
+    }
+
+    #[test]
+    fn execute_many_pins_one_epoch_and_dedups() {
+        let live = live_engine(64);
+        live.append("Morgan Stanley Dean Witter");
+        let batch = [
+            (PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)),
+            (PredicateKind::Jaccard, "Beijing Hotel", Exec::Rank),
+            (PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2)),
+        ];
+        let results = live.execute_many(&batch);
+        assert_eq!(results.len(), 3);
+        let bits = |r: &crate::error::Result<Vec<ScoredTid>>| {
+            r.as_ref().unwrap().iter().map(|s| (s.tid, s.score.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&results[0]), bits(&results[2]));
+        for (i, (kind, text, exec)) in batch.iter().enumerate() {
+            assert_eq!(bits(&results[i]), bits(&live.execute(*kind, text, *exec)));
+        }
+    }
+
+    #[test]
+    fn seal_env_override_wins() {
+        let params = Params { segment_seal: 100, ..Params::default() };
+        assert_eq!(segment_seal_env(Some("7")), Some(7));
+        assert_eq!(segment_seal_env(Some("0")), None);
+        assert_eq!(segment_seal_env(Some("nope")), None);
+        assert_eq!(segment_seal_env(None), None);
+        assert_eq!(segment_seal_env(Some("7")).unwrap_or(params.segment_seal), 7);
+        assert_eq!(segment_seal_env(None).unwrap_or(params.segment_seal), 100);
+    }
+
+    #[test]
+    fn empty_engine_becomes_searchable_after_compact() {
+        let live = LiveEngine::new(&Params::default());
+        live.append("Morgan Stanley Group Inc.");
+        // The frozen vocabulary is empty: nothing matches yet.
+        assert!(live.execute(PredicateKind::Bm25, "Morgan", Exec::Rank).unwrap().is_empty());
+        live.compact();
+        assert!(!live.execute(PredicateKind::Bm25, "Morgan", Exec::Rank).unwrap().is_empty());
+    }
+}

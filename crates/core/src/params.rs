@@ -130,6 +130,13 @@ pub struct Params {
     /// overrides it at engine construction (CI exercises non-default block
     /// boundaries that way).
     pub posting_block: usize,
+    /// Seal threshold of the live-corpus tail segment (records appended to
+    /// the mutable tail before it is frozen into an immutable sealed
+    /// segment; see [`crate::live::LiveEngine`]). Correctness holds at every
+    /// value — this only moves the append-amortization / segment-count
+    /// trade-off. A `DASP_SEGMENT_SEAL` environment variable overrides it at
+    /// live-engine construction (CI forces many tiny segments that way).
+    pub segment_seal: usize,
 }
 
 impl Default for Params {
@@ -143,6 +150,7 @@ impl Default for Params {
             soft_tfidf: SoftTfIdfParams::default(),
             overlap_weighting: OverlapWeighting::default(),
             posting_block: relq::DEFAULT_POSTING_BLOCK,
+            segment_seal: crate::live::DEFAULT_SEGMENT_SEAL,
         }
     }
 }
@@ -179,6 +187,7 @@ mod tests {
         assert_eq!(p.soft_tfidf.theta, 0.8);
         assert_eq!(p.overlap_weighting, OverlapWeighting::RobertsonSparckJones);
         assert_eq!(p.posting_block, relq::DEFAULT_POSTING_BLOCK);
+        assert_eq!(p.segment_seal, crate::live::DEFAULT_SEGMENT_SEAL);
     }
 
     #[test]

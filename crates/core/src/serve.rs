@@ -1,5 +1,7 @@
 //! Concurrent batch serving: a fixed pool of worker threads fanning a
-//! request stream over one shared [`SelectionEngine`].
+//! request stream over one shared backend — a static [`SelectionEngine`]
+//! or, via [`ServingEngine::new_live`], a [`LiveEngine`] whose epoch
+//! snapshots let the pool race a concurrent writer without locks.
 //!
 //! The engine has been built for this since PR 2: it is `Send + Sync`,
 //! cloning it is a cheap `Arc` handle, every shared artifact is a
@@ -35,9 +37,11 @@
 //! assumes as its input.
 
 use crate::engine::{Exec, SelectionEngine};
+use crate::live::{LiveEngine, LiveMetrics, LiveQueryStats};
 use crate::predicate::PredicateKind;
 use crate::record::ScoredTid;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -73,6 +77,10 @@ pub struct ServeStats {
     pub cache_hit: bool,
     /// Index of the worker that served the request (`0..workers`).
     pub worker: usize,
+    /// Segment observability of a live-backend request — the epoch the
+    /// request executed at, segments probed, and tail-vs-sealed hit counts.
+    /// `None` when serving a static [`SelectionEngine`].
+    pub live: Option<LiveQueryStats>,
 }
 
 /// The outcome of one request: the selection result plus its accounting.
@@ -195,25 +203,71 @@ impl KindMetrics {
 /// assert_eq!(serving.metrics().len(), 2);
 /// ```
 pub struct ServingEngine {
-    engine: SelectionEngine,
+    backend: Backend,
     workers: usize,
     /// One running aggregation per predicate kind, in canonical order.
     metrics: Mutex<[KindMetrics; PredicateKind::COUNT]>,
 }
 
+/// What a [`ServingEngine`] executes requests against: a static
+/// [`SelectionEngine`] (immutable corpus) or a [`LiveEngine`] (each request
+/// pins the live engine's current epoch snapshot).
+enum Backend {
+    Static(SelectionEngine),
+    Live(Arc<LiveEngine>),
+}
+
 impl ServingEngine {
     /// Wrap an engine with a fixed worker-pool width (at least 1).
     pub fn new(engine: SelectionEngine, workers: usize) -> Self {
+        Self::with_backend(Backend::Static(engine), workers)
+    }
+
+    /// Serve a [`LiveEngine`]: requests execute against the epoch snapshot
+    /// current when a worker claims them, so a batch served concurrently
+    /// with a writer is equivalent to some interleaving of the requests
+    /// into the mutation stream — each response carries its epoch in
+    /// [`ServeStats::live`]. The engine handle is shared, so the caller
+    /// keeps appending/deleting through its own clone.
+    pub fn new_live(live: Arc<LiveEngine>, workers: usize) -> Self {
+        Self::with_backend(Backend::Live(live), workers)
+    }
+
+    fn with_backend(backend: Backend, workers: usize) -> Self {
         ServingEngine {
-            engine,
+            backend,
             workers: workers.max(1),
             metrics: Mutex::new(std::array::from_fn(|_| KindMetrics::default())),
         }
     }
 
-    /// The engine requests execute against.
+    /// The static engine requests execute against.
+    ///
+    /// # Panics
+    ///
+    /// If this serving engine wraps a [`LiveEngine`] — use
+    /// [`live`](Self::live) for that backend.
     pub fn engine(&self) -> &SelectionEngine {
-        &self.engine
+        match &self.backend {
+            Backend::Static(engine) => engine,
+            Backend::Live(_) => panic!("ServingEngine::engine() on a live backend; use live()"),
+        }
+    }
+
+    /// The live engine requests execute against (`None` for a static
+    /// backend).
+    pub fn live(&self) -> Option<&Arc<LiveEngine>> {
+        match &self.backend {
+            Backend::Static(_) => None,
+            Backend::Live(live) => Some(live),
+        }
+    }
+
+    /// Segment layout and mutation counters of the live backend (`None` for
+    /// a static backend) — the serving-side surface of
+    /// [`LiveEngine::metrics`].
+    pub fn live_metrics(&self) -> Option<LiveMetrics> {
+        self.live().map(|l| l.metrics())
     }
 
     /// The configured worker-pool width.
@@ -285,15 +339,27 @@ impl ServingEngine {
         worker: usize,
     ) -> ServeResponse {
         let started = Instant::now();
-        let handle = self.engine.predicate(request.kind);
-        let query = self.engine.query(&request.text);
-        let executed = handle.execute_tracked(&query, request.exec);
-        let exec_time = started.elapsed();
-        let (results, cache_hit) = match executed {
-            Ok((results, hit)) => (Ok(results), hit),
-            Err(e) => (Err(e), false),
+        let (results, cache_hit, live) = match &self.backend {
+            Backend::Static(engine) => {
+                let handle = engine.predicate(request.kind);
+                let query = engine.query(&request.text);
+                match handle.execute_tracked(&query, request.exec) {
+                    Ok((results, hit)) => (Ok(results), hit, None),
+                    Err(e) => (Err(e), false, None),
+                }
+            }
+            Backend::Live(engine) => {
+                match engine.execute_tracked(request.kind, &request.text, request.exec) {
+                    Ok((results, stats)) => (Ok(results), stats.cache_hit, Some(stats)),
+                    Err(e) => (Err(e), false, None),
+                }
+            }
         };
-        ServeResponse { results, stats: ServeStats { queue_wait, exec_time, cache_hit, worker } }
+        let exec_time = started.elapsed();
+        ServeResponse {
+            results,
+            stats: ServeStats { queue_wait, exec_time, cache_hit, worker, live },
+        }
     }
 
     /// Per-predicate execution-latency aggregation over everything served so
@@ -335,6 +401,34 @@ mod tests {
             dasp_text::QgramConfig::new(2),
         ));
         SelectionEngine::build(corpus, &Params::default())
+    }
+
+    #[test]
+    fn live_backend_reports_segment_observability() {
+        let params = Params { segment_seal: 16, ..Params::default() };
+        let live = Arc::new(crate::live::LiveEngine::from_corpus(
+            Corpus::from_strings(vec!["Morgan Stanley Group Inc.", "Beijing Hotel"]),
+            &params,
+        ));
+        let added = live.append("Morgan Stanley Dean Witter");
+        let serving = ServingEngine::new_live(live.clone(), 2);
+        assert!(serving.live().is_some());
+        let request = ServeRequest::new(PredicateKind::Bm25, "Morgan Stanley", Exec::TopK(2));
+        let responses = serving.serve(&[request.clone(), request]);
+        for response in &responses {
+            let stats = response.stats.live.expect("live backend attaches segment stats");
+            assert_eq!(stats.epoch, live.epoch());
+            // Sealed seed segment + one-record tail.
+            assert!(stats.cache_hit || stats.segments_probed == 2);
+            assert!(stats.tail_hits >= 1, "the appended record is a top-2 hit");
+            assert!(
+                response.results.as_ref().unwrap().iter().any(|s| s.tid == added),
+                "results carry global tids"
+            );
+        }
+        let metrics = serving.live_metrics().expect("live backend exposes segment metrics");
+        assert_eq!((metrics.sealed_segments, metrics.tail_len), (1, 1));
+        assert_eq!(metrics.live_records, 3);
     }
 
     fn mixed_requests() -> Vec<ServeRequest> {

@@ -16,9 +16,9 @@ pub mod workload;
 pub use metrics::{average_precision, max_f1, mean, precision_recall_curve};
 pub use report::{format_millis, format_number, render_series, Series, TextTable};
 pub use timing::{
-    serve_workload, time_engine_build, time_exec_queries, time_predicate_build, time_preprocess,
-    time_queries, time_serving, time_tokenization, time_weight_phase, PreprocessTiming,
-    QueryTiming,
+    serve_workload, summarize_live_serving, time_engine_build, time_exec_queries,
+    time_predicate_build, time_preprocess, time_queries, time_serving, time_tokenization,
+    time_weight_phase, LiveServeSummary, PreprocessTiming, QueryTiming,
 };
 pub use workload::{
     build_engine, evaluate_accuracy, evaluate_engine, evaluate_kind, evaluate_kinds,

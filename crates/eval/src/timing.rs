@@ -139,6 +139,55 @@ pub fn time_serving(
     (responses, QueryTiming { total: start.elapsed(), num_queries: requests.len() })
 }
 
+/// Aggregated segment observability over a served batch against a live
+/// backend ([`ServingEngine::new_live`]): totals of the per-request
+/// [`dasp_core::LiveQueryStats`] riding on the responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveServeSummary {
+    /// Responses that carried live segment stats (all of them on a live
+    /// backend).
+    pub requests: usize,
+    /// Requests answered by the epoch-keyed result cache.
+    pub cache_hits: usize,
+    /// Total segments probed across all executed (non-cached) requests.
+    pub segments_probed: usize,
+    /// Total result rows that came from sealed segments.
+    pub sealed_hits: usize,
+    /// Total result rows that came from the mutable tail.
+    pub tail_hits: usize,
+    /// Lowest epoch any request executed at.
+    pub min_epoch: u64,
+    /// Highest epoch any request executed at (`min_epoch != max_epoch`
+    /// means a writer advanced the corpus mid-batch).
+    pub max_epoch: u64,
+}
+
+/// Fold the per-request segment stats of a served batch into one
+/// [`LiveServeSummary`] — `None` when the batch was served by a static
+/// backend (no response carries live stats).
+pub fn summarize_live_serving(responses: &[ServeResponse]) -> Option<LiveServeSummary> {
+    let mut summary: Option<LiveServeSummary> = None;
+    for stats in responses.iter().filter_map(|r| r.stats.live) {
+        let s = summary.get_or_insert(LiveServeSummary {
+            requests: 0,
+            cache_hits: 0,
+            segments_probed: 0,
+            sealed_hits: 0,
+            tail_hits: 0,
+            min_epoch: stats.epoch,
+            max_epoch: stats.epoch,
+        });
+        s.requests += 1;
+        s.cache_hits += usize::from(stats.cache_hit);
+        s.segments_probed += stats.segments_probed;
+        s.sealed_hits += stats.sealed_hits;
+        s.tail_hits += stats.tail_hits;
+        s.min_epoch = s.min_epoch.min(stats.epoch);
+        s.max_epoch = s.max_epoch.max(stats.epoch);
+    }
+    summary
+}
+
 /// Time a prepared-query workload through one predicate handle under an
 /// arbitrary [`Exec`] mode — the harness primitive behind execution-path
 /// comparisons (e.g. `Exec::Threshold` vs `Exec::ThresholdScan` at the same
@@ -229,6 +278,38 @@ mod tests {
             assert_eq!(timing.num_queries, 5);
             assert!(timing.total > Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn live_serving_surfaces_segment_observability() {
+        let d = cu_dataset_sized(cu_spec("CU8").unwrap(), 120, 12);
+        let params = Params { segment_seal: 8, ..Params::default() };
+        let live = Arc::new(dasp_core::LiveEngine::from_corpus(
+            Corpus::from_strings(d.strings()),
+            &params,
+        ));
+        for text in ["fresh appended record one", "fresh appended record two"] {
+            live.append(text);
+        }
+        let kinds = [PredicateKind::Jaccard, PredicateKind::Bm25];
+        let requests = serve_workload(&d, &kinds, Exec::TopK(5), 4, 0xC1);
+        let serving = ServingEngine::new_live(live.clone(), 2);
+        let (responses, timing) = time_serving(&serving, &requests);
+        assert_eq!(timing.num_queries, requests.len());
+        // A static backend yields no summary…
+        assert_eq!(summarize_live_serving(&[]), None);
+        // …a live one aggregates every response's segment stats.
+        let summary = summarize_live_serving(&responses).expect("live responses carry stats");
+        assert_eq!(summary.requests, requests.len());
+        assert_eq!((summary.min_epoch, summary.max_epoch), (2, 2), "no mid-batch writer");
+        // Every executed request probed both segments (seed + tail).
+        assert_eq!(
+            summary.segments_probed,
+            2 * (summary.requests - summary.cache_hits),
+            "sealed seed segment + tail per non-cached request"
+        );
+        let live_metrics = serving.live_metrics().expect("live backend");
+        assert_eq!((live_metrics.sealed_segments, live_metrics.tail_len), (1, 2));
     }
 
     #[test]
