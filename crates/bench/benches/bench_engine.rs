@@ -56,7 +56,7 @@
 
 use criterion::{measure, Measurement};
 use dasp_core::{
-    Corpus, Exec, LiveEngine, Params, PredicateKind, Query, ScoredTid, SelectionEngine,
+    Corpus, Exec, ExecBudget, LiveEngine, Params, PredicateKind, Query, ScoredTid, SelectionEngine,
     ServeRequest, ServingEngine,
 };
 use dasp_datagen::dblp_dataset;
@@ -474,6 +474,18 @@ struct BatchRow {
     qps: f64,
 }
 
+/// One anytime-degradation measurement: `Exec::Rank` latency with the
+/// candidate budget capped at a fraction of the query's full candidate
+/// count (`budget_pct` = 25 / 50, or 100 for an effectively unlimited cap
+/// through the same budgeted code path).
+struct DegradationRow {
+    size: usize,
+    predicate: &'static str,
+    budget_pct: u32,
+    latency_us: f64,
+    degraded: bool,
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, samples): (&[usize], usize) = if smoke { (&SMOKE_SIZES, 1) } else { (&SIZES, 5) };
@@ -483,6 +495,7 @@ fn main() {
     let mut block_rows: Vec<BlockMaxRow> = Vec::new();
     let mut scale_rows: Vec<ScaleRow> = Vec::new();
     let mut batch_rows: Vec<BatchRow> = Vec::new();
+    let mut degradation_rows: Vec<DegradationRow> = Vec::new();
     let mut live_append_rows: Vec<LiveAppendRow> = Vec::new();
     let mut live_segment_rows: Vec<LiveSegmentRow> = Vec::new();
     let mut live_rebuild_rows: Vec<LiveRebuildRow> = Vec::new();
@@ -881,6 +894,63 @@ fn main() {
             batch_rows.push(BatchRow { size, workers, requests: n_requests, qps });
         }
 
+        // --- Degradation: anytime latency under candidate budgets ------------
+        // `Exec::Rank` through `execute_budgeted` with the candidate cap at
+        // 25% / 50% of the query's full candidate count, and at an
+        // effectively unlimited cap through the same budgeted code path (the
+        // 100% row — so the ratios isolate what truncation buys, not what
+        // budget bookkeeping costs). Before timing, each configuration is
+        // checked in place: every returned score bit-identical to the exact
+        // ranking's score for that tid, and `degraded` set iff the cap is
+        // below the candidate count.
+        for &kind in &BOUNDED {
+            let handle = engine.predicate(kind);
+            let q = &queries[0];
+            let exact = handle.execute(q, Exec::Rank).unwrap();
+            let exact_scores: std::collections::HashMap<_, _> =
+                exact.iter().map(|s| (s.tid, s.score.to_bits())).collect();
+            let open = ExecBudget { max_candidates: Some(usize::MAX), ..ExecBudget::default() };
+            let probe = handle.execute_budgeted(q, Exec::Rank, open).unwrap();
+            let total =
+                probe.report.expect("capped runs report accounting").candidates_scored as usize;
+            let total = total.max(1);
+            for (pct, cap) in
+                [(25u32, (total / 4).max(1)), (50, (total / 2).max(1)), (100, usize::MAX)]
+            {
+                let budget = ExecBudget { max_candidates: Some(cap), ..ExecBudget::default() };
+                let run = handle.execute_budgeted(q, Exec::Rank, budget).unwrap();
+                for s in &run.results {
+                    assert_eq!(
+                        exact_scores.get(&s.tid),
+                        Some(&s.score.to_bits()),
+                        "{kind}: budgeted run corrupted the score of tid {}",
+                        s.tid
+                    );
+                }
+                assert_eq!(
+                    run.degraded,
+                    cap < total,
+                    "{kind}: degraded flag must track whether the cap binds ({cap}/{total})"
+                );
+                let m = measure(samples, || {
+                    handle.execute_budgeted(q, Exec::Rank, budget).unwrap().results.len()
+                });
+                let latency_us = m.median.as_secs_f64() * 1e6;
+                println!(
+                    "bench engine/degradation  n={size:<6} {:<6} budget {pct:>3}% {latency_us:>9.1} us{}",
+                    kind.short_name(),
+                    if run.degraded { " (degraded)" } else { "" }
+                );
+                degradation_rows.push(DegradationRow {
+                    size,
+                    predicate: kind.short_name(),
+                    budget_pct: pct,
+                    latency_us,
+                    degraded: run.degraded,
+                });
+            }
+        }
+
         // --- Live corpus: appends, segmented queries, rebuild baseline -------
         // Append throughput at three seal limits. Every append re-tokenizes
         // and re-indexes only the mutable tail (the engine build itself is
@@ -1218,6 +1288,32 @@ fn main() {
         .map(|r| r.per_append_us)
         .unwrap_or(0.0);
 
+    // Degradation summary: budgeted latency at 25% / 50% of the candidate
+    // count relative to the unlimited-cap row through the same budgeted
+    // path, median over the bounded predicates at the summary size.
+    let degradation_ratio = |pct: u32| {
+        let mut ratios: Vec<(String, f64)> = BOUNDED
+            .iter()
+            .filter_map(|kind| {
+                let at = |p: u32| {
+                    degradation_rows
+                        .iter()
+                        .find(|r| {
+                            r.size == summary_size
+                                && r.predicate == kind.short_name()
+                                && r.budget_pct == p
+                        })
+                        .map(|r| r.latency_us)
+                };
+                Some((kind.short_name().to_string(), ratio(at(pct)?, at(100)?)))
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        median(&ratios)
+    };
+    let degradation_latency_25 = degradation_ratio(25);
+    let degradation_latency_50 = degradation_ratio(50);
+
     println!(
         "\nengine speedup at {summary_size} records (plan-based predicates): min {min_speedup:.1}x, median {median_speedup:.1}x"
     );
@@ -1250,6 +1346,9 @@ fn main() {
     );
     println!(
         "live corpus at {summary_size} records: append {live_append_us:.1} us (default seal) vs rebuild-per-append: {live_rebuild_ratio:.1}x cheaper"
+    );
+    println!(
+        "degradation at {summary_size} records: budgeted rank latency at 25% of candidates {degradation_latency_25:.2}x of unlimited, at 50% {degradation_latency_50:.2}x (median over bounded predicates)"
     );
     // The heap pushdown saves only the materialize+sort tail, a few percent
     // of an aggregate-dominated query — its ratio sits at parity plus the
@@ -1338,6 +1437,21 @@ fn main() {
             live_rebuild_ratio >= 2.0,
             "live append lost its edge over rebuild-per-append ({live_rebuild_ratio:.2}x)"
         );
+        // The degradation section's in-place guards (bit-identical partial
+        // scores, degraded flag exactly when capped) already ran; this
+        // asserts the section covered every bounded predicate at all three
+        // budget points, and that a capped run never costs more than the
+        // unlimited run through the same budgeted path — the budget layer
+        // must shed work, not add it (one 1k sample is noisy, so the bar
+        // only catches the accounting making execution outright slower).
+        assert!(
+            degradation_rows.iter().filter(|r| r.size == summary_size).count() == BOUNDED.len() * 3,
+            "degradation section did not cover every (bounded predicate, budget) pair"
+        );
+        assert!(
+            degradation_latency_25 <= 2.0,
+            "a 25% candidate budget made execution slower than unlimited ({degradation_latency_25:.2}x)"
+        );
         println!("smoke mode: guards passed, baseline file not rewritten");
         return;
     }
@@ -1352,7 +1466,7 @@ fn main() {
     let _ = writeln!(json, "  \"posting_block\": {},", Params::default().posting_block);
     let _ = writeln!(
         json,
-        "  \"summary\": {{ \"min_plan_speedup_10k\": {min_speedup:.3}, \"median_plan_speedup_10k\": {median_speedup:.3}, \"min_topk_speedup_10k\": {min_topk:.3}, \"median_topk_speedup_10k\": {median_topk:.3}, \"min_ta_speedup_10k\": {min_ta:.3}, \"median_ta_speedup_10k\": {median_ta:.3}, \"min_threshold_speedup_10k\": {min_threshold:.3}, \"median_threshold_speedup_10k\": {median_threshold:.3}, \"min_ta_speedup_100k\": {min_ta_100k:.3}, \"median_ta_speedup_100k\": {median_ta_100k:.3}, \"min_threshold_speedup_100k\": {min_threshold_100k:.3}, \"median_threshold_speedup_100k\": {median_threshold_100k:.3}, \"hmm_block_max_topk_gain_100k\": {hmm_block_topk:.3}, \"min_block_max_topk_gain_100k\": {min_block_topk:.3}, \"median_block_max_topk_gain_100k\": {median_block_topk:.3}, \"min_block_max_loose_threshold_gain_100k\": {min_block_loose:.3}, \"median_block_max_loose_threshold_gain_100k\": {median_block_loose:.3}, \"median_block_max_topk_gain_uniform_10k\": {median_block_topk_uniform:.3}, \"median_block_max_loose_threshold_gain_uniform_10k\": {median_block_loose_uniform:.3}, \"execute_many_qps_10k\": {:.1}, \"batch_qps_1w_10k\": {:.1}, \"batch_qps_4w_10k\": {:.1}, \"batch_scaling_4w_10k\": {batch_scaling_4w:.3}, \"serving_cores\": {serving_cores}, \"live_append_us_10k\": {live_append_us:.1}, \"live_rebuild_ratio_10k\": {live_rebuild_ratio:.3} }},",
+        "  \"summary\": {{ \"min_plan_speedup_10k\": {min_speedup:.3}, \"median_plan_speedup_10k\": {median_speedup:.3}, \"min_topk_speedup_10k\": {min_topk:.3}, \"median_topk_speedup_10k\": {median_topk:.3}, \"min_ta_speedup_10k\": {min_ta:.3}, \"median_ta_speedup_10k\": {median_ta:.3}, \"min_threshold_speedup_10k\": {min_threshold:.3}, \"median_threshold_speedup_10k\": {median_threshold:.3}, \"min_ta_speedup_100k\": {min_ta_100k:.3}, \"median_ta_speedup_100k\": {median_ta_100k:.3}, \"min_threshold_speedup_100k\": {min_threshold_100k:.3}, \"median_threshold_speedup_100k\": {median_threshold_100k:.3}, \"hmm_block_max_topk_gain_100k\": {hmm_block_topk:.3}, \"min_block_max_topk_gain_100k\": {min_block_topk:.3}, \"median_block_max_topk_gain_100k\": {median_block_topk:.3}, \"min_block_max_loose_threshold_gain_100k\": {min_block_loose:.3}, \"median_block_max_loose_threshold_gain_100k\": {median_block_loose:.3}, \"median_block_max_topk_gain_uniform_10k\": {median_block_topk_uniform:.3}, \"median_block_max_loose_threshold_gain_uniform_10k\": {median_block_loose_uniform:.3}, \"execute_many_qps_10k\": {:.1}, \"batch_qps_1w_10k\": {:.1}, \"batch_qps_4w_10k\": {:.1}, \"batch_scaling_4w_10k\": {batch_scaling_4w:.3}, \"serving_cores\": {serving_cores}, \"live_append_us_10k\": {live_append_us:.1}, \"live_rebuild_ratio_10k\": {live_rebuild_ratio:.3}, \"degradation_latency_ratio_25_10k\": {degradation_latency_25:.3}, \"degradation_latency_ratio_50_10k\": {degradation_latency_50:.3} }},",
         batch_qps(0),
         batch_qps(1),
         batch_qps(4)
@@ -1451,6 +1565,33 @@ fn main() {
             scaling
         );
         json.push_str(if i + 1 < batch_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Degradation: budgeted `Exec::Rank` latency with `max_candidates`
+    // capped at 25% / 50% of the predicate's full candidate count, and
+    // uncapped through the same budgeted (cache-bypassing) path. The
+    // in-place guards asserted every partial result is a bit-identical
+    // subset of the exact ranking; these rows record what the budget buys
+    // in latency (`latency_ratio_vs_unlimited` < 1 means the cap sheds
+    // real work).
+    json.push_str("  \"degradation\": [\n");
+    for (i, r) in degradation_rows.iter().enumerate() {
+        let unlimited = degradation_rows
+            .iter()
+            .find(|u| u.size == r.size && u.predicate == r.predicate && u.budget_pct == 100)
+            .map(|u| u.latency_us)
+            .unwrap_or(r.latency_us);
+        let _ = write!(
+            json,
+            "    {{ \"predicate\": \"{}\", \"size\": {}, \"budget_pct\": {}, \"rank_latency_us\": {:.1}, \"latency_ratio_vs_unlimited\": {:.3}, \"degraded\": {} }}",
+            r.predicate,
+            r.size,
+            r.budget_pct,
+            r.latency_us,
+            ratio(r.latency_us, unlimited),
+            r.degraded
+        );
+        json.push_str(if i + 1 < degradation_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     // Live-corpus section. `append_throughput`: single-record appends at

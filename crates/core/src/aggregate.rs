@@ -70,13 +70,14 @@ fn run_weight_product_plan(
     query_weights: Vec<(TokenId, f64)>,
     exec: Exec,
     naive: bool,
+    limits: Option<&relq::ExecLimits>,
 ) -> crate::error::Result<Vec<ScoredTid>> {
     if query_weights.is_empty() {
         return Ok(Vec::new());
     }
     let bindings =
         Bindings::new().with_table("query_weights", tables::query_weights(&query_weights));
-    plans.execute(catalog.for_exec(exec), bindings, exec, naive)
+    plans.execute(catalog.for_exec(exec), bindings, exec, naive, limits)
 }
 
 /// tf-idf cosine similarity (§3.2.1): normalized `tf * idf` weights on both
@@ -153,6 +154,7 @@ impl CosinePredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         run_weight_product_plan(
             &self.catalog,
@@ -160,6 +162,7 @@ impl CosinePredicate {
             self.query_weights(query.tokens()),
             exec,
             naive,
+            limits,
         )
     }
 }
@@ -224,6 +227,7 @@ impl Bm25Predicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         run_weight_product_plan(
             &self.catalog,
@@ -231,6 +235,7 @@ impl Bm25Predicate {
             self.query_weights(query.tokens()),
             exec,
             naive,
+            limits,
         )
     }
 }

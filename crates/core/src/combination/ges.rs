@@ -148,6 +148,7 @@ impl GesPredicate {
         query: &Query,
         exec: Exec,
         _naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let query_words = query.weighted_words();
         if query_words.is_empty() {
@@ -157,6 +158,14 @@ impl GesPredicate {
         let record_words = self.shared.record_words();
         let mut out = Vec::with_capacity(corpus.num_records());
         for (idx, record) in corpus.corpus().records().iter().enumerate() {
+            // Budget boundary: one candidate per corpus record scored.
+            // Scores already pushed are exact, so breaking leaves a valid
+            // anytime answer.
+            if let Some(limits) = limits {
+                if !limits.charge_candidate() {
+                    break;
+                }
+            }
             let sim =
                 ges_similarity(query_words, &record_words[idx], self.shared.params().ges.cins);
             if sim > 0.0 {

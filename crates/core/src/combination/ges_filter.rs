@@ -290,6 +290,7 @@ impl FilteredGes {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let query_words = query.weighted_words();
         if query_words.is_empty() {
@@ -300,6 +301,14 @@ impl FilteredGes {
         for candidate in self.filter_scores_mode(query, naive)? {
             if candidate.score < self.shared.params().ges.filter_threshold {
                 continue;
+            }
+            // Budget boundary: one candidate per filter survivor re-scored.
+            // Entries already pushed carry exact GES scores, so breaking
+            // leaves a valid anytime answer.
+            if let Some(limits) = limits {
+                if !limits.charge_candidate() {
+                    break;
+                }
             }
             let idx = self.shared.record_index(candidate.tid);
             let exact =
@@ -344,8 +353,9 @@ impl GesJaccardPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.execute(query, exec, naive)
+        self.inner.execute(query, exec, naive, limits)
     }
 }
 
@@ -385,8 +395,9 @@ impl GesApxPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
-        self.inner.execute(query, exec, naive)
+        self.inner.execute(query, exec, naive, limits)
     }
 }
 

@@ -157,6 +157,7 @@ impl SoftTfIdfPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let query_weights = self.query_word_weights(query);
         if query_weights.is_empty() {
@@ -200,7 +201,7 @@ impl SoftTfIdfPredicate {
         }
 
         let bindings = Bindings::new().with_table("close", close).with_table("query_weights", qw);
-        self.plans.execute(&self.catalog, bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive, limits)
     }
 }
 

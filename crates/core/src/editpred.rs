@@ -86,6 +86,7 @@ impl EditPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
@@ -112,6 +113,14 @@ impl EditPredicate {
         let corpus = self.shared.corpus();
         let mut out = Vec::new();
         for row in candidates.rows() {
+            // Budget boundary: each filter survivor is one candidate. Entries
+            // already pushed carry exact similarities, so breaking here
+            // leaves a valid anytime answer.
+            if let Some(limits) = limits {
+                if !limits.charge_candidate() {
+                    break;
+                }
+            }
             let tid = row[0].as_i64().map_err(|_| {
                 crate::error::DaspError::MalformedResult(format!("non-integer tid {}", row[0]))
             })? as u32;

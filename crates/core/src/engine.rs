@@ -481,7 +481,7 @@ impl ResultCache {
     /// bench sets capacity 0 so measurements stay honest), execution must
     /// not pay any cache overhead at all.
     pub(crate) fn enabled(&self) -> bool {
-        self.state.lock().expect("result cache poisoned").capacity > 0
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).capacity > 0
     }
 
     fn key(epoch: u64, kind: PredicateKind, text: &str, exec: Exec) -> CacheKey {
@@ -495,7 +495,7 @@ impl ResultCache {
         text: &str,
         exec: Exec,
     ) -> Option<Arc<Vec<ScoredTid>>> {
-        let mut state = self.state.lock().expect("result cache poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.capacity == 0 {
             return None;
         }
@@ -542,7 +542,7 @@ impl ResultCache {
         epoch: u64,
         keys: &[(PredicateKind, &str, Exec)],
     ) -> Vec<Option<Arc<Vec<ScoredTid>>>> {
-        let mut state = self.state.lock().expect("result cache poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.capacity == 0 {
             return vec![None; keys.len()];
         }
@@ -577,7 +577,7 @@ impl ResultCache {
         epoch: u64,
         entries: Vec<(PredicateKind, String, Exec, Arc<Vec<ScoredTid>>)>,
     ) {
-        let mut state = self.state.lock().expect("result cache poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.capacity == 0 {
             return;
         }
@@ -600,7 +600,7 @@ impl ResultCache {
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
-        let state = self.state.lock().expect("result cache poisoned");
+        let state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -610,7 +610,7 @@ impl ResultCache {
     }
 
     pub(crate) fn set_capacity(&self, capacity: usize) {
-        let mut state = self.state.lock().expect("result cache poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         state.capacity = capacity;
         if capacity == 0 {
             state.map.clear();
@@ -736,11 +736,16 @@ pub(crate) trait EngineOps: Send + Sync {
     fn shared_artifacts(&self) -> &SharedArtifacts;
     /// Execute one query in the given mode; `naive` selects the
     /// pre-refactor engine cost model (the equivalence/bench baseline).
+    /// `limits` is the optional cooperative budget the candidate-scoring
+    /// paths charge (see [`relq::ExecLimits`]); on exhaustion the execution
+    /// returns the anytime answer built so far. Only the indexed mode is
+    /// budgeted — the naive baseline stays exhaustive.
     fn execute_mode(
         &self,
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>>;
     /// The catalog the predicate's plans run against, when it has one.
     fn plan_catalog(&self) -> Option<&Catalog> {
@@ -766,6 +771,7 @@ macro_rules! engine_predicate {
                 query: &crate::engine::Query,
                 exec: crate::engine::Exec,
                 naive: bool,
+                limits: Option<&relq::ExecLimits>,
             ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
                 // A query tokenized against another engine's dictionary would
                 // resolve token ids wrong and return plausible-looking but
@@ -773,7 +779,7 @@ macro_rules! engine_predicate {
                 if !query.tokenized_against(self.engine_shared().corpus()) {
                     return Err(crate::error::DaspError::EngineMismatch);
                 }
-                self.execute(query, exec, naive)
+                self.execute(query, exec, naive, limits)
             }
             fn plan_catalog(&self) -> Option<&relq::Catalog> {
                 self.engine_catalog()
@@ -792,7 +798,7 @@ macro_rules! engine_predicate {
                 query: &str,
             ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
                 let query = crate::engine::Query::build(self.engine_shared(), query);
-                self.execute(&query, crate::engine::Exec::Rank, true)
+                self.execute(&query, crate::engine::Exec::Rank, true, None)
             }
             fn try_execute(
                 &self,
@@ -800,7 +806,7 @@ macro_rules! engine_predicate {
                 exec: crate::engine::Exec,
             ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
                 let query = crate::engine::Query::build(self.engine_shared(), query);
-                self.execute(&query, exec, false)
+                self.execute(&query, exec, false, None)
             }
         }
     };
@@ -981,7 +987,7 @@ impl SelectionEngine {
                 continue;
             }
             let (kind, query, exec) = &batch[i];
-            let result = self.predicate(*kind).core.execute_mode(query, *exec, false);
+            let result = self.predicate(*kind).core.execute_mode(query, *exec, false, None);
             if cache_on {
                 if let Ok(results) = &result {
                     inserts.push((
@@ -1040,6 +1046,48 @@ fn build_predicate_core(kind: PredicateKind, shared: &Arc<SharedArtifacts>) -> A
     }
 }
 
+/// How much work a budgeted execution actually did before finishing or
+/// hitting its cap — attached to [`BudgetedRun`] and surfaced by the serving
+/// layer as `ServeStats::budget`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetReport {
+    /// Candidates that reached the scoring path.
+    pub candidates_scored: u64,
+    /// Posting entries consumed while scoring them (bounded traversals).
+    pub postings_touched: u64,
+    /// Wall-clock time from budget creation to the report.
+    pub elapsed: std::time::Duration,
+}
+
+impl BudgetReport {
+    pub(crate) fn from_limits(limits: &relq::ExecLimits) -> Self {
+        let report = limits.report();
+        BudgetReport {
+            candidates_scored: report.candidates,
+            postings_touched: report.postings,
+            elapsed: report.elapsed,
+        }
+    }
+}
+
+/// The outcome of [`PredicateHandle::execute_budgeted`]: the (possibly
+/// partial) results plus the degradation flag and work report.
+#[derive(Debug, Clone)]
+pub struct BudgetedRun {
+    /// The ranking/selection produced. When `degraded`, a strict subset of
+    /// the exhaustive answer with bit-identical per-tid scores.
+    pub results: Vec<ScoredTid>,
+    /// Whether the answer came from the result cache (only possible on the
+    /// unlimited path — budgeted executions bypass the cache).
+    pub cache_hit: bool,
+    /// `true` iff a budget cap tripped and the results are an anytime
+    /// partial. Never set when the budget was not hit.
+    pub degraded: bool,
+    /// Work counters of the budgeted execution (`None` on the unlimited
+    /// path, where no limits were threaded).
+    pub report: Option<BudgetReport>,
+}
+
 /// A cheap, clonable handle to one predicate of a [`SelectionEngine`].
 ///
 /// The primary interface is [`execute`](Self::execute) over a prepared
@@ -1085,13 +1133,16 @@ impl PredicateHandle {
             return Err(crate::error::DaspError::EngineMismatch);
         }
         if !shared.cache().enabled() {
-            return self.core.execute_mode(query, exec, false).map(|results| (results, false));
+            return self
+                .core
+                .execute_mode(query, exec, false, None)
+                .map(|results| (results, false));
         }
         let kind = self.core.predicate_kind();
         if let Some(hit) = shared.cache().get(STATIC_EPOCH, kind, query.text(), exec) {
             return Ok((hit.as_ref().clone(), true));
         }
-        let results = self.core.execute_mode(query, exec, false)?;
+        let results = self.core.execute_mode(query, exec, false, None)?;
         shared.cache().insert(STATIC_EPOCH, kind, query.text(), exec, Arc::new(results.clone()));
         Ok((results, false))
     }
@@ -1100,7 +1151,55 @@ impl PredicateHandle {
     /// (clone-per-scan, per-query hash builds, sort-then-truncate top-k) —
     /// byte-identical output, kept as the equivalence and bench baseline.
     pub fn execute_naive(&self, query: &Query, exec: Exec) -> crate::error::Result<Vec<ScoredTid>> {
-        self.core.execute_mode(query, exec, true)
+        self.core.execute_mode(query, exec, true, None)
+    }
+
+    /// Execute under a cooperative [`ExecBudget`](crate::params::ExecBudget).
+    /// An unlimited budget takes
+    /// the normal cached path ([`execute_tracked`](Self::execute_tracked));
+    /// with any cap set, the execution runs uncached under a fresh
+    /// [`relq::ExecLimits`] and returns a [`BudgetedRun`]: on exhaustion the
+    /// results are the **anytime answer** — every `(tid, score)` pair
+    /// bit-identical to that tid's entry in the exhaustive run, only
+    /// coverage truncated — flagged `degraded` with a [`BudgetReport`] of the
+    /// work done.
+    ///
+    /// Budgeted (cap-active) executions bypass the result cache in both
+    /// directions: a degraded partial must never answer a later unbudgeted
+    /// request, and a budgeted request must not be answered with bytes whose
+    /// cost the cap was meant to bound (a cached full answer would be
+    /// correct, but would make degradation nondeterministic under cache
+    /// pressure — determinism of the partial bytes is part of the contract).
+    pub fn execute_budgeted(
+        &self,
+        query: &Query,
+        exec: Exec,
+        budget: crate::params::ExecBudget,
+    ) -> crate::error::Result<BudgetedRun> {
+        if budget.is_unlimited() {
+            let (results, cache_hit) = self.execute_tracked(query, exec)?;
+            return Ok(BudgetedRun { results, cache_hit, degraded: false, report: None });
+        }
+        let limits =
+            relq::ExecLimits::new(budget.deadline, budget.max_candidates.map(|n| n as u64));
+        let results = self.core.execute_mode(query, exec, false, Some(&limits))?;
+        Ok(BudgetedRun {
+            results,
+            cache_hit: false,
+            degraded: limits.exhausted(),
+            report: Some(BudgetReport::from_limits(&limits)),
+        })
+    }
+
+    /// Execute uncached under caller-owned limits (the live engine threads
+    /// one `ExecLimits` across every segment of a budgeted query this way).
+    pub(crate) fn execute_with_limits(
+        &self,
+        query: &Query,
+        exec: Exec,
+        limits: Option<&relq::ExecLimits>,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        self.core.execute_mode(query, exec, false, limits)
     }
 
     /// The catalog this predicate's plans run against (`None` for the pure

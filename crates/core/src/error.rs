@@ -24,6 +24,20 @@ pub enum DaspError {
     /// different engine than the one whose corpus tokenized it — its token
     /// ids would resolve against the wrong dictionary.
     EngineMismatch,
+    /// The request's execution panicked. The serving layer catches the
+    /// unwind at the per-request boundary, so one poisoned request becomes
+    /// this typed error on its own slot while the pool and every other slot
+    /// keep working. Carries the panic payload when it was a string.
+    Panicked(String),
+    /// The request was shed by admission control: its queue wait already
+    /// exceeded its deadline, so executing it could only produce an answer
+    /// the caller had given up on.
+    Timeout {
+        /// How long the request had already waited when it was claimed.
+        waited: std::time::Duration,
+        /// The deadline it carried.
+        deadline: std::time::Duration,
+    },
 }
 
 impl fmt::Display for DaspError {
@@ -34,6 +48,15 @@ impl fmt::Display for DaspError {
             DaspError::EngineMismatch => {
                 write!(f, "query was prepared against a different engine's corpus")
             }
+            DaspError::Panicked(payload) => {
+                write!(f, "request execution panicked: {payload}")
+            }
+            DaspError::Timeout { waited, deadline } => {
+                write!(
+                    f,
+                    "request shed by admission control: waited {waited:?} past its {deadline:?} deadline"
+                )
+            }
         }
     }
 }
@@ -42,7 +65,10 @@ impl std::error::Error for DaspError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DaspError::Engine(e) => Some(e),
-            DaspError::MalformedResult(_) | DaspError::EngineMismatch => None,
+            DaspError::MalformedResult(_)
+            | DaspError::EngineMismatch
+            | DaspError::Panicked(_)
+            | DaspError::Timeout { .. } => None,
         }
     }
 }

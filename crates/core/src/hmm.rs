@@ -136,6 +136,7 @@ impl HmmPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
@@ -145,7 +146,7 @@ impl HmmPredicate {
         // query contributes its factor twice (the SQL joins the raw
         // QUERY_TOKENS table, which has one row per occurrence).
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, false));
-        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive, limits)
     }
 }
 

@@ -145,13 +145,14 @@ impl LanguageModelPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
-        self.plans.execute(&self.catalog, bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive, limits)
     }
 }
 

@@ -56,6 +56,7 @@ pub mod editpred;
 pub mod engine;
 pub mod error;
 pub mod factory;
+pub mod fault;
 pub mod hmm;
 pub mod langmodel;
 pub mod live;
@@ -70,12 +71,16 @@ pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
 pub use dict::{TokenDict, TokenId};
-pub use engine::{CacheStats, Exec, PredicateHandle, Query, SelectionEngine};
+pub use engine::{
+    BudgetReport, BudgetedRun, CacheStats, Exec, PredicateHandle, Query, SelectionEngine,
+};
 pub use error::DaspError;
 pub use factory::{build_all, build_predicate};
+pub use fault::{FaultPlan, FaultStats};
 pub use live::{LiveEngine, LiveMetrics, LiveQueryStats};
 pub use params::{
-    Bm25Params, EditParams, GesParams, HmmParams, OverlapWeighting, Params, SoftTfIdfParams,
+    Bm25Params, EditParams, ExecBudget, GesParams, HmmParams, OverlapWeighting, Params,
+    SoftTfIdfParams,
 };
 pub use predicate::{Predicate, PredicateClass, PredicateKind};
 pub use pruning::{prune_by_idf, PruneStats};

@@ -294,11 +294,12 @@ impl LiveEngine {
     }
 
     fn snapshot(&self) -> Arc<LiveSnapshot> {
-        self.snapshot.read().expect("live snapshot poisoned").clone()
+        self.snapshot.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     fn install(&self, snapshot: LiveSnapshot) {
-        *self.snapshot.write().expect("live snapshot poisoned") = Arc::new(snapshot);
+        *self.snapshot.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Arc::new(snapshot);
     }
 
     /// Build a segment over `records` (global tids) by projecting them
@@ -324,7 +325,7 @@ impl LiveEngine {
     /// place once it reaches the seal threshold. Bumps the epoch.
     pub fn append(&self, text: impl Into<String>) -> Tid {
         let text = text.into();
-        let _w = self.writer.lock().expect("live writer poisoned");
+        let _w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let snap = self.snapshot();
         let tid = snap.next_tid;
         let mut tail_records = match snap.tail() {
@@ -361,7 +362,7 @@ impl LiveEngine {
     /// postings stay in place — every query filters the tombstone set when
     /// mapping segment results — until [`compact`](Self::compact).
     pub fn delete(&self, tid: Tid) -> bool {
-        let _w = self.writer.lock().expect("live writer poisoned");
+        let _w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let snap = self.snapshot();
         if snap.tombstones.contains(&tid) {
             return false;
@@ -393,7 +394,7 @@ impl LiveEngine {
     /// does this). Returns whether there was a non-empty tail to seal; if
     /// so, bumps the epoch and the next append starts a fresh tail.
     pub fn seal(&self) -> bool {
-        let _w = self.writer.lock().expect("live writer poisoned");
+        let _w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let snap = self.snapshot();
         let Some(tail) = snap.tail() else {
             return false;
@@ -423,7 +424,7 @@ impl LiveEngine {
     /// since the last compaction becomes searchable here. Global tids are
     /// preserved (and deleted tids never reused). Bumps the epoch.
     pub fn compact(&self) {
-        let _w = self.writer.lock().expect("live writer poisoned");
+        let _w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let snap = self.snapshot();
         let live = snap.live_records();
         let dense: Vec<Record> =
@@ -459,10 +460,17 @@ impl LiveEngine {
         kind: PredicateKind,
         text: &str,
         exec: Exec,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let handle = segment.engine.predicate(kind);
         let query = segment.engine.query(text);
-        handle.execute(&query, exec)
+        match limits {
+            // Budgeted: bypass the per-segment result cache in both
+            // directions — a partial answer must never be cached, and a
+            // cached full answer would make degradation nondeterministic.
+            Some(_) => handle.execute_with_limits(&query, exec, limits),
+            None => handle.execute(&query, exec),
+        }
     }
 
     /// Map a segment-local result to global tids, dropping tombstoned rows.
@@ -481,17 +489,29 @@ impl LiveEngine {
     }
 
     /// The shared-bar merge over one pinned snapshot (see module docs).
+    ///
+    /// When `limits` is set, **one** [`relq::ExecLimits`] is shared across
+    /// every segment so the budget bounds the whole request, not each
+    /// segment; the loop stops early once the budget trips (later segments
+    /// would only add charged-and-refused probes). Segments processed before
+    /// the trip contribute exactly-scored rows, so the merged prefix is a
+    /// valid anytime answer.
     fn execute_on_snapshot(
         snap: &LiveSnapshot,
         kind: PredicateKind,
         text: &str,
         exec: Exec,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
+        let tripped = || limits.is_some_and(|l| l.exhausted());
         match exec {
             Exec::Rank | Exec::Threshold(_) | Exec::ThresholdScan(_) => {
                 let mut merged = Vec::new();
                 for segment in &snap.segments {
-                    let local = Self::run_segment(segment, kind, text, exec)?;
+                    if tripped() {
+                        break;
+                    }
+                    let local = Self::run_segment(segment, kind, text, exec, limits)?;
                     merged.extend(Self::map_live(segment, &snap.tombstones, local));
                 }
                 sort_ranked(&mut merged);
@@ -503,7 +523,11 @@ impl LiveEngine {
                 }
                 let mut merged = Vec::new();
                 for (segment, &dead) in snap.segments.iter().zip(&snap.dead) {
-                    let local = Self::run_segment(segment, kind, text, Exec::TopKHeap(k + dead))?;
+                    if tripped() {
+                        break;
+                    }
+                    let local =
+                        Self::run_segment(segment, kind, text, Exec::TopKHeap(k + dead), limits)?;
                     merged.extend(Self::map_live(segment, &snap.tombstones, local));
                 }
                 Ok(top_k_ranked(merged, k))
@@ -517,12 +541,15 @@ impl LiveEngine {
                 // best score instead of a fresh top-k.
                 let mut collected: Vec<ScoredTid> = Vec::new();
                 for (segment, &dead) in snap.segments.iter().zip(&snap.dead) {
+                    if tripped() {
+                        break;
+                    }
                     let mode = if collected.len() >= k {
                         Exec::Threshold(collected[k - 1].score)
                     } else {
                         Exec::TopK(k + dead)
                     };
-                    let local = Self::run_segment(segment, kind, text, mode)?;
+                    let local = Self::run_segment(segment, kind, text, mode, limits)?;
                     collected.extend(Self::map_live(segment, &snap.tombstones, local));
                     collected = top_k_ranked(collected, k);
                 }
@@ -581,13 +608,61 @@ impl LiveEngine {
                 return Ok((hit.as_ref().clone(), stats));
             }
         }
-        let results = Self::execute_on_snapshot(&snap, kind, text, exec)?;
+        let results = Self::execute_on_snapshot(&snap, kind, text, exec, None)?;
         stats.segments_probed = snap.segments.len();
         Self::attribute_hits(&snap, &results, &mut stats);
         if cached {
             self.cache.insert(snap.epoch, kind, text, exec, Arc::new(results.clone()));
         }
         Ok((results, stats))
+    }
+
+    /// [`execute_tracked`](Self::execute_tracked) under an execution budget.
+    ///
+    /// An unlimited budget takes the normal cache-enabled path. A capped one
+    /// shares a single [`relq::ExecLimits`] across every segment (the budget
+    /// bounds the request, not each segment) and bypasses the epoch-keyed
+    /// result cache in both directions — a degraded partial must never
+    /// answer an unbudgeted request, and a cached full answer would make
+    /// degradation nondeterministic. On exhaustion the merged prefix is the
+    /// anytime answer: every returned score is exactly what the monolith
+    /// computes for that tid, only coverage is truncated.
+    pub fn execute_budgeted(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        budget: crate::params::ExecBudget,
+    ) -> crate::error::Result<(crate::engine::BudgetedRun, LiveQueryStats)> {
+        if budget.is_unlimited() {
+            let (results, stats) = self.execute_tracked(kind, text, exec)?;
+            let run = crate::engine::BudgetedRun {
+                results,
+                cache_hit: stats.cache_hit,
+                degraded: false,
+                report: None,
+            };
+            return Ok((run, stats));
+        }
+        let snap = self.snapshot();
+        let mut stats = LiveQueryStats {
+            epoch: snap.epoch,
+            segments_probed: snap.segments.len(),
+            sealed_hits: 0,
+            tail_hits: 0,
+            cache_hit: false,
+        };
+        let limits =
+            relq::ExecLimits::new(budget.deadline, budget.max_candidates.map(|n| n as u64));
+        let results = Self::execute_on_snapshot(&snap, kind, text, exec, Some(&limits))?;
+        Self::attribute_hits(&snap, &results, &mut stats);
+        let run = crate::engine::BudgetedRun {
+            results,
+            cache_hit: false,
+            degraded: limits.exhausted(),
+            report: Some(crate::engine::BudgetReport::from_limits(&limits)),
+        };
+        Ok((run, stats))
     }
 
     /// Execute a whole batch against **one** pinned snapshot (every request
@@ -624,7 +699,7 @@ impl LiveEngine {
                 continue;
             }
             let (kind, text, exec) = batch[i];
-            let result = Self::execute_on_snapshot(&snap, kind, text, exec);
+            let result = Self::execute_on_snapshot(&snap, kind, text, exec, None);
             if cached {
                 if let Ok(results) = &result {
                     inserts.push((kind, text.to_string(), exec, Arc::new(results.clone())));

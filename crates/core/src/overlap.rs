@@ -107,13 +107,14 @@ impl IntersectSize {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
-        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive, limits)
     }
 }
 
@@ -164,6 +165,7 @@ impl JaccardPredicate {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
@@ -174,7 +176,7 @@ impl JaccardPredicate {
         let bindings = Bindings::new()
             .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_len", q.distinct_count() as f64);
-        self.plans.execute(&self.catalog, bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive, limits)
     }
 }
 
@@ -247,13 +249,14 @@ impl WeightedMatch {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
             return Ok(Vec::new());
         }
         let bindings = Bindings::new().with_table("query_tokens", tables::query_tokens(q, true));
-        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive)
+        self.plans.execute(self.catalog.for_exec(exec), bindings, exec, naive, limits)
     }
 }
 
@@ -310,6 +313,7 @@ impl WeightedJaccard {
         query: &Query,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let q = query.tokens();
         if q.tokens.is_empty() {
@@ -324,7 +328,7 @@ impl WeightedJaccard {
         let bindings = Bindings::new()
             .with_table("query_tokens", tables::query_tokens(q, true))
             .with_scalar("query_weight_sum", query_weight_sum);
-        self.plans.execute(&self.catalog, bindings, exec, naive)
+        self.plans.execute(&self.catalog, bindings, exec, naive, limits)
     }
 }
 

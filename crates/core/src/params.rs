@@ -106,6 +106,38 @@ pub enum OverlapWeighting {
     RobertsonSparckJones,
 }
 
+/// A cooperative execution budget: caps on how much work one query may do
+/// before the engine stops and returns the **anytime answer** built so far
+/// (flagged `degraded`, never corrupt — every returned score is exact, the
+/// budget only truncates coverage; see `docs/ARCHITECTURE.md`).
+///
+/// The default is unlimited. Set on [`Params::budget`] as the engine-wide
+/// default, or per request via `ServeRequest::with_budget` /
+/// `PredicateHandle::execute_budgeted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecBudget {
+    /// Wall-clock bound for one execution. In the serving layer it also
+    /// bounds queue wait: a request whose wait already exceeds its deadline
+    /// is shed with a `Timeout` error instead of executed.
+    pub deadline: Option<std::time::Duration>,
+    /// Hard cap on candidates scored (deterministic: the same
+    /// corpus/query/cap always yields byte-identical partial results).
+    pub max_candidates: Option<usize>,
+}
+
+impl ExecBudget {
+    /// No caps — the engine runs to completion (the `Default`).
+    pub fn unlimited() -> Self {
+        ExecBudget::default()
+    }
+
+    /// Whether no cap is set (such a budget executes on the normal,
+    /// cache-enabled path and can never degrade a result).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_candidates.is_none()
+    }
+}
+
 /// The complete parameter set handed to the predicate factory.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
@@ -137,6 +169,9 @@ pub struct Params {
     /// trade-off. A `DASP_SEGMENT_SEAL` environment variable overrides it at
     /// live-engine construction (CI forces many tiny segments that way).
     pub segment_seal: usize,
+    /// Engine-wide default execution budget (default: unlimited). Requests
+    /// can override it per call; see [`ExecBudget`].
+    pub budget: ExecBudget,
 }
 
 impl Default for Params {
@@ -151,6 +186,7 @@ impl Default for Params {
             overlap_weighting: OverlapWeighting::default(),
             posting_block: relq::DEFAULT_POSTING_BLOCK,
             segment_seal: crate::live::DEFAULT_SEGMENT_SEAL,
+            budget: ExecBudget::unlimited(),
         }
     }
 }
@@ -188,6 +224,20 @@ mod tests {
         assert_eq!(p.overlap_weighting, OverlapWeighting::RobertsonSparckJones);
         assert_eq!(p.posting_block, relq::DEFAULT_POSTING_BLOCK);
         assert_eq!(p.segment_seal, crate::live::DEFAULT_SEGMENT_SEAL);
+        assert!(p.budget.is_unlimited());
+        assert_eq!(p.budget, ExecBudget::default());
+    }
+
+    #[test]
+    fn budget_unlimited_detection() {
+        assert!(ExecBudget::unlimited().is_unlimited());
+        let capped = ExecBudget { max_candidates: Some(10), ..ExecBudget::default() };
+        assert!(!capped.is_unlimited());
+        let timed = ExecBudget {
+            deadline: Some(std::time::Duration::from_millis(5)),
+            ..ExecBudget::default()
+        };
+        assert!(!timed.is_unlimited());
     }
 
     #[test]

@@ -36,13 +36,14 @@
 //! per-predicate costs that cost-aware scheduling over expensive predicates
 //! assumes as its input.
 
-use crate::engine::{Exec, SelectionEngine};
+use crate::engine::{BudgetReport, Exec, SelectionEngine};
 use crate::live::{LiveEngine, LiveMetrics, LiveQueryStats};
+use crate::params::ExecBudget;
 use crate::predicate::PredicateKind;
 use crate::record::ScoredTid;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One unit of serving work: execute `kind` over `text` in mode `exec`.
@@ -56,12 +57,25 @@ pub struct ServeRequest {
     pub text: String,
     /// The execution mode pushed down into the engine.
     pub exec: Exec,
+    /// Per-request execution-budget override. `None` uses the backend's
+    /// engine-wide default ([`crate::Params::budget`], unlimited unless
+    /// configured).
+    pub budget: Option<ExecBudget>,
 }
 
 impl ServeRequest {
-    /// Build a request.
+    /// Build a request (engine-default budget).
     pub fn new(kind: PredicateKind, text: impl Into<String>, exec: Exec) -> Self {
-        ServeRequest { kind, text: text.into(), exec }
+        ServeRequest { kind, text: text.into(), exec, budget: None }
+    }
+
+    /// Override the execution budget for this request only. The deadline
+    /// also bounds queue wait: a request claimed after its deadline has
+    /// passed is shed with [`crate::DaspError::Timeout`] instead of
+    /// executed.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -81,6 +95,15 @@ pub struct ServeStats {
     /// request executed at, segments probed, and tail-vs-sealed hit counts.
     /// `None` when serving a static [`SelectionEngine`].
     pub live: Option<LiveQueryStats>,
+    /// Whether the request's execution budget tripped. The results are then
+    /// the **anytime answer**: a prefix of the exact answer whose every
+    /// score is bit-identical to the unbudgeted run's score for that tuple —
+    /// the budget truncates coverage, never correctness. Always `false` on
+    /// the unlimited path.
+    pub degraded: bool,
+    /// Work accounting of a budget-capped execution (candidates scored,
+    /// postings touched, elapsed). `None` on the unlimited path.
+    pub budget: Option<BudgetReport>,
 }
 
 /// The outcome of one request: the selection result plus its accounting.
@@ -241,16 +264,13 @@ impl ServingEngine {
         }
     }
 
-    /// The static engine requests execute against.
-    ///
-    /// # Panics
-    ///
-    /// If this serving engine wraps a [`LiveEngine`] — use
-    /// [`live`](Self::live) for that backend.
-    pub fn engine(&self) -> &SelectionEngine {
+    /// The static engine requests execute against (`None` when this serving
+    /// engine wraps a [`LiveEngine`] — use [`live`](Self::live) for that
+    /// backend).
+    pub fn engine(&self) -> Option<&SelectionEngine> {
         match &self.backend {
-            Backend::Static(engine) => engine,
-            Backend::Live(_) => panic!("ServingEngine::engine() on a live backend; use live()"),
+            Backend::Static(engine) => Some(engine),
+            Backend::Live(_) => None,
         }
     }
 
@@ -275,10 +295,31 @@ impl ServingEngine {
         self.workers
     }
 
+    /// The effective budget of a request: its own override, else the
+    /// backend engine's [`crate::Params::budget`].
+    fn default_budget(&self) -> ExecBudget {
+        match &self.backend {
+            Backend::Static(engine) => engine.params().budget,
+            Backend::Live(live) => live.params().budget,
+        }
+    }
+
     /// Execute a request stream over the worker pool, returning one response
     /// per request **in submission order**. Workers claim requests from a
     /// shared cursor (dynamic load balancing); results are byte-identical to
     /// a serial execution of the same requests in any pool width.
+    ///
+    /// ## Fault isolation
+    ///
+    /// Each request executes under [`std::panic::catch_unwind`]: a panic
+    /// becomes a [`crate::DaspError::Panicked`] response on its own slot
+    /// while the pool and every other slot keep working. Workers write
+    /// responses into per-slot cells as they go, so even a worker thread
+    /// that dies outright (a panic escaping the per-request boundary) loses
+    /// only the one request it was serving — the batch loop respawns
+    /// replacement workers until the cursor drains, and a claimed slot left
+    /// unwritten by a dead worker is reported as `Panicked` rather than
+    /// retried (a deterministic panic must not retry forever).
     pub fn serve(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
         let n = requests.len();
         if n == 0 {
@@ -287,46 +328,86 @@ impl ServingEngine {
         let submitted = Instant::now();
         let cursor = AtomicUsize::new(0);
         let pool = self.workers.min(n);
-        let mut out: Vec<Option<ServeResponse>> = Vec::with_capacity(n);
-        out.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..pool)
-                .map(|worker| {
-                    let cursor = &cursor;
-                    scope.spawn(move || {
-                        let mut served: Vec<(usize, ServeResponse)> = Vec::new();
-                        loop {
+        let slots: Vec<OnceLock<ServeResponse>> = (0..n).map(|_| OnceLock::new()).collect();
+        // Respawn rounds: a dead worker has always already claimed its
+        // request (the claim is its first operation), so the cursor strictly
+        // advances every round and the loop terminates in at most `n`
+        // rounds.
+        loop {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..pool)
+                    .map(|worker| {
+                        let cursor = &cursor;
+                        let slots = &slots;
+                        scope.spawn(move || loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
                             let queue_wait = submitted.elapsed();
-                            served.push((i, self.serve_one(&requests[i], queue_wait, worker)));
-                        }
-                        served
+                            let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                self.serve_one(&requests[i], queue_wait, worker)
+                            }))
+                            .unwrap_or_else(|payload| ServeResponse {
+                                results: Err(crate::error::DaspError::Panicked(panic_message(
+                                    payload.as_ref(),
+                                ))),
+                                stats: ServeStats {
+                                    queue_wait,
+                                    exec_time: Duration::ZERO,
+                                    cache_hit: false,
+                                    worker,
+                                    live: None,
+                                    degraded: false,
+                                    budget: None,
+                                },
+                            });
+                            let _ = slots[i].set(response);
+                        })
                     })
-                })
-                .collect();
-            // Workers own disjoint response sets; placing them after join
-            // needs no per-slot synchronization.
-            for handle in handles {
-                for (i, response) in handle.join().expect("serving worker panicked") {
-                    out[i] = Some(response);
+                    .collect();
+                // Join explicitly and swallow worker deaths — an Err here is
+                // a panic that escaped the per-request catch; the claimed
+                // slot it abandoned is reported below.
+                for handle in handles {
+                    let _ = handle.join();
                 }
+            });
+            if cursor.load(Ordering::Relaxed) >= n {
+                break;
             }
-        });
-        let responses: Vec<ServeResponse> = out
+        }
+        let responses: Vec<ServeResponse> = slots
             .into_iter()
-            .map(|slot| slot.expect("every request is served exactly once"))
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|| ServeResponse {
+                    results: Err(crate::error::DaspError::Panicked(
+                        "worker died while serving this request".to_string(),
+                    )),
+                    stats: ServeStats {
+                        queue_wait: Duration::ZERO,
+                        exec_time: Duration::ZERO,
+                        cache_hit: false,
+                        worker: 0,
+                        live: None,
+                        degraded: false,
+                        budget: None,
+                    },
+                })
+            })
             .collect();
         // Latency aggregation merges once per batch under one lock: the
         // per-request path takes no shared serving lock (only the engine's
         // own cache lock), so metrics never serialize the worker pool —
         // which matters exactly for the warm-cache microsecond requests a
-        // per-request lock would dominate.
-        let mut inner = self.metrics.lock().expect("serving metrics poisoned");
+        // per-request lock would dominate. Only Ok responses are recorded:
+        // panicked and shed slots carry no meaningful execution time.
+        let mut inner = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for (request, response) in requests.iter().zip(&responses) {
-            inner[request.kind.index()].record(response.stats.exec_time, response.stats.cache_hit);
+            if response.results.is_ok() {
+                inner[request.kind.index()]
+                    .record(response.stats.exec_time, response.stats.cache_hit);
+            }
         }
         drop(inner);
         responses
@@ -338,34 +419,68 @@ impl ServingEngine {
         queue_wait: Duration,
         worker: usize,
     ) -> ServeResponse {
+        let budget = crate::fault::maybe_exhaust_budget(
+            "serve.request",
+            request.budget.unwrap_or_else(|| self.default_budget()),
+        );
+        // Admission control: a request whose queue wait already exceeds its
+        // deadline could only produce an answer the caller has given up on —
+        // shed it with a typed error instead of executing it.
+        if let Some(deadline) = budget.deadline {
+            if queue_wait > deadline {
+                return ServeResponse {
+                    results: Err(crate::error::DaspError::Timeout { waited: queue_wait, deadline }),
+                    stats: ServeStats {
+                        queue_wait,
+                        exec_time: Duration::ZERO,
+                        cache_hit: false,
+                        worker,
+                        live: None,
+                        degraded: false,
+                        budget: None,
+                    },
+                };
+            }
+        }
+        relq::fault_point("serve.request");
         let started = Instant::now();
-        let (results, cache_hit, live) = match &self.backend {
+        let (results, cache_hit, live, degraded, report) = match &self.backend {
             Backend::Static(engine) => {
                 let handle = engine.predicate(request.kind);
                 let query = engine.query(&request.text);
-                match handle.execute_tracked(&query, request.exec) {
-                    Ok((results, hit)) => (Ok(results), hit, None),
-                    Err(e) => (Err(e), false, None),
+                match handle.execute_budgeted(&query, request.exec, budget) {
+                    Ok(run) => (Ok(run.results), run.cache_hit, None, run.degraded, run.report),
+                    Err(e) => (Err(e), false, None, false, None),
                 }
             }
             Backend::Live(engine) => {
-                match engine.execute_tracked(request.kind, &request.text, request.exec) {
-                    Ok((results, stats)) => (Ok(results), stats.cache_hit, Some(stats)),
-                    Err(e) => (Err(e), false, None),
+                match engine.execute_budgeted(request.kind, &request.text, request.exec, budget) {
+                    Ok((run, stats)) => {
+                        (Ok(run.results), run.cache_hit, Some(stats), run.degraded, run.report)
+                    }
+                    Err(e) => (Err(e), false, None, false, None),
                 }
             }
         };
         let exec_time = started.elapsed();
         ServeResponse {
             results,
-            stats: ServeStats { queue_wait, exec_time, cache_hit, worker, live },
+            stats: ServeStats {
+                queue_wait,
+                exec_time,
+                cache_hit,
+                worker,
+                live,
+                degraded,
+                budget: report,
+            },
         }
     }
 
     /// Per-predicate execution-latency aggregation over everything served so
     /// far, in canonical predicate order, skipping kinds with no traffic.
     pub fn metrics(&self) -> Vec<(PredicateKind, LatencyStats)> {
-        let inner = self.metrics.lock().expect("serving metrics poisoned");
+        let inner = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         PredicateKind::all()
             .iter()
             .map(|&kind| (kind, &inner[kind.index()]))
@@ -376,8 +491,19 @@ impl ServingEngine {
 
     /// Drop all accumulated latency samples and counters.
     pub fn reset_metrics(&self) {
-        let mut inner = self.metrics.lock().expect("serving metrics poisoned");
+        let mut inner = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *inner = std::array::from_fn(|_| KindMetrics::default());
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

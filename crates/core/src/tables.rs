@@ -251,10 +251,25 @@ pub fn run_ranking_plan(
     bindings: &relq::Bindings,
     naive: bool,
 ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
+    run_ranking_plan_limited(plan, catalog, bindings, naive, None)
+}
+
+/// [`run_ranking_plan`] under an optional cooperative budget. The naive
+/// baseline is never budgeted (it is the exhaustive reference anytime
+/// answers are checked against); the indexed path threads `limits` into the
+/// plan's candidate-scoring operators, which stop cleanly on exhaustion and
+/// return the partial built so far.
+pub fn run_ranking_plan_limited(
+    plan: &relq::PreparedPlan,
+    catalog: &relq::Catalog,
+    bindings: &relq::Bindings,
+    naive: bool,
+    limits: Option<&relq::ExecLimits>,
+) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
     let result = if naive {
         plan.execute_unindexed(catalog, bindings)?
     } else {
-        plan.execute(catalog, bindings)?
+        plan.execute_limited(catalog, bindings, limits)?
     };
     try_scores_from_table(&result)
 }
@@ -339,27 +354,30 @@ impl RankingPlans {
     }
 
     /// Execute the plan for `exec`, adding the mode's scalar parameter to the
-    /// per-query bindings.
+    /// per-query bindings. `limits` is the optional cooperative budget the
+    /// indexed candidate-scoring operators charge (see
+    /// [`run_ranking_plan_limited`]).
     pub(crate) fn execute(
         &self,
         catalog: &Catalog,
         bindings: Bindings,
         exec: Exec,
         naive: bool,
+        limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<crate::record::ScoredTid>> {
         match exec {
-            Exec::Rank => run_ranking_plan(&self.rank, catalog, &bindings, naive),
+            Exec::Rank => run_ranking_plan_limited(&self.rank, catalog, &bindings, naive, limits),
             Exec::TopK(k) => {
                 let bindings = bindings.with_scalar(TOP_K_PARAM, k as i64);
                 // The bounded operator when the predicate qualifies (its
                 // naive lowering is exhaustive scoring — same cost model as
                 // the heap baseline), the heap pushdown otherwise.
                 let plan = self.bounded.as_ref().unwrap_or(&self.top_k);
-                run_ranking_plan(plan, catalog, &bindings, naive)
+                run_ranking_plan_limited(plan, catalog, &bindings, naive, limits)
             }
             Exec::TopKHeap(k) => {
                 let bindings = bindings.with_scalar(TOP_K_PARAM, k as i64);
-                run_ranking_plan(&self.top_k, catalog, &bindings, naive)
+                run_ranking_plan_limited(&self.top_k, catalog, &bindings, naive, limits)
             }
             Exec::Threshold(tau) => {
                 let bindings = bindings.with_scalar(THRESHOLD_PARAM, tau);
@@ -367,11 +385,11 @@ impl RankingPlans {
                 // naive lowering is exhaustive scoring + the same exact
                 // filter), the plan-level score filter otherwise.
                 let plan = self.threshold_bounded.as_ref().unwrap_or(&self.threshold);
-                run_ranking_plan(plan, catalog, &bindings, naive)
+                run_ranking_plan_limited(plan, catalog, &bindings, naive, limits)
             }
             Exec::ThresholdScan(tau) => {
                 let bindings = bindings.with_scalar(THRESHOLD_PARAM, tau);
-                run_ranking_plan(&self.threshold, catalog, &bindings, naive)
+                run_ranking_plan_limited(&self.threshold, catalog, &bindings, naive, limits)
             }
         }
     }

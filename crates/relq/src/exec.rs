@@ -37,7 +37,22 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Arc<Table>> {
 
 /// Execute a plan with per-query [`Bindings`] for its `Param` leaves.
 pub fn execute_with(plan: &Plan, catalog: &Catalog, bindings: &Bindings) -> Result<Arc<Table>> {
-    let ctx = ExecCtx { catalog, bindings, naive: false };
+    execute_with_limits(plan, catalog, bindings, None)
+}
+
+/// [`execute_with`], under an optional cooperative budget. Candidate-scoring
+/// operators (the bounded traversals and the aggregate-row assembly every
+/// scan-mode scoring pipeline funnels through) charge the limits per
+/// candidate and stop cleanly on exhaustion, returning the anytime answer
+/// built so far — every emitted row fully scored, only coverage truncated.
+/// Callers detect degradation via [`ExecLimits::exhausted`](crate::ExecLimits::exhausted).
+pub fn execute_with_limits(
+    plan: &Plan,
+    catalog: &Catalog,
+    bindings: &Bindings,
+    limits: Option<&crate::limits::ExecLimits>,
+) -> Result<Arc<Table>> {
+    let ctx = ExecCtx { catalog, bindings, naive: false, limits };
     Ok(eval(plan, &ctx)?.into_shared())
 }
 
@@ -46,8 +61,10 @@ pub fn execute_with(plan: &Plan, catalog: &Catalog, bindings: &Bindings) -> Resu
 /// the full base relation. Row emission order matches [`execute_with`]
 /// exactly, so the two modes produce byte-identical results — this is the
 /// baseline the equivalence tests and the engine benchmark compare against.
+/// Never budgeted: it is the exhaustive reference the anytime answers are
+/// differentially checked against.
 pub fn execute_naive(plan: &Plan, catalog: &Catalog, bindings: &Bindings) -> Result<Arc<Table>> {
-    let ctx = ExecCtx { catalog, bindings, naive: true };
+    let ctx = ExecCtx { catalog, bindings, naive: true, limits: None };
     Ok(eval(plan, &ctx)?.into_shared())
 }
 
@@ -55,6 +72,8 @@ struct ExecCtx<'a> {
     catalog: &'a Catalog,
     bindings: &'a Bindings,
     naive: bool,
+    /// Cooperative budget for candidate-scoring operators (`None` = no caps).
+    limits: Option<&'a crate::limits::ExecLimits>,
 }
 
 /// An intermediate relation: either a shared base table or an operator's own
@@ -521,6 +540,17 @@ fn assemble_aggregate_rows(
     };
     let mut rows = Vec::with_capacity(order.len());
     for (key, accs) in order.into_iter().zip(accumulators) {
+        // Budget cut point for the exhaustive scoring pipelines: each
+        // assembled row is one fully-accumulated candidate (its aggregates
+        // finished before assembly began), so stopping here truncates
+        // coverage without ever emitting a partially-scored row — the rows
+        // assembled so far are a valid anytime answer.
+        if let Some(limits) = ctx.limits {
+            if !limits.charge_candidate() {
+                break;
+            }
+        }
+        crate::fault::fault_point("relq.aggregate.row");
         let mut row = key;
         for acc in accs {
             row.push(acc.finish());
@@ -1170,7 +1200,7 @@ fn top_k_bounded(
         scores.truncate(k);
         scores
     } else {
-        crate::posting::MaxScoreTraversal::new(probes, k)?.run()
+        crate::posting::MaxScoreTraversal::new(probes, k)?.run(ctx.limits)
     };
     Ok(scored_tid_table(ranked))
 }
@@ -1200,7 +1230,7 @@ fn threshold_bounded(
         scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scores
     } else {
-        crate::posting::ThresholdTraversal::new(probes, tau)?.run()
+        crate::posting::ThresholdTraversal::new(probes, tau)?.run(ctx.limits)
     };
     Ok(scored_tid_table(selected))
 }

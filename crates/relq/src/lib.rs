@@ -57,6 +57,8 @@ mod catalog;
 mod error;
 mod exec;
 mod expr;
+pub mod fault;
+mod limits;
 mod plan;
 mod posting;
 mod prepared;
@@ -69,8 +71,10 @@ pub use agg::{AggFunc, Aggregate};
 pub use bindings::Bindings;
 pub use catalog::{Catalog, TableIndex};
 pub use error::{RelqError, Result};
-pub use exec::{execute, execute_naive, execute_with};
+pub use exec::{execute, execute_naive, execute_with, execute_with_limits};
 pub use expr::{col, lit, param, BinaryOp, Expr, ScalarFn};
+pub use fault::{fault_point, set_fault_hook};
+pub use limits::{ExecLimits, ExecReport};
 pub use plan::{Plan, ProjectItem, SortOrder};
 pub use posting::{PostingIndex, PostingList, DEFAULT_POSTING_BLOCK};
 pub use prepared::PreparedPlan;

@@ -1,0 +1,198 @@
+//! Cooperative execution limits: deadline / candidate budgets threaded into
+//! the operators that enumerate scoring candidates.
+//!
+//! An [`ExecLimits`] is created per execution (never shared across threads —
+//! the counters are plain [`Cell`]s) and carried by reference through the
+//! execution context. Operators that score candidates call
+//! [`charge_candidate`](ExecLimits::charge_candidate) *before* evaluating
+//! each one and stop cleanly when it returns `false`, leaving whatever they
+//! have produced so far as the **anytime answer**: every emitted `(tid,
+//! score)` pair is fully scored (bit-identical to the exhaustive run's entry
+//! for that tid), the budget only truncates *which* candidates were visited.
+//!
+//! Exhaustion is sticky: once a cap trips, every later charge refuses, so a
+//! multi-operator pipeline (or a multi-segment live query sharing one
+//! `ExecLimits`) stops everywhere without re-checking clocks.
+//!
+//! Two caps exist:
+//!
+//! * `max_candidates` — a hard count of scored candidates, checked on every
+//!   charge (deterministic: a given corpus/query/cap always visits the same
+//!   candidate prefix, so partial results are byte-stable).
+//! * `deadline` — a wall-clock bound, checked every
+//!   [`DEADLINE_CHECK_MASK`]+1 charges to keep `Instant::now` off the
+//!   per-candidate hot path (inherently nondeterministic in *where* it cuts,
+//!   but every cut point is a valid anytime answer).
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// How often the deadline is polled: on every charge where
+/// `candidates & MASK == 0` (so the very first charge always polls —
+/// an already-expired deadline stops the operator before any work).
+const DEADLINE_CHECK_MASK: u64 = 63;
+
+/// Per-execution cooperative budget. See the module docs.
+#[derive(Debug)]
+pub struct ExecLimits {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_candidates: Option<u64>,
+    candidates: Cell<u64>,
+    postings: Cell<u64>,
+    exhausted: Cell<bool>,
+}
+
+/// What one limited execution actually did — attached to degraded results so
+/// callers can report how far the operator got before the budget cut it off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecReport {
+    /// Candidates that reached the scoring path.
+    pub candidates: u64,
+    /// Posting entries consumed while scoring them.
+    pub postings: u64,
+    /// Wall-clock time since the limits were created.
+    pub elapsed: Duration,
+    /// Whether any cap tripped (the result is a partial, anytime answer).
+    pub exhausted: bool,
+}
+
+impl ExecLimits {
+    /// Start the budget clock now. `deadline` is relative to this call.
+    pub fn new(deadline: Option<Duration>, max_candidates: Option<u64>) -> Self {
+        let start = Instant::now();
+        ExecLimits {
+            start,
+            deadline: deadline.map(|d| start + d),
+            max_candidates,
+            candidates: Cell::new(0),
+            postings: Cell::new(0),
+            exhausted: Cell::new(false),
+        }
+    }
+
+    /// A budget with no caps: charges always succeed, only the counters run.
+    pub fn unlimited() -> Self {
+        Self::new(None, None)
+    }
+
+    /// Ask permission to score one more candidate. `true` means go ahead
+    /// (and the candidate is counted); `false` means a cap has tripped — the
+    /// operator must stop and return what it has. Counted candidates are
+    /// exactly the scored ones: a refused charge is not counted.
+    #[inline]
+    pub fn charge_candidate(&self) -> bool {
+        if self.exhausted.get() {
+            return false;
+        }
+        let n = self.candidates.get();
+        if let Some(max) = self.max_candidates {
+            if n >= max {
+                self.exhausted.set(true);
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if n & DEADLINE_CHECK_MASK == 0 && Instant::now() >= deadline {
+                self.exhausted.set(true);
+                return false;
+            }
+        }
+        self.candidates.set(n + 1);
+        true
+    }
+
+    /// Record `n` posting entries consumed (pure accounting, never refuses).
+    #[inline]
+    pub fn charge_postings(&self, n: u64) {
+        self.postings.set(self.postings.get() + n);
+    }
+
+    /// Trip the budget unconditionally (fault injection / forced
+    /// degradation). Every later charge refuses.
+    pub fn force_exhaust(&self) {
+        self.exhausted.set(true);
+    }
+
+    /// Whether any cap has tripped so far.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted.get()
+    }
+
+    /// Snapshot the work counters (see [`ExecReport`]).
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            candidates: self.candidates.get(),
+            postings: self.postings.get(),
+            elapsed: self.start.elapsed(),
+            exhausted: self.exhausted.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_grants() {
+        let l = ExecLimits::unlimited();
+        for _ in 0..10_000 {
+            assert!(l.charge_candidate());
+        }
+        let r = l.report();
+        assert_eq!(r.candidates, 10_000);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn candidate_cap_grants_exactly_max_then_sticks() {
+        let l = ExecLimits::new(None, Some(3));
+        assert!(l.charge_candidate());
+        assert!(l.charge_candidate());
+        assert!(l.charge_candidate());
+        assert!(!l.charge_candidate());
+        assert!(!l.charge_candidate()); // sticky
+        let r = l.report();
+        assert_eq!(r.candidates, 3); // refused charges are not counted
+        assert!(r.exhausted);
+        assert!(l.exhausted());
+    }
+
+    #[test]
+    fn expired_deadline_refuses_the_first_charge() {
+        let l = ExecLimits::new(Some(Duration::ZERO), None);
+        assert!(!l.charge_candidate());
+        assert!(l.exhausted());
+        assert_eq!(l.report().candidates, 0);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let l = ExecLimits::new(Some(Duration::from_secs(3600)), None);
+        for _ in 0..1000 {
+            assert!(l.charge_candidate());
+        }
+        assert!(!l.exhausted());
+    }
+
+    #[test]
+    fn force_exhaust_is_sticky() {
+        let l = ExecLimits::unlimited();
+        assert!(l.charge_candidate());
+        l.force_exhaust();
+        assert!(!l.charge_candidate());
+        assert_eq!(l.report().candidates, 1);
+        assert!(l.report().exhausted);
+    }
+
+    #[test]
+    fn postings_are_pure_accounting() {
+        let l = ExecLimits::new(None, Some(1));
+        l.charge_postings(5);
+        assert!(l.charge_candidate());
+        assert!(!l.charge_candidate());
+        l.charge_postings(2);
+        assert_eq!(l.report().postings, 7);
+    }
+}

@@ -840,14 +840,22 @@ impl<'a> MaxScoreTraversal<'a> {
         }
     }
 
-    /// Run the traversal, returning `(tid, score)` in ranking order.
-    pub(crate) fn run(self) -> Vec<(i64, f64)> {
-        self.run_with_stats().0
+    /// Run the traversal, returning `(tid, score)` in ranking order. With
+    /// `limits`, the traversal charges one candidate per evaluation and
+    /// stops early on exhaustion — the heap drained at that point is the
+    /// anytime answer: the exact top-k *of the candidates visited so far*,
+    /// every score bit-identical to the exhaustive run's entry for that tid
+    /// (survivors are re-scored exactly before admission).
+    pub(crate) fn run(self, limits: Option<&crate::limits::ExecLimits>) -> Vec<(i64, f64)> {
+        self.run_with_stats(limits).0
     }
 
     /// [`run`](Self::run), also reporting the work counters (test/bench
     /// introspection).
-    pub(crate) fn run_with_stats(mut self) -> (Vec<(i64, f64)>, TraversalStats) {
+    pub(crate) fn run_with_stats(
+        mut self,
+        limits: Option<&crate::limits::ExecLimits>,
+    ) -> (Vec<(i64, f64)>, TraversalStats) {
         if self.k == 0 || self.probed.len() == 0 {
             return (Vec::new(), self.probed.stats);
         }
@@ -873,7 +881,19 @@ impl<'a> MaxScoreTraversal<'a> {
                 BlockStep::Skipped => continue,
                 BlockStep::Evaluate(tid) => tid,
             };
+            // Budget cut point: nothing about `tid` has been consumed yet,
+            // so stopping here leaves the heap holding only exactly-scored
+            // entries — the anytime answer.
+            if let Some(limits) = limits {
+                if !limits.charge_candidate() {
+                    break;
+                }
+            }
+            crate::fault::fault_point("relq.topk.candidate");
             let partial = self.probed.consume(tid);
+            if let Some(limits) = limits {
+                limits.charge_postings(self.probed.on_candidate.len() as u64);
+            }
             let Some(partial) =
                 self.probed.descend_prefix(tid, partial, self.first_essential, theta)
             else {
@@ -944,14 +964,20 @@ impl<'a> ThresholdTraversal<'a> {
     }
 
     /// Run the traversal, returning every `(tid, score)` with `score ≥ τ` in
-    /// ranking order.
-    pub(crate) fn run(self) -> Vec<(i64, f64)> {
-        self.run_with_stats().0
+    /// ranking order. With `limits`, the traversal charges one candidate per
+    /// evaluation and stops early on exhaustion — the survivors admitted so
+    /// far are the anytime answer: a subset of the exact selection, every
+    /// score bit-identical to the exhaustive run's entry for that tid.
+    pub(crate) fn run(self, limits: Option<&crate::limits::ExecLimits>) -> Vec<(i64, f64)> {
+        self.run_with_stats(limits).0
     }
 
     /// [`run`](Self::run), also reporting the work counters (test/bench
     /// introspection).
-    pub(crate) fn run_with_stats(mut self) -> (Vec<(i64, f64)>, TraversalStats) {
+    pub(crate) fn run_with_stats(
+        mut self,
+        limits: Option<&crate::limits::ExecLimits>,
+    ) -> (Vec<(i64, f64)>, TraversalStats) {
         let tau = self.tau;
         // τ = +∞: no finite score qualifies, and the prefix/pruning
         // arithmetic degenerates (∞ − ∞ = NaN compares false, disabling
@@ -984,7 +1010,18 @@ impl<'a> ThresholdTraversal<'a> {
                 BlockStep::Skipped => continue,
                 BlockStep::Evaluate(tid) => tid,
             };
+            // Budget cut point: `out` holds only exactly-scored, admitted
+            // survivors, so stopping between candidates is always clean.
+            if let Some(limits) = limits {
+                if !limits.charge_candidate() {
+                    break;
+                }
+            }
+            crate::fault::fault_point("relq.threshold.candidate");
             let partial = self.probed.consume(tid);
+            if let Some(limits) = limits {
+                limits.charge_postings(self.probed.on_candidate.len() as u64);
+            }
             let Some(partial) = self.probed.descend_prefix(tid, partial, first_essential, tau)
             else {
                 continue; // Abandoned mid-descent: cannot reach τ.
@@ -1213,7 +1250,7 @@ mod tests {
             .iter()
             .filter_map(|&(token, factor)| ix.list(&Value::Int(token)).map(|l| (l, factor)))
             .collect();
-        MaxScoreTraversal::new(probed, k).unwrap().run()
+        MaxScoreTraversal::new(probed, k).unwrap().run(None)
     }
 
     /// A handful of adversarial block granularities: per-posting maxima,
@@ -1354,7 +1391,7 @@ mod tests {
             .iter()
             .filter_map(|&(token, factor)| ix.list(&Value::Int(token)).map(|l| (l, factor)))
             .collect();
-        ThresholdTraversal::new(probed, tau).unwrap().run()
+        ThresholdTraversal::new(probed, tau).unwrap().run(None)
     }
 
     #[test]
@@ -1500,9 +1537,9 @@ mod tests {
 
         // Top-k: identical results, far fewer evaluated candidates.
         let (block_topk, block_stats) =
-            MaxScoreTraversal::new(gather_from(&block, &probes), 5).unwrap().run_with_stats();
+            MaxScoreTraversal::new(gather_from(&block, &probes), 5).unwrap().run_with_stats(None);
         let (global_topk, global_stats) =
-            MaxScoreTraversal::new(gather_from(&global, &probes), 5).unwrap().run_with_stats();
+            MaxScoreTraversal::new(gather_from(&global, &probes), 5).unwrap().run_with_stats(None);
         assert_eq!(block_topk, global_topk);
         assert_eq!(block_topk, reference_top_k(&block, &probes, 5));
         assert!(
@@ -1520,10 +1557,13 @@ mod tests {
 
         // Threshold at a bar only the hot document clears: same story, and
         // the fixed bar prunes from the first candidate on.
-        let (block_sel, block_stats) =
-            ThresholdTraversal::new(gather_from(&block, &probes), 5.0).unwrap().run_with_stats();
+        let (block_sel, block_stats) = ThresholdTraversal::new(gather_from(&block, &probes), 5.0)
+            .unwrap()
+            .run_with_stats(None);
         let (global_sel, global_stats) =
-            ThresholdTraversal::new(gather_from(&global, &probes), 5.0).unwrap().run_with_stats();
+            ThresholdTraversal::new(gather_from(&global, &probes), 5.0)
+                .unwrap()
+                .run_with_stats(None);
         assert_eq!(block_sel, global_sel);
         assert_eq!(block_sel, reference_threshold(&block, &probes, 5.0));
         assert_eq!(block_sel.len(), hot.len(), "exactly the hot documents clear τ=5");

@@ -39,6 +39,19 @@ impl PreparedPlan {
         execute_with(&self.plan, catalog, bindings)
     }
 
+    /// [`Self::execute`] under an optional cooperative budget: the
+    /// candidate-scoring operators charge `limits` per candidate and stop
+    /// cleanly on exhaustion, returning the anytime answer built so far (see
+    /// [`crate::execute_with_limits`]).
+    pub fn execute_limited(
+        &self,
+        catalog: &Catalog,
+        bindings: &Bindings,
+        limits: Option<&crate::limits::ExecLimits>,
+    ) -> Result<Arc<Table>> {
+        crate::exec::execute_with_limits(&self.plan, catalog, bindings, limits)
+    }
+
     /// Execute under the pre-refactor cost model (clone-per-scan, per-query
     /// full-table hash builds). Byte-identical output to [`Self::execute`];
     /// exists for equivalence tests and as the benchmark baseline.
