@@ -145,10 +145,11 @@ pub(crate) const SHARED_TABLES: [&str; 6] =
 
 /// Parse a `DASP_POSTING_BLOCK` environment override: a positive integer
 /// selects that block-max granularity for the shared posting indexes;
-/// anything else (unset, empty, unparsable, zero) leaves
-/// [`Params::posting_block`] in charge. Separated from `std::env` for tests.
+/// anything else leaves [`Params::posting_block`] in charge — loudly for
+/// malformed input (see [`crate::envknob`]). Separated from `std::env` for
+/// tests.
 fn posting_block_env(var: Option<&str>) -> Option<usize> {
-    var.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+    crate::envknob::positive_usize("DASP_POSTING_BLOCK", var)
 }
 
 /// The phase-1 preprocessing artifacts every predicate shares: the tokenized

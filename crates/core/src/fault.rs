@@ -131,12 +131,13 @@ pub fn stats() -> FaultStats {
     }
 }
 
-/// Parse a `DASP_FAULT_SEED` environment value: any integer pins the chaos
-/// seed; unset/empty/unparsable means the caller picks its own. Separated
-/// from `std::env` for tests (same pattern as the posting-block and
-/// segment-seal overrides).
+/// Parse a `DASP_FAULT_SEED` environment value: any integer (zero included
+/// — 0 is a valid seed) pins the chaos seed; unset/empty means the caller
+/// picks its own, and unparsable input warns once to stderr (see
+/// [`crate::envknob`]). Separated from `std::env` for tests (same pattern
+/// as the posting-block / segment-seal / shards overrides).
 pub fn seed_env(var: Option<&str>) -> Option<u64> {
-    var.and_then(|s| s.trim().parse::<u64>().ok())
+    crate::envknob::any_u64("DASP_FAULT_SEED", var)
 }
 
 /// The chaos seed: `DASP_FAULT_SEED` if set (CI pins it), else the default.

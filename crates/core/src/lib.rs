@@ -54,6 +54,7 @@ pub mod corpus;
 pub mod dict;
 pub mod editpred;
 pub mod engine;
+pub mod envknob;
 pub mod error;
 pub mod factory;
 pub mod fault;
@@ -67,6 +68,7 @@ pub mod predicate;
 pub mod pruning;
 pub mod record;
 pub mod serve;
+pub mod shard;
 pub mod tables;
 
 pub use corpus::{Corpus, QueryTokens, TokenizedCorpus};
@@ -86,3 +88,4 @@ pub use predicate::{Predicate, PredicateClass, PredicateKind};
 pub use pruning::{prune_by_idf, PruneStats};
 pub use record::{Record, ScoredTid, Tid};
 pub use serve::{LatencyStats, ServeRequest, ServeResponse, ServeStats, ServingEngine};
+pub use shard::ShardedEngine;

@@ -41,32 +41,43 @@
 //! novel vocabulary is unsearchable until the next [`compact`] — the same
 //! staleness window Lucene-style engines accept between segment merges.
 //!
-//! ## Shared-bar merging
+//! ## Deterministic parallel merging
 //!
-//! A query runs the existing bounded traversals per segment and merges
-//! deterministically under one shared θ/τ bar:
+//! An unbudgeted query runs one *independent* traversal per segment — fanned
+//! across the bounded scoped-thread pool of `fan_units`, the
+//! same machinery the tid-range [`crate::shard::ShardedEngine`] uses — and
+//! merges the per-segment results deterministically:
 //!
 //! * [`Exec::Rank`] / [`Exec::Threshold`] / [`Exec::ThresholdScan`] run the
-//!   same mode per segment (the bar τ passes through unchanged) and the
+//!   same mode per segment (a fixed τ bar passes through unchanged) and the
 //!   mapped live results are concatenated and ranked — bit-identical to the
 //!   monolith, because per-candidate scores are independent of which
 //!   segment holds the candidate.
 //! * [`Exec::TopKHeap`]`(k)` asks each segment for its `k + dead(segment)`
 //!   best (tombstoned rows may occupy up to `dead` of the local top slots),
 //!   then ranks the merged survivors — exact.
-//! * [`Exec::TopK`]`(k)` (the bounded operator) carries its running
-//!   threshold θ across segments: segments are probed in order with
-//!   `TopK(k + dead)` until `k` live candidates exist, after which every
-//!   remaining segment is probed with `Threshold(θ)` where θ is the current
-//!   `k`-th best live score. θ over a prefix is never above the final `k`-th
-//!   best, and the threshold path is bit-identical at every bar, so no
-//!   global top-`k` member is missed; the merged result preserves the
-//!   operator's tie-class contract at the `k` boundary.
+//! * [`Exec::TopK`]`(k)` (the bounded operator) likewise asks each segment
+//!   for its own `TopK(k + dead)` and re-ranks the union. Any global top-`k`
+//!   member excluded from its segment's local answer implies `k + dead`
+//!   local entries at or above its score, at least `k` of them live — which
+//!   both contradicts strict membership above the global boundary and fills
+//!   the boundary score multiset, so the merge preserves the operator's
+//!   tie-class contract at the `k` boundary.
+//!
+//! Because every per-segment traversal is independent and results merge in
+//! segment order, the answer is **byte-deterministic regardless of thread
+//! scheduling** — the live engine deliberately does *not* use the
+//! [`relq::SharedBar`] θ-exchange of the sharded engine, whose cold bounded
+//! top-k answers are only tie-class-determined. Budgeted queries keep a
+//! strictly sequential segment loop for the same reason: a serial cut under
+//! a candidate cap is byte-reproducible, a racing one is not (see
+//! [`execute_budgeted`]).
 //!
 //! [`append`]: LiveEngine::append
 //! [`delete`]: LiveEngine::delete
 //! [`compact`]: LiveEngine::compact
 //! [`rebuild_monolith`]: LiveEngine::rebuild_monolith
+//! [`execute_budgeted`]: LiveEngine::execute_budgeted
 
 use crate::corpus::{Corpus, TokenizedCorpus};
 use crate::engine::{CacheStats, Exec, ExecKey, ResultCache, SelectionEngine};
@@ -84,11 +95,11 @@ use std::sync::{Arc, Mutex, RwLock};
 pub const DEFAULT_SEGMENT_SEAL: usize = 256;
 
 /// Parse a `DASP_SEGMENT_SEAL` environment override: a positive integer
-/// selects that seal threshold; anything else (unset, empty, unparsable,
-/// zero) leaves [`Params::segment_seal`] in charge. Separated from
-/// `std::env` for tests.
+/// selects that seal threshold; anything else leaves
+/// [`Params::segment_seal`] in charge — loudly for malformed input (see
+/// [`crate::envknob`]). Separated from `std::env` for tests.
 fn segment_seal_env(var: Option<&str>) -> Option<usize> {
-    var.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+    crate::envknob::positive_usize("DASP_SEGMENT_SEAL", var)
 }
 
 /// One immutable segment: a slice of the appended stream plus a full
@@ -488,14 +499,35 @@ impl LiveEngine {
             .collect()
     }
 
-    /// The shared-bar merge over one pinned snapshot (see module docs).
-    ///
-    /// When `limits` is set, **one** [`relq::ExecLimits`] is shared across
-    /// every segment so the budget bounds the whole request, not each
-    /// segment; the loop stops early once the budget trips (later segments
-    /// would only add charged-and-refused probes). Segments processed before
-    /// the trip contribute exactly-scored rows, so the merged prefix is a
-    /// valid anytime answer.
+    /// Run one independent traversal per segment through
+    /// `fan_units` (bounded scoped-thread pool, results
+    /// indexed by segment) and map each local result to live global tids.
+    /// `mode` picks the per-segment execution mode from its dead count.
+    fn fan_segments(
+        snap: &LiveSnapshot,
+        kind: PredicateKind,
+        text: &str,
+        mode: impl Fn(usize) -> Exec,
+    ) -> crate::error::Result<Vec<Vec<ScoredTid>>> {
+        let units: Vec<_> = snap
+            .segments
+            .iter()
+            .zip(&snap.dead)
+            .map(|(segment, &dead)| {
+                let exec = mode(dead);
+                move || {
+                    Self::run_segment(segment, kind, text, exec, None)
+                        .map(|local| Self::map_live(segment, &snap.tombstones, local))
+                }
+            })
+            .collect();
+        crate::shard::fan_units(units)
+    }
+
+    /// The deterministic merge over one pinned snapshot (see module docs):
+    /// unbudgeted queries fan independent per-segment traversals across the
+    /// worker pool; budgeted ones take the sequential path so the anytime
+    /// cut stays byte-reproducible.
     fn execute_on_snapshot(
         snap: &LiveSnapshot,
         kind: PredicateKind,
@@ -503,6 +535,54 @@ impl LiveEngine {
         exec: Exec,
         limits: Option<&relq::ExecLimits>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
+        if let Some(limits) = limits {
+            return Self::execute_budgeted_on_snapshot(snap, kind, text, exec, limits);
+        }
+        match exec {
+            Exec::Rank | Exec::Threshold(_) | Exec::ThresholdScan(_) => {
+                let locals = Self::fan_segments(snap, kind, text, |_| exec)?;
+                let mut merged: Vec<ScoredTid> = locals.into_iter().flatten().collect();
+                sort_ranked(&mut merged);
+                Ok(merged)
+            }
+            Exec::TopKHeap(k) => {
+                if k == 0 {
+                    return Ok(Vec::new());
+                }
+                let locals = Self::fan_segments(snap, kind, text, |dead| Exec::TopKHeap(k + dead))?;
+                Ok(top_k_ranked(locals.concat(), k))
+            }
+            Exec::TopK(k) => {
+                if k == 0 {
+                    return Ok(Vec::new());
+                }
+                // Independent per-segment bounded top-k (k + dead covers
+                // tombstoned rows occupying local top slots), then one
+                // global re-rank — tie-class-correct at the k boundary and,
+                // unlike a shared-θ exchange, byte-deterministic under any
+                // thread interleaving.
+                let locals = Self::fan_segments(snap, kind, text, |dead| Exec::TopK(k + dead))?;
+                Ok(top_k_ranked(locals.concat(), k))
+            }
+        }
+    }
+
+    /// The budgeted merge: **one** [`relq::ExecLimits`] is shared across
+    /// every segment so the budget bounds the whole request, not each
+    /// segment, and segments run strictly sequentially — a serial cut under
+    /// a candidate cap is byte-reproducible, a racing one is not. The loop
+    /// stops early once the budget trips (later segments would only add
+    /// charged-and-refused probes); segments processed before the trip
+    /// contribute exactly-scored rows, so the merged prefix is a valid
+    /// anytime answer.
+    fn execute_budgeted_on_snapshot(
+        snap: &LiveSnapshot,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        limits: &relq::ExecLimits,
+    ) -> crate::error::Result<Vec<ScoredTid>> {
+        let limits = Some(limits);
         let tripped = || limits.is_some_and(|l| l.exhausted());
         match exec {
             Exec::Rank | Exec::Threshold(_) | Exec::ThresholdScan(_) => {

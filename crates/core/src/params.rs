@@ -169,6 +169,14 @@ pub struct Params {
     /// trade-off. A `DASP_SEGMENT_SEAL` environment variable overrides it at
     /// live-engine construction (CI forces many tiny segments that way).
     pub segment_seal: usize,
+    /// Number of tid-range shards a [`crate::shard::ShardedEngine`] splits
+    /// the corpus into (default 1 — monolithic execution). Correctness
+    /// holds at every value: every shard scores against the same frozen
+    /// corpus statistics, so exact modes merge bit-identically to the
+    /// monolith and bounded top-k stays tie-class-equal at the k boundary.
+    /// A `DASP_SHARDS` environment variable overrides it at sharded-engine
+    /// construction (CI exercises non-default shard counts that way).
+    pub shards: usize,
     /// Engine-wide default execution budget (default: unlimited). Requests
     /// can override it per call; see [`ExecBudget`].
     pub budget: ExecBudget,
@@ -186,6 +194,7 @@ impl Default for Params {
             overlap_weighting: OverlapWeighting::default(),
             posting_block: relq::DEFAULT_POSTING_BLOCK,
             segment_seal: crate::live::DEFAULT_SEGMENT_SEAL,
+            shards: 1,
             budget: ExecBudget::unlimited(),
         }
     }
@@ -224,6 +233,7 @@ mod tests {
         assert_eq!(p.overlap_weighting, OverlapWeighting::RobertsonSparckJones);
         assert_eq!(p.posting_block, relq::DEFAULT_POSTING_BLOCK);
         assert_eq!(p.segment_seal, crate::live::DEFAULT_SEGMENT_SEAL);
+        assert_eq!(p.shards, 1);
         assert!(p.budget.is_unlimited());
         assert_eq!(p.budget, ExecBudget::default());
     }

@@ -1,7 +1,9 @@
 //! Concurrent batch serving: a fixed pool of worker threads fanning a
-//! request stream over one shared backend — a static [`SelectionEngine`]
-//! or, via [`ServingEngine::new_live`], a [`LiveEngine`] whose epoch
-//! snapshots let the pool race a concurrent writer without locks.
+//! request stream over one shared backend — a static [`SelectionEngine`],
+//! a [`LiveEngine`] (via [`ServingEngine::new_live`]) whose epoch snapshots
+//! let the pool race a concurrent writer without locks, or a
+//! [`ShardedEngine`] (via [`ServingEngine::new_sharded`]) whose tid-range
+//! shards fan each request across their own worker pool.
 //!
 //! The engine has been built for this since PR 2: it is `Send + Sync`,
 //! cloning it is a cheap `Arc` handle, every shared artifact is a
@@ -41,6 +43,7 @@ use crate::live::{LiveEngine, LiveMetrics, LiveQueryStats};
 use crate::params::ExecBudget;
 use crate::predicate::PredicateKind;
 use crate::record::ScoredTid;
+use crate::shard::{panic_message, ShardedEngine};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -233,11 +236,13 @@ pub struct ServingEngine {
 }
 
 /// What a [`ServingEngine`] executes requests against: a static
-/// [`SelectionEngine`] (immutable corpus) or a [`LiveEngine`] (each request
-/// pins the live engine's current epoch snapshot).
+/// [`SelectionEngine`] (immutable corpus), a [`LiveEngine`] (each request
+/// pins the live engine's current epoch snapshot), or a [`ShardedEngine`]
+/// (each request fans across the tid-range shards).
 enum Backend {
     Static(SelectionEngine),
     Live(Arc<LiveEngine>),
+    Sharded(Arc<ShardedEngine>),
 }
 
 impl ServingEngine {
@@ -256,6 +261,16 @@ impl ServingEngine {
         Self::with_backend(Backend::Live(live), workers)
     }
 
+    /// Serve a [`ShardedEngine`]: each request fans across the backend's
+    /// tid-range shards under their shared θ/τ bar. Exact modes return the
+    /// monolith's bytes; a *cold* bounded top-k answer is tie-class-equal at
+    /// the k boundary (repeats are byte-stable through the merged-result
+    /// cache). The handle is shared, so other consumers keep querying
+    /// through their own clone.
+    pub fn new_sharded(sharded: Arc<ShardedEngine>, workers: usize) -> Self {
+        Self::with_backend(Backend::Sharded(sharded), workers)
+    }
+
     fn with_backend(backend: Backend, workers: usize) -> Self {
         ServingEngine {
             backend,
@@ -270,16 +285,25 @@ impl ServingEngine {
     pub fn engine(&self) -> Option<&SelectionEngine> {
         match &self.backend {
             Backend::Static(engine) => Some(engine),
-            Backend::Live(_) => None,
+            Backend::Live(_) | Backend::Sharded(_) => None,
         }
     }
 
-    /// The live engine requests execute against (`None` for a static
-    /// backend).
+    /// The live engine requests execute against (`None` for the other
+    /// backends).
     pub fn live(&self) -> Option<&Arc<LiveEngine>> {
         match &self.backend {
-            Backend::Static(_) => None,
+            Backend::Static(_) | Backend::Sharded(_) => None,
             Backend::Live(live) => Some(live),
+        }
+    }
+
+    /// The sharded engine requests execute against (`None` for the other
+    /// backends).
+    pub fn sharded(&self) -> Option<&Arc<ShardedEngine>> {
+        match &self.backend {
+            Backend::Static(_) | Backend::Live(_) => None,
+            Backend::Sharded(sharded) => Some(sharded),
         }
     }
 
@@ -301,6 +325,7 @@ impl ServingEngine {
         match &self.backend {
             Backend::Static(engine) => engine.params().budget,
             Backend::Live(live) => live.params().budget,
+            Backend::Sharded(sharded) => sharded.params().budget,
         }
     }
 
@@ -461,6 +486,12 @@ impl ServingEngine {
                     Err(e) => (Err(e), false, None, false, None),
                 }
             }
+            Backend::Sharded(engine) => {
+                match engine.execute_budgeted(request.kind, &request.text, request.exec, budget) {
+                    Ok(run) => (Ok(run.results), run.cache_hit, None, run.degraded, run.report),
+                    Err(e) => (Err(e), false, None, false, None),
+                }
+            }
         };
         let exec_time = started.elapsed();
         ServeResponse {
@@ -493,17 +524,6 @@ impl ServingEngine {
     pub fn reset_metrics(&self) {
         let mut inner = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *inner = std::array::from_fn(|_| KindMetrics::default());
-    }
-}
-
-/// Best-effort stringification of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
     }
 }
 
@@ -555,6 +575,38 @@ mod tests {
         let metrics = serving.live_metrics().expect("live backend exposes segment metrics");
         assert_eq!((metrics.sealed_segments, metrics.tail_len), (1, 1));
         assert_eq!(metrics.live_records, 3);
+    }
+
+    #[test]
+    fn sharded_backend_serves_monolith_bytes_for_exact_modes() {
+        let params = Params { shards: 3, ..Params::default() };
+        let sharded = Arc::new(crate::shard::ShardedEngine::from_corpus(
+            Corpus::from_strings(vec![
+                "Morgan Stanley Group Inc.",
+                "Morgan Stanle Grop Inc.",
+                "Silicon Valley Group, Inc.",
+                "Beijing Hotel",
+                "Beijing Labs Limited",
+                "AT&T Incorporated",
+            ]),
+            &params,
+        ));
+        let serving = ServingEngine::new_sharded(sharded.clone(), 2);
+        assert!(serving.sharded().is_some());
+        assert!(serving.engine().is_none() && serving.live().is_none());
+        let monolith = sharded.rebuild_monolith();
+        let requests = [
+            ServeRequest::new(PredicateKind::Bm25, "Morgan Stanley", Exec::Rank),
+            ServeRequest::new(PredicateKind::Jaccard, "Beijing Hotel", Exec::Threshold(0.2)),
+        ];
+        for response in serving.serve(&requests).iter().zip(&requests).map(|(r, q)| {
+            let expected =
+                monolith.predicate(q.kind).execute(&monolith.query(&q.text), q.exec).unwrap();
+            assert_eq!(r.results.as_ref().unwrap(), &expected, "{:?}", q.kind);
+            r
+        }) {
+            assert!(response.stats.live.is_none(), "sharded backend attaches no live stats");
+        }
     }
 
     fn mixed_requests() -> Vec<ServeRequest> {

@@ -22,7 +22,9 @@
 //! because segmentation is invisible to the contract.
 
 use dasp_core::serve::{ServeRequest, ServingEngine};
-use dasp_core::{Corpus, Exec, LiveEngine, Params, PredicateKind, ScoredTid, SelectionEngine, Tid};
+use dasp_core::{
+    Corpus, Exec, LiveEngine, Params, PredicateKind, ScoredTid, SelectionEngine, ShardedEngine, Tid,
+};
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec, f_dataset_sized, f_spec};
 use dasp_datagen::Dataset;
 use dasp_eval::sample_query_indices;
@@ -114,9 +116,25 @@ fn assert_tie_class_equal(
 }
 
 /// The full 13-predicate × 5-mode differential at the live engine's current
-/// epoch, against a monolith rebuilt right here.
+/// epoch, against a monolith rebuilt right here — and against a sharded
+/// session over the same snapshot (the rebuilt monolith's frozen stats Arc,
+/// so scores are bit-compatible by construction). The shard count resolves
+/// from `Params::shards` (default 1, the inline path) or the `DASP_SHARDS`
+/// override; CI re-runs this tier under `DASP_SHARDS=3`, so the shard merge
+/// rides every interleaving the live schedules produce.
 fn assert_live_matches_monolith(live: &LiveEngine, texts: &[String], label: &str) {
     let reference = Reference::of(live);
+    let sharded = ShardedEngine::build(reference.engine.corpus().clone(), &live_params());
+    // Sharded results come back in the monolith's dense local tids and map
+    // through the same tid map as the reference.
+    let sharded_run = |kind: PredicateKind, text: &str, exec: Exec| -> Vec<ScoredTid> {
+        sharded
+            .execute(kind, text, exec)
+            .unwrap()
+            .into_iter()
+            .map(|s| ScoredTid::new(reference.map[s.tid as usize], s.score))
+            .collect()
+    };
     for &kind in PredicateKind::all() {
         for text in texts {
             let truth = reference.run(kind, text, Exec::Rank);
@@ -126,16 +144,29 @@ fn assert_live_matches_monolith(live: &LiveEngine, texts: &[String], label: &str
             for exec in
                 [Exec::Rank, Exec::TopKHeap(K), Exec::Threshold(tau), Exec::ThresholdScan(tau)]
             {
+                let expected = reference.run(kind, text, exec);
                 let got = live.execute(kind, text, exec).unwrap();
                 assert_eq!(
                     as_bits(&got),
-                    as_bits(&reference.run(kind, text, exec)),
+                    as_bits(&expected),
                     "{label}/{kind}/{exec:?} on {text:?} diverged from the rebuilt monolith"
+                );
+                assert_eq!(
+                    as_bits(&sharded_run(kind, text, exec)),
+                    as_bits(&expected),
+                    "{label}/{kind}/{exec:?} on {text:?} sharded x{} diverged from the monolith",
+                    sharded.shards()
                 );
             }
             let got = live.execute(kind, text, Exec::TopK(K)).unwrap();
             let expected = reference.run(kind, text, Exec::TopK(K));
             assert_tie_class_equal(&got, &expected, &truth, &format!("{label}/{kind}"));
+            assert_tie_class_equal(
+                &sharded_run(kind, text, Exec::TopK(K)),
+                &expected,
+                &truth,
+                &format!("{label}/{kind} (sharded x{})", sharded.shards()),
+            );
         }
     }
 }

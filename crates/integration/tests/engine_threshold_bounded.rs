@@ -13,7 +13,7 @@
 
 use dasp_core::{
     Corpus, Exec, Params, PredicateKind, ScoredTid, SelectionEngine, ServeRequest, ServingEngine,
-    TokenizedCorpus,
+    ShardedEngine, TokenizedCorpus,
 };
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
 use dasp_eval::{build_engine, sample_query_indices};
@@ -68,6 +68,14 @@ fn tau_sweep(ranked: &[ScoredTid]) -> Vec<f64> {
 
 fn assert_threshold_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
     let engine = build_engine(dataset, &Params::default());
+    // A sharded session over the same corpus (bit-compatible stats — the
+    // build is deterministic). The shard count resolves from
+    // `Params::shards` (default 1, the inline path) or the `DASP_SHARDS`
+    // override; CI re-runs this tier under `DASP_SHARDS=3`, so the
+    // concat-and-resort threshold merge gets differential coverage at a
+    // real fan-out.
+    let sharded =
+        ShardedEngine::from_corpus(Corpus::from_strings(dataset.strings()), &Params::default());
     let indices = sample_query_indices(dataset, 4, 0x7B_22);
     for kind in BOUNDED_KINDS {
         let handle = engine.predicate(kind);
@@ -88,6 +96,16 @@ fn assert_threshold_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
                 assert_bit_identical(&bounded_naive, &expected, &format!("{context} (naive)"));
                 let scan_naive = handle.execute_naive(&query, Exec::ThresholdScan(tau)).unwrap();
                 assert_bit_identical(&scan_naive, &expected, &format!("{context} (naive scan)"));
+                // The sharded merge at whatever shard count resolved: a
+                // fixed τ has no tie class, so this stays bit-identical.
+                let sharded_res = sharded
+                    .execute(kind, &dataset.records[idx].text, Exec::Threshold(tau))
+                    .unwrap();
+                assert_bit_identical(
+                    &sharded_res,
+                    &expected,
+                    &format!("{context} (sharded x{})", sharded.shards()),
+                );
             }
         }
     }

@@ -8,7 +8,7 @@
 //! is never violated: no tid outside the returned set may outscore the
 //! returned k-th.
 
-use dasp_core::{Exec, Params, PredicateKind, ScoredTid, SelectionEngine};
+use dasp_core::{Corpus, Exec, Params, PredicateKind, ScoredTid, SelectionEngine, ShardedEngine};
 use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
 use dasp_eval::{build_engine, sample_query_indices};
 
@@ -71,6 +71,14 @@ fn all_distinct(scores: &[ScoredTid]) -> bool {
 
 fn assert_bounded_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
     let engine = build_engine(dataset, &Params::default());
+    // A sharded session over the same corpus: tokenization and stats are
+    // deterministic, so its scores are bit-compatible with the monolith's.
+    // The shard count comes from `Params::shards` (default 1 — the inline
+    // path) or the `DASP_SHARDS` override; CI re-runs this tier under
+    // `DASP_SHARDS=3`, which fans every execution below across three
+    // tid-range shards under the shared θ bar.
+    let sharded =
+        ShardedEngine::from_corpus(Corpus::from_strings(dataset.strings()), &Params::default());
     let indices = sample_query_indices(dataset, 5, 0x7A_11);
     for kind in BOUNDED_KINDS {
         let handle = engine.predicate(kind);
@@ -97,6 +105,15 @@ fn assert_bounded_equivalent(dataset: &dasp_datagen::Dataset, label: &str) {
                 // obeys the same contract.
                 let bounded_naive = handle.execute_naive(&query, Exec::TopK(k)).unwrap();
                 assert_set_equal_mod_ties(&bounded_naive, &heap, k, &format!("{context} (naive)"));
+                // The sharded merge at whatever shard count resolved.
+                let bounded_sharded =
+                    sharded.execute(kind, &dataset.records[idx].text, Exec::TopK(k)).unwrap();
+                assert_set_equal_mod_ties(
+                    &bounded_sharded,
+                    &heap,
+                    k,
+                    &format!("{context} (sharded x{})", sharded.shards()),
+                );
             }
         }
     }

@@ -366,13 +366,20 @@ fn project(input: &Table, items: &[ProjectItem], ctx: &ExecCtx) -> Result<Table>
     Ok(Table::from_parts_unchecked(out_schema, rows))
 }
 
-/// Which side a hash join builds its table on.
+/// Which side a hash join builds its table on. The build side is a pure
+/// implementation choice: it never changes the emitted row **order** (see
+/// [`hash_join`]), only which input pays for the hash table.
 #[derive(Clone, Copy, PartialEq)]
 enum BuildSide {
-    /// Build on the smaller input (the planner default).
+    /// Build on the smaller input (the planner default). Emission stays
+    /// **left-major** regardless of which side is smaller: row order — and
+    /// therefore the accumulation order of any float aggregate downstream —
+    /// must not depend on input cardinalities, or the same logical query
+    /// over differently partitioned data drifts by ULPs.
     Smaller,
-    /// Always build on the left input. Used by the naive lowering of
-    /// `IndexJoin` so row emission order matches the index probe.
+    /// Always build on the left input and emit **probe-major**. Used by the
+    /// naive lowering of `IndexJoin` so row emission order matches the
+    /// index probe.
     Left,
 }
 
@@ -416,21 +423,45 @@ fn hash_join(
     }
 
     let out_schema = left.schema().join(right.schema(), suffix);
+    let emit = |lrow: &Row, rrow: &Row| {
+        let mut out = Vec::with_capacity(out_schema.len());
+        out.extend(lrow.iter().cloned());
+        out.extend(rrow.iter().cloned());
+        out
+    };
     let mut rows = Vec::new();
-    for probe_row in probe.rows() {
-        let key: Vec<Value> = probe_idx.iter().map(|&i| probe_row[i].clone()).collect();
-        if key.iter().any(Value::is_null) {
-            continue;
+    if build_side == BuildSide::Smaller && build_left {
+        // The probe side is the RIGHT input here, but emission must stay
+        // left-major (the order a build-on-right probe would produce):
+        // collect the matching (left, right) row-number pairs and sort.
+        // Bucket lists hold ascending row numbers, so the sorted pairs are
+        // exactly "for each left row in order, its right matches in table
+        // order" — byte-identical to the build-on-right emission.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (probe_no, probe_row) in probe.rows().iter().enumerate() {
+            let key: Vec<Value> = probe_idx.iter().map(|&i| probe_row[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = hash_table.get(&key) {
+                pairs.extend(matches.iter().map(|&build_no| (build_no, probe_no)));
+            }
         }
-        if let Some(matches) = hash_table.get(&key) {
-            for &build_no in matches {
-                let build_row = &build.rows()[build_no];
-                let (lrow, rrow) =
-                    if build_left { (build_row, probe_row) } else { (probe_row, build_row) };
-                let mut out = Vec::with_capacity(out_schema.len());
-                out.extend(lrow.iter().cloned());
-                out.extend(rrow.iter().cloned());
-                rows.push(out);
+        pairs.sort_unstable();
+        rows.extend(pairs.into_iter().map(|(l, r)| emit(&left.rows()[l], &right.rows()[r])));
+    } else {
+        for probe_row in probe.rows() {
+            let key: Vec<Value> = probe_idx.iter().map(|&i| probe_row[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = hash_table.get(&key) {
+                for &build_no in matches {
+                    let build_row = &build.rows()[build_no];
+                    let (lrow, rrow) =
+                        if build_left { (build_row, probe_row) } else { (probe_row, build_row) };
+                    rows.push(emit(lrow, rrow));
+                }
             }
         }
     }
@@ -1959,6 +1990,66 @@ mod tests {
             .unwrap();
         let plan = Plan::index_join("l", &["k"], Plan::values(probe), &["k"]);
         assert_eq!(execute(&plan, &c).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn hash_join_emission_order_is_independent_of_input_sizes() {
+        // The build side is chosen by cardinality, but emission must stay
+        // left-major either way: the same logical join over differently
+        // sized inputs (e.g. one corpus shard vs the monolith) has to feed
+        // downstream float aggregates in the same row order.
+        let rows_of = |table: &Table| {
+            (0..table.num_rows())
+                .map(|i| {
+                    (table.value(i, "a").unwrap().clone(), table.value(i, "b").unwrap().clone())
+                })
+                .collect::<Vec<_>>()
+        };
+        let small = TableBuilder::new()
+            .column("k", DataType::Int)
+            .column("a", DataType::Int)
+            .row(vec![1.into(), 10.into()])
+            .row(vec![2.into(), 20.into()])
+            .build()
+            .unwrap();
+        let big = TableBuilder::new()
+            .column("k", DataType::Int)
+            .column("b", DataType::Int)
+            .row(vec![2.into(), 200.into()])
+            .row(vec![1.into(), 100.into()])
+            .row(vec![1.into(), 101.into()])
+            .row(vec![2.into(), 201.into()])
+            .build()
+            .unwrap();
+        // Left smaller (build left): still left-major with right matches in
+        // right table order.
+        let plan = Plan::values(small.clone()).join_on_with_suffix(
+            Plan::values(big.clone()),
+            &["k"],
+            &["k"],
+            "_r",
+        );
+        let left_small = execute(&plan, &Catalog::new()).unwrap();
+        let expected = vec![
+            (Value::Int(10), Value::Int(100)),
+            (Value::Int(10), Value::Int(101)),
+            (Value::Int(20), Value::Int(200)),
+            (Value::Int(20), Value::Int(201)),
+        ];
+        assert_eq!(rows_of(&left_small), expected);
+        // Right smaller (build right): the natural probe-left path — also
+        // left-major, with the big table now on the left.
+        let plan = Plan::values(big)
+            .join_on_with_suffix(Plan::values(small), &["k"], &["k"], "_r")
+            .project(vec![(col("a"), "a"), (col("b"), "b")]);
+        let right_small = execute(&plan, &Catalog::new()).unwrap();
+        let expected = vec![
+            (Value::Int(20), Value::Int(200)),
+            (Value::Int(10), Value::Int(100)),
+            (Value::Int(10), Value::Int(101)),
+            (Value::Int(20), Value::Int(201)),
+        ];
+        assert_eq!(rows_of(&right_small), expected);
     }
 
     #[test]

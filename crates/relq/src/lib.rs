@@ -80,5 +80,5 @@ pub use posting::{PostingIndex, PostingList, DEFAULT_POSTING_BLOCK};
 pub use prepared::PreparedPlan;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
-pub use topk::BoundedHeap;
+pub use topk::{decode_score_key, encode_score_key, BoundedHeap, SharedBar};
 pub use value::{DataType, Row, Value};

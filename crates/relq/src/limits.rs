@@ -1,9 +1,11 @@
 //! Cooperative execution limits: deadline / candidate budgets threaded into
 //! the operators that enumerate scoring candidates.
 //!
-//! An [`ExecLimits`] is created per execution (never shared across threads —
-//! the counters are plain [`Cell`]s) and carried by reference through the
-//! execution context. Operators that score candidates call
+//! An [`ExecLimits`] is created per *request* and carried by reference
+//! through the execution context. The counters are relaxed atomics, so one
+//! `ExecLimits` may be shared across the scoped worker threads of a sharded
+//! or segmented execution: the request's budget then bounds the request as a
+//! whole, not each worker. Operators that score candidates call
 //! [`charge_candidate`](ExecLimits::charge_candidate) *before* evaluating
 //! each one and stop cleanly when it returns `false`, leaving whatever they
 //! have produced so far as the **anytime answer**: every emitted `(tid,
@@ -11,36 +13,58 @@
 //! for that tid), the budget only truncates *which* candidates were visited.
 //!
 //! Exhaustion is sticky: once a cap trips, every later charge refuses, so a
-//! multi-operator pipeline (or a multi-segment live query sharing one
+//! multi-operator pipeline (or a multi-shard execution sharing one
 //! `ExecLimits`) stops everywhere without re-checking clocks.
 //!
 //! Two caps exist:
 //!
 //! * `max_candidates` — a hard count of scored candidates, checked on every
-//!   charge (deterministic: a given corpus/query/cap always visits the same
-//!   candidate prefix, so partial results are byte-stable).
-//! * `deadline` — a wall-clock bound, checked every
-//!   [`DEADLINE_CHECK_MASK`]+1 charges to keep `Instant::now` off the
-//!   per-candidate hot path (inherently nondeterministic in *where* it cuts,
-//!   but every cut point is a valid anytime answer).
+//!   charge (deterministic under serial execution: a given corpus/query/cap
+//!   always visits the same candidate prefix, so partial results are
+//!   byte-stable; under concurrent sharing the *total* stays exact — a
+//!   compare-exchange loop grants exactly `max` charges — but which worker
+//!   wins each slot is scheduling-dependent).
+//! * `deadline` — a wall-clock bound. While less than half the deadline has
+//!   elapsed it is polled every [`DEADLINE_CHECK_MASK`]+1 charges to keep
+//!   `Instant::now` off the per-candidate hot path; once a poll observes the
+//!   halfway point, **every** subsequent charge polls, so a request
+//!   verifying expensive candidates (edit distance, GES) overshoots its
+//!   deadline by at most one in-flight verification — not by 63 of them.
+//!   (Inherently nondeterministic in *where* it cuts, but every cut point is
+//!   a valid anytime answer.)
+//!
+//! An `ExecLimits` may also carry a [`SharedBar`] (see
+//! [`with_topk_bar`](ExecLimits::with_topk_bar)): concurrent bounded top-k
+//! traversals sharing the limits then exchange their running θ through it,
+//! pruning against the best k-th-score bound published by *any* worker.
 
-use std::cell::Cell;
+use crate::topk::SharedBar;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often the deadline is polled: on every charge where
-/// `candidates & MASK == 0` (so the very first charge always polls —
-/// an already-expired deadline stops the operator before any work).
+/// How often the deadline is polled on the cheap path: on every charge where
+/// `candidates & MASK == 0` (so the very first charge always polls — an
+/// already-expired deadline stops the operator before any work). Once a poll
+/// lands past the deadline's halfway point the mask no longer applies and
+/// every charge polls.
 const DEADLINE_CHECK_MASK: u64 = 63;
 
-/// Per-execution cooperative budget. See the module docs.
+/// Per-request cooperative budget. See the module docs.
 #[derive(Debug)]
 pub struct ExecLimits {
     start: Instant,
     deadline: Option<Instant>,
+    /// The deadline's halfway point: the instant after which the polling
+    /// mask is abandoned and every charge checks the clock.
+    half_deadline: Option<Instant>,
     max_candidates: Option<u64>,
-    candidates: Cell<u64>,
-    postings: Cell<u64>,
-    exhausted: Cell<bool>,
+    candidates: AtomicU64,
+    postings: AtomicU64,
+    exhausted: AtomicBool,
+    /// Sticky flag: a deadline poll has observed `half_deadline` passing.
+    past_half: AtomicBool,
+    topk_bar: Option<Arc<SharedBar>>,
 }
 
 /// What one limited execution actually did — attached to degraded results so
@@ -64,10 +88,13 @@ impl ExecLimits {
         ExecLimits {
             start,
             deadline: deadline.map(|d| start + d),
+            half_deadline: deadline.map(|d| start + d / 2),
             max_candidates,
-            candidates: Cell::new(0),
-            postings: Cell::new(0),
-            exhausted: Cell::new(false),
+            candidates: AtomicU64::new(0),
+            postings: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
+            past_half: AtomicBool::new(false),
+            topk_bar: None,
         }
     }
 
@@ -76,56 +103,94 @@ impl ExecLimits {
         Self::new(None, None)
     }
 
+    /// Attach a shared top-k θ bar: bounded top-k traversals executing under
+    /// these limits will prune against `max(local θ, bar)` and publish their
+    /// own θ into it. Used by sharded execution, where every shard worker
+    /// shares one `ExecLimits` (and therefore one bar).
+    pub fn with_topk_bar(mut self, bar: Arc<SharedBar>) -> Self {
+        self.topk_bar = Some(bar);
+        self
+    }
+
+    /// The shared θ bar, if one is attached.
+    #[inline]
+    pub fn topk_bar(&self) -> Option<&SharedBar> {
+        self.topk_bar.as_deref()
+    }
+
     /// Ask permission to score one more candidate. `true` means go ahead
     /// (and the candidate is counted); `false` means a cap has tripped — the
     /// operator must stop and return what it has. Counted candidates are
-    /// exactly the scored ones: a refused charge is not counted.
+    /// exactly the scored ones: a refused charge is not counted, and with a
+    /// `max_candidates` cap exactly `max` charges are granted even when the
+    /// limits are shared across threads.
     #[inline]
     pub fn charge_candidate(&self) -> bool {
-        if self.exhausted.get() {
+        if self.exhausted.load(Ordering::Relaxed) {
             return false;
         }
-        let n = self.candidates.get();
-        if let Some(max) = self.max_candidates {
-            if n >= max {
-                self.exhausted.set(true);
-                return false;
-            }
-        }
         if let Some(deadline) = self.deadline {
-            if n & DEADLINE_CHECK_MASK == 0 && Instant::now() >= deadline {
-                self.exhausted.set(true);
-                return false;
+            let every = self.past_half.load(Ordering::Relaxed);
+            if every || self.candidates.load(Ordering::Relaxed) & DEADLINE_CHECK_MASK == 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                if !every && self.half_deadline.is_some_and(|half| now >= half) {
+                    self.past_half.store(true, Ordering::Relaxed);
+                }
             }
         }
-        self.candidates.set(n + 1);
+        if let Some(max) = self.max_candidates {
+            // Compare-exchange so concurrent sharers together get exactly
+            // `max` grants — a fetch_add would overcount refused charges.
+            let mut n = self.candidates.load(Ordering::Relaxed);
+            loop {
+                if n >= max {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                match self.candidates.compare_exchange_weak(
+                    n,
+                    n + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(current) => n = current,
+                }
+            }
+        } else {
+            self.candidates.fetch_add(1, Ordering::Relaxed);
+        }
         true
     }
 
     /// Record `n` posting entries consumed (pure accounting, never refuses).
     #[inline]
     pub fn charge_postings(&self, n: u64) {
-        self.postings.set(self.postings.get() + n);
+        self.postings.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Trip the budget unconditionally (fault injection / forced
     /// degradation). Every later charge refuses.
     pub fn force_exhaust(&self) {
-        self.exhausted.set(true);
+        self.exhausted.store(true, Ordering::Relaxed);
     }
 
     /// Whether any cap has tripped so far.
     pub fn exhausted(&self) -> bool {
-        self.exhausted.get()
+        self.exhausted.load(Ordering::Relaxed)
     }
 
     /// Snapshot the work counters (see [`ExecReport`]).
     pub fn report(&self) -> ExecReport {
         ExecReport {
-            candidates: self.candidates.get(),
-            postings: self.postings.get(),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            postings: self.postings.load(Ordering::Relaxed),
             elapsed: self.start.elapsed(),
-            exhausted: self.exhausted.get(),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +225,26 @@ mod tests {
     }
 
     #[test]
+    fn candidate_cap_is_exact_when_shared_across_threads() {
+        let l = ExecLimits::new(None, Some(1000));
+        let granted = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..600 {
+                        if l.charge_candidate() {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(granted.load(Ordering::Relaxed), 1000);
+        assert_eq!(l.report().candidates, 1000);
+        assert!(l.exhausted());
+    }
+
+    #[test]
     fn expired_deadline_refuses_the_first_charge() {
         let l = ExecLimits::new(Some(Duration::ZERO), None);
         assert!(!l.charge_candidate());
@@ -174,6 +259,35 @@ mod tests {
             assert!(l.charge_candidate());
         }
         assert!(!l.exhausted());
+    }
+
+    /// Satellite regression: past the deadline's halfway point every charge
+    /// polls the clock, so the first charge after expiry refuses — the old
+    /// mask-only polling could grant up to 63 post-deadline verifications
+    /// when the count sat mid-mask.
+    #[test]
+    fn past_half_deadline_the_first_expired_charge_refuses() {
+        let deadline = Duration::from_millis(40);
+        let l = ExecLimits::new(Some(deadline), None);
+        // Charge through the first half: the tight loop polls every 64
+        // charges, so a poll lands past the halfway point well before the
+        // deadline and flips the every-charge mode on.
+        while l.report().elapsed < deadline / 2 + Duration::from_millis(5) {
+            assert!(l.charge_candidate(), "deadline must not trip before expiry");
+        }
+        // Park the count mid-mask: under the old scheme the next 63 charges
+        // would skip the clock entirely.
+        while l.report().candidates & DEADLINE_CHECK_MASK != 1 {
+            assert!(l.charge_candidate());
+        }
+        let before = l.report().candidates;
+        std::thread::sleep(deadline); // comfortably past expiry now
+        assert!(
+            !l.charge_candidate(),
+            "first charge after expiry must refuse once past half-deadline"
+        );
+        assert!(l.exhausted());
+        assert_eq!(l.report().candidates, before, "refused charges are not counted");
     }
 
     #[test]
@@ -194,5 +308,14 @@ mod tests {
         assert!(!l.charge_candidate());
         l.charge_postings(2);
         assert_eq!(l.report().postings, 7);
+    }
+
+    #[test]
+    fn topk_bar_rides_along_and_stays_shared() {
+        let bar = Arc::new(SharedBar::new());
+        let l = ExecLimits::unlimited().with_topk_bar(Arc::clone(&bar));
+        assert!(ExecLimits::unlimited().topk_bar().is_none());
+        l.topk_bar().expect("bar attached").raise(4.25);
+        assert_eq!(bar.get(), 4.25);
     }
 }
