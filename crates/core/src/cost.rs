@@ -1,0 +1,459 @@
+//! Cost-based routing between bounded traversal and exhaustive scan.
+//!
+//! The bounded operators (`Plan::TopKBounded` / `Plan::ThresholdBounded`)
+//! win 8–20× when a query is selective but *lose* to the plain scan
+//! (0.44–0.61×) when most of the corpus passes the bar — the traversal pays
+//! its bookkeeping and then verifies nearly everything anyway. This module
+//! estimates, per query, what fraction of the candidate set will pass and
+//! routes to whichever side of the crossover the estimate lands on.
+//!
+//! Two estimate sources, cheapest first:
+//!
+//! 1. **Posting statistics** ([`relq::probe_stats`]): list lengths and the
+//!    factor-scaled sum of per-list weight maxima (`bound_sum`), compared to
+//!    the bar τ. `threshold_selectivity` turns that geometry into a pass
+//!    fraction; `topk_selectivity` compares k to the candidate pool.
+//! 2. **Sampled prefix** ([`relq::sample_probe`]): when the statistics
+//!    point at the scan (estimate at or above the crossover minus
+//!    [`PROBE_BAND`]) or are unavailable (`bound_sum` is `NaN` because no
+//!    analytic per-query bound exists), score the first N candidates
+//!    exactly and extrapolate. The asymmetry is deliberate: the statistics
+//!    estimate assumes every candidate scores at its lists' maxima, so it
+//!    is an upper bound on the true pass fraction — a *low* estimate is
+//!    trustworthy (the bounded route is chosen without a probe), a *high*
+//!    one routinely overshoots on bottom-heavy score distributions and
+//!    must be confirmed before the bounded traversal is forfeited.
+//!
+//! **Invariance contract:** routing never changes an answer, only its
+//! latency. Both routes are bit-identical for `Exec::Threshold` and
+//! tie-class-equal at the k boundary for `Exec::TopK` — the
+//! `engine_routing.rs` differential tier proves this for every policy,
+//! predicate, and backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How an engine routes the bounded-capable exec modes
+/// (`Exec::TopK`, `Exec::Threshold`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Always take the bounded traversal (the pre-routing behaviour).
+    #[default]
+    AlwaysBounded,
+    /// Always take the exhaustive scan (never attaches posting arenas).
+    AlwaysScan,
+    /// Estimate selectivity per query and pick a side of the built-in
+    /// crossover ([`DEFAULT_CROSSOVER`]).
+    Adaptive,
+    /// Like `Adaptive`, but against a crossover learned from measured
+    /// latencies ([`calibrate_crossover`] /
+    /// `ServingEngine::calibrate_routes`).
+    Calibrated,
+}
+
+impl RoutePolicy {
+    /// Parse a policy name as accepted by the `DASP_ROUTE` envknob
+    /// (case-insensitive; `bounded`/`scan` short forms allowed).
+    pub fn from_name(name: &str) -> Option<RoutePolicy> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "alwaysbounded" | "bounded" => Some(RoutePolicy::AlwaysBounded),
+            "alwaysscan" | "scan" => Some(RoutePolicy::AlwaysScan),
+            "adaptive" => Some(RoutePolicy::Adaptive),
+            "calibrated" => Some(RoutePolicy::Calibrated),
+            _ => None,
+        }
+    }
+}
+
+/// Which execution route a query actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteChoice {
+    /// Max-score/WAND bounded traversal over posting lists.
+    Bounded,
+    /// Exhaustive scored scan (no posting arenas touched).
+    Scan,
+}
+
+/// The decision features a route was chosen from. All statistics-derived;
+/// zero/NaN fields mean the feature was unavailable for this query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteFeatures {
+    /// Query tokens that matched a non-empty posting/index list.
+    pub lists: usize,
+    /// Total postings across the matched lists.
+    pub postings: u64,
+    /// Upper bound on the candidate count (`min(records, postings)`).
+    pub candidates: usize,
+    /// Factor-scaled sum of per-list weight maxima — the best score any
+    /// candidate could reach. `NaN` when no analytic bound exists.
+    pub bound_sum: f64,
+    /// The score bar the estimate was taken against: τ for
+    /// `Exec::Threshold` (after any per-predicate transform, e.g. HMM's
+    /// log-space bar), `NaN` for `Exec::TopK` (no fixed bar exists).
+    pub bar: f64,
+}
+
+/// What the router decided for one query, surfaced through `ServeStats`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteReport {
+    /// The policy in force (per-request override or the engine's).
+    pub policy: RoutePolicy,
+    /// The route taken.
+    pub chosen: RouteChoice,
+    /// Estimated pass fraction in `[0, 1]`; `NaN` under a forced policy
+    /// (no estimate is computed when the answer cannot change).
+    pub estimate: f64,
+    /// Whether a sampled-prefix probe refined the estimate.
+    pub probed: bool,
+    /// The inputs the decision was made from.
+    pub features: RouteFeatures,
+}
+
+/// Crossover pass-fraction above which the exhaustive scan wins. Derived
+/// from the `threshold_sweep` bench: the bounded path loses (0.44–0.61×)
+/// below ~rank-1000 selectivity on the 1k corpus (pass fraction ≳ 0.5) and
+/// wins 8–20× when selective.
+pub const DEFAULT_CROSSOVER: f64 = 0.5;
+
+/// Margin below the crossover from which a statistics-only estimate is
+/// refined by a sampled-prefix probe. The statistics estimate upper-bounds
+/// the true pass fraction (it assumes every candidate scores at its lists'
+/// maxima), so estimates below `crossover - PROBE_BAND` pick the bounded
+/// route unprobed, while anything at or above the margin — including the
+/// whole scan side — is confirmed empirically before the bounded traversal
+/// is forfeited.
+pub const PROBE_BAND: f64 = 0.15;
+
+/// How many prefix candidates a sampled probe scores at most. Keeps the
+/// probe cost negligible next to either route and bounds what it could ever
+/// charge against an `ExecBudget` (it charges nothing — see
+/// [`relq::sample_probe`]).
+pub const PROBE_SAMPLE: usize = 64;
+
+/// Statistics-only selectivity estimate for a fixed score bar: the
+/// fraction of candidates expected to reach `bar` given that no candidate
+/// can exceed `bound_sum`.
+///
+/// Models per-candidate scores as concentrated toward the low end of
+/// `[0, bound_sum]` (most candidates match few query tokens), so the pass
+/// fraction is the *square* of the remaining headroom `1 − bar/bound_sum`.
+/// Monotone non-increasing and continuous in `bar`; `NaN` propagates from
+/// `bound_sum` (meaning: no analytic bound — probe instead).
+pub fn threshold_selectivity(bound_sum: f64, bar: f64) -> f64 {
+    if bound_sum.is_nan() || bar.is_nan() {
+        return f64::NAN;
+    }
+    if bar <= 0.0 {
+        return 1.0; // admits(score, bar) passes every non-negative score
+    }
+    if bound_sum <= 0.0 {
+        return 0.0; // nothing can reach a positive bar
+    }
+    let headroom = (1.0 - bar / bound_sum).clamp(0.0, 1.0);
+    headroom * headroom
+}
+
+/// Selectivity estimate for top-k: the fraction of the candidate pool the
+/// result keeps. A k that swallows most candidates makes the bounded
+/// traversal's θ bar worthless — the scan wins.
+pub fn topk_selectivity(k: usize, candidates: usize) -> f64 {
+    if candidates == 0 {
+        return 0.0;
+    }
+    (k as f64 / candidates as f64).min(1.0)
+}
+
+/// Pick a route from an estimate: scan iff the estimated pass fraction
+/// reaches the crossover. An unavailable estimate (`NaN`) keeps the
+/// pre-routing default, bounded.
+pub fn decide(estimate: f64, crossover: f64) -> RouteChoice {
+    if estimate >= crossover {
+        RouteChoice::Scan
+    } else {
+        RouteChoice::Bounded
+    }
+}
+
+/// Per-engine routing state: the resolved policy and the calibrated
+/// crossover cell (f64 bits in an atomic so `Calibrated` reads stay
+/// lock-free on the query path).
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutePolicy,
+    crossover: AtomicU64,
+}
+
+impl Router {
+    /// A router for `policy` with the crossover cell at its bench-derived
+    /// default.
+    pub fn new(policy: RoutePolicy) -> Self {
+        Router { policy, crossover: AtomicU64::new(DEFAULT_CROSSOVER.to_bits()) }
+    }
+
+    /// The engine-level policy (a per-request override may still supersede
+    /// it for one query).
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// The crossover the given policy decides against: `Adaptive` always
+    /// uses the bench-derived [`DEFAULT_CROSSOVER`]; `Calibrated` reads the
+    /// learned cell.
+    pub fn crossover_for(&self, policy: RoutePolicy) -> f64 {
+        match policy {
+            RoutePolicy::Calibrated => f64::from_bits(self.crossover.load(Ordering::Relaxed)),
+            _ => DEFAULT_CROSSOVER,
+        }
+    }
+
+    /// Install a calibrated crossover (clamped to `[0, 1]`).
+    pub fn set_crossover(&self, crossover: f64) {
+        let c = if crossover.is_nan() { DEFAULT_CROSSOVER } else { crossover.clamp(0.0, 1.0) };
+        self.crossover.store(c.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Clone for Router {
+    fn clone(&self) -> Self {
+        Router {
+            policy: self.policy,
+            crossover: AtomicU64::new(self.crossover.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Per-request routing context threaded through an execution: an optional
+/// policy override and a first-report-wins slot the router fills with what
+/// it decided (the first routed predicate execution of a request; live and
+/// sharded backends route every segment/shard identically, so the first
+/// report is representative).
+#[derive(Debug, Default)]
+pub struct RouteTrace {
+    policy: Option<RoutePolicy>,
+    report: Mutex<Option<RouteReport>>,
+}
+
+impl RouteTrace {
+    /// A trace that observes the route without overriding the policy.
+    pub fn new() -> Self {
+        RouteTrace::default()
+    }
+
+    /// A trace that forces `policy` for this request only.
+    pub fn with_policy(policy: RoutePolicy) -> Self {
+        RouteTrace { policy: Some(policy), report: Mutex::new(None) }
+    }
+
+    /// The per-request policy override, if any.
+    pub fn policy(&self) -> Option<RoutePolicy> {
+        self.policy
+    }
+
+    /// Record a routing decision. First report wins; later segments/shards
+    /// of the same request are routed by the same model and dropped here.
+    pub fn record(&self, report: RouteReport) {
+        let mut slot = self.report.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(report);
+        }
+    }
+
+    /// The recorded decision, if any routed execution ran.
+    pub fn report(&self) -> Option<RouteReport> {
+        *self.report.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Learn a crossover from serving observations: `(what the router decided
+/// and from which estimate, how long the request took)` pairs.
+///
+/// For each candidate crossover c the model replays every sample: if the
+/// sample's estimate would have picked the same route at c, it costs its
+/// measured latency; otherwise it costs the mean latency of the samples
+/// that actually took the other route (the best available stand-in for the
+/// unobserved counterfactual). Returns the candidate with the lowest total,
+/// or `None` when one side has no observations (nothing to trade off) or no
+/// sample carries a finite estimate.
+pub fn calibrate_crossover(samples: &[(RouteReport, Duration)]) -> Option<f64> {
+    let usable: Vec<(f64, RouteChoice, f64)> = samples
+        .iter()
+        .filter(|(r, _)| r.estimate.is_finite())
+        .map(|(r, d)| (r.estimate, r.chosen, d.as_secs_f64()))
+        .collect();
+    let mean = |choice: RouteChoice| -> Option<f64> {
+        let group: Vec<f64> =
+            usable.iter().filter(|(_, c, _)| *c == choice).map(|(_, _, t)| *t).collect();
+        if group.is_empty() {
+            None
+        } else {
+            Some(group.iter().sum::<f64>() / group.len() as f64)
+        }
+    };
+    let bounded_mean = mean(RouteChoice::Bounded)?;
+    let scan_mean = mean(RouteChoice::Scan)?;
+    // Candidate crossovers: each observed estimate (a boundary where one
+    // sample flips sides) plus the extremes.
+    let mut candidates: Vec<f64> = usable.iter().map(|(e, _, _)| *e).collect();
+    candidates.push(0.0);
+    candidates.push(1.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+    candidates.dedup();
+    let cost = |crossover: f64| -> f64 {
+        usable
+            .iter()
+            .map(|&(estimate, chosen, secs)| {
+                let simulated = decide(estimate, crossover);
+                if simulated == chosen {
+                    secs
+                } else if simulated == RouteChoice::Scan {
+                    scan_mean
+                } else {
+                    bounded_mean
+                }
+            })
+            .sum()
+    };
+    candidates
+        .into_iter()
+        .map(|c| (c, cost(c)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .map(|(c, _)| c.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(estimate: f64, chosen: RouteChoice) -> RouteReport {
+        RouteReport {
+            policy: RoutePolicy::Adaptive,
+            chosen,
+            estimate,
+            probed: false,
+            features: RouteFeatures {
+                lists: 0,
+                postings: 0,
+                candidates: 0,
+                bound_sum: f64::NAN,
+                bar: f64::NAN,
+            },
+        }
+    }
+
+    #[test]
+    fn policy_names_parse_case_insensitively() {
+        for (name, want) in [
+            ("AlwaysBounded", RoutePolicy::AlwaysBounded),
+            ("bounded", RoutePolicy::AlwaysBounded),
+            ("ALWAYSSCAN", RoutePolicy::AlwaysScan),
+            ("scan", RoutePolicy::AlwaysScan),
+            (" adaptive ", RoutePolicy::Adaptive),
+            ("Calibrated", RoutePolicy::Calibrated),
+        ] {
+            assert_eq!(RoutePolicy::from_name(name), Some(want), "{name}");
+        }
+        assert_eq!(RoutePolicy::from_name("always"), None);
+        assert_eq!(RoutePolicy::from_name(""), None);
+    }
+
+    #[test]
+    fn threshold_selectivity_is_monotone_and_bounded() {
+        let bound = 3.0;
+        let mut last = f64::INFINITY;
+        for i in 0..=100 {
+            let bar = -1.0 + 5.0 * i as f64 / 100.0;
+            let est = threshold_selectivity(bound, bar);
+            assert!((0.0..=1.0).contains(&est), "estimate {est} out of range at bar {bar}");
+            assert!(est <= last, "estimate rose from {last} to {est} at bar {bar}");
+            last = est;
+        }
+        assert_eq!(threshold_selectivity(bound, -1.0), 1.0);
+        assert_eq!(threshold_selectivity(bound, 0.0), 1.0);
+        assert_eq!(threshold_selectivity(bound, 3.0), 0.0);
+        assert_eq!(threshold_selectivity(bound, 10.0), 0.0);
+        assert_eq!(threshold_selectivity(0.0, 0.5), 0.0);
+        assert!(threshold_selectivity(f64::NAN, 0.5).is_nan());
+        assert!(threshold_selectivity(bound, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn topk_selectivity_compares_k_to_the_pool() {
+        assert_eq!(topk_selectivity(10, 1000), 0.01);
+        assert_eq!(topk_selectivity(10, 10), 1.0);
+        assert_eq!(topk_selectivity(100, 10), 1.0);
+        assert_eq!(topk_selectivity(10, 0), 0.0);
+    }
+
+    #[test]
+    fn decide_scans_at_or_above_the_crossover_and_defaults_bounded_on_nan() {
+        assert_eq!(decide(0.6, 0.5), RouteChoice::Scan);
+        assert_eq!(decide(0.5, 0.5), RouteChoice::Scan);
+        assert_eq!(decide(0.4, 0.5), RouteChoice::Bounded);
+        assert_eq!(decide(f64::NAN, 0.5), RouteChoice::Bounded);
+    }
+
+    #[test]
+    fn router_crossover_cell_only_feeds_calibrated() {
+        let router = Router::new(RoutePolicy::Calibrated);
+        assert_eq!(router.crossover_for(RoutePolicy::Adaptive), DEFAULT_CROSSOVER);
+        assert_eq!(router.crossover_for(RoutePolicy::Calibrated), DEFAULT_CROSSOVER);
+        router.set_crossover(0.8);
+        assert_eq!(router.crossover_for(RoutePolicy::Calibrated), 0.8);
+        assert_eq!(router.crossover_for(RoutePolicy::Adaptive), DEFAULT_CROSSOVER);
+        router.set_crossover(7.0);
+        assert_eq!(router.crossover_for(RoutePolicy::Calibrated), 1.0);
+        router.set_crossover(f64::NAN);
+        assert_eq!(router.crossover_for(RoutePolicy::Calibrated), DEFAULT_CROSSOVER);
+    }
+
+    #[test]
+    fn route_trace_keeps_the_first_report() {
+        let trace = RouteTrace::with_policy(RoutePolicy::AlwaysScan);
+        assert_eq!(trace.policy(), Some(RoutePolicy::AlwaysScan));
+        assert_eq!(trace.report(), None);
+        trace.record(report(0.9, RouteChoice::Scan));
+        trace.record(report(0.1, RouteChoice::Bounded));
+        let got = trace.report().expect("recorded");
+        assert_eq!(got.chosen, RouteChoice::Scan);
+        assert_eq!(got.estimate, 0.9);
+    }
+
+    #[test]
+    fn calibration_finds_the_latency_crossover() {
+        // Bounded is fast below estimate 0.3 and slow above; scan is a flat
+        // 10ms. The best crossover separates the two regimes.
+        let ms = Duration::from_millis;
+        let samples = vec![
+            (report(0.05, RouteChoice::Bounded), ms(1)),
+            (report(0.10, RouteChoice::Bounded), ms(1)),
+            (report(0.20, RouteChoice::Bounded), ms(2)),
+            (report(0.40, RouteChoice::Bounded), ms(30)),
+            (report(0.60, RouteChoice::Bounded), ms(40)),
+            (report(0.50, RouteChoice::Scan), ms(10)),
+            (report(0.80, RouteChoice::Scan), ms(10)),
+            (report(0.90, RouteChoice::Scan), ms(10)),
+        ];
+        let crossover = calibrate_crossover(&samples).expect("both routes observed");
+        assert!(
+            (0.2..=0.4).contains(&crossover),
+            "crossover {crossover} should separate the fast-bounded regime"
+        );
+    }
+
+    #[test]
+    fn calibration_needs_both_routes_and_finite_estimates() {
+        let ms = Duration::from_millis;
+        let one_sided = vec![
+            (report(0.1, RouteChoice::Bounded), ms(1)),
+            (report(0.2, RouteChoice::Bounded), ms(1)),
+        ];
+        assert_eq!(calibrate_crossover(&one_sided), None);
+        let nan_only = vec![
+            (report(f64::NAN, RouteChoice::Bounded), ms(1)),
+            (report(f64::NAN, RouteChoice::Scan), ms(1)),
+        ];
+        assert_eq!(calibrate_crossover(&nan_only), None);
+        assert_eq!(calibrate_crossover(&[]), None);
+    }
+}

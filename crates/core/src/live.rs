@@ -472,6 +472,7 @@ impl LiveEngine {
         text: &str,
         exec: Exec,
         limits: Option<&relq::ExecLimits>,
+        route: Option<&crate::cost::RouteTrace>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let handle = segment.engine.predicate(kind);
         let query = segment.engine.query(text);
@@ -479,8 +480,11 @@ impl LiveEngine {
             // Budgeted: bypass the per-segment result cache in both
             // directions — a partial answer must never be cached, and a
             // cached full answer would make degradation nondeterministic.
-            Some(_) => handle.execute_with_limits(&query, exec, limits),
-            None => handle.execute(&query, exec),
+            Some(_) => handle.execute_with_limits(&query, exec, limits, route),
+            // The routed path handles the cache-override contract itself: a
+            // trace carrying a policy override bypasses the per-segment
+            // cache, a pure observability trace keeps the cached path.
+            None => handle.execute_tracked_routed(&query, exec, route).map(|(results, _)| results),
         }
     }
 
@@ -508,6 +512,7 @@ impl LiveEngine {
         kind: PredicateKind,
         text: &str,
         mode: impl Fn(usize) -> Exec,
+        route: Option<&crate::cost::RouteTrace>,
     ) -> crate::error::Result<Vec<Vec<ScoredTid>>> {
         let units: Vec<_> = snap
             .segments
@@ -516,7 +521,7 @@ impl LiveEngine {
             .map(|(segment, &dead)| {
                 let exec = mode(dead);
                 move || {
-                    Self::run_segment(segment, kind, text, exec, None)
+                    Self::run_segment(segment, kind, text, exec, None, route)
                         .map(|local| Self::map_live(segment, &snap.tombstones, local))
                 }
             })
@@ -534,13 +539,14 @@ impl LiveEngine {
         text: &str,
         exec: Exec,
         limits: Option<&relq::ExecLimits>,
+        route: Option<&crate::cost::RouteTrace>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         if let Some(limits) = limits {
-            return Self::execute_budgeted_on_snapshot(snap, kind, text, exec, limits);
+            return Self::execute_budgeted_on_snapshot(snap, kind, text, exec, limits, route);
         }
         match exec {
             Exec::Rank | Exec::Threshold(_) | Exec::ThresholdScan(_) => {
-                let locals = Self::fan_segments(snap, kind, text, |_| exec)?;
+                let locals = Self::fan_segments(snap, kind, text, |_| exec, route)?;
                 let mut merged: Vec<ScoredTid> = locals.into_iter().flatten().collect();
                 sort_ranked(&mut merged);
                 Ok(merged)
@@ -549,7 +555,8 @@ impl LiveEngine {
                 if k == 0 {
                     return Ok(Vec::new());
                 }
-                let locals = Self::fan_segments(snap, kind, text, |dead| Exec::TopKHeap(k + dead))?;
+                let locals =
+                    Self::fan_segments(snap, kind, text, |dead| Exec::TopKHeap(k + dead), route)?;
                 Ok(top_k_ranked(locals.concat(), k))
             }
             Exec::TopK(k) => {
@@ -561,7 +568,8 @@ impl LiveEngine {
                 // global re-rank — tie-class-correct at the k boundary and,
                 // unlike a shared-θ exchange, byte-deterministic under any
                 // thread interleaving.
-                let locals = Self::fan_segments(snap, kind, text, |dead| Exec::TopK(k + dead))?;
+                let locals =
+                    Self::fan_segments(snap, kind, text, |dead| Exec::TopK(k + dead), route)?;
                 Ok(top_k_ranked(locals.concat(), k))
             }
         }
@@ -581,6 +589,7 @@ impl LiveEngine {
         text: &str,
         exec: Exec,
         limits: &relq::ExecLimits,
+        route: Option<&crate::cost::RouteTrace>,
     ) -> crate::error::Result<Vec<ScoredTid>> {
         let limits = Some(limits);
         let tripped = || limits.is_some_and(|l| l.exhausted());
@@ -591,7 +600,7 @@ impl LiveEngine {
                     if tripped() {
                         break;
                     }
-                    let local = Self::run_segment(segment, kind, text, exec, limits)?;
+                    let local = Self::run_segment(segment, kind, text, exec, limits, route)?;
                     merged.extend(Self::map_live(segment, &snap.tombstones, local));
                 }
                 sort_ranked(&mut merged);
@@ -606,8 +615,14 @@ impl LiveEngine {
                     if tripped() {
                         break;
                     }
-                    let local =
-                        Self::run_segment(segment, kind, text, Exec::TopKHeap(k + dead), limits)?;
+                    let local = Self::run_segment(
+                        segment,
+                        kind,
+                        text,
+                        Exec::TopKHeap(k + dead),
+                        limits,
+                        route,
+                    )?;
                     merged.extend(Self::map_live(segment, &snap.tombstones, local));
                 }
                 Ok(top_k_ranked(merged, k))
@@ -629,7 +644,7 @@ impl LiveEngine {
                     } else {
                         Exec::TopK(k + dead)
                     };
-                    let local = Self::run_segment(segment, kind, text, mode, limits)?;
+                    let local = Self::run_segment(segment, kind, text, mode, limits, route)?;
                     collected.extend(Self::map_live(segment, &snap.tombstones, local));
                     collected = top_k_ranked(collected, k);
                 }
@@ -672,6 +687,24 @@ impl LiveEngine {
         text: &str,
         exec: Exec,
     ) -> crate::error::Result<(Vec<ScoredTid>, LiveQueryStats)> {
+        self.execute_tracked_routed(kind, text, exec, None)
+    }
+
+    /// [`execute_tracked`](Self::execute_tracked) with an optional
+    /// [`RouteTrace`](crate::cost::RouteTrace) threaded into every segment.
+    /// Each segment routes independently under the same cost model; the
+    /// trace captures the first segment's decision (first-report-wins),
+    /// which is representative because all segments share the frozen corpus
+    /// statistics. A trace carrying a policy override bypasses the
+    /// epoch-keyed result cache in both directions (same contract as
+    /// [`crate::engine::PredicateHandle`]).
+    pub(crate) fn execute_tracked_routed(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        route: Option<&crate::cost::RouteTrace>,
+    ) -> crate::error::Result<(Vec<ScoredTid>, LiveQueryStats)> {
         let snap = self.snapshot();
         let mut stats = LiveQueryStats {
             epoch: snap.epoch,
@@ -680,7 +713,8 @@ impl LiveEngine {
             tail_hits: 0,
             cache_hit: false,
         };
-        let cached = self.cache.enabled();
+        let overridden = route.is_some_and(|trace| trace.policy().is_some());
+        let cached = self.cache.enabled() && !overridden;
         if cached {
             if let Some(hit) = self.cache.get(snap.epoch, kind, text, exec) {
                 stats.cache_hit = true;
@@ -688,13 +722,40 @@ impl LiveEngine {
                 return Ok((hit.as_ref().clone(), stats));
             }
         }
-        let results = Self::execute_on_snapshot(&snap, kind, text, exec, None)?;
+        let results = Self::execute_on_snapshot(&snap, kind, text, exec, None, route)?;
         stats.segments_probed = snap.segments.len();
         Self::attribute_hits(&snap, &results, &mut stats);
         if cached {
             self.cache.insert(snap.epoch, kind, text, exec, Arc::new(results.clone()));
         }
         Ok((results, stats))
+    }
+
+    /// Execute under an explicit [`RoutePolicy`](crate::cost::RoutePolicy),
+    /// returning the results plus the first routed segment's decision report
+    /// (`None` for unrouted modes and predicates). Uncached in both
+    /// directions, like every per-request policy override.
+    pub fn execute_routed(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        policy: crate::cost::RoutePolicy,
+    ) -> crate::error::Result<(Vec<ScoredTid>, Option<crate::cost::RouteReport>)> {
+        let trace = crate::cost::RouteTrace::with_policy(policy);
+        let (results, _) = self.execute_tracked_routed(kind, text, exec, Some(&trace))?;
+        Ok((results, trace.report()))
+    }
+
+    /// Set the [`Calibrated`](crate::cost::RoutePolicy::Calibrated) routing
+    /// crossover on every segment engine of the **current** snapshot.
+    /// Segments built by later appends/seals start from the default
+    /// crossover again — calibration is expected to be re-applied
+    /// periodically (the serving layer does this from measured costs).
+    pub fn set_route_crossover(&self, crossover: f64) {
+        for segment in &self.snapshot().segments {
+            segment.engine.set_route_crossover(crossover);
+        }
     }
 
     /// [`execute_tracked`](Self::execute_tracked) under an execution budget.
@@ -714,8 +775,22 @@ impl LiveEngine {
         exec: Exec,
         budget: crate::params::ExecBudget,
     ) -> crate::error::Result<(crate::engine::BudgetedRun, LiveQueryStats)> {
+        self.execute_budgeted_routed(kind, text, exec, budget, None)
+    }
+
+    /// [`execute_budgeted`](Self::execute_budgeted) with an optional
+    /// [`RouteTrace`](crate::cost::RouteTrace) threaded through — the
+    /// serving layer's combined budget + routing entry point.
+    pub(crate) fn execute_budgeted_routed(
+        &self,
+        kind: PredicateKind,
+        text: &str,
+        exec: Exec,
+        budget: crate::params::ExecBudget,
+        route: Option<&crate::cost::RouteTrace>,
+    ) -> crate::error::Result<(crate::engine::BudgetedRun, LiveQueryStats)> {
         if budget.is_unlimited() {
-            let (results, stats) = self.execute_tracked(kind, text, exec)?;
+            let (results, stats) = self.execute_tracked_routed(kind, text, exec, route)?;
             let run = crate::engine::BudgetedRun {
                 results,
                 cache_hit: stats.cache_hit,
@@ -734,7 +809,7 @@ impl LiveEngine {
         };
         let limits =
             relq::ExecLimits::new(budget.deadline, budget.max_candidates.map(|n| n as u64));
-        let results = Self::execute_on_snapshot(&snap, kind, text, exec, Some(&limits))?;
+        let results = Self::execute_on_snapshot(&snap, kind, text, exec, Some(&limits), route)?;
         Self::attribute_hits(&snap, &results, &mut stats);
         let run = crate::engine::BudgetedRun {
             results,
@@ -779,7 +854,7 @@ impl LiveEngine {
                 continue;
             }
             let (kind, text, exec) = batch[i];
-            let result = Self::execute_on_snapshot(&snap, kind, text, exec, None);
+            let result = Self::execute_on_snapshot(&snap, kind, text, exec, None, None);
             if cached {
                 if let Ok(results) = &result {
                     inserts.push((kind, text.to_string(), exec, Arc::new(results.clone())));

@@ -1,0 +1,433 @@
+//! Router-differential tier: cost-based adaptive routing (bounded traversal
+//! vs exhaustive scan) must be **result-invariant** — the route only ever
+//! changes latency, never bytes.
+//!
+//! Seeded-random sweeps draw `(query, predicate, τ/k, policy)` tuples across
+//! all 13 predicates and three generator corpora and assert, for every
+//! [`RoutePolicy`]:
+//!
+//! * `Exec::Threshold(τ)` is **bit-identical** (tids and score bits) to the
+//!   exhaustive rank-then-filter reference under `AlwaysBounded`,
+//!   `AlwaysScan`, `Adaptive`, and `Calibrated` alike;
+//! * `Exec::TopK(k)` is **tie-class equal** at the k boundary: same score-bit
+//!   sequence as the exhaustive heap, every returned tid carrying its exact
+//!   score, every tid strictly above the boundary present;
+//! * the same invariance holds through [`LiveEngine`] (segmented corpus,
+//!   θ-carry top-k merge), [`ShardedEngine`] (tid-range fan-out), and an
+//!   8-thread [`ServingEngine`] with per-request policy overrides;
+//! * the sampled-prefix probe refines estimates without side effects: a
+//!   probed request neither reads from nor seeds the result cache of
+//!   un-overridden traffic;
+//! * the statistics estimator is monotone non-increasing in τ (property
+//!   test over random bound geometry).
+//!
+//! CI re-runs the bounded differential tiers under `DASP_ROUTE=AlwaysScan`
+//! and `DASP_ROUTE=Adaptive`; this tier pins its policies per request /
+//! per call, so it proves all four policies in a single run regardless of
+//! the environment.
+
+use dasp_core::cost::DEFAULT_CROSSOVER;
+use dasp_core::{
+    Corpus, Exec, LiveEngine, Params, PredicateKind, RouteChoice, RoutePolicy, ScoredTid,
+    SelectionEngine, ServeRequest, ServingEngine, ShardedEngine, Tid, TokenizedCorpus,
+};
+use dasp_datagen::presets::{cu_dataset_sized, cu_spec, dblp_dataset, f_dataset_sized, f_spec};
+use dasp_datagen::Dataset;
+use dasp_eval::{build_engine, sample_query_indices};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Worker threads for the serving sweep (the ISSUE's 8-thread requirement).
+const THREADS: usize = 8;
+
+const POLICIES: [RoutePolicy; 4] = [
+    RoutePolicy::AlwaysBounded,
+    RoutePolicy::AlwaysScan,
+    RoutePolicy::Adaptive,
+    RoutePolicy::Calibrated,
+];
+
+/// Serial expectation for one served request: threshold requests carry the
+/// exact expected rows, top-k requests carry (k, full exact ranking) for the
+/// tie-class check at the k boundary.
+type ServeCheck = (Option<Vec<ScoredTid>>, Option<(usize, Vec<ScoredTid>)>);
+
+/// The five predicates the router actually routes (monotone-sum scores with
+/// a bounded plan); the other eight have no bounded/scan distinction and
+/// must simply ignore the policy.
+const ROUTED_KINDS: [PredicateKind; 5] = [
+    PredicateKind::IntersectSize,
+    PredicateKind::WeightedMatch,
+    PredicateKind::Cosine,
+    PredicateKind::Bm25,
+    PredicateKind::Hmm,
+];
+
+fn assert_bit_identical(got: &[ScoredTid], expected: &[ScoredTid], context: &str) {
+    assert_eq!(got.len(), expected.len(), "{context}: result sizes differ");
+    for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+        assert_eq!(g.tid, e.tid, "{context}: tid at rank {i} differs");
+        assert_eq!(
+            g.score.to_bits(),
+            e.score.to_bits(),
+            "{context}: score bits at rank {i} differ ({} vs {})",
+            g.score,
+            e.score
+        );
+    }
+}
+
+/// Tie-class equality at the k boundary: the top-k result must carry the
+/// exact ranking's first `min(k, n)` score bits in order, every returned
+/// tid must score its exact ranking score bit-identically, and every tid
+/// *strictly above* the boundary score must be present — only tids tied at
+/// the boundary may differ between routes.
+fn assert_tie_class(topk: &[ScoredTid], k: usize, exact_rank: &[ScoredTid], context: &str) {
+    let n = k.min(exact_rank.len());
+    assert_eq!(topk.len(), n, "{context}: top-k size");
+    let expected_bits: Vec<u64> = exact_rank[..n].iter().map(|s| s.score.to_bits()).collect();
+    let got_bits: Vec<u64> = topk.iter().map(|s| s.score.to_bits()).collect();
+    assert_eq!(got_bits, expected_bits, "{context}: score-bit sequence differs");
+    let exact: HashMap<Tid, u64> = exact_rank.iter().map(|s| (s.tid, s.score.to_bits())).collect();
+    let returned: std::collections::HashSet<Tid> = topk.iter().map(|s| s.tid).collect();
+    for s in topk {
+        assert_eq!(
+            Some(&s.score.to_bits()),
+            exact.get(&s.tid),
+            "{context}: tid {} does not carry its exact score",
+            s.tid
+        );
+    }
+    if n > 0 {
+        let boundary = exact_rank[n - 1].score;
+        for e in &exact_rank[..n] {
+            if e.score > boundary {
+                assert!(
+                    returned.contains(&e.tid),
+                    "{context}: tid {} above the k boundary is missing",
+                    e.tid
+                );
+            }
+        }
+    }
+}
+
+/// A seeded `(τ, k)` draw spanning selective, permissive, boundary-exact and
+/// unreachable bars for one exact ranking.
+fn draw_bars(rng: &mut StdRng, ranked: &[ScoredTid]) -> (Vec<f64>, Vec<usize>) {
+    let mut taus = vec![0.0];
+    if let (Some(first), Some(last)) = (ranked.first(), ranked.last()) {
+        // An exact score boundary (the `>=` bar must admit it)...
+        taus.push(ranked[rng.gen_range(0..ranked.len())].score);
+        // ...an arbitrary bar inside the score range...
+        taus.push(rng.gen_range(last.score..first.score.max(last.score + 1e-9)));
+        // ...and a bar above everything (empty selection / short circuit).
+        taus.push(first.score * 2.0 + 10.0);
+    }
+    let ks = vec![1, rng.gen_range(1..12), ranked.len().max(1), ranked.len() + 7];
+    (taus, ks)
+}
+
+fn corpora() -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("CU2", cu_dataset_sized(cu_spec("CU2").unwrap(), 150, 15)),
+        ("F1", f_dataset_sized(f_spec("F1").unwrap(), 130, 13)),
+        ("DBLP", dblp_dataset(120)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// SelectionEngine: all 13 predicates × 3 corpora × every policy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_policy_is_result_invariant_on_the_monolith() {
+    let mut rng = StdRng::seed_from_u64(0x0520_7E57);
+    for (label, dataset) in corpora() {
+        let engine = build_engine(&dataset, &Params::default());
+        let indices = sample_query_indices(&dataset, 2, 0x0520 ^ label.len() as u64);
+        for (kind, handle) in engine.predicates() {
+            for &idx in &indices {
+                let query = engine.query(&dataset.records[idx].text);
+                let ranked = handle.execute(&query, Exec::Rank).unwrap();
+                if ranked.is_empty() {
+                    continue;
+                }
+                let (taus, ks) = draw_bars(&mut rng, &ranked);
+                for &tau in &taus {
+                    let expected: Vec<_> =
+                        ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                    for policy in POLICIES {
+                        let context = format!("{label}/{kind} tau={tau} {policy:?}");
+                        let (got, report) =
+                            handle.execute_routed(&query, Exec::Threshold(tau), policy).unwrap();
+                        assert_bit_identical(&got, &expected, &context);
+                        // Routed predicates report; the other eight must not
+                        // fabricate a decision.
+                        assert_eq!(
+                            report.is_some(),
+                            ROUTED_KINDS.contains(&kind),
+                            "{context}: unexpected report presence"
+                        );
+                        if let Some(report) = report {
+                            assert_eq!(report.policy, policy, "{context}");
+                            match policy {
+                                RoutePolicy::AlwaysBounded => {
+                                    assert_eq!(report.chosen, RouteChoice::Bounded, "{context}")
+                                }
+                                RoutePolicy::AlwaysScan => {
+                                    assert_eq!(report.chosen, RouteChoice::Scan, "{context}")
+                                }
+                                _ => assert!(
+                                    (0.0..=1.0).contains(&report.estimate),
+                                    "{context}: estimate {} out of range",
+                                    report.estimate
+                                ),
+                            }
+                        }
+                    }
+                }
+                for &k in &ks {
+                    for policy in POLICIES {
+                        let context = format!("{label}/{kind} k={k} {policy:?}");
+                        let (got, _) =
+                            handle.execute_routed(&query, Exec::TopK(k), policy).unwrap();
+                        assert_tie_class(&got, k, &ranked, &context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LiveEngine and ShardedEngine: segmented / fanned execution, same contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_policy_is_result_invariant_on_live_and_sharded_backends() {
+    let mut rng = StdRng::seed_from_u64(0x011F_E5AD);
+    let dataset = cu_dataset_sized(cu_spec("CU6").unwrap(), 140, 14);
+    // Live: small seals force several sealed segments plus a tail.
+    let live = LiveEngine::from_corpus(
+        Corpus::from_strings(dataset.records[..120].iter().map(|r| r.text.clone())),
+        &Params { segment_seal: 48, ..Params::default() },
+    );
+    for r in &dataset.records[120..] {
+        live.append(r.text.clone());
+    }
+    // Sharded: a real fan-out.
+    let sharded = ShardedEngine::from_corpus(
+        Corpus::from_strings(dataset.records.iter().map(|r| r.text.clone())),
+        &Params { shards: 3, ..Params::default() },
+    );
+    let indices = sample_query_indices(&dataset, 2, 0x11FE);
+    for kind in ROUTED_KINDS {
+        for &idx in &indices {
+            let text = &dataset.records[idx].text;
+            for (backend, rank) in [
+                ("live", live.execute(kind, text, Exec::Rank).unwrap()),
+                ("sharded", sharded.execute(kind, text, Exec::Rank).unwrap()),
+            ] {
+                if rank.is_empty() {
+                    continue;
+                }
+                let (taus, ks) = draw_bars(&mut rng, &rank);
+                for &tau in &taus {
+                    let expected: Vec<_> =
+                        rank.iter().copied().filter(|s| s.score >= tau).collect();
+                    for policy in POLICIES {
+                        let context = format!("{backend}/{kind} tau={tau} {policy:?}");
+                        let (got, _) = match backend {
+                            "live" => live.execute_routed(kind, text, Exec::Threshold(tau), policy),
+                            _ => sharded.execute_routed(kind, text, Exec::Threshold(tau), policy),
+                        }
+                        .unwrap();
+                        assert_bit_identical(&got, &expected, &context);
+                    }
+                }
+                for &k in &ks {
+                    for policy in POLICIES {
+                        let context = format!("{backend}/{kind} k={k} {policy:?}");
+                        let (got, _) = match backend {
+                            "live" => live.execute_routed(kind, text, Exec::TopK(k), policy),
+                            _ => sharded.execute_routed(kind, text, Exec::TopK(k), policy),
+                        }
+                        .unwrap();
+                        assert_tie_class(&got, k, &rank, &context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8-thread ServingEngine: per-request overrides under concurrency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn route_overrides_are_result_invariant_through_an_8_thread_pool() {
+    let mut rng = StdRng::seed_from_u64(0x0005_E24E);
+    let dataset = dblp_dataset(140);
+    let reference = build_engine(&dataset, &Params::default());
+    let indices = sample_query_indices(&dataset, 3, 0x5E24);
+    // Build the request mix and its serial expectations (threshold requests
+    // carry exact expected bytes; top-k requests carry the exact ranking for
+    // the tie-class check).
+    let mut requests: Vec<ServeRequest> = Vec::new();
+    let mut checks: Vec<ServeCheck> = Vec::new();
+    for kind in ROUTED_KINDS {
+        for &idx in &indices {
+            let text = &dataset.records[idx].text;
+            let ranked =
+                reference.predicate(kind).execute(&reference.query(text), Exec::Rank).unwrap();
+            if ranked.is_empty() {
+                continue;
+            }
+            let (taus, ks) = draw_bars(&mut rng, &ranked);
+            for (i, &tau) in taus.iter().enumerate() {
+                let policy = POLICIES[(i + idx) % POLICIES.len()];
+                requests.push(
+                    ServeRequest::new(kind, text.clone(), Exec::Threshold(tau)).with_route(policy),
+                );
+                let expected = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+                checks.push((Some(expected), None));
+            }
+            for (i, &k) in ks.iter().enumerate() {
+                let policy = POLICIES[(i + idx + 1) % POLICIES.len()];
+                requests
+                    .push(ServeRequest::new(kind, text.clone(), Exec::TopK(k)).with_route(policy));
+                checks.push((None, Some((k, ranked.clone()))));
+            }
+        }
+    }
+    // A FRESH engine under 8 workers: lazy artifacts (shared tables, posting
+    // arenas) first-touch under concurrent, policy-mixed traffic.
+    let serving = ServingEngine::new(build_engine(&dataset, &Params::default()), THREADS);
+    let responses = serving.serve(&requests);
+    assert_eq!(responses.len(), requests.len());
+    for (i, (response, (threshold_exp, topk_exp))) in responses.iter().zip(&checks).enumerate() {
+        let got = response.results.as_ref().unwrap();
+        let context = format!("request {i} ({:?} {:?})", requests[i].exec, requests[i].route);
+        if let Some(expected) = threshold_exp {
+            assert_bit_identical(got, expected, &context);
+        }
+        if let Some((k, ranked)) = topk_exp {
+            assert_tie_class(got, *k, ranked, &context);
+        }
+        let route = response.stats.route.expect("routed request must report its route");
+        assert_eq!(Some(route.policy), requests[i].route, "{context}");
+    }
+    // Every response fed the calibration window; with both routes observed
+    // the serving engine can close the loop.
+    assert_eq!(serving.route_sample_count(), requests.len());
+    if let Some(crossover) = serving.calibrate_routes() {
+        assert!((0.0..=1.0).contains(&crossover));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-random corpora: the property sweep
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_corpora_stay_invariant_under_random_policies() {
+    use proptest::prelude::*;
+    check(20, |g| {
+        let n = g.usize_in(20..100);
+        let words =
+            ["morgan", "stanley", "group", "beijing", "labs", "silicon", "hotel", "inc", "at&t"];
+        let strings: Vec<String> = (0..n)
+            .map(|_| {
+                let len = g.usize_in(1..5);
+                (0..len).map(|_| *g.pick(&words)).collect::<Vec<_>>().join(" ")
+                    + &g.string_of("abcdefgh", 0..4)
+            })
+            .collect();
+        let corpus = std::sync::Arc::new(TokenizedCorpus::build(
+            Corpus::from_strings(strings.clone()),
+            dasp_text::QgramConfig::new(2),
+        ));
+        let engine = SelectionEngine::build(corpus, &Params::default());
+        let kind = *g.pick(PredicateKind::all());
+        let handle = engine.predicate(kind);
+        let query = engine.query(&strings[g.usize_in(0..strings.len())]);
+        let ranked = handle.execute(&query, Exec::Rank).unwrap();
+        let policy = *g.pick(&POLICIES);
+        let tau = if !ranked.is_empty() && g.bool_with(0.5) {
+            ranked[g.usize_in(0..ranked.len())].score
+        } else {
+            g.f64_in(0.0..3.0)
+        };
+        let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+        let (got, _) = handle.execute_routed(&query, Exec::Threshold(tau), policy).unwrap();
+        assert_bit_identical(&got, &expected, &format!("{kind} tau={tau} {policy:?}"));
+        let k = g.usize_in(1..15);
+        let (got, _) = handle.execute_routed(&query, Exec::TopK(k), policy).unwrap();
+        assert_tie_class(&got, k, &ranked, &format!("{kind} k={k} {policy:?}"));
+    });
+}
+
+/// Property test for the estimator itself: monotone non-increasing in τ at
+/// any bound geometry, always within `[0, 1]`, NaN only when the bound (or
+/// bar) is NaN.
+#[test]
+fn threshold_selectivity_is_monotone_in_tau_on_random_geometry() {
+    use dasp_core::cost::threshold_selectivity;
+    use proptest::prelude::*;
+    check(200, |g| {
+        let bound = if g.bool_with(0.1) { f64::NAN } else { g.f64_in(0.0..50.0) };
+        let mut bars: Vec<f64> = (0..16).map(|_| g.f64_in(-5.0..60.0)).collect();
+        bars.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::INFINITY;
+        for &bar in &bars {
+            let est = threshold_selectivity(bound, bar);
+            if bound.is_nan() {
+                assert!(est.is_nan(), "NaN bound must propagate");
+                continue;
+            }
+            assert!((0.0..=1.0).contains(&est), "estimate {est} out of range at bar {bar}");
+            assert!(est <= last, "estimate rose from {last} to {est} at bar {bar}");
+            last = est;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Probe side-effect freedom
+// ---------------------------------------------------------------------------
+
+#[test]
+fn probed_requests_neither_read_nor_seed_the_result_cache() {
+    // One worker makes cache-hit attribution deterministic. BM25 has no
+    // analytic bound (`bound_sum` is NaN on a fresh engine), so an Adaptive
+    // threshold request *must* run the sampled-prefix probe — and still
+    // must not contaminate the cache of un-overridden traffic in either
+    // direction.
+    let dataset = cu_dataset_sized(cu_spec("CU2").unwrap(), 100, 10);
+    let serving = ServingEngine::new(build_engine(&dataset, &Params::default()), 1);
+    let text = dataset.records[3].text.clone();
+    let reference = build_engine(&dataset, &Params::default());
+    let ranked = reference
+        .predicate(PredicateKind::Bm25)
+        .execute(&reference.query(&text), Exec::Rank)
+        .unwrap();
+    let tau = ranked[ranked.len() / 2].score;
+    let plain = ServeRequest::new(PredicateKind::Bm25, text.clone(), Exec::Threshold(tau));
+    let probed = plain.clone().with_route(RoutePolicy::Adaptive);
+    let responses = serving.serve(&[probed.clone(), plain.clone(), probed, plain]);
+    let expected: Vec<_> = ranked.iter().copied().filter(|s| s.score >= tau).collect();
+    for (i, response) in responses.iter().enumerate() {
+        assert_bit_identical(response.results.as_ref().unwrap(), &expected, &format!("req {i}"));
+    }
+    let probe_report = responses[0].stats.route.expect("adaptive request reports");
+    assert!(probe_report.probed, "BM25 without an analytic bound must probe");
+    assert!(!responses[0].stats.cache_hit);
+    assert!(!responses[1].stats.cache_hit, "overridden run must not have seeded the cache");
+    assert!(!responses[2].stats.cache_hit, "overridden run must not read the cache");
+    assert!(responses[3].stats.cache_hit, "plain traffic still caches normally");
+    // Sanity on the crossover constant the estimates were judged against.
+    assert!((0.0..=1.0).contains(&DEFAULT_CROSSOVER));
+}
